@@ -1,0 +1,125 @@
+// Package autosens_test benchmarks the regeneration of every table and
+// figure in the paper's evaluation. Each benchmark measures one experiment
+// end-to-end (slicing + estimation + rendering) against a shared simulated
+// workload; the simulation itself is built once outside the timed region
+// and has its own benchmark.
+//
+// Run with:
+//
+//	go test -bench=. -benchmem
+package autosens_test
+
+import (
+	"io"
+	"sync"
+	"testing"
+
+	"autosens/internal/experiments"
+	"autosens/internal/owasim"
+	"autosens/internal/timeutil"
+)
+
+var (
+	benchOnce sync.Once
+	benchCtx  *experiments.Context
+	benchErr  error
+)
+
+func benchContext(b *testing.B) *experiments.Context {
+	b.Helper()
+	benchOnce.Do(func() {
+		benchCtx, benchErr = experiments.NewContext(experiments.ScaleSmall, 42)
+	})
+	if benchErr != nil {
+		b.Fatalf("context: %v", benchErr)
+	}
+	return benchCtx
+}
+
+// benchExperiment times one registered experiment end to end.
+func benchExperiment(b *testing.B, id string) {
+	ctx := benchContext(b)
+	exp, err := experiments.Lookup(id)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.Run(ctx, io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig1MSDMAD regenerates Figure 1 (locality diagnostics).
+func BenchmarkFig1MSDMAD(b *testing.B) { benchExperiment(b, "fig1") }
+
+// BenchmarkFig2Timeseries regenerates Figure 2 (latency vs activity).
+func BenchmarkFig2Timeseries(b *testing.B) { benchExperiment(b, "fig2") }
+
+// BenchmarkFig3Pdfs regenerates Figure 3 (B/U PDFs and smoothing).
+func BenchmarkFig3Pdfs(b *testing.B) { benchExperiment(b, "fig3") }
+
+// BenchmarkTable1Alpha regenerates Table 1 (worked α example).
+func BenchmarkTable1Alpha(b *testing.B) { benchExperiment(b, "table1") }
+
+// BenchmarkFig4ActionTypes regenerates Figure 4 (NLP per action type).
+func BenchmarkFig4ActionTypes(b *testing.B) { benchExperiment(b, "fig4") }
+
+// BenchmarkFig5Segments regenerates Figure 5 (business vs consumer).
+func BenchmarkFig5Segments(b *testing.B) { benchExperiment(b, "fig5") }
+
+// BenchmarkFig6Quartiles regenerates Figure 6 (conditioning quartiles).
+func BenchmarkFig6Quartiles(b *testing.B) { benchExperiment(b, "fig6") }
+
+// BenchmarkFig7TimeOfDay regenerates Figure 7 (NLP per 6-hour period).
+func BenchmarkFig7TimeOfDay(b *testing.B) { benchExperiment(b, "fig7") }
+
+// BenchmarkFig8Alpha regenerates Figure 8 (α per period and latency bin).
+func BenchmarkFig8Alpha(b *testing.B) { benchExperiment(b, "fig8") }
+
+// BenchmarkFig9Months regenerates Figure 9 (stability across months).
+func BenchmarkFig9Months(b *testing.B) { benchExperiment(b, "fig9") }
+
+// BenchmarkGTRecovery runs the ground-truth recovery validation (includes
+// its own clean simulation, so it is the heaviest experiment).
+func BenchmarkGTRecovery(b *testing.B) { benchExperiment(b, "gt-recovery") }
+
+// BenchmarkAblationNaive runs the estimator-level ablation.
+func BenchmarkAblationNaive(b *testing.B) { benchExperiment(b, "ablation-naive") }
+
+// BenchmarkAblationSmoothing sweeps Savitzky-Golay windows.
+func BenchmarkAblationSmoothing(b *testing.B) { benchExperiment(b, "ablation-smoothing") }
+
+// BenchmarkAblationReferences sweeps the rotating-reference count.
+func BenchmarkAblationReferences(b *testing.B) { benchExperiment(b, "ablation-references") }
+
+// BenchmarkExtSessions runs the session-continuation extension.
+func BenchmarkExtSessions(b *testing.B) { benchExperiment(b, "ext-sessions") }
+
+// BenchmarkExtABTest runs the active-vs-passive comparison (simulates its
+// own A/B workloads).
+func BenchmarkExtABTest(b *testing.B) { benchExperiment(b, "ext-abtest") }
+
+// BenchmarkExtQueueing runs the substrate-robustness comparison.
+func BenchmarkExtQueueing(b *testing.B) { benchExperiment(b, "ext-queueing") }
+
+// BenchmarkExtSeeds runs the cross-seed stability sweep.
+func BenchmarkExtSeeds(b *testing.B) { benchExperiment(b, "ext-seeds") }
+
+// BenchmarkExtSampleSize runs the window-length convergence sweep.
+func BenchmarkExtSampleSize(b *testing.B) { benchExperiment(b, "ext-samplesize") }
+
+// BenchmarkWorkloadSimulation measures the telemetry generator itself:
+// one simulated day for a 100-user population.
+func BenchmarkWorkloadSimulation(b *testing.B) {
+	cfg := owasim.DefaultConfig(timeutil.MillisPerDay, 50, 50)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		cfg.Seed = uint64(i + 1)
+		if _, err := owasim.Run(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,462 @@
+// Command autosens runs the AutoSens analysis on a telemetry log and
+// reports the normalized latency preference curve for a selected slice.
+//
+// Examples:
+//
+//	autosens -in telemetry.jsonl -action SelectMail -usertype business
+//	autosens -in telemetry.jsonl -action Search -mode plain -csv out.csv
+//	autosens -in telemetry.jsonl -action SelectMail -quartile Q1
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"strconv"
+	"strings"
+
+	"autosens/internal/core"
+	"autosens/internal/pipeline"
+	"autosens/internal/report"
+	"autosens/internal/telemetry"
+	"autosens/internal/timeutil"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "autosens:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	in := flag.String("in", "", "telemetry input path (required), or - for stdin")
+	format := flag.String("format", "jsonl", "input format: jsonl or csv")
+	action := flag.String("action", "", "restrict to an action type (SelectMail, SwitchFolder, Search, ComposeSend)")
+	usertype := flag.String("usertype", "", "restrict to a user segment (business, consumer)")
+	period := flag.String("period", "", "restrict to a local time-of-day period (8am-2pm, 2pm-8pm, 8pm-2am, 2am-8am)")
+	quartile := flag.String("quartile", "", "restrict to a median-latency user quartile (Q1..Q4)")
+	mode := flag.String("mode", "normalized", "estimator: normalized (full method), plain (no alpha), biased (no correction)")
+	ref := flag.Float64("ref", 300, "reference latency in ms (NLP(ref) = 1)")
+	binWidth := flag.Float64("binwidth", 10, "latency bin width in ms")
+	maxLatency := flag.Float64("maxlatency", 3000, "largest latency bin edge in ms")
+	csvOut := flag.String("csv", "", "also write the curve as CSV to this path")
+	jsonOut := flag.String("json", "", "also write the curve as JSON to this path")
+	probesFlag := flag.String("probes", "500,700,1000,1500,2000", "comma-separated probe latencies for the summary table")
+	noChart := flag.Bool("nochart", false, "suppress the ASCII chart")
+	by := flag.String("by", "", "compare slices on one chart: action, usertype, quartile, or period (normalized estimator)")
+	ci := flag.Bool("ci", false, "compute bootstrap confidence bounds (moving 6h blocks, 40 replicates, 90%)")
+	stream := flag.Bool("stream", false, "stream the input through the constant-memory estimator instead of loading it (normalized mode only; incompatible with -quartile)")
+	reservoir := flag.Int("reservoir", 500, "per-slot reservoir size for -stream")
+	flag.Parse()
+
+	if *in == "" {
+		return fmt.Errorf("-in is required")
+	}
+	var f telemetry.Format
+	switch *format {
+	case "jsonl":
+		f = telemetry.JSONL
+	case "csv":
+		f = telemetry.CSV
+	default:
+		return fmt.Errorf("unknown format %q", *format)
+	}
+	src := os.Stdin
+	if *in != "-" {
+		file, err := os.Open(*in)
+		if err != nil {
+			return err
+		}
+		defer file.Close()
+		src = file
+	}
+
+	// Build the slice predicate shared by the batch and streaming paths.
+	keep := func(r telemetry.Record) bool { return !r.Failed }
+	if *action != "" {
+		a, err := telemetry.ParseActionType(*action)
+		if err != nil {
+			return err
+		}
+		prev := keep
+		keep = func(r telemetry.Record) bool { return prev(r) && r.Action == a }
+	}
+	if *usertype != "" {
+		u, err := telemetry.ParseUserType(*usertype)
+		if err != nil {
+			return err
+		}
+		prev := keep
+		keep = func(r telemetry.Record) bool { return prev(r) && r.UserType == u }
+	}
+	if *period != "" {
+		p, err := parsePeriod(*period)
+		if err != nil {
+			return err
+		}
+		prev := keep
+		keep = func(r telemetry.Record) bool { return prev(r) && timeutil.PeriodOf(r.Time, r.TZOffset) == p }
+	}
+
+	opts := core.DefaultOptions()
+	opts.ReferenceMS = *ref
+	opts.BinWidthMS = *binWidth
+	opts.MaxLatencyMS = *maxLatency
+	est, err := core.NewEstimator(opts)
+	if err != nil {
+		return err
+	}
+
+	if *stream {
+		if *quartile != "" {
+			return fmt.Errorf("-stream cannot compute quartiles (needs a full pass over users)")
+		}
+		if *ci {
+			return fmt.Errorf("-stream and -ci are mutually exclusive")
+		}
+		curve, err := runStreaming(est, src, f, *mode, *reservoir, keep)
+		if err != nil {
+			return err
+		}
+		return emit(os.Stdout, curve, nil, *noChart, *ref, *mode, *probesFlag, *csvOut, *jsonOut)
+	}
+
+	records, err := telemetry.NewReader(src, f).ReadAll()
+	if err != nil {
+		return err
+	}
+	records = telemetry.Successful(records)
+	fmt.Fprintf(os.Stderr, "autosens: %d successful records loaded\n", len(records))
+
+	// Slice selection. Quartiles are assigned over the full population
+	// before any other filter, as in the paper.
+	if *quartile != "" {
+		assign, cuts, err := telemetry.AssignQuartiles(records)
+		if err != nil {
+			return err
+		}
+		var q telemetry.Quartile
+		switch *quartile {
+		case "Q1":
+			q = telemetry.Q1
+		case "Q2":
+			q = telemetry.Q2
+		case "Q3":
+			q = telemetry.Q3
+		case "Q4":
+			q = telemetry.Q4
+		default:
+			return fmt.Errorf("unknown quartile %q", *quartile)
+		}
+		groups := telemetry.ByQuartile(records, assign)
+		records = groups[q]
+		fmt.Fprintf(os.Stderr, "autosens: quartile cuts at %.0f / %.0f / %.0f ms median latency\n",
+			cuts[0], cuts[1], cuts[2])
+	}
+	records = telemetry.Filter(records, keep)
+	if len(records) == 0 {
+		return fmt.Errorf("no records left after slicing")
+	}
+	fmt.Fprintf(os.Stderr, "autosens: analyzing %d records\n", len(records))
+
+	if *by != "" {
+		if *ci {
+			return fmt.Errorf("-by and -ci are mutually exclusive")
+		}
+		return runComparison(os.Stdout, records, opts, *by, *action, *probesFlag, *noChart)
+	}
+
+	if *ci {
+		ciOpts := core.DefaultCIOptions()
+		ciOpts.TimeNormalized = *mode == "normalized"
+		band, err := est.EstimateCI(records, ciOpts)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "autosens: %d bootstrap replicates\n", band.Replicates)
+		return emit(os.Stdout, band.Curve, band, *noChart, *ref, *mode, *probesFlag, *csvOut, *jsonOut)
+	}
+
+	var curve *core.Curve
+	switch *mode {
+	case "normalized":
+		curve, err = est.EstimateTimeNormalized(records)
+	case "plain":
+		curve, err = est.Estimate(records)
+	case "biased":
+		curve, err = est.BiasedOnly(records)
+	default:
+		return fmt.Errorf("unknown mode %q", *mode)
+	}
+	if err != nil {
+		return err
+	}
+	return emit(os.Stdout, curve, nil, *noChart, *ref, *mode, *probesFlag, *csvOut, *jsonOut)
+}
+
+// runStreaming feeds the input through the constant-memory estimator.
+func runStreaming(est *core.Estimator, src io.Reader, f telemetry.Format, mode string, reservoir int, keep func(telemetry.Record) bool) (*core.Curve, error) {
+	s, err := core.NewStreaming(est, reservoir)
+	if err != nil {
+		return nil, err
+	}
+	reader := telemetry.NewReader(src, f)
+	for {
+		rec, err := reader.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		if !keep(rec) {
+			continue
+		}
+		if err := s.Add(rec); err != nil {
+			return nil, err
+		}
+	}
+	fmt.Fprintf(os.Stderr, "autosens: streamed %d records over %d slots\n", s.Count(), s.Slots())
+	switch mode {
+	case "normalized":
+		return s.Finalize()
+	case "plain":
+		return s.FinalizePlain()
+	default:
+		return nil, fmt.Errorf("mode %q not supported with -stream", mode)
+	}
+}
+
+// emit renders the curve (and optional confidence band) as chart, probe
+// table, and CSV.
+func emit(out io.Writer, curve *core.Curve, band *core.CurveCI, noChart bool, ref float64, mode, probesFlag, csvOut, jsonOut string) error {
+	if !noChart {
+		var xs, ys []float64
+		for i, v := range curve.NLP {
+			if curve.Valid[i] {
+				xs = append(xs, curve.BinCenters[i])
+				ys = append(ys, v)
+			}
+		}
+		xs, ys = report.Downsample(xs, ys, 70)
+		chart := report.LineChart{
+			Title:  fmt.Sprintf("Normalized latency preference (reference %.0f ms, %s estimator)", ref, mode),
+			XLabel: "latency (ms)", YLabel: "NLP", Width: 72, Height: 18,
+		}
+		series := []report.Series{{Name: "NLP", X: xs, Y: ys}}
+		if band != nil {
+			var lx, ly, ux, uy []float64
+			for i := range band.Lower {
+				if math.IsNaN(band.Lower[i]) {
+					continue
+				}
+				lx = append(lx, band.BinCenters[i])
+				ly = append(ly, band.Lower[i])
+				ux = append(ux, band.BinCenters[i])
+				uy = append(uy, band.Upper[i])
+			}
+			lx, ly = report.Downsample(lx, ly, 70)
+			ux, uy = report.Downsample(ux, uy, 70)
+			series = append(series,
+				report.Series{Name: "lower", X: lx, Y: ly},
+				report.Series{Name: "upper", X: ux, Y: uy})
+		}
+		if err := chart.Render(out, series...); err != nil {
+			return err
+		}
+	}
+
+	// Probe table.
+	var probes []float64
+	for _, part := range strings.Split(probesFlag, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		v, err := strconv.ParseFloat(part, 64)
+		if err != nil {
+			return fmt.Errorf("bad probe %q", part)
+		}
+		probes = append(probes, v)
+	}
+	headers := []string{"latency", "NLP"}
+	if band != nil {
+		headers = append(headers, "90% CI")
+	}
+	rows := make([][]string, 0, len(probes))
+	for _, p := range probes {
+		v, ok := curve.At(p)
+		cell := fmt.Sprintf("%.3f", v)
+		if !ok {
+			cell += " (low support)"
+		}
+		row := []string{fmt.Sprintf("%.0f ms", p), cell}
+		if band != nil {
+			if lo, hi, ok := band.Bounds(p); ok {
+				row = append(row, fmt.Sprintf("[%.3f, %.3f]", lo, hi))
+			} else {
+				row = append(row, "-")
+			}
+		}
+		rows = append(rows, row)
+	}
+	fmt.Fprintln(out)
+	if err := (report.Table{Headers: headers}).Render(out, rows); err != nil {
+		return err
+	}
+
+	if csvOut != "" {
+		file, err := os.Create(csvOut)
+		if err != nil {
+			return err
+		}
+		defer file.Close()
+		valid := make([]float64, len(curve.Valid))
+		for i, ok := range curve.Valid {
+			if ok {
+				valid[i] = 1
+			}
+		}
+		names := []string{"latency_ms", "nlp", "raw_ratio", "biased_frac", "unbiased_frac", "valid"}
+		cols := [][]float64{curve.BinCenters, curve.NLP, curve.Raw, curve.Biased, curve.Unbiased, valid}
+		if band != nil {
+			names = append(names, "ci_lower", "ci_upper")
+			cols = append(cols, band.Lower, band.Upper)
+		}
+		if err := report.CSV(file, names, cols...); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "autosens: curve written to %s\n", csvOut)
+	}
+	if jsonOut != "" {
+		file, err := os.Create(jsonOut)
+		if err != nil {
+			return err
+		}
+		defer file.Close()
+		if err := curve.WriteJSON(file); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "autosens: curve written to %s\n", jsonOut)
+	}
+	return nil
+}
+
+// runComparison estimates several slices with the full method and renders
+// them on one chart with a probe table.
+func runComparison(out io.Writer, records []telemetry.Record, opts core.Options, by, actionFlag, probesFlag string, noChart bool) error {
+	var slices []pipeline.Slice
+	switch by {
+	case "action":
+		slices = pipeline.ByActionType(records)
+	case "usertype", "segment":
+		action := telemetry.SelectMail
+		if actionFlag != "" {
+			a, err := telemetry.ParseActionType(actionFlag)
+			if err != nil {
+				return err
+			}
+			action = a
+		}
+		slices = pipeline.BySegment(records, action)
+	case "quartile":
+		action := telemetry.SelectMail
+		if actionFlag != "" {
+			a, err := telemetry.ParseActionType(actionFlag)
+			if err != nil {
+				return err
+			}
+			action = a
+		}
+		var err error
+		slices, err = pipeline.ByQuartile(records, action)
+		if err != nil {
+			return err
+		}
+	case "period":
+		action := telemetry.SelectMail
+		if actionFlag != "" {
+			a, err := telemetry.ParseActionType(actionFlag)
+			if err != nil {
+				return err
+			}
+			action = a
+		}
+		slices = pipeline.ByPeriod(records, action)
+	default:
+		return fmt.Errorf("unknown -by dimension %q", by)
+	}
+	results, err := pipeline.Run(pipeline.Request{Options: opts, TimeNormalized: true, Slices: slices})
+	if err != nil {
+		return err
+	}
+	var probes []float64
+	for _, part := range strings.Split(probesFlag, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		v, err := strconv.ParseFloat(part, 64)
+		if err != nil {
+			return fmt.Errorf("bad probe %q", part)
+		}
+		probes = append(probes, v)
+	}
+	var series []report.Series
+	var rows [][]string
+	for _, r := range results {
+		if r.Err != nil {
+			fmt.Fprintf(os.Stderr, "autosens: %v (slice skipped)\n", r.Err)
+			continue
+		}
+		var xs, ys []float64
+		for i, v := range r.Curve.NLP {
+			if r.Curve.Valid[i] {
+				xs = append(xs, r.Curve.BinCenters[i])
+				ys = append(ys, v)
+			}
+		}
+		xs, ys = report.Downsample(xs, ys, 70)
+		series = append(series, report.Series{Name: r.Name, X: xs, Y: ys})
+		row := []string{r.Name}
+		for _, p := range probes {
+			v, ok := r.Curve.At(p)
+			cell := fmt.Sprintf("%.3f", v)
+			if !ok {
+				cell = "-"
+			}
+			row = append(row, cell)
+		}
+		rows = append(rows, row)
+	}
+	if len(series) == 0 {
+		return fmt.Errorf("no slice produced an estimate")
+	}
+	if !noChart {
+		chart := report.LineChart{
+			Title:  fmt.Sprintf("Normalized latency preference by %s", by),
+			XLabel: "latency (ms)", YLabel: "NLP", Width: 72, Height: 18,
+		}
+		if err := chart.Render(out, series...); err != nil {
+			return err
+		}
+	}
+	headers := []string{by}
+	for _, p := range probes {
+		headers = append(headers, fmt.Sprintf("NLP@%.0fms", p))
+	}
+	fmt.Fprintln(out)
+	return (report.Table{Headers: headers}).Render(out, rows)
+}
+
+func parsePeriod(s string) (timeutil.Period, error) {
+	for p := 0; p < timeutil.NumPeriods; p++ {
+		if timeutil.Period(p).String() == s {
+			return timeutil.Period(p), nil
+		}
+	}
+	return 0, fmt.Errorf("unknown period %q", s)
+}

@@ -1,0 +1,169 @@
+package main
+
+import (
+	"bytes"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"autosens/internal/core"
+	"autosens/internal/owasim"
+	"autosens/internal/telemetry"
+	"autosens/internal/timeutil"
+)
+
+func TestParsePeriod(t *testing.T) {
+	for p := 0; p < timeutil.NumPeriods; p++ {
+		want := timeutil.Period(p)
+		got, err := parsePeriod(want.String())
+		if err != nil || got != want {
+			t.Fatalf("parsePeriod(%q) = %v, %v", want.String(), got, err)
+		}
+	}
+	if _, err := parsePeriod("brunch"); err == nil {
+		t.Fatal("bogus period parsed")
+	}
+}
+
+// cliRecords simulates a small stream shared by the CLI tests.
+var cliRecords []telemetry.Record
+
+func records(t *testing.T) []telemetry.Record {
+	t.Helper()
+	if cliRecords == nil {
+		cfg := owasim.DefaultConfig(3*timeutil.MillisPerDay, 40, 40)
+		cfg.Seed = 17
+		res, err := owasim.Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cliRecords = res.Records
+	}
+	return cliRecords
+}
+
+func cliEstimator(t *testing.T) *core.Estimator {
+	t.Helper()
+	opts := core.DefaultOptions()
+	opts.MinSlotActions = 10
+	est, err := core.NewEstimator(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return est
+}
+
+func TestEmitRendersChartTableAndFiles(t *testing.T) {
+	est := cliEstimator(t)
+	recs := telemetry.ByAction(telemetry.Successful(records(t)), telemetry.SelectMail)
+	curve, err := est.Estimate(recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	csvPath := filepath.Join(dir, "curve.csv")
+	jsonPath := filepath.Join(dir, "curve.json")
+	var out bytes.Buffer
+	if err := emit(&out, curve, nil, false, 300, "plain", "500,1000", csvPath, jsonPath); err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	if !strings.Contains(text, "Normalized latency preference") {
+		t.Fatalf("chart missing:\n%s", text)
+	}
+	if !strings.Contains(text, "| 500 ms") || !strings.Contains(text, "| 1000 ms") {
+		t.Fatalf("probe table missing:\n%s", text)
+	}
+	csvBytes, err := os.ReadFile(csvPath)
+	if err != nil || !strings.HasPrefix(string(csvBytes), "latency_ms,nlp,") {
+		t.Fatalf("csv output wrong: %v", err)
+	}
+	jf, err := os.Open(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer jf.Close()
+	loaded, err := core.ReadCurveJSON(jf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(loaded.NLP) != len(curve.NLP) {
+		t.Fatal("json round trip lost bins")
+	}
+}
+
+func TestEmitWithBandShowsCI(t *testing.T) {
+	est := cliEstimator(t)
+	recs := telemetry.ByAction(telemetry.Successful(records(t)), telemetry.SelectMail)
+	opts := core.DefaultCIOptions()
+	opts.Resamples = 6
+	band, err := est.EstimateCI(recs, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if err := emit(&out, band.Curve, band, true, 300, "plain", "500", "", ""); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "90% CI") {
+		t.Fatalf("CI column missing:\n%s", out.String())
+	}
+}
+
+func TestEmitRejectsBadProbes(t *testing.T) {
+	est := cliEstimator(t)
+	recs := telemetry.ByAction(telemetry.Successful(records(t)), telemetry.SelectMail)
+	curve, err := est.Estimate(recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if err := emit(&out, curve, nil, true, 300, "plain", "50x0", "", ""); err == nil {
+		t.Fatal("bad probe accepted")
+	}
+}
+
+func TestRunStreamingFromReader(t *testing.T) {
+	var buf bytes.Buffer
+	w := telemetry.NewWriter(&buf, telemetry.JSONL)
+	if err := w.WriteAll(records(t)); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	est := cliEstimator(t)
+	keep := func(r telemetry.Record) bool { return !r.Failed && r.Action == telemetry.SelectMail }
+	curve, err := runStreaming(est, &buf, telemetry.JSONL, "normalized", 300, keep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, ok := curve.At(500)
+	if !ok || math.IsNaN(v) || v <= 0 {
+		t.Fatalf("streamed NLP(500) = %v, %v", v, ok)
+	}
+	// Unsupported mode rejected.
+	if _, err := runStreaming(est, strings.NewReader(""), telemetry.JSONL, "biased", 300, keep); err == nil {
+		t.Fatal("biased mode accepted for streaming")
+	}
+}
+
+func TestRunComparisonByAction(t *testing.T) {
+	recs := telemetry.Successful(records(t))
+	opts := core.DefaultOptions()
+	opts.MinSlotActions = 10
+	var out bytes.Buffer
+	if err := runComparison(&out, recs, opts, "action", "", "500,1000", true); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"SelectMail", "SwitchFolder", "Search", "ComposeSend"} {
+		if !strings.Contains(out.String(), name) {
+			t.Fatalf("slice %s missing from comparison:\n%s", name, out.String())
+		}
+	}
+	if err := runComparison(&out, recs, opts, "bogus", "", "500", true); err == nil {
+		t.Fatal("unknown dimension accepted")
+	}
+}

@@ -1,0 +1,107 @@
+// Command loadgen drives a sensd collector the way a fleet of browsers
+// would: it runs the OWA workload simulation and ships every generated
+// beacon to the collector endpoint through the batching client, using a
+// configurable number of concurrent senders.
+//
+// Example:
+//
+//	loadgen -url http://127.0.0.1:8787/v1/beacons -days 2 -business 40 -consumer 40
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sync"
+
+	"autosens/internal/collector"
+	"autosens/internal/owasim"
+	"autosens/internal/telemetry"
+	"autosens/internal/timeutil"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "loadgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	url := flag.String("url", "http://127.0.0.1:8787/v1/beacons", "collector endpoint")
+	days := flag.Int("days", 2, "simulated window length in days")
+	business := flag.Int("business", 40, "business users")
+	consumer := flag.Int("consumer", 40, "consumer users")
+	seed := flag.Uint64("seed", 1, "simulation seed")
+	batch := flag.Int("batch", 500, "beacon batch size")
+	senders := flag.Int("senders", 4, "concurrent sender clients")
+	flag.Parse()
+
+	if *senders <= 0 {
+		return fmt.Errorf("senders must be positive")
+	}
+
+	// One batching client per sender goroutine, fed round-robin from the
+	// simulator's chronological record stream.
+	clients := make([]*collector.Client, *senders)
+	for i := range clients {
+		cfg := collector.DefaultClientConfig(*url)
+		cfg.BatchSize = *batch
+		c, err := collector.NewClient(cfg)
+		if err != nil {
+			return err
+		}
+		clients[i] = c
+	}
+	feeds := make([]chan telemetry.Record, *senders)
+	errs := make([]error, *senders)
+	var wg sync.WaitGroup
+	for i := range feeds {
+		feeds[i] = make(chan telemetry.Record, 1024)
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for rec := range feeds[i] {
+				if err := clients[i].Enqueue(rec); err != nil && errs[i] == nil {
+					errs[i] = err
+				}
+			}
+		}(i)
+	}
+
+	cfg := owasim.DefaultConfig(timeutil.Millis(*days)*timeutil.MillisPerDay, *business, *consumer)
+	cfg.Seed = *seed
+	n := 0
+	simErr := owasim.RunTo(cfg, func(rec telemetry.Record) error {
+		feeds[n%*senders] <- rec
+		n++
+		return nil
+	}, nil)
+	for _, f := range feeds {
+		close(f)
+	}
+	wg.Wait()
+	if simErr != nil {
+		return simErr
+	}
+
+	var sent, dropped uint64
+	for i, c := range clients {
+		if err := c.Close(); err != nil && errs[i] == nil {
+			errs[i] = err
+		}
+		s, d := c.Stats()
+		sent += s
+		dropped += d
+	}
+	for _, err := range errs {
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "loadgen: sender error: %v\n", err)
+		}
+	}
+	fmt.Fprintf(os.Stderr, "loadgen: generated %d records, shipped %d, dropped %d\n", n, sent, dropped)
+	if dropped > 0 {
+		return fmt.Errorf("%d records dropped", dropped)
+	}
+	return nil
+}

@@ -1,0 +1,73 @@
+// Command owagen generates synthetic OWA telemetry with the planted
+// ground-truth latency sensitivity, writing JSONL or CSV logs that the
+// autosens analyzer consumes.
+//
+// Example:
+//
+//	owagen -days 14 -business 150 -consumer 150 -seed 7 -out telemetry.jsonl
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"autosens/internal/owasim"
+	"autosens/internal/telemetry"
+	"autosens/internal/timeutil"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "owagen:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	days := flag.Int("days", 14, "observation window length in days (59 covers Jan+Feb)")
+	business := flag.Int("business", 100, "number of business users")
+	consumer := flag.Int("consumer", 100, "number of consumer users")
+	seed := flag.Uint64("seed", 1, "simulation seed (reruns are bit-identical)")
+	out := flag.String("out", "-", "output path, or - for stdout")
+	format := flag.String("format", "jsonl", "output format: jsonl or csv")
+	failures := flag.Float64("failures", 0.01, "fraction of actions that fail")
+	flag.Parse()
+
+	if *days <= 0 {
+		return fmt.Errorf("days must be positive, got %d", *days)
+	}
+	var f telemetry.Format
+	switch *format {
+	case "jsonl":
+		f = telemetry.JSONL
+	case "csv":
+		f = telemetry.CSV
+	default:
+		return fmt.Errorf("unknown format %q (want jsonl or csv)", *format)
+	}
+
+	dst := os.Stdout
+	if *out != "-" {
+		file, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer file.Close()
+		dst = file
+	}
+	w := telemetry.NewWriter(dst, f)
+
+	cfg := owasim.DefaultConfig(timeutil.Millis(*days)*timeutil.MillisPerDay, *business, *consumer)
+	cfg.Seed = *seed
+	cfg.FailureRate = *failures
+	if err := owasim.RunTo(cfg, w.Write, nil); err != nil {
+		return err
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "owagen: wrote %d records (%d days, %d users, seed %d)\n",
+		w.Count(), *days, *business+*consumer, *seed)
+	return nil
+}

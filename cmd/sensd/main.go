@@ -1,0 +1,62 @@
+// Command sensd is the beacon collection server: it accepts batched
+// latency beacons over HTTP (POST /v1/beacons) and appends them to a JSONL
+// telemetry log that the autosens analyzer consumes directly.
+//
+// Example:
+//
+//	sensd -addr 127.0.0.1:8787 -out telemetry.jsonl
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"autosens/internal/collector"
+	"autosens/internal/telemetry"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "sensd:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	addr := flag.String("addr", "127.0.0.1:8787", "listen address")
+	out := flag.String("out", "telemetry.jsonl", "telemetry sink path")
+	flag.Parse()
+
+	file, err := os.OpenFile(*out, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	defer file.Close()
+
+	srv := collector.NewServer(telemetry.NewWriter(file, telemetry.JSONL))
+	bound, err := srv.Start(*addr)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "sensd: listening on http://%s (sink %s)\n", bound, *out)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Fprintln(os.Stderr, "sensd: shutting down")
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		return err
+	}
+	batches, accepted, rejected, bad := srv.Stats()
+	fmt.Fprintf(os.Stderr, "sensd: %d batches, %d accepted, %d rejected records, %d bad requests\n",
+		batches, accepted, rejected, bad)
+	return nil
+}

@@ -1,0 +1,132 @@
+// Collector: the full network pipeline in one process — a beacon
+// collection server, a fleet of batching clients shipping simulated browser
+// beacons over real HTTP, and the AutoSens analysis on the collected log.
+//
+//	go run ./examples/collector
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"autosens/internal/collector"
+	"autosens/internal/core"
+	"autosens/internal/owasim"
+	"autosens/internal/telemetry"
+	"autosens/internal/timeutil"
+)
+
+func main() {
+	// 1. Start the collection server on an ephemeral port, sinking
+	// beacons to a JSONL file.
+	dir, err := os.MkdirTemp("", "autosens-collector-example")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	sinkPath := filepath.Join(dir, "telemetry.jsonl")
+	sinkFile, err := os.Create(sinkPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv := collector.NewServer(telemetry.NewWriter(sinkFile, telemetry.JSONL))
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("collector listening on http://%s\n", addr)
+
+	// 2. Simulate two days of user activity and ship every action as a
+	// beacon through four concurrent batching clients — the same path a
+	// real browser fleet would take.
+	const senders = 4
+	clients := make([]*collector.Client, senders)
+	feeds := make([]chan telemetry.Record, senders)
+	var wg sync.WaitGroup
+	for i := range clients {
+		ccfg := collector.DefaultClientConfig("http://" + addr + "/v1/beacons")
+		ccfg.BatchSize = 400
+		c, err := collector.NewClient(ccfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		clients[i] = c
+		feeds[i] = make(chan telemetry.Record, 512)
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for rec := range feeds[i] {
+				if err := clients[i].Enqueue(rec); err != nil {
+					log.Printf("sender %d: %v", i, err)
+					return
+				}
+			}
+		}(i)
+	}
+
+	simCfg := owasim.DefaultConfig(2*timeutil.MillisPerDay, 60, 60)
+	simCfg.Seed = 5
+	n := 0
+	if err := owasim.RunTo(simCfg, func(rec telemetry.Record) error {
+		feeds[n%senders] <- rec
+		n++
+		return nil
+	}, nil); err != nil {
+		log.Fatal(err)
+	}
+	for _, f := range feeds {
+		close(f)
+	}
+	wg.Wait()
+	for _, c := range clients {
+		if err := c.Close(); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if err := srv.Shutdown(context.Background()); err != nil {
+		log.Fatal(err)
+	}
+	if err := sinkFile.Close(); err != nil {
+		log.Fatal(err)
+	}
+	batches, accepted, rejected, _ := srv.Stats()
+	fmt.Printf("shipped %d beacons in %d batches (%d rejected)\n", accepted, batches, rejected)
+
+	// 3. Analyze the collected log file exactly as the autosens CLI
+	// would.
+	in, err := os.Open(sinkPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer in.Close()
+	records, err := telemetry.NewReader(in, telemetry.JSONL).ReadAll()
+	if err != nil {
+		log.Fatal(err)
+	}
+	telemetry.SortByTime(records) // concurrent senders interleave batches
+	slice := telemetry.ByAction(telemetry.Successful(records), telemetry.SelectMail)
+
+	opts := core.DefaultOptions()
+	opts.MinSlotActions = 10
+	est, err := core.NewEstimator(opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	curve, err := est.EstimateTimeNormalized(slice)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nNLP for SelectMail from the collected log (reference 300 ms):")
+	for _, ms := range []float64{300, 500, 700, 1000} {
+		v, ok := curve.At(ms)
+		note := ""
+		if !ok {
+			note = " (low support)"
+		}
+		fmt.Printf("  %5.0f ms -> %.3f%s\n", ms, v, note)
+	}
+}

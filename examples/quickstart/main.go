@@ -1,0 +1,65 @@
+// Quickstart: generate a small synthetic OWA workload, run AutoSens on the
+// SelectMail action, and print the normalized latency preference curve.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"autosens/internal/core"
+	"autosens/internal/owasim"
+	"autosens/internal/telemetry"
+	"autosens/internal/timeutil"
+)
+
+func main() {
+	// 1. Simulate three days of telemetry for a small population. In a
+	// real deployment this would be your web access logs: one record per
+	// user action with a timestamp and its client-measured latency.
+	cfg := owasim.DefaultConfig(3*timeutil.MillisPerDay, 50, 50)
+	cfg.Seed = 2024
+	res, err := owasim.Run(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("simulated %d user actions\n", len(res.Records))
+
+	// 2. Slice: successful SelectMail actions (the paper's headline
+	// action type).
+	records := telemetry.ByAction(telemetry.Successful(res.Records), telemetry.SelectMail)
+	fmt.Printf("analyzing %d SelectMail actions\n", len(records))
+
+	// 3. Estimate the normalized latency preference with the full
+	// method: biased-vs-unbiased latency distributions plus the
+	// time-confounder (alpha) normalization.
+	opts := core.DefaultOptions()
+	opts.MinSlotActions = 10 // small dataset: accept thinner hour slots
+	est, err := core.NewEstimator(opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	curve, err := est.EstimateTimeNormalized(records)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 4. Read the curve: NLP(L) = 0.8 means users are 20% less active at
+	// latency L than at the 300 ms reference.
+	fmt.Println("\nnormalized latency preference (reference 300 ms):")
+	for _, ms := range []float64{300, 500, 700, 1000, 1500} {
+		v, ok := curve.At(ms)
+		note := ""
+		if !ok {
+			note = "  (low support at this latency)"
+		}
+		fmt.Printf("  %6.0f ms -> %.3f%s\n", ms, v, note)
+	}
+
+	lo, hi, ok := curve.ValidRange()
+	if ok {
+		fmt.Printf("\ncurve is well-supported from %.0f to %.0f ms (%d biased / %d unbiased samples)\n",
+			lo, hi, curve.BiasedN, curve.UnbiasedN)
+	}
+}

@@ -1,0 +1,3 @@
+module autosens
+
+go 1.22

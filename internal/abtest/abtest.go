@@ -1,0 +1,126 @@
+// Package abtest analyzes active latency-injection experiments — the
+// classical intervention methodology (the Amazon/Google studies of the
+// paper's introduction) that AutoSens exists to replace — and compares the
+// intervention's measured effect against what AutoSens predicts passively
+// from the control group's telemetry alone.
+//
+// The comparison is the strongest validation available for a
+// natural-experiment method: if AutoSens' normalized latency preference is
+// the real causal dose-response, then shifting every request by Δ ms
+// multiplies the activity occurring at latency L by NLP(L+Δ)/NLP(L), so
+// the predicted relative activity is the activity-weighted mean of that
+// suppression ratio,
+//
+//	predicted = Σ_L B(L)·NLP(L+Δ)/NLP(L) / Σ_L B(L),
+//
+// with B the control group's biased (activity) distribution over latency.
+// The package measures both sides.
+package abtest
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"autosens/internal/core"
+	"autosens/internal/telemetry"
+)
+
+// Result compares the active experiment with the passive prediction.
+type Result struct {
+	// ControlUsers and TreatmentUsers are the group sizes.
+	ControlUsers, TreatmentUsers int
+	// ControlActions and TreatmentActions are the group action totals.
+	ControlActions, TreatmentActions int
+	// ControlRate and TreatmentRate are actions per user over the window
+	// (group totals normalized by group size).
+	ControlRate, TreatmentRate float64
+	// MeasuredRelative is TreatmentRate / ControlRate — the intervention
+	// ground truth (< 1 when the injected delay suppresses activity).
+	MeasuredRelative float64
+	// PredictedRelative is the AutoSens forecast of that ratio using
+	// only the control group's NLP curve and unbiased distribution.
+	PredictedRelative float64
+	// Bins is the number of latency bins contributing to the prediction.
+	Bins int
+}
+
+// AbsError returns |measured − predicted|.
+func (r Result) AbsError() float64 {
+	return math.Abs(r.MeasuredRelative - r.PredictedRelative)
+}
+
+// Analyze measures the treatment effect and the passive prediction.
+//
+// records must contain both groups' successful actions; inTreatment
+// assigns users; controlUsers/treatmentUsers are the true group sizes
+// (needed because users with zero actions are invisible in the logs);
+// curve is the control group's NLP estimate; addMS is the injected delay.
+func Analyze(records []telemetry.Record, inTreatment func(uint64) bool, controlUsers, treatmentUsers int, curve *core.Curve, addMS float64) (Result, error) {
+	if controlUsers <= 0 || treatmentUsers <= 0 {
+		return Result{}, errors.New("abtest: non-positive group size")
+	}
+	if addMS <= 0 {
+		return Result{}, errors.New("abtest: non-positive injected delay")
+	}
+	if curve == nil {
+		return Result{}, errors.New("abtest: nil control curve")
+	}
+	res := Result{ControlUsers: controlUsers, TreatmentUsers: treatmentUsers}
+	for _, r := range records {
+		if r.Failed {
+			continue
+		}
+		if inTreatment(r.UserID) {
+			res.TreatmentActions++
+		} else {
+			res.ControlActions++
+		}
+	}
+	if res.ControlActions == 0 || res.TreatmentActions == 0 {
+		return res, errors.New("abtest: a group has no actions")
+	}
+	res.ControlRate = float64(res.ControlActions) / float64(controlUsers)
+	res.TreatmentRate = float64(res.TreatmentActions) / float64(treatmentUsers)
+	res.MeasuredRelative = res.TreatmentRate / res.ControlRate
+
+	pred, bins, err := PredictRelativeActivity(curve, addMS)
+	if err != nil {
+		return res, err
+	}
+	res.PredictedRelative = pred
+	res.Bins = bins
+	return res, nil
+}
+
+// PredictRelativeActivity forecasts the relative activity level after
+// adding addMS of latency to every request: the biased-distribution
+// (activity) weighted mean of the per-latency suppression ratio
+// NLP(L+Δ)/NLP(L), restricted to bins where both evaluations are valid.
+// Activity is the right weight because each performed control action is one
+// unit of activity whose counterfactual treatment level is scaled by the
+// ratio at that action's latency.
+func PredictRelativeActivity(curve *core.Curve, addMS float64) (float64, int, error) {
+	if addMS < 0 {
+		return 0, 0, errors.New("abtest: negative delay")
+	}
+	var sum, weight float64
+	bins := 0
+	for i, b := range curve.Biased {
+		if b == 0 || !curve.Valid[i] {
+			continue
+		}
+		base, okBase := curve.At(curve.BinCenters[i])
+		shifted, okShift := curve.At(curve.BinCenters[i] + addMS)
+		if !okBase || !okShift || base <= 0 {
+			continue
+		}
+		sum += b * (shifted / base)
+		weight += b
+		bins++
+	}
+	if bins == 0 || weight == 0 {
+		return 0, 0, fmt.Errorf("abtest: no bins support a +%.0f ms shift", addMS)
+	}
+	return sum / weight, bins, nil
+}

@@ -1,0 +1,233 @@
+package abtest
+
+import (
+	"math"
+	"testing"
+
+	"autosens/internal/core"
+	"autosens/internal/owasim"
+	"autosens/internal/telemetry"
+	"autosens/internal/timeutil"
+)
+
+func TestInTreatmentDeterministicAndBalanced(t *testing.T) {
+	n, treated := 10000, 0
+	for uid := uint64(1); uid <= uint64(n); uid++ {
+		a := owasim.InTreatment(7, uid, 0.5)
+		b := owasim.InTreatment(7, uid, 0.5)
+		if a != b {
+			t.Fatal("assignment not deterministic")
+		}
+		if a {
+			treated++
+		}
+	}
+	frac := float64(treated) / float64(n)
+	if math.Abs(frac-0.5) > 0.02 {
+		t.Fatalf("treatment fraction %v", frac)
+	}
+	// Different run seed reshuffles assignments.
+	same := 0
+	for uid := uint64(1); uid <= 1000; uid++ {
+		if owasim.InTreatment(7, uid, 0.5) == owasim.InTreatment(8, uid, 0.5) {
+			same++
+		}
+	}
+	if same < 300 || same > 700 {
+		t.Fatalf("cross-seed agreement %d/1000, want ~500", same)
+	}
+}
+
+func TestABConfigValidation(t *testing.T) {
+	for _, c := range []owasim.ABTestConfig{{Fraction: 0, AddMS: 100}, {Fraction: 1, AddMS: 100}, {Fraction: 0.5, AddMS: 0}} {
+		if err := c.Validate(); err == nil {
+			t.Fatalf("config %+v accepted", c)
+		}
+	}
+	if err := (owasim.ABTestConfig{Fraction: 0.5, AddMS: 200}).Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInjectionRaisesTreatmentLatency(t *testing.T) {
+	cfg := owasim.DefaultConfig(2*timeutil.MillisPerDay, 60, 0)
+	cfg.Seed = 5
+	cfg.ABTest = &owasim.ABTestConfig{Fraction: 0.5, AddMS: 400}
+	res, err := owasim.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tSum, cSum float64
+	var tN, cN int
+	for _, r := range res.Records {
+		if owasim.InTreatment(cfg.Seed, r.UserID, 0.5) {
+			tSum += r.LatencyMS
+			tN++
+		} else {
+			cSum += r.LatencyMS
+			cN++
+		}
+	}
+	if tN == 0 || cN == 0 {
+		t.Fatal("a group is empty")
+	}
+	gap := tSum/float64(tN) - cSum/float64(cN)
+	if gap < 300 || gap > 500 {
+		t.Fatalf("mean latency gap %v, want ~400", gap)
+	}
+}
+
+func TestInjectionSuppressesActivity(t *testing.T) {
+	base := owasim.DefaultConfig(4*timeutil.MillisPerDay, 120, 0)
+	base.Seed = 6
+	base.ABTest = &owasim.ABTestConfig{Fraction: 0.5, AddMS: 500}
+	res, err := owasim.Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var treatedUsers, controlUsers int
+	for _, u := range res.Users {
+		if owasim.InTreatment(base.Seed, u.ID, 0.5) {
+			treatedUsers++
+		} else {
+			controlUsers++
+		}
+	}
+	var tActs, cActs int
+	for _, r := range telemetry.Successful(res.Records) {
+		if owasim.InTreatment(base.Seed, r.UserID, 0.5) {
+			tActs++
+		} else {
+			cActs++
+		}
+	}
+	rel := (float64(tActs) / float64(treatedUsers)) / (float64(cActs) / float64(controlUsers))
+	if rel >= 0.95 {
+		t.Fatalf("relative activity %v: +500ms should clearly suppress actions", rel)
+	}
+	if rel < 0.4 {
+		t.Fatalf("relative activity %v implausibly low", rel)
+	}
+}
+
+func TestPredictRelativeActivityFlatCurve(t *testing.T) {
+	// A flat NLP curve predicts no activity change.
+	bins := 200
+	c := &core.Curve{
+		BinCenters: make([]float64, bins),
+		NLP:        make([]float64, bins),
+		Biased:     make([]float64, bins),
+		Valid:      make([]bool, bins),
+	}
+	for i := 0; i < bins; i++ {
+		c.BinCenters[i] = 5 + float64(i)*10
+		c.NLP[i] = 1
+		c.Biased[i] = 1.0 / float64(bins)
+		c.Valid[i] = true
+	}
+	pred, n, err := PredictRelativeActivity(c, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n == 0 || math.Abs(pred-1) > 1e-9 {
+		t.Fatalf("flat curve prediction %v over %d bins", pred, n)
+	}
+}
+
+func TestPredictRelativeActivityDecliningCurve(t *testing.T) {
+	bins := 300
+	c := &core.Curve{
+		BinCenters: make([]float64, bins),
+		NLP:        make([]float64, bins),
+		Biased:     make([]float64, bins),
+		Valid:      make([]bool, bins),
+	}
+	for i := 0; i < bins; i++ {
+		ms := 5 + float64(i)*10
+		c.BinCenters[i] = ms
+		c.NLP[i] = math.Max(0.4, 1-ms/4000)
+		c.Valid[i] = true
+	}
+	// Concentrate activity at 300-400 ms.
+	for i := 30; i < 40; i++ {
+		c.Biased[i] = 0.1
+	}
+	pred, _, err := PredictRelativeActivity(c, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// NLP(~350)≈0.91, NLP(~850)≈0.79 => ratio ≈ 0.86.
+	if math.Abs(pred-0.86) > 0.03 {
+		t.Fatalf("prediction %v, want ~0.86", pred)
+	}
+}
+
+func TestAnalyzeEndToEnd(t *testing.T) {
+	cfg := owasim.DefaultConfig(5*timeutil.MillisPerDay, 140, 0)
+	cfg.Seed = 21
+	cfg.ABTest = &owasim.ABTestConfig{Fraction: 0.5, AddMS: 400}
+	res, err := owasim.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inTreatment := func(uid uint64) bool { return owasim.InTreatment(cfg.Seed, uid, 0.5) }
+	var nTreat, nControl int
+	for _, u := range res.Users {
+		if inTreatment(u.ID) {
+			nTreat++
+		} else {
+			nControl++
+		}
+	}
+	records := telemetry.ByAction(telemetry.Successful(res.Records), telemetry.SelectMail)
+	control := telemetry.Filter(records, func(r telemetry.Record) bool { return !inTreatment(r.UserID) })
+
+	opts := core.DefaultOptions()
+	opts.MinSlotActions = 10
+	est, err := core.NewEstimator(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	curve, err := est.EstimateTimeNormalized(control)
+	if err != nil {
+		t.Fatal(err)
+	}
+	result, err := Analyze(records, inTreatment, nControl, nTreat, curve, 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if result.ControlUsers != nControl || result.TreatmentUsers != nTreat {
+		t.Fatalf("group sizes lost: %+v", result)
+	}
+	if result.ControlActions == 0 || result.TreatmentActions == 0 {
+		t.Fatalf("missing action counts: %+v", result)
+	}
+	if !(result.MeasuredRelative > 0 && result.MeasuredRelative < 1) {
+		t.Fatalf("measured relative activity %v not in (0,1)", result.MeasuredRelative)
+	}
+	if !(result.PredictedRelative > 0 && result.PredictedRelative <= 1.05) {
+		t.Fatalf("predicted relative activity %v implausible", result.PredictedRelative)
+	}
+	if result.Bins == 0 {
+		t.Fatal("no bins contributed to the prediction")
+	}
+	if result.AbsError() > 0.35 {
+		t.Fatalf("prediction error %v implausibly large", result.AbsError())
+	}
+}
+
+func TestAnalyzeValidation(t *testing.T) {
+	c := &core.Curve{}
+	if _, err := Analyze(nil, func(uint64) bool { return false }, 0, 1, c, 100); err == nil {
+		t.Fatal("zero group size accepted")
+	}
+	if _, err := Analyze(nil, func(uint64) bool { return false }, 1, 1, c, 0); err == nil {
+		t.Fatal("zero delay accepted")
+	}
+	if _, err := Analyze(nil, func(uint64) bool { return false }, 1, 1, nil, 100); err == nil {
+		t.Fatal("nil curve accepted")
+	}
+	if _, err := Analyze(nil, func(uint64) bool { return false }, 1, 1, c, 100); err == nil {
+		t.Fatal("empty records accepted")
+	}
+}

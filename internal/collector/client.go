@@ -1,0 +1,202 @@
+package collector
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+
+	"autosens/internal/telemetry"
+)
+
+// ClientConfig parameterizes a beacon client.
+type ClientConfig struct {
+	// URL is the collector endpoint, e.g. http://host:port/v1/beacons.
+	URL string
+	// BatchSize triggers a flush when this many records are buffered.
+	BatchSize int
+	// FlushInterval triggers a flush even for partial batches. Zero
+	// disables timed flushing (flushes happen on BatchSize and Close).
+	FlushInterval time.Duration
+	// MaxRetries bounds retransmission attempts per batch.
+	MaxRetries int
+	// RetryBackoff is the initial backoff, doubled per retry.
+	RetryBackoff time.Duration
+	// HTTPClient overrides the transport (for tests); nil uses a client
+	// with a sane timeout.
+	HTTPClient *http.Client
+}
+
+// DefaultClientConfig returns a production-shaped configuration for the
+// given endpoint URL.
+func DefaultClientConfig(url string) ClientConfig {
+	return ClientConfig{
+		URL:           url,
+		BatchSize:     500,
+		FlushInterval: 2 * time.Second,
+		MaxRetries:    4,
+		RetryBackoff:  100 * time.Millisecond,
+	}
+}
+
+// Client batches telemetry records and ships them to a collector.
+// Safe for concurrent use.
+type Client struct {
+	cfg    ClientConfig
+	http   *http.Client
+	mu     sync.Mutex
+	buf    []telemetry.Record
+	closed bool
+	wg     sync.WaitGroup
+	stopCh chan struct{}
+
+	statsMu sync.Mutex
+	sent    uint64
+	dropped uint64
+}
+
+// NewClient validates cfg and starts the background flusher (when a
+// FlushInterval is configured).
+func NewClient(cfg ClientConfig) (*Client, error) {
+	if cfg.URL == "" {
+		return nil, errors.New("collector: empty URL")
+	}
+	if cfg.BatchSize <= 0 {
+		return nil, errors.New("collector: non-positive batch size")
+	}
+	if cfg.MaxRetries < 0 {
+		return nil, errors.New("collector: negative retry count")
+	}
+	c := &Client{
+		cfg:    cfg,
+		http:   cfg.HTTPClient,
+		stopCh: make(chan struct{}),
+	}
+	if c.http == nil {
+		c.http = &http.Client{Timeout: 10 * time.Second}
+	}
+	if cfg.FlushInterval > 0 {
+		c.wg.Add(1)
+		go c.flushLoop()
+	}
+	return c, nil
+}
+
+func (c *Client) flushLoop() {
+	defer c.wg.Done()
+	ticker := time.NewTicker(c.cfg.FlushInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ticker.C:
+			// Timed flushes are best-effort; errors surface via
+			// the dropped counter and the next explicit Flush.
+			_ = c.Flush()
+		case <-c.stopCh:
+			return
+		}
+	}
+}
+
+// Enqueue buffers one record, flushing if the batch is full.
+func (c *Client) Enqueue(rec telemetry.Record) error {
+	if err := rec.Validate(); err != nil {
+		return err
+	}
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return errors.New("collector: client closed")
+	}
+	c.buf = append(c.buf, rec)
+	full := len(c.buf) >= c.cfg.BatchSize
+	c.mu.Unlock()
+	if full {
+		return c.Flush()
+	}
+	return nil
+}
+
+// Flush ships all buffered records now.
+func (c *Client) Flush() error {
+	c.mu.Lock()
+	batch := c.buf
+	c.buf = nil
+	c.mu.Unlock()
+	if len(batch) == 0 {
+		return nil
+	}
+	if err := c.send(batch); err != nil {
+		c.statsMu.Lock()
+		c.dropped += uint64(len(batch))
+		c.statsMu.Unlock()
+		return err
+	}
+	c.statsMu.Lock()
+	c.sent += uint64(len(batch))
+	c.statsMu.Unlock()
+	return nil
+}
+
+// send posts one batch with bounded retries on transient failures.
+func (c *Client) send(batch []telemetry.Record) error {
+	body, err := json.Marshal(batch)
+	if err != nil {
+		return err
+	}
+	backoff := c.cfg.RetryBackoff
+	if backoff <= 0 {
+		backoff = 50 * time.Millisecond
+	}
+	var lastErr error
+	for attempt := 0; attempt <= c.cfg.MaxRetries; attempt++ {
+		if attempt > 0 {
+			time.Sleep(backoff)
+			backoff *= 2
+		}
+		resp, err := c.http.Post(c.cfg.URL, "application/json", bytes.NewReader(body))
+		if err != nil {
+			lastErr = err
+			continue // transient network failure
+		}
+		_, _ = io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		switch {
+		case resp.StatusCode == http.StatusAccepted:
+			return nil
+		case resp.StatusCode >= 500:
+			lastErr = fmt.Errorf("collector: server error %d", resp.StatusCode)
+			continue // retryable
+		default:
+			// 4xx: the batch itself is bad; retrying cannot help.
+			return fmt.Errorf("collector: rejected with status %d", resp.StatusCode)
+		}
+	}
+	return fmt.Errorf("collector: batch failed after %d attempts: %w", c.cfg.MaxRetries+1, lastErr)
+}
+
+// Close flushes remaining records and stops the background flusher.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	c.mu.Unlock()
+	close(c.stopCh)
+	c.wg.Wait()
+	return c.Flush()
+}
+
+// Stats returns how many records were successfully shipped and how many
+// were dropped after exhausting retries.
+func (c *Client) Stats() (sent, dropped uint64) {
+	c.statsMu.Lock()
+	defer c.statsMu.Unlock()
+	return c.sent, c.dropped
+}

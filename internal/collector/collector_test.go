@@ -1,0 +1,387 @@
+package collector
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"autosens/internal/telemetry"
+	"autosens/internal/timeutil"
+)
+
+func testRecord(i int) telemetry.Record {
+	return telemetry.Record{
+		Time:      timeutil.Millis(i * 100),
+		Action:    telemetry.SelectMail,
+		LatencyMS: 300 + float64(i),
+		UserID:    uint64(i%10 + 1),
+		UserType:  telemetry.Business,
+	}
+}
+
+// newTestServer returns a collector server with an in-memory sink and its
+// httptest wrapper.
+func newTestServer(t *testing.T) (*Server, *bytes.Buffer, *httptest.Server) {
+	t.Helper()
+	var buf bytes.Buffer
+	srv := NewServer(telemetry.NewWriter(&buf, telemetry.JSONL))
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return srv, &buf, ts
+}
+
+func postBatch(t *testing.T, url string, batch []telemetry.Record) *http.Response {
+	t.Helper()
+	body, err := json.Marshal(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url+"/v1/beacons", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { resp.Body.Close() })
+	return resp
+}
+
+func TestServerAcceptsBatch(t *testing.T) {
+	srv, buf, ts := newTestServer(t)
+	batch := []telemetry.Record{testRecord(1), testRecord(2), testRecord(3)}
+	resp := postBatch(t, ts.URL, batch)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	var br BatchResponse
+	if err := json.NewDecoder(resp.Body).Decode(&br); err != nil {
+		t.Fatal(err)
+	}
+	if br.Accepted != 3 || br.Rejected != 0 {
+		t.Fatalf("response %+v", br)
+	}
+	if err := srv.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	got, err := telemetry.NewReader(buf, telemetry.JSONL).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("sink has %d records", len(got))
+	}
+	for i := range got {
+		if got[i] != batch[i] {
+			t.Fatalf("record %d mismatch", i)
+		}
+	}
+}
+
+func TestServerRejectsInvalidRecords(t *testing.T) {
+	srv, _, ts := newTestServer(t)
+	batch := []telemetry.Record{testRecord(1), {LatencyMS: -5}}
+	resp := postBatch(t, ts.URL, batch)
+	var br BatchResponse
+	if err := json.NewDecoder(resp.Body).Decode(&br); err != nil {
+		t.Fatal(err)
+	}
+	if br.Accepted != 1 || br.Rejected != 1 {
+		t.Fatalf("response %+v", br)
+	}
+	_, accepted, rejected, _ := srv.Stats()
+	if accepted != 1 || rejected != 1 {
+		t.Fatalf("metrics %d/%d", accepted, rejected)
+	}
+}
+
+func TestServerRejectsMalformedJSON(t *testing.T) {
+	srv, _, ts := newTestServer(t)
+	resp, err := http.Post(ts.URL+"/v1/beacons", "application/json", strings.NewReader("{not json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	_, _, _, bad := srv.Stats()
+	if bad != 1 {
+		t.Fatalf("bad requests = %d", bad)
+	}
+}
+
+func TestServerRejectsWrongMethod(t *testing.T) {
+	_, _, ts := newTestServer(t)
+	resp, err := http.Get(ts.URL + "/v1/beacons")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+}
+
+func TestServerRejectsOversizedBatch(t *testing.T) {
+	_, _, ts := newTestServer(t)
+	batch := make([]telemetry.Record, MaxBatchRecords+1)
+	for i := range batch {
+		batch[i] = testRecord(i)
+	}
+	resp := postBatch(t, ts.URL, batch)
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+}
+
+func TestHealthAndMetricsEndpoints(t *testing.T) {
+	_, _, ts := newTestServer(t)
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz status %d", resp.StatusCode)
+	}
+	postBatch(t, ts.URL, []telemetry.Record{testRecord(1)})
+	resp, err = http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(body), "autosens_collector_records_accepted_total 1") {
+		t.Fatalf("metrics output:\n%s", body)
+	}
+}
+
+func TestStartAndShutdownRealListener(t *testing.T) {
+	var buf bytes.Buffer
+	srv := NewServer(telemetry.NewWriter(&buf, telemetry.JSONL))
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get("http://" + addr + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestClientBatchingAndFlush(t *testing.T) {
+	srv, buf, ts := newTestServer(t)
+	cfg := DefaultClientConfig(ts.URL + "/v1/beacons")
+	cfg.BatchSize = 5
+	cfg.FlushInterval = 0
+	c, err := NewClient(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 12; i++ {
+		if err := c.Enqueue(testRecord(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	sent, dropped := c.Stats()
+	if sent != 12 || dropped != 0 {
+		t.Fatalf("sent %d dropped %d", sent, dropped)
+	}
+	if err := srv.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	got, err := telemetry.NewReader(buf, telemetry.JSONL).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 12 {
+		t.Fatalf("sink has %d records", len(got))
+	}
+}
+
+func TestClientTimedFlush(t *testing.T) {
+	srv, _, ts := newTestServer(t)
+	cfg := DefaultClientConfig(ts.URL + "/v1/beacons")
+	cfg.BatchSize = 1000
+	cfg.FlushInterval = 30 * time.Millisecond
+	c, err := NewClient(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Enqueue(testRecord(1)); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if _, accepted, _, _ := srv.Stats(); accepted == 1 {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatal("timed flush never delivered the record")
+}
+
+func TestClientRetriesTransientErrors(t *testing.T) {
+	var failures int32 = 2
+	var got int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if atomic.AddInt32(&failures, -1) >= 0 {
+			http.Error(w, "boom", http.StatusInternalServerError)
+			return
+		}
+		atomic.AddInt32(&got, 1)
+		w.WriteHeader(http.StatusAccepted)
+	}))
+	defer ts.Close()
+	cfg := DefaultClientConfig(ts.URL)
+	cfg.BatchSize = 1
+	cfg.FlushInterval = 0
+	cfg.RetryBackoff = time.Millisecond
+	c, err := NewClient(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Enqueue(testRecord(1)); err != nil {
+		t.Fatalf("enqueue/flush failed despite retries: %v", err)
+	}
+	if atomic.LoadInt32(&got) != 1 {
+		t.Fatal("batch never delivered")
+	}
+	c.Close()
+}
+
+func TestClientGivesUpAfterMaxRetries(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "down", http.StatusInternalServerError)
+	}))
+	defer ts.Close()
+	cfg := DefaultClientConfig(ts.URL)
+	cfg.BatchSize = 1
+	cfg.FlushInterval = 0
+	cfg.MaxRetries = 1
+	cfg.RetryBackoff = time.Millisecond
+	c, err := NewClient(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Enqueue(testRecord(1)); err == nil {
+		t.Fatal("expected delivery failure")
+	}
+	_, dropped := c.Stats()
+	if dropped != 1 {
+		t.Fatalf("dropped = %d", dropped)
+	}
+	c.Close()
+}
+
+func TestClientDoesNotRetry4xx(t *testing.T) {
+	var calls int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		atomic.AddInt32(&calls, 1)
+		http.Error(w, "bad", http.StatusBadRequest)
+	}))
+	defer ts.Close()
+	cfg := DefaultClientConfig(ts.URL)
+	cfg.BatchSize = 1
+	cfg.FlushInterval = 0
+	cfg.RetryBackoff = time.Millisecond
+	c, err := NewClient(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Enqueue(testRecord(1)); err == nil {
+		t.Fatal("expected rejection")
+	}
+	if atomic.LoadInt32(&calls) != 1 {
+		t.Fatalf("4xx retried: %d calls", calls)
+	}
+	c.Close()
+}
+
+func TestClientValidatesConfigAndRecords(t *testing.T) {
+	if _, err := NewClient(ClientConfig{}); err == nil {
+		t.Fatal("empty config accepted")
+	}
+	if _, err := NewClient(ClientConfig{URL: "x", BatchSize: 0}); err == nil {
+		t.Fatal("zero batch accepted")
+	}
+	cfg := DefaultClientConfig("http://127.0.0.1:1/none")
+	cfg.FlushInterval = 0
+	c, err := NewClient(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Enqueue(telemetry.Record{LatencyMS: -1}); err == nil {
+		t.Fatal("invalid record accepted")
+	}
+	c.Close()
+}
+
+func TestClientEnqueueAfterClose(t *testing.T) {
+	cfg := DefaultClientConfig("http://127.0.0.1:1/none")
+	cfg.FlushInterval = 0
+	c, err := NewClient(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Close()
+	if err := c.Enqueue(testRecord(1)); err == nil {
+		t.Fatal("enqueue after close accepted")
+	}
+	if err := c.Close(); err != nil {
+		t.Fatalf("double close: %v", err)
+	}
+}
+
+func TestConcurrentClients(t *testing.T) {
+	srv, _, ts := newTestServer(t)
+	const workers, each = 8, 200
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			cfg := DefaultClientConfig(ts.URL + "/v1/beacons")
+			cfg.BatchSize = 50
+			cfg.FlushInterval = 0
+			c, err := NewClient(cfg)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			for i := 0; i < each; i++ {
+				if err := c.Enqueue(testRecord(w*each + i)); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+			if err := c.Close(); err != nil {
+				t.Error(err)
+			}
+		}(w)
+	}
+	wg.Wait()
+	_, accepted, _, _ := srv.Stats()
+	if accepted != workers*each {
+		t.Fatalf("accepted %d, want %d", accepted, workers*each)
+	}
+}

@@ -1,0 +1,187 @@
+// Package collector implements the telemetry ingestion path AutoSens
+// assumes exists: clients measure end-to-end action latency and beacon it
+// to the service, which logs it server-side (Section 2.1 — "such telemetry
+// is available almost universally in the context of online services").
+//
+// The Server accepts batched JSON beacons over HTTP and appends them to a
+// telemetry sink (typically a JSONL file); the Client batches records,
+// flushes them on a timer or when full, and retries transient failures with
+// exponential backoff.
+package collector
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"sync"
+	"time"
+
+	"autosens/internal/telemetry"
+)
+
+// MaxBatchBytes bounds the accepted request body size.
+const MaxBatchBytes = 8 << 20
+
+// MaxBatchRecords bounds the number of records per beacon request.
+const MaxBatchRecords = 10000
+
+// Metrics counts server activity. All fields are monotonically increasing.
+type Metrics struct {
+	mu              sync.Mutex
+	Batches         uint64
+	Accepted        uint64
+	RejectedRecords uint64
+	BadRequests     uint64
+}
+
+func (m *Metrics) snapshot() (batches, accepted, rejectedRecords, badRequests uint64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.Batches, m.Accepted, m.RejectedRecords, m.BadRequests
+}
+
+// Server ingests beacons and appends them to a telemetry.Writer.
+type Server struct {
+	mu      sync.Mutex
+	sink    *telemetry.Writer
+	metrics Metrics
+	httpSrv *http.Server
+	ln      net.Listener
+}
+
+// NewServer wraps a telemetry sink. The sink must not be used concurrently
+// by other writers.
+func NewServer(sink *telemetry.Writer) *Server {
+	return &Server{sink: sink}
+}
+
+// Handler returns the server's HTTP routes.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/beacons", s.handleBeacons)
+	mux.HandleFunc("/healthz", s.handleHealth)
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	return mux
+}
+
+// BatchResponse is the body returned for an accepted beacon batch.
+type BatchResponse struct {
+	Accepted int `json:"accepted"`
+	Rejected int `json:"rejected"`
+}
+
+func (s *Server) handleBeacons(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, MaxBatchBytes))
+	if err != nil {
+		s.metrics.mu.Lock()
+		s.metrics.BadRequests++
+		s.metrics.mu.Unlock()
+		http.Error(w, "body too large or unreadable", http.StatusRequestEntityTooLarge)
+		return
+	}
+	var batch []telemetry.Record
+	if err := json.Unmarshal(body, &batch); err != nil {
+		s.metrics.mu.Lock()
+		s.metrics.BadRequests++
+		s.metrics.mu.Unlock()
+		http.Error(w, "malformed JSON batch", http.StatusBadRequest)
+		return
+	}
+	if len(batch) > MaxBatchRecords {
+		s.metrics.mu.Lock()
+		s.metrics.BadRequests++
+		s.metrics.mu.Unlock()
+		http.Error(w, fmt.Sprintf("batch exceeds %d records", MaxBatchRecords), http.StatusRequestEntityTooLarge)
+		return
+	}
+	resp := BatchResponse{}
+	s.mu.Lock()
+	for _, rec := range batch {
+		if rec.Validate() != nil {
+			resp.Rejected++
+			continue
+		}
+		if err := s.sink.Write(rec); err != nil {
+			s.mu.Unlock()
+			http.Error(w, "sink failure", http.StatusInternalServerError)
+			return
+		}
+		resp.Accepted++
+	}
+	s.mu.Unlock()
+
+	s.metrics.mu.Lock()
+	s.metrics.Batches++
+	s.metrics.Accepted += uint64(resp.Accepted)
+	s.metrics.RejectedRecords += uint64(resp.Rejected)
+	s.metrics.mu.Unlock()
+
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusAccepted)
+	if err := json.NewEncoder(w).Encode(resp); err != nil {
+		return // client went away; nothing to do
+	}
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	w.WriteHeader(http.StatusOK)
+	fmt.Fprintln(w, "ok")
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	batches, accepted, rejected, bad := s.metrics.snapshot()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	fmt.Fprintf(w, "autosens_collector_batches_total %d\n", batches)
+	fmt.Fprintf(w, "autosens_collector_records_accepted_total %d\n", accepted)
+	fmt.Fprintf(w, "autosens_collector_records_rejected_total %d\n", rejected)
+	fmt.Fprintf(w, "autosens_collector_bad_requests_total %d\n", bad)
+}
+
+// Start begins serving on addr (e.g. "127.0.0.1:0") and returns the bound
+// address.
+func (s *Server) Start(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	s.ln = ln
+	s.httpSrv = &http.Server{
+		Handler:           s.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	go func() {
+		if err := s.httpSrv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			// Serve errors after shutdown are expected; others have
+			// nowhere to go but the next Shutdown call.
+			_ = err
+		}
+	}()
+	return ln.Addr().String(), nil
+}
+
+// Shutdown gracefully stops the server and flushes the sink.
+func (s *Server) Shutdown(ctx context.Context) error {
+	var err error
+	if s.httpSrv != nil {
+		err = s.httpSrv.Shutdown(ctx)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if ferr := s.sink.Flush(); ferr != nil && err == nil {
+		err = ferr
+	}
+	return err
+}
+
+// Stats returns current counters.
+func (s *Server) Stats() (batches, accepted, rejectedRecords, badRequests uint64) {
+	return s.metrics.snapshot()
+}

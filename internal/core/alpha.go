@@ -1,0 +1,302 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"autosens/internal/histogram"
+	"autosens/internal/rng"
+	"autosens/internal/stats"
+	"autosens/internal/telemetry"
+	"autosens/internal/timeutil"
+)
+
+// slotData holds the per-time-slot state needed by the α normalization.
+// The batch path fills records directly; the streaming path fills the
+// histograms incrementally and synthesizes the unbiased draws from a
+// reservoir, setting count explicitly.
+type slotData struct {
+	slot    int
+	count   int                // number of actions in the slot
+	records []telemetry.Record // time-sorted slice of the slot's records (batch path)
+	lo, hi  timeutil.Millis    // slot bounds clipped to the window
+	fine    *histogram.Histogram
+	fineU   *histogram.Histogram
+	coarse  *histogram.Histogram
+	coarseU *histogram.Histogram
+}
+
+// EstimateTimeNormalized computes the NLP curve with the full
+// time-confounder mitigation of Section 2.4.1:
+//
+//  1. discretize time into SlotDuration slots and drop slots with fewer
+//     than MinSlotActions actions;
+//  2. per slot, build the biased counts c_T^L and the slot-local unbiased
+//     distribution U_T (whose fractions are the time shares f_T^L);
+//  3. for each of the ReferenceSlots busiest slots in turn, estimate each
+//     slot's activity factor α_T as the mean over latency bins of
+//     (c_T^L/f_T^L) / (c_R^L/f_R^L), divide the slot's counts by α_T, pool
+//     all slots, and form the B/U ratio;
+//  4. average the per-reference results, smooth, and normalize at the
+//     reference latency.
+func (e *Estimator) EstimateTimeNormalized(records []telemetry.Record) (*Curve, error) {
+	records = usable(records)
+	if len(records) == 0 {
+		return nil, errors.New("core: no usable records")
+	}
+	telemetry.SortByTime(records)
+	src := rng.New(e.opts.Seed)
+
+	slots := e.buildSlots(records, src)
+	return e.poolNormalized(slots, len(records))
+}
+
+// poolNormalized runs the per-reference α pooling over prepared slots and
+// averages the resulting curves. totalN is reported as the curve's biased
+// sample count.
+func (e *Estimator) poolNormalized(slots []*slotData, totalN int) (*Curve, error) {
+	if len(slots) == 0 {
+		return nil, fmt.Errorf("core: no slot reaches %d actions; use a longer window or coarser slots", e.opts.MinSlotActions)
+	}
+
+	// Busiest slots first for the rotating reference.
+	byCount := make([]*slotData, len(slots))
+	copy(byCount, slots)
+	sort.Slice(byCount, func(i, j int) bool { return byCount[i].count > byCount[j].count })
+	numRefs := e.opts.ReferenceSlots
+	if numRefs > len(byCount) {
+		numRefs = len(byCount)
+	}
+
+	var curves []*Curve
+	var firstErr error
+	for r := 0; r < numRefs; r++ {
+		ref := byCount[r]
+		alphas, ok := alphaAgainst(slots, ref, e.opts.MinAlphaBinCount)
+		if !ok {
+			continue
+		}
+		// Pool B and U over exactly the same slots: a slot whose α is
+		// unusable must be excluded from both, or its unbiased mass
+		// would depress the ratio wherever that slot's latency lived.
+		bPool := e.newHist()
+		uPool := e.newHist()
+		for i, sd := range slots {
+			a := alphas[i]
+			if math.IsNaN(a) || a <= 0 {
+				continue
+			}
+			for bin := 0; bin < sd.fine.Bins(); bin++ {
+				if c := sd.fine.Count(bin); c > 0 {
+					bPool.SetCount(bin, bPool.Count(bin)+c/a)
+				}
+			}
+			if err := uPool.AddHistogram(sd.fineU); err != nil {
+				return nil, err
+			}
+		}
+		c, err := e.finishCurve(bPool, uPool, totalN, int(uPool.Total()))
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		curves = append(curves, c)
+	}
+	if len(curves) == 0 {
+		if firstErr != nil {
+			return nil, firstErr
+		}
+		return nil, errors.New("core: no usable reference slot for time normalization")
+	}
+	return averageCurves(curves), nil
+}
+
+// buildSlots groups time-sorted records into slots, drops thin slots, and
+// builds each retained slot's biased histograms (fine and coarse) and
+// unbiased draws.
+//
+// Unbiased draws are allotted per unit of slot *time*, not per action:
+// after α normalization the pooled biased counts weight every slot's time
+// equally, so the pooled unbiased distribution must too — otherwise busy
+// (and typically slow) slots would dominate U and skew the ratio.
+func (e *Estimator) buildSlots(sorted []telemetry.Record, src *rng.Source) []*slotData {
+	windowLo := sorted[0].Time
+	windowHi := sorted[len(sorted)-1].Time + 1
+	var slots []*slotData
+	for i := 0; i < len(sorted); {
+		slot := int(sorted[i].Time / e.opts.SlotDuration)
+		j := i
+		for j < len(sorted) && int(sorted[j].Time/e.opts.SlotDuration) == slot {
+			j++
+		}
+		if j-i >= e.opts.MinSlotActions {
+			sd := &slotData{
+				slot:    slot,
+				count:   j - i,
+				records: sorted[i:j],
+				lo:      maxMillis(timeutil.Millis(slot)*e.opts.SlotDuration, windowLo),
+				hi:      minMillis(timeutil.Millis(slot+1)*e.opts.SlotDuration, windowHi),
+			}
+			slots = append(slots, sd)
+		}
+		i = j
+	}
+	if len(slots) == 0 {
+		return nil
+	}
+	totalDraws := math.Ceil(float64(len(sorted)) * e.opts.UnbiasedPerSample)
+	var totalDur timeutil.Millis
+	for _, sd := range slots {
+		totalDur += sd.hi - sd.lo
+	}
+	for _, sd := range slots {
+		quota := int(math.Ceil(totalDraws * float64(sd.hi-sd.lo) / float64(totalDur)))
+		e.fillSlot(sd, quota, src)
+	}
+	return slots
+}
+
+// fillSlot populates a slot's histograms: fine/coarse biased counts and
+// the given quota of unbiased draws over the slot's time range.
+func (e *Estimator) fillSlot(sd *slotData, draws int, src *rng.Source) {
+	sd.fine = e.newHist()
+	sd.coarse = histogram.MustNew(0, e.opts.MaxLatencyMS, e.opts.AlphaBinWidthMS)
+	for _, r := range sd.records {
+		sd.fine.Add(r.LatencyMS)
+		sd.coarse.Add(r.LatencyMS)
+	}
+	sd.fineU = e.newHist()
+	sd.coarseU = histogram.MustNew(0, e.opts.MaxLatencyMS, e.opts.AlphaBinWidthMS)
+	sampler := newUnbiasedSampler(sd.records)
+	for k := 0; k < draws; k++ {
+		v := sampler.draw(sd.lo, sd.hi, src)
+		sd.fineU.Add(v)
+		sd.coarseU.Add(v)
+	}
+}
+
+// alphaAgainst estimates each slot's α relative to the reference slot,
+// using the coarse histograms: α_T = mean over latency bins L of
+// (c_T^L/f_T^L)/(c_R^L/f_R^L) over bins where both slots have at least
+// minCount actions and unbiased support. Returns ok=false when the
+// reference slot itself yields no usable bins.
+func alphaAgainst(slots []*slotData, ref *slotData, minCount float64) ([]float64, bool) {
+	refRate, refOK := binRates(ref, minCount)
+	if !refOK {
+		return nil, false
+	}
+	out := make([]float64, len(slots))
+	for i, sd := range slots {
+		if sd == ref {
+			out[i] = 1
+			continue
+		}
+		rate, ok := binRates(sd, minCount)
+		if !ok {
+			out[i] = math.NaN()
+			continue
+		}
+		var ratios []float64
+		for bin := range rate {
+			if !math.IsNaN(rate[bin]) && !math.IsNaN(refRate[bin]) && refRate[bin] > 0 {
+				ratios = append(ratios, rate[bin]/refRate[bin])
+			}
+		}
+		if len(ratios) == 0 {
+			out[i] = math.NaN()
+			continue
+		}
+		m, err := stats.Mean(ratios)
+		if err != nil || m <= 0 {
+			out[i] = math.NaN()
+			continue
+		}
+		out[i] = m
+	}
+	return out, true
+}
+
+// binRates returns the per-coarse-bin temporal action rate c^L/f^L of a
+// slot (NaN where under-supported), and whether any bin is usable.
+func binRates(sd *slotData, minCount float64) ([]float64, bool) {
+	bins := sd.coarse.Bins()
+	out := make([]float64, bins)
+	uTotal := sd.coarseU.Total()
+	any := false
+	for bin := 0; bin < bins; bin++ {
+		c := sd.coarse.Count(bin)
+		u := sd.coarseU.Count(bin)
+		if c < minCount || u < minCount || uTotal == 0 {
+			out[bin] = math.NaN()
+			continue
+		}
+		f := u / uTotal
+		out[bin] = c / f
+		any = true
+	}
+	return out, any
+}
+
+// averageCurves pointwise-averages curves produced from the same binning
+// (they differ in the α reference and therefore in which slots were
+// pooled). NaN raw entries are skipped per bin; a bin is valid when it is
+// valid under every reference.
+func averageCurves(cs []*Curve) *Curve {
+	first := cs[0]
+	if len(cs) == 1 {
+		return first
+	}
+	n := len(first.NLP)
+	out := &Curve{
+		BinCenters:  first.BinCenters,
+		ReferenceMS: first.ReferenceMS,
+		BiasedN:     first.BiasedN,
+		UnbiasedN:   first.UnbiasedN,
+		Biased:      make([]float64, n),
+		Unbiased:    make([]float64, n),
+		Raw:         make([]float64, n),
+		Smoothed:    make([]float64, n),
+		NLP:         make([]float64, n),
+		Valid:       make([]bool, n),
+	}
+	for i := 0; i < n; i++ {
+		var rawSum float64
+		rawN := 0
+		out.Valid[i] = true
+		for _, c := range cs {
+			out.Biased[i] += c.Biased[i] / float64(len(cs))
+			out.Unbiased[i] += c.Unbiased[i] / float64(len(cs))
+			out.Smoothed[i] += c.Smoothed[i] / float64(len(cs))
+			out.NLP[i] += c.NLP[i] / float64(len(cs))
+			out.Valid[i] = out.Valid[i] && c.Valid[i]
+			if !math.IsNaN(c.Raw[i]) {
+				rawSum += c.Raw[i]
+				rawN++
+			}
+		}
+		if rawN > 0 {
+			out.Raw[i] = rawSum / float64(rawN)
+		} else {
+			out.Raw[i] = math.NaN()
+		}
+	}
+	return out
+}
+
+func maxMillis(a, b timeutil.Millis) timeutil.Millis {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func minMillis(a, b timeutil.Millis) timeutil.Millis {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,197 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"autosens/internal/rng"
+	"autosens/internal/telemetry"
+	"autosens/internal/timeutil"
+)
+
+// CIOptions configures bootstrap confidence intervals for an NLP curve.
+type CIOptions struct {
+	// Resamples is the number of bootstrap replicates.
+	Resamples int
+	// BlockLen is the moving-block length. Blocks must be long relative
+	// to the latency process's correlation time (hours, not minutes) or
+	// the resampled series loses the locality the method depends on.
+	BlockLen timeutil.Millis
+	// Confidence is the two-sided coverage level, e.g. 0.9.
+	Confidence float64
+	// TimeNormalized selects the full (α-normalized) estimator for each
+	// replicate.
+	TimeNormalized bool
+	// MinSupport is the fraction of replicates in which a bin must be
+	// valid for bounds to be reported there (default 0.5 when zero).
+	MinSupport float64
+	// Seed drives block resampling.
+	Seed uint64
+}
+
+// DefaultCIOptions returns a moderate-cost configuration: 40 replicates of
+// 6-hour blocks at 90 % confidence.
+func DefaultCIOptions() CIOptions {
+	return CIOptions{
+		Resamples:  40,
+		BlockLen:   6 * timeutil.MillisPerHour,
+		Confidence: 0.9,
+		Seed:       1,
+	}
+}
+
+// Validate checks the options.
+func (o CIOptions) Validate() error {
+	if o.Resamples < 2 {
+		return errors.New("core: need at least 2 bootstrap resamples")
+	}
+	if o.BlockLen <= 0 {
+		return errors.New("core: non-positive block length")
+	}
+	if o.Confidence <= 0 || o.Confidence >= 1 {
+		return errors.New("core: confidence out of (0,1)")
+	}
+	if o.MinSupport < 0 || o.MinSupport > 1 {
+		return errors.New("core: MinSupport out of [0,1]")
+	}
+	return nil
+}
+
+// CurveCI is an NLP point estimate with per-bin bootstrap bounds.
+type CurveCI struct {
+	// Curve is the point estimate on the full data.
+	*Curve
+	// Lower and Upper are the per-bin confidence bounds; NaN where too
+	// few replicates supported the bin.
+	Lower, Upper []float64
+	// Replicates is the number of bootstrap curves actually estimated
+	// (replicates whose estimation failed are skipped and counted out).
+	Replicates int
+}
+
+// Bounds returns the interval at the bin containing ms and whether it is
+// supported.
+func (c *CurveCI) Bounds(ms float64) (lo, hi float64, ok bool) {
+	if len(c.BinCenters) == 0 {
+		return 0, 0, false
+	}
+	w := c.BinCenters[1] - c.BinCenters[0]
+	i := int((ms - (c.BinCenters[0] - w/2)) / w)
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(c.Lower) {
+		i = len(c.Lower) - 1
+	}
+	lo, hi = c.Lower[i], c.Upper[i]
+	return lo, hi, !math.IsNaN(lo) && !math.IsNaN(hi)
+}
+
+// EstimateCI computes the NLP curve together with moving-block bootstrap
+// confidence bounds: the observation window is cut into BlockLen blocks,
+// blocks are resampled with replacement (records re-timed to their
+// resampled position so slotting and unbiased sampling see a coherent
+// pseudo-window), and the estimator is rerun per replicate.
+func (e *Estimator) EstimateCI(records []telemetry.Record, opts CIOptions) (*CurveCI, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	if opts.MinSupport == 0 {
+		opts.MinSupport = 0.5
+	}
+	records = usable(records)
+	if len(records) == 0 {
+		return nil, errors.New("core: no usable records")
+	}
+	telemetry.SortByTime(records)
+
+	estimate := e.Estimate
+	if opts.TimeNormalized {
+		estimate = e.EstimateTimeNormalized
+	}
+	point, err := estimate(records)
+	if err != nil {
+		return nil, err
+	}
+
+	// Partition into blocks by original position.
+	windowLo := records[0].Time
+	numBlocks := int((records[len(records)-1].Time-windowLo)/opts.BlockLen) + 1
+	if numBlocks < 2 {
+		return nil, fmt.Errorf("core: window shorter than two %v-ms blocks", opts.BlockLen)
+	}
+	blocks := make([][]telemetry.Record, numBlocks)
+	for _, r := range records {
+		b := int((r.Time - windowLo) / opts.BlockLen)
+		blocks[b] = append(blocks[b], r)
+	}
+
+	src := rng.New(opts.Seed)
+	bins := len(point.NLP)
+	samples := make([][]float64, bins) // per-bin replicate values
+	replicates := 0
+	resampled := make([]telemetry.Record, 0, len(records))
+	for rep := 0; rep < opts.Resamples; rep++ {
+		resampled = resampled[:0]
+		for pos := 0; pos < numBlocks; pos++ {
+			pick := src.Intn(numBlocks)
+			shift := timeutil.Millis(pos-pick) * opts.BlockLen
+			for _, r := range blocks[pick] {
+				r.Time += shift
+				resampled = append(resampled, r)
+			}
+		}
+		c, err := estimate(resampled)
+		if err != nil {
+			continue // a degenerate replicate (e.g. empty) is skipped
+		}
+		replicates++
+		for i := 0; i < bins; i++ {
+			if c.Valid[i] {
+				samples[i] = append(samples[i], c.NLP[i])
+			}
+		}
+	}
+	if replicates < 2 {
+		return nil, errors.New("core: too few successful bootstrap replicates")
+	}
+
+	out := &CurveCI{
+		Curve:      point,
+		Lower:      make([]float64, bins),
+		Upper:      make([]float64, bins),
+		Replicates: replicates,
+	}
+	alpha := (1 - opts.Confidence) / 2
+	need := int(math.Ceil(opts.MinSupport * float64(replicates)))
+	for i := 0; i < bins; i++ {
+		vs := samples[i]
+		if len(vs) < need || len(vs) < 2 {
+			out.Lower[i] = math.NaN()
+			out.Upper[i] = math.NaN()
+			continue
+		}
+		sort.Float64s(vs)
+		out.Lower[i] = quantileSorted(vs, alpha)
+		out.Upper[i] = quantileSorted(vs, 1-alpha)
+	}
+	return out, nil
+}
+
+// quantileSorted interpolates the q-quantile of a sorted slice (mirrors
+// stats.Quantile without the copy).
+func quantileSorted(sorted []float64, q float64) float64 {
+	if len(sorted) == 1 {
+		return sorted[0]
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}

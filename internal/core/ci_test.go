@@ -1,0 +1,137 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"autosens/internal/timeutil"
+)
+
+func smallCIOptions() CIOptions {
+	o := DefaultCIOptions()
+	o.Resamples = 12
+	return o
+}
+
+func TestCIOptionsValidate(t *testing.T) {
+	if err := DefaultCIOptions().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	mutations := []func(*CIOptions){
+		func(o *CIOptions) { o.Resamples = 1 },
+		func(o *CIOptions) { o.BlockLen = 0 },
+		func(o *CIOptions) { o.Confidence = 0 },
+		func(o *CIOptions) { o.Confidence = 1 },
+		func(o *CIOptions) { o.MinSupport = 1.5 },
+	}
+	for i, mut := range mutations {
+		o := DefaultCIOptions()
+		mut(&o)
+		if err := o.Validate(); err == nil {
+			t.Fatalf("mutation %d accepted", i)
+		}
+	}
+}
+
+func TestEstimateCIBasics(t *testing.T) {
+	records := confoundedRecords(51)
+	e := testEstimator(t, nil)
+	ci, err := e.EstimateCI(records, smallCIOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ci.Replicates < 10 {
+		t.Fatalf("only %d replicates succeeded", ci.Replicates)
+	}
+	// The point estimate must lie inside (or at least near) the band
+	// wherever the band is defined; bounds must be ordered.
+	inside, total := 0, 0
+	for i := range ci.NLP {
+		lo, hi := ci.Lower[i], ci.Upper[i]
+		if math.IsNaN(lo) || math.IsNaN(hi) {
+			continue
+		}
+		if lo > hi {
+			t.Fatalf("bounds inverted at bin %d: [%v, %v]", i, lo, hi)
+		}
+		total++
+		if ci.NLP[i] >= lo-0.1 && ci.NLP[i] <= hi+0.1 {
+			inside++
+		}
+	}
+	if total == 0 {
+		t.Fatal("no bin has a confidence band")
+	}
+	if float64(inside)/float64(total) < 0.8 {
+		t.Fatalf("point estimate outside band in %d of %d bins", total-inside, total)
+	}
+}
+
+func TestEstimateCIBoundsAccessor(t *testing.T) {
+	records := confoundedRecords(52)
+	e := testEstimator(t, nil)
+	ci, err := e.EstimateCI(records, smallCIOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo, hi, ok := ci.Bounds(400)
+	if !ok {
+		t.Fatal("no band at a well-supported latency")
+	}
+	if !(lo <= hi) {
+		t.Fatalf("Bounds(400) = [%v, %v]", lo, hi)
+	}
+}
+
+func TestEstimateCIWindowTooShort(t *testing.T) {
+	e := testEstimator(t, nil)
+	var records = []struct{}{}
+	_ = records
+	// All records inside one block: cannot bootstrap blocks.
+	rs := confoundedRecords(53)
+	opts := smallCIOptions()
+	opts.BlockLen = 365 * timeutil.MillisPerDay
+	if _, err := e.EstimateCI(rs, opts); err == nil {
+		t.Fatal("single-block window accepted")
+	}
+}
+
+func TestEstimateCIDeterministic(t *testing.T) {
+	records := confoundedRecords(54)
+	e := testEstimator(t, nil)
+	a, err := e.EstimateCI(records, smallCIOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := e.EstimateCI(records, smallCIOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Lower {
+		al, bl := a.Lower[i], b.Lower[i]
+		if math.IsNaN(al) != math.IsNaN(bl) || (!math.IsNaN(al) && al != bl) {
+			t.Fatalf("CI not deterministic at bin %d", i)
+		}
+	}
+}
+
+func TestEstimateCIWiderAtTail(t *testing.T) {
+	// Sparse high-latency bins should carry wider (or absent) bands than
+	// the well-populated core around the latency mode.
+	records := confoundedRecords(55)
+	e := testEstimator(t, nil)
+	ci, err := e.EstimateCI(records, smallCIOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	width := func(ms float64) float64 {
+		lo, hi, ok := ci.Bounds(ms)
+		if !ok {
+			return math.Inf(1) // absent band counts as widest
+		}
+		return hi - lo
+	}
+	if width(400) > width(900) {
+		t.Fatalf("band at mode (%v) wider than tail (%v)", width(400), width(900))
+	}
+}

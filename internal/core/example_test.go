@@ -1,0 +1,71 @@
+package core_test
+
+import (
+	"fmt"
+
+	"autosens/internal/core"
+	"autosens/internal/rng"
+	"autosens/internal/telemetry"
+	"autosens/internal/timeutil"
+)
+
+// ExampleEstimator_Estimate shows the minimal AutoSens workflow: feed
+// (time, action, latency) records to the estimator and read the normalized
+// latency preference. The synthetic stream alternates fast (250 ms) and
+// slow (900 ms) regimes every two hours, with users acting at half the
+// rate during slow regimes — so the NLP at 900 ms comes out near 0.5.
+func ExampleEstimator_Estimate() {
+	src := rng.New(7)
+	var records []telemetry.Record
+	for m := timeutil.Millis(0); m < 4*timeutil.MillisPerDay; m += timeutil.MillisPerMinute {
+		slow := (m/(2*timeutil.MillisPerHour))%2 == 1
+		rate, median := 12.0, 250.0
+		if slow {
+			rate, median = 6, 900
+		}
+		for i := 0; i < src.Poisson(rate); i++ {
+			records = append(records, telemetry.Record{
+				Time:      m + timeutil.Millis(src.Intn(60000)),
+				Action:    telemetry.SelectMail,
+				LatencyMS: median * src.LogNormal(0, 0.2),
+				UserID:    1,
+			})
+		}
+	}
+
+	opts := core.DefaultOptions()
+	opts.ReferenceMS = 250
+	est, err := core.NewEstimator(opts)
+	if err != nil {
+		panic(err)
+	}
+	curve, err := est.Estimate(records)
+	if err != nil {
+		panic(err)
+	}
+	v, _ := curve.At(900)
+	fmt.Printf("NLP(900ms) is well below 1: %v\n", v < 0.65)
+	ref, _ := curve.At(250)
+	fmt.Printf("NLP(reference) = %.1f\n", ref)
+	// Output:
+	// NLP(900ms) is well below 1: true
+	// NLP(reference) = 1.0
+}
+
+// ExamplePaperTable1 reproduces the worked normalization example of the
+// paper's Table 1 exactly.
+func ExamplePaperTable1() {
+	res, err := core.PaperTable1().Solve()
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("alpha(Night) = %.3f\n", res.Alpha[1])
+	fmt.Printf("normalized night counts: %.0f and %.0f\n",
+		res.NormalizedCounts[1][0], res.NormalizedCounts[1][1])
+	fmt.Printf("activity when latency is low vs high: %.2f vs %.2f\n",
+		res.NormalizedRate[0], res.NormalizedRate[1])
+	// Output:
+	// alpha(Night) = 0.104
+	// normalized night counts: 250 and 38
+	// activity when latency is low vs high: 3.09 vs 1.98
+}

@@ -1,0 +1,111 @@
+package core
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+)
+
+// curveJSON is the wire form of a Curve. IEEE NaN (used for undefined raw
+// ratios) is not representable in JSON, so float columns travel as
+// *float64 with null holes.
+type curveJSON struct {
+	BinCenters  []float64  `json:"bin_centers"`
+	Biased      []float64  `json:"biased"`
+	Unbiased    []float64  `json:"unbiased"`
+	Raw         []*float64 `json:"raw"`
+	Smoothed    []float64  `json:"smoothed"`
+	NLP         []float64  `json:"nlp"`
+	Valid       []bool     `json:"valid"`
+	ReferenceMS float64    `json:"reference_ms"`
+	BiasedN     int        `json:"biased_n"`
+	UnbiasedN   int        `json:"unbiased_n"`
+}
+
+func toNullable(xs []float64) []*float64 {
+	out := make([]*float64, len(xs))
+	for i := range xs {
+		if !math.IsNaN(xs[i]) && !math.IsInf(xs[i], 0) {
+			v := xs[i]
+			out[i] = &v
+		}
+	}
+	return out
+}
+
+func fromNullable(xs []*float64) []float64 {
+	out := make([]float64, len(xs))
+	for i := range xs {
+		if xs[i] == nil {
+			out[i] = math.NaN()
+		} else {
+			out[i] = *xs[i]
+		}
+	}
+	return out
+}
+
+// MarshalJSON implements json.Marshaler with null in place of NaN.
+func (c *Curve) MarshalJSON() ([]byte, error) {
+	return json.Marshal(curveJSON{
+		BinCenters:  c.BinCenters,
+		Biased:      c.Biased,
+		Unbiased:    c.Unbiased,
+		Raw:         toNullable(c.Raw),
+		Smoothed:    c.Smoothed,
+		NLP:         c.NLP,
+		Valid:       c.Valid,
+		ReferenceMS: c.ReferenceMS,
+		BiasedN:     c.BiasedN,
+		UnbiasedN:   c.UnbiasedN,
+	})
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (c *Curve) UnmarshalJSON(data []byte) error {
+	var w curveJSON
+	if err := json.Unmarshal(data, &w); err != nil {
+		return err
+	}
+	n := len(w.BinCenters)
+	for name, l := range map[string]int{
+		"biased": len(w.Biased), "unbiased": len(w.Unbiased), "raw": len(w.Raw),
+		"smoothed": len(w.Smoothed), "nlp": len(w.NLP), "valid": len(w.Valid),
+	} {
+		if l != n {
+			return fmt.Errorf("core: column %s has %d entries, want %d", name, l, n)
+		}
+	}
+	c.BinCenters = w.BinCenters
+	c.Biased = w.Biased
+	c.Unbiased = w.Unbiased
+	c.Raw = fromNullable(w.Raw)
+	c.Smoothed = w.Smoothed
+	c.NLP = w.NLP
+	c.Valid = w.Valid
+	c.ReferenceMS = w.ReferenceMS
+	c.BiasedN = w.BiasedN
+	c.UnbiasedN = w.UnbiasedN
+	return nil
+}
+
+// WriteJSON streams the curve as indented JSON.
+func (c *Curve) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(c)
+}
+
+// ReadCurveJSON decodes a curve written by WriteJSON.
+func ReadCurveJSON(r io.Reader) (*Curve, error) {
+	var c Curve
+	if err := json.NewDecoder(r).Decode(&c); err != nil {
+		return nil, err
+	}
+	if len(c.BinCenters) == 0 {
+		return nil, errors.New("core: empty curve")
+	}
+	return &c, nil
+}

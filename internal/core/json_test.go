@@ -1,0 +1,81 @@
+package core
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestCurveJSONRoundTrip(t *testing.T) {
+	records := confoundedRecords(71)
+	e := testEstimator(t, nil)
+	orig, err := e.Estimate(records)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := orig.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCurveJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.ReferenceMS != orig.ReferenceMS || got.BiasedN != orig.BiasedN || got.UnbiasedN != orig.UnbiasedN {
+		t.Fatal("metadata lost")
+	}
+	if len(got.NLP) != len(orig.NLP) {
+		t.Fatalf("length %d vs %d", len(got.NLP), len(orig.NLP))
+	}
+	for i := range orig.NLP {
+		if got.NLP[i] != orig.NLP[i] || got.Valid[i] != orig.Valid[i] {
+			t.Fatalf("bin %d mismatch", i)
+		}
+		if math.IsNaN(orig.Raw[i]) != math.IsNaN(got.Raw[i]) {
+			t.Fatalf("NaN handling broken at bin %d", i)
+		}
+		if !math.IsNaN(orig.Raw[i]) && got.Raw[i] != orig.Raw[i] {
+			t.Fatalf("raw value lost at bin %d", i)
+		}
+	}
+}
+
+func TestCurveJSONNaNBecomesNull(t *testing.T) {
+	c := &Curve{
+		BinCenters: []float64{5, 15},
+		Biased:     []float64{1, 0},
+		Unbiased:   []float64{1, 0},
+		Raw:        []float64{1, math.NaN()},
+		Smoothed:   []float64{1, 1},
+		NLP:        []float64{1, 1},
+		Valid:      []bool{true, false},
+	}
+	var buf bytes.Buffer
+	if err := c.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "null") {
+		t.Fatalf("no null emitted:\n%s", buf.String())
+	}
+	got, err := ReadCurveJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsNaN(got.Raw[1]) {
+		t.Fatal("null not restored as NaN")
+	}
+}
+
+func TestReadCurveJSONRejectsBadInput(t *testing.T) {
+	if _, err := ReadCurveJSON(strings.NewReader("{}")); err == nil {
+		t.Fatal("empty curve accepted")
+	}
+	if _, err := ReadCurveJSON(strings.NewReader("not json")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	ragged := `{"bin_centers":[1,2],"biased":[1],"unbiased":[1,2],"raw":[1,2],"smoothed":[1,2],"nlp":[1,2],"valid":[true,true]}`
+	if _, err := ReadCurveJSON(strings.NewReader(ragged)); err == nil {
+		t.Fatal("ragged columns accepted")
+	}
+}

@@ -1,0 +1,217 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"autosens/internal/rng"
+	"autosens/internal/telemetry"
+	"autosens/internal/timeutil"
+)
+
+// TestUnbiasedDrawAlwaysFromInput: every unbiased draw must return a
+// latency value that exists in the input sample set.
+func TestUnbiasedDrawAlwaysFromInput(t *testing.T) {
+	src := rng.New(31)
+	f := func(n uint8, span uint16) bool {
+		k := int(n)%200 + 1
+		rs := make([]telemetry.Record, k)
+		seen := make(map[float64]bool, k)
+		for i := range rs {
+			lat := 10 + src.Float64()*2000
+			rs[i] = mkRec(timeutil.Millis(src.Intn(int(span)+1)), lat)
+			seen[lat] = true
+		}
+		telemetry.SortByTime(rs)
+		s := newUnbiasedSampler(rs)
+		for d := 0; d < 20; d++ {
+			v := s.draw(0, timeutil.Millis(span)+1, src)
+			if !seen[v] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUnbiasedDrawsAPI(t *testing.T) {
+	rs := []telemetry.Record{mkRec(0, 100), mkRec(100, 200), mkRec(500, 300)}
+	draws, err := UnbiasedDraws(rs, 50, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(draws) != 50 {
+		t.Fatalf("%d draws", len(draws))
+	}
+	var last timeutil.Millis = -1
+	for _, d := range draws {
+		if d.At < last {
+			t.Fatal("draws not sorted by time")
+		}
+		last = d.At
+		if d.At < 0 || d.At > 500 {
+			t.Fatalf("draw time %d outside span", d.At)
+		}
+		if d.LatencyMS != 100 && d.LatencyMS != 200 && d.LatencyMS != 300 {
+			t.Fatalf("draw latency %v not from input", d.LatencyMS)
+		}
+	}
+	if _, err := UnbiasedDraws(nil, 10, 1); err == nil {
+		t.Fatal("empty records accepted")
+	}
+	if _, err := UnbiasedDraws(rs, 0, 1); err == nil {
+		t.Fatal("zero draws accepted")
+	}
+	// Determinism.
+	again, err := UnbiasedDraws(rs, 50, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range draws {
+		if draws[i] != again[i] {
+			t.Fatal("draws not deterministic")
+		}
+	}
+}
+
+// TestNearestIsActuallyNearest: for any query time, no sample may be
+// strictly closer in time than the one returned.
+func TestNearestIsActuallyNearest(t *testing.T) {
+	src := rng.New(32)
+	f := func(n uint8, q uint16) bool {
+		k := int(n)%50 + 1
+		rs := make([]telemetry.Record, k)
+		for i := range rs {
+			// Distinct latencies so we can identify the sample.
+			rs[i] = mkRec(timeutil.Millis(src.Intn(1000)), float64(i+1))
+		}
+		telemetry.SortByTime(rs)
+		s := newUnbiasedSampler(rs)
+		query := timeutil.Millis(q) % 1200
+		got := s.nearest(query, src)
+		var gotDist timeutil.Millis = -1
+		best := timeutil.Millis(math.MaxInt64)
+		for _, r := range rs {
+			d := r.Time - query
+			if d < 0 {
+				d = -d
+			}
+			if r.LatencyMS == got && (gotDist == -1 || d < gotDist) {
+				gotDist = d
+			}
+			if d < best {
+				best = d
+			}
+		}
+		return gotDist == best
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestEstimateScaleInvariance: multiplying every user's activity uniformly
+// (by duplicating the record stream with jittered user ids) must not change
+// the NLP curve materially — the estimator works on distributions, not
+// volumes.
+func TestEstimateScaleInvariance(t *testing.T) {
+	src := rng.New(33)
+	records := genRecords(src, 2*timeutil.MillisPerDay,
+		func(tm timeutil.Millis) float64 {
+			phase := 2 * math.Pi * float64(tm) / float64(8*timeutil.MillisPerHour)
+			return 450 * (1 + 0.5*math.Sin(phase))
+		}, 0.2,
+		func(timeutil.Millis) float64 { return 8 })
+	doubled := make([]telemetry.Record, 0, 2*len(records))
+	for _, r := range records {
+		doubled = append(doubled, r)
+		r2 := r
+		r2.UserID++
+		doubled = append(doubled, r2)
+	}
+	e := testEstimator(t, func(o *Options) { o.ReferenceMS = 450 })
+	c1, err := e.Estimate(records)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := e.Estimate(doubled)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, probe := range []float64{300, 450, 600, 700} {
+		v1, ok1 := c1.At(probe)
+		v2, ok2 := c2.At(probe)
+		if !ok1 || !ok2 {
+			continue
+		}
+		if math.Abs(v1-v2) > 0.08 {
+			t.Fatalf("NLP at %v changed from %v to %v when volume doubled", probe, v1, v2)
+		}
+	}
+}
+
+// TestNLPNonNegative: the reported NLP can never be negative over valid
+// bins (it is a ratio of non-negative masses after smoothing; smoothing can
+// only undershoot zero on invalid, interpolated stretches).
+func TestNLPNonNegativeOnValidBins(t *testing.T) {
+	records := confoundedRecords(34)
+	e := testEstimator(t, nil)
+	for _, mode := range []func([]telemetry.Record) (*Curve, error){e.Estimate, e.EstimateTimeNormalized} {
+		c, err := mode(records)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, v := range c.NLP {
+			if c.Valid[i] && v < -1e-9 {
+				t.Fatalf("negative NLP %v at valid bin %d", v, i)
+			}
+		}
+	}
+}
+
+// TestCurveBiasedFractionsSumToOne: the reported biased/unbiased fractions
+// are proper distributions.
+func TestCurveFractionsSumToOne(t *testing.T) {
+	records := confoundedRecords(35)
+	e := testEstimator(t, nil)
+	c, err := e.Estimate(records)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b, u float64
+	for i := range c.Biased {
+		b += c.Biased[i]
+		u += c.Unbiased[i]
+	}
+	if math.Abs(b-1) > 1e-9 || math.Abs(u-1) > 1e-9 {
+		t.Fatalf("fractions sum to %v / %v", b, u)
+	}
+}
+
+// TestSeedChangesOnlyNoise: two different estimator seeds on the same data
+// must agree closely (the unbiased draws are Monte Carlo; the signal is
+// not).
+func TestSeedChangesOnlyNoise(t *testing.T) {
+	records := confoundedRecords(36)
+	e1 := testEstimator(t, func(o *Options) { o.Seed = 1 })
+	e2 := testEstimator(t, func(o *Options) { o.Seed = 2 })
+	c1, err := e1.Estimate(records)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := e2.Estimate(records)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, probe := range []float64{300, 400, 500, 600} {
+		v1, ok1 := c1.At(probe)
+		v2, ok2 := c2.At(probe)
+		if ok1 && ok2 && math.Abs(v1-v2) > 0.1 {
+			t.Fatalf("seeds disagree at %v: %v vs %v", probe, v1, v2)
+		}
+	}
+}

@@ -1,0 +1,143 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"autosens/internal/rng"
+	"autosens/internal/telemetry"
+	"autosens/internal/timeutil"
+)
+
+func rollingOpts() RollingOptions {
+	return RollingOptions{
+		Window:         2 * timeutil.MillisPerDay,
+		Step:           timeutil.MillisPerDay,
+		Probes:         []float64{800},
+		TimeNormalized: false,
+		MinRecords:     500,
+	}
+}
+
+func TestRollingValidation(t *testing.T) {
+	if err := DefaultRollingOptions().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []func(*RollingOptions){
+		func(o *RollingOptions) { o.Window = 0 },
+		func(o *RollingOptions) { o.Step = 0 },
+		func(o *RollingOptions) { o.Probes = nil },
+		func(o *RollingOptions) { o.MinRecords = -1 },
+	}
+	for i, mut := range bad {
+		o := DefaultRollingOptions()
+		mut(&o)
+		if err := o.Validate(); err == nil {
+			t.Fatalf("mutation %d accepted", i)
+		}
+	}
+	e := testEstimator(t, nil)
+	if _, err := e.Rolling(nil, rollingOpts()); err == nil {
+		t.Fatal("empty records accepted")
+	}
+}
+
+// driftRecords plants a preference regime change halfway through the
+// window: the first half has no latency preference, the second half halves
+// the rate whenever latency is high.
+func driftRecords(seed uint64, days int) []telemetry.Record {
+	src := rng.New(seed)
+	horizon := timeutil.Millis(days) * timeutil.MillisPerDay
+	half := horizon / 2
+	regime := func(tm timeutil.Millis) bool { // true = slow latency period
+		return (tm/(2*timeutil.MillisPerHour))%2 == 1
+	}
+	return genRecords(src, horizon,
+		func(tm timeutil.Millis) float64 {
+			if regime(tm) {
+				return 800
+			}
+			return 300
+		}, 0.25,
+		func(tm timeutil.Millis) float64 {
+			if regime(tm) && tm >= half {
+				return 5 // second half: strong aversion to slow periods
+			}
+			return 10
+		})
+}
+
+func TestRollingDetectsDrift(t *testing.T) {
+	records := driftRecords(61, 8)
+	e := testEstimator(t, func(o *Options) { o.ReferenceMS = 300 })
+	series, err := e.Rolling(records, rollingOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series.WindowStart) < 4 {
+		t.Fatalf("only %d windows", len(series.WindowStart))
+	}
+	// Early windows: NLP(800) ~ 1. Late windows: ~0.5.
+	first := series.NLP[0][0]
+	last := series.NLP[len(series.NLP)-1][0]
+	if math.IsNaN(first) || math.IsNaN(last) {
+		t.Fatalf("NaN endpoints: %v, %v", first, last)
+	}
+	if first < 0.8 {
+		t.Fatalf("early window NLP %v, want ~1 (no preference yet)", first)
+	}
+	if last > 0.7 {
+		t.Fatalf("late window NLP %v, want ~0.5 (preference active)", last)
+	}
+	if series.MaxDrift(0) < 0.15 {
+		t.Fatalf("MaxDrift %v did not flag the regime change", series.MaxDrift(0))
+	}
+}
+
+func TestRollingStableSeries(t *testing.T) {
+	// Without a regime change consecutive windows agree.
+	src := rng.New(62)
+	records := genRecords(src, 6*timeutil.MillisPerDay,
+		func(tm timeutil.Millis) float64 {
+			if (tm/(2*timeutil.MillisPerHour))%2 == 1 {
+				return 800
+			}
+			return 300
+		}, 0.25,
+		func(tm timeutil.Millis) float64 {
+			if (tm/(2*timeutil.MillisPerHour))%2 == 1 {
+				return 5
+			}
+			return 10
+		})
+	e := testEstimator(t, func(o *Options) { o.ReferenceMS = 300 })
+	series, err := e.Rolling(records, rollingOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := series.MaxDrift(0); d > 0.15 {
+		t.Fatalf("stable stream drifted by %v", d)
+	}
+}
+
+func TestRollingSkipsThinWindows(t *testing.T) {
+	// A burst of records followed by silence: later windows are skipped.
+	var records []telemetry.Record
+	src := rng.New(63)
+	for i := 0; i < 3000; i++ {
+		records = append(records, mkRec(timeutil.Millis(src.Intn(int(timeutil.MillisPerDay))), 300+src.Normal(0, 30)))
+	}
+	// One straggler far away so the sweep continues past the burst.
+	records = append(records, mkRec(6*timeutil.MillisPerDay, 300))
+	e := testEstimator(t, nil)
+	series, err := e.Rolling(records, rollingOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if series.Skipped == 0 {
+		t.Fatal("no thin window skipped")
+	}
+	if len(series.WindowStart) == 0 {
+		t.Fatal("burst window missing")
+	}
+}

@@ -1,0 +1,225 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"autosens/internal/telemetry"
+	"autosens/internal/timeutil"
+)
+
+func TestStreamingValidation(t *testing.T) {
+	e := testEstimator(t, nil)
+	if _, err := NewStreaming(nil, 100); err == nil {
+		t.Fatal("nil estimator accepted")
+	}
+	if _, err := NewStreaming(e, 1); err == nil {
+		t.Fatal("tiny reservoir accepted")
+	}
+	s, err := NewStreaming(e, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Add(telemetry.Record{LatencyMS: -1}); err == nil {
+		t.Fatal("invalid record accepted")
+	}
+	if _, err := s.Finalize(); err == nil {
+		t.Fatal("finalize of empty stream succeeded")
+	}
+}
+
+func TestStreamingIgnoresFailedRecords(t *testing.T) {
+	e := testEstimator(t, nil)
+	s, err := NewStreaming(e, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := mkRec(10, 100)
+	rec.Failed = true
+	if err := s.Add(rec); err != nil {
+		t.Fatal(err)
+	}
+	if s.Count() != 0 {
+		t.Fatal("failed record counted")
+	}
+}
+
+func TestStreamingMatchesBatchEstimate(t *testing.T) {
+	records := confoundedRecords(41)
+	e := testEstimator(t, nil)
+
+	batch, err := e.EstimateTimeNormalized(records)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	s, err := NewStreaming(e, 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range records {
+		if err := s.Add(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s.Count() != len(records) {
+		t.Fatalf("streamed %d of %d", s.Count(), len(records))
+	}
+	stream, err := s.Finalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, probe := range []float64{300, 400, 500, 650} {
+		bv, bok := batch.At(probe)
+		sv, sok := stream.At(probe)
+		if !bok || !sok {
+			continue
+		}
+		if math.Abs(bv-sv) > 0.12 {
+			t.Fatalf("batch %v vs stream %v at %v ms", bv, sv, probe)
+		}
+	}
+}
+
+func TestStreamingPlainMatchesBatchPlain(t *testing.T) {
+	records := confoundedRecords(42)
+	e := testEstimator(t, nil)
+	batch, err := e.Estimate(records)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewStreaming(e, 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range records {
+		if err := s.Add(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	stream, err := s.FinalizePlain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, probe := range []float64{300, 450, 600} {
+		bv, bok := batch.At(probe)
+		sv, sok := stream.At(probe)
+		if !bok || !sok {
+			continue
+		}
+		if math.Abs(bv-sv) > 0.15 {
+			t.Fatalf("plain: batch %v vs stream %v at %v ms", bv, sv, probe)
+		}
+	}
+}
+
+func TestStreamingOrderIndependent(t *testing.T) {
+	records := confoundedRecords(43)
+	e := testEstimator(t, nil)
+
+	run := func(rs []telemetry.Record) *Curve {
+		s, err := NewStreaming(e, 300)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, r := range rs {
+			if err := s.Add(r); err != nil {
+				t.Fatal(err)
+			}
+		}
+		c, err := s.Finalize()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return c
+	}
+
+	forward := run(records)
+	reversed := make([]telemetry.Record, len(records))
+	for i, r := range records {
+		reversed[len(records)-1-i] = r
+	}
+	backward := run(reversed)
+	// The reservoir contents differ with insertion order, so allow Monte
+	// Carlo slack, but the curves must agree.
+	for _, probe := range []float64{300, 450, 600} {
+		fv, fok := forward.At(probe)
+		bv, bok := backward.At(probe)
+		if !fok || !bok {
+			continue
+		}
+		if math.Abs(fv-bv) > 0.12 {
+			t.Fatalf("order dependence at %v ms: %v vs %v", probe, fv, bv)
+		}
+	}
+}
+
+func TestStreamingReusableAfterFinalize(t *testing.T) {
+	records := confoundedRecords(44)
+	e := testEstimator(t, nil)
+	s, err := NewStreaming(e, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	half := len(records) / 2
+	for _, r := range records[:half] {
+		if err := s.Add(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := s.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range records[half:] {
+		if err := s.Add(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c, err := s.Finalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.BiasedN != len(records) {
+		t.Fatalf("BiasedN = %d, want %d", c.BiasedN, len(records))
+	}
+}
+
+func TestStreamingSlotAccounting(t *testing.T) {
+	e := testEstimator(t, nil)
+	s, err := NewStreaming(e, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two records in hour 0, one in hour 5.
+	s.Add(mkRec(10, 100))
+	s.Add(mkRec(20, 100))
+	s.Add(mkRec(5*timeutil.MillisPerHour+1, 100))
+	if s.Slots() != 2 {
+		t.Fatalf("Slots = %d", s.Slots())
+	}
+	if s.Count() != 3 {
+		t.Fatalf("Count = %d", s.Count())
+	}
+}
+
+func BenchmarkStreamingAdd(b *testing.B) {
+	e, err := NewEstimator(DefaultOptions())
+	if err != nil {
+		b.Fatal(err)
+	}
+	s, err := NewStreaming(e, 500)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rec := mkRec(0, 300)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rec.Time = timeutil.Millis(i % int(24*timeutil.MillisPerHour))
+		rec.LatencyMS = 200 + float64(i%700)
+		if err := s.Add(rec); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

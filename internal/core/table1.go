@@ -1,0 +1,131 @@
+package core
+
+import (
+	"errors"
+	"math"
+)
+
+// WorkedExample reproduces the arithmetic of Table 1: time-confounder
+// normalization on a discrete (slot × latency-bin) contingency table of
+// action counts and time fractions. It exists both as executable
+// documentation of the α method and as the exact-value reproduction target
+// for the paper's Table 1.
+type WorkedExample struct {
+	// Slots and Bins name the rows and columns.
+	Slots []string
+	Bins  []string
+	// Counts[s][b] is the number of actions in slot s at latency bin b.
+	Counts [][]float64
+	// TimeFrac[s][b] is the fraction of slot s's time spent at latency
+	// bin b (each row sums to 1).
+	TimeFrac [][]float64
+	// RefSlot is the index of the reference slot for normalization.
+	RefSlot int
+}
+
+// WorkedExampleResult carries every intermediate quantity of the
+// normalization so the Table 1 numbers can be checked one by one.
+type WorkedExampleResult struct {
+	// AlphaPerBin[s][b] is α for slot s estimated from bin b alone.
+	AlphaPerBin [][]float64
+	// Alpha[s] is the per-slot activity factor (mean of AlphaPerBin[s]).
+	Alpha []float64
+	// NormalizedCounts[s][b] is Counts[s][b] / Alpha[s].
+	NormalizedCounts [][]float64
+	// NaiveRate[b] is the per-bin activity level computed by pooling raw
+	// counts over raw time fractions — the confounded estimate.
+	NaiveRate []float64
+	// NormalizedRate[b] is the per-bin activity level after α
+	// normalization — the corrected estimate.
+	NormalizedRate []float64
+}
+
+// PaperTable1 returns the exact input of Table 1: two slots (day, night),
+// two latency bins (low, high), 90/140/26/4 actions and 30/70/80/20 % time
+// shares, with "day" as the reference.
+func PaperTable1() WorkedExample {
+	return WorkedExample{
+		Slots:    []string{"Day", "Night"},
+		Bins:     []string{"Low", "High"},
+		Counts:   [][]float64{{90, 140}, {26, 4}},
+		TimeFrac: [][]float64{{0.30, 0.70}, {0.80, 0.20}},
+		RefSlot:  0,
+	}
+}
+
+// Solve runs the normalization.
+func (w WorkedExample) Solve() (*WorkedExampleResult, error) {
+	s := len(w.Slots)
+	b := len(w.Bins)
+	if s == 0 || b == 0 || len(w.Counts) != s || len(w.TimeFrac) != s {
+		return nil, errors.New("core: malformed worked example")
+	}
+	for i := 0; i < s; i++ {
+		if len(w.Counts[i]) != b || len(w.TimeFrac[i]) != b {
+			return nil, errors.New("core: ragged worked example")
+		}
+	}
+	if w.RefSlot < 0 || w.RefSlot >= s {
+		return nil, errors.New("core: reference slot out of range")
+	}
+
+	// Temporal rates r[s][b] = c/f.
+	rate := make([][]float64, s)
+	for i := range rate {
+		rate[i] = make([]float64, b)
+		for j := 0; j < b; j++ {
+			if w.TimeFrac[i][j] <= 0 {
+				rate[i][j] = math.NaN()
+				continue
+			}
+			rate[i][j] = w.Counts[i][j] / w.TimeFrac[i][j]
+		}
+	}
+
+	res := &WorkedExampleResult{
+		AlphaPerBin:      make([][]float64, s),
+		Alpha:            make([]float64, s),
+		NormalizedCounts: make([][]float64, s),
+		NaiveRate:        make([]float64, b),
+		NormalizedRate:   make([]float64, b),
+	}
+	for i := 0; i < s; i++ {
+		res.AlphaPerBin[i] = make([]float64, b)
+		var sum float64
+		var n int
+		for j := 0; j < b; j++ {
+			if math.IsNaN(rate[i][j]) || math.IsNaN(rate[w.RefSlot][j]) || rate[w.RefSlot][j] == 0 {
+				res.AlphaPerBin[i][j] = math.NaN()
+				continue
+			}
+			res.AlphaPerBin[i][j] = rate[i][j] / rate[w.RefSlot][j]
+			sum += res.AlphaPerBin[i][j]
+			n++
+		}
+		if n == 0 {
+			return nil, errors.New("core: slot shares no bins with the reference")
+		}
+		res.Alpha[i] = sum / float64(n)
+		res.NormalizedCounts[i] = make([]float64, b)
+		for j := 0; j < b; j++ {
+			res.NormalizedCounts[i][j] = w.Counts[i][j] / res.Alpha[i]
+		}
+	}
+	// Pooled activity levels per bin.
+	for j := 0; j < b; j++ {
+		var rawC, normC, timeF float64
+		for i := 0; i < s; i++ {
+			rawC += w.Counts[i][j]
+			normC += res.NormalizedCounts[i][j]
+			timeF += w.TimeFrac[i][j]
+		}
+		if timeF <= 0 {
+			res.NaiveRate[j] = math.NaN()
+			res.NormalizedRate[j] = math.NaN()
+			continue
+		}
+		res.NaiveRate[j] = rawC / (timeF * 100)       // per paper: % time units
+		res.NormalizedRate[j] = normC / (timeF * 100) // actions per unit time
+	}
+	return res, nil
+}

@@ -1,0 +1,123 @@
+package core
+
+import (
+	"errors"
+	"sort"
+
+	"autosens/internal/rng"
+	"autosens/internal/telemetry"
+	"autosens/internal/timeutil"
+)
+
+// unbiasedSampler draws latency values for the unbiased distribution U per
+// Section 2.2: pick a uniformly random time in the window and adopt the
+// latency of the sample nearest in time; when several samples are equally
+// near (same timestamp, or an exact midpoint), pick one at random.
+type unbiasedSampler struct {
+	times     []timeutil.Millis
+	latencies []float64
+}
+
+// newUnbiasedSampler indexes time-sorted records. The records MUST already
+// be sorted by Time.
+func newUnbiasedSampler(sorted []telemetry.Record) *unbiasedSampler {
+	s := &unbiasedSampler{
+		times:     make([]timeutil.Millis, len(sorted)),
+		latencies: make([]float64, len(sorted)),
+	}
+	for i, r := range sorted {
+		s.times[i] = r.Time
+		s.latencies[i] = r.LatencyMS
+	}
+	return s
+}
+
+// draw picks one unbiased latency for a random time in [lo, hi).
+func (s *unbiasedSampler) draw(lo, hi timeutil.Millis, src *rng.Source) float64 {
+	t := lo + timeutil.Millis(src.Uint64n(uint64(hi-lo)))
+	return s.nearest(t, src)
+}
+
+// nearest returns the latency of the sample closest in time to t, breaking
+// ties uniformly at random.
+func (s *unbiasedSampler) nearest(t timeutil.Millis, src *rng.Source) float64 {
+	n := len(s.times)
+	idx := sort.Search(n, func(i int) bool { return s.times[i] >= t })
+	// Candidate on each side of the insertion point.
+	switch {
+	case idx == 0:
+		return s.pickRun(0, src)
+	case idx == n:
+		return s.pickRun(n-1, src)
+	}
+	dRight := s.times[idx] - t
+	dLeft := t - s.times[idx-1]
+	switch {
+	case dLeft < dRight:
+		return s.pickRun(idx-1, src)
+	case dRight < dLeft:
+		return s.pickRun(idx, src)
+	default:
+		// Exact midpoint: both sides are equally near.
+		if src.Bool(0.5) {
+			return s.pickRun(idx-1, src)
+		}
+		return s.pickRun(idx, src)
+	}
+}
+
+// Draw is one unbiased-sampling pick: the uniformly random instant chosen
+// and the latency of the telemetry sample nearest to it.
+type Draw struct {
+	At        timeutil.Millis
+	LatencyMS float64
+}
+
+// UnbiasedDraws exposes the unbiased-sampling procedure of Section 2.2 for
+// inspection (Figure 3(a) of the paper illustrates it): n uniformly random
+// instants over the records' time span, each paired with the latency of
+// the nearest sample. Failed records are excluded. The result is sorted by
+// draw time.
+func UnbiasedDraws(records []telemetry.Record, n int, seed uint64) ([]Draw, error) {
+	records = usable(records)
+	if len(records) == 0 {
+		return nil, errEmptyRecords
+	}
+	if n <= 0 {
+		return nil, errNonPositiveDraws
+	}
+	telemetry.SortByTime(records)
+	s := newUnbiasedSampler(records)
+	src := rng.New(seed)
+	lo := records[0].Time
+	hi := records[len(records)-1].Time + 1
+	out := make([]Draw, n)
+	for i := range out {
+		t := lo + timeutil.Millis(src.Uint64n(uint64(hi-lo)))
+		out[i] = Draw{At: t, LatencyMS: s.nearest(t, src)}
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].At < out[b].At })
+	return out, nil
+}
+
+var (
+	errEmptyRecords     = errors.New("core: no usable records")
+	errNonPositiveDraws = errors.New("core: non-positive draw count")
+)
+
+// pickRun returns a uniformly random latency among all samples sharing the
+// timestamp of index i.
+func (s *unbiasedSampler) pickRun(i int, src *rng.Source) float64 {
+	t := s.times[i]
+	lo, hi := i, i
+	for lo > 0 && s.times[lo-1] == t {
+		lo--
+	}
+	for hi+1 < len(s.times) && s.times[hi+1] == t {
+		hi++
+	}
+	if lo == hi {
+		return s.latencies[lo]
+	}
+	return s.latencies[lo+src.Intn(hi-lo+1)]
+}

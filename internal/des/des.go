@@ -1,0 +1,107 @@
+// Package des is a small discrete-event simulation core: a priority queue
+// of timestamped events and a simulation clock. The OWA workload simulator
+// schedules user-session and action events on it.
+//
+// Events with equal timestamps fire in scheduling order (FIFO within a
+// timestamp), which keeps runs deterministic.
+package des
+
+import (
+	"container/heap"
+	"errors"
+
+	"autosens/internal/timeutil"
+)
+
+// Event is a callback scheduled at a simulation time. The callback may
+// schedule further events.
+type Event func(now timeutil.Millis)
+
+type item struct {
+	at  timeutil.Millis
+	seq uint64
+	fn  Event
+}
+
+type eventHeap []item
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(item)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+
+// Simulator owns the event queue and the clock.
+type Simulator struct {
+	now     timeutil.Millis
+	queue   eventHeap
+	seq     uint64
+	stopped bool
+}
+
+// New returns a Simulator with the clock at 0.
+func New() *Simulator {
+	return &Simulator{}
+}
+
+// Now returns the current simulation time.
+func (s *Simulator) Now() timeutil.Millis { return s.now }
+
+// Pending returns the number of queued events.
+func (s *Simulator) Pending() int { return len(s.queue) }
+
+// ErrPast is returned when scheduling before the current simulation time.
+var ErrPast = errors.New("des: event scheduled in the past")
+
+// At schedules fn at absolute time at. Scheduling at the current time is
+// allowed (the event runs after all events already queued for that time).
+func (s *Simulator) At(at timeutil.Millis, fn Event) error {
+	if at < s.now {
+		return ErrPast
+	}
+	heap.Push(&s.queue, item{at: at, seq: s.seq, fn: fn})
+	s.seq++
+	return nil
+}
+
+// After schedules fn delay milliseconds from now. Negative delays are
+// rejected.
+func (s *Simulator) After(delay timeutil.Millis, fn Event) error {
+	return s.At(s.now+delay, fn)
+}
+
+// Stop aborts the run loop after the current event returns.
+func (s *Simulator) Stop() { s.stopped = true }
+
+// Run executes events in time order until the queue empties, the horizon is
+// passed, or Stop is called. Events scheduled at exactly the horizon do not
+// run (the window is [0, horizon)). Returns the number of events executed.
+func (s *Simulator) Run(horizon timeutil.Millis) int {
+	s.stopped = false
+	executed := 0
+	for len(s.queue) > 0 && !s.stopped {
+		next := s.queue[0]
+		if next.at >= horizon {
+			break
+		}
+		heap.Pop(&s.queue)
+		s.now = next.at
+		next.fn(s.now)
+		executed++
+	}
+	if s.now < horizon && !s.stopped {
+		s.now = horizon
+	}
+	return executed
+}

@@ -1,0 +1,176 @@
+package des
+
+import (
+	"testing"
+
+	"autosens/internal/rng"
+	"autosens/internal/timeutil"
+)
+
+func TestEventsRunInTimeOrder(t *testing.T) {
+	s := New()
+	var order []int
+	s.At(30, func(timeutil.Millis) { order = append(order, 3) })
+	s.At(10, func(timeutil.Millis) { order = append(order, 1) })
+	s.At(20, func(timeutil.Millis) { order = append(order, 2) })
+	n := s.Run(100)
+	if n != 3 {
+		t.Fatalf("executed %d events", n)
+	}
+	for i, v := range []int{1, 2, 3} {
+		if order[i] != v {
+			t.Fatalf("order = %v", order)
+		}
+	}
+}
+
+func TestFIFOWithinTimestamp(t *testing.T) {
+	s := New()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		s.At(5, func(timeutil.Millis) { order = append(order, i) })
+	}
+	s.Run(10)
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("same-time events reordered: %v", order)
+		}
+	}
+}
+
+func TestClockAdvances(t *testing.T) {
+	s := New()
+	var seen []timeutil.Millis
+	s.At(7, func(now timeutil.Millis) { seen = append(seen, now, s.Now()) })
+	s.Run(100)
+	if len(seen) != 2 || seen[0] != 7 || seen[1] != 7 {
+		t.Fatalf("clock wrong: %v", seen)
+	}
+	if s.Now() != 100 {
+		t.Fatalf("final clock = %d, want horizon", s.Now())
+	}
+}
+
+func TestEventsScheduleEvents(t *testing.T) {
+	s := New()
+	count := 0
+	var tick func(now timeutil.Millis)
+	tick = func(now timeutil.Millis) {
+		count++
+		if count < 5 {
+			if err := s.After(10, tick); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	s.At(0, tick)
+	s.Run(1000)
+	if count != 5 {
+		t.Fatalf("chained events ran %d times", count)
+	}
+}
+
+func TestHorizonExclusive(t *testing.T) {
+	s := New()
+	ran := false
+	s.At(50, func(timeutil.Millis) { ran = true })
+	s.Run(50)
+	if ran {
+		t.Fatal("event at horizon executed")
+	}
+	if s.Pending() != 1 {
+		t.Fatalf("pending = %d", s.Pending())
+	}
+	// A second Run with a larger horizon picks it up.
+	s.Run(51)
+	if !ran {
+		t.Fatal("event not executed on resumed run")
+	}
+}
+
+func TestSchedulingInPastRejected(t *testing.T) {
+	s := New()
+	s.At(10, func(timeutil.Millis) {
+		if err := s.At(5, func(timeutil.Millis) {}); err != ErrPast {
+			t.Fatalf("past scheduling: %v", err)
+		}
+	})
+	s.Run(20)
+}
+
+func TestNegativeDelayRejected(t *testing.T) {
+	s := New()
+	s.At(10, func(timeutil.Millis) {
+		if err := s.After(-1, func(timeutil.Millis) {}); err != ErrPast {
+			t.Fatalf("negative delay: %v", err)
+		}
+	})
+	s.Run(20)
+}
+
+func TestStop(t *testing.T) {
+	s := New()
+	count := 0
+	for i := 0; i < 10; i++ {
+		s.At(timeutil.Millis(i), func(timeutil.Millis) {
+			count++
+			if count == 3 {
+				s.Stop()
+			}
+		})
+	}
+	n := s.Run(100)
+	if n != 3 || count != 3 {
+		t.Fatalf("Stop did not halt: n=%d count=%d", n, count)
+	}
+}
+
+func TestSameTimeAsNowAllowed(t *testing.T) {
+	s := New()
+	ran := false
+	s.At(10, func(now timeutil.Millis) {
+		if err := s.At(now, func(timeutil.Millis) { ran = true }); err != nil {
+			t.Fatal(err)
+		}
+	})
+	s.Run(20)
+	if !ran {
+		t.Fatal("same-time event not executed")
+	}
+}
+
+func TestManyRandomEventsOrdered(t *testing.T) {
+	r := rng.New(1)
+	s := New()
+	var last timeutil.Millis = -1
+	ok := true
+	for i := 0; i < 10000; i++ {
+		s.At(timeutil.Millis(r.Intn(100000)), func(now timeutil.Millis) {
+			if now < last {
+				ok = false
+			}
+			last = now
+		})
+	}
+	s.Run(200000)
+	if !ok {
+		t.Fatal("events executed out of order")
+	}
+}
+
+func BenchmarkScheduleAndRun(b *testing.B) {
+	r := rng.New(1)
+	times := make([]timeutil.Millis, 10000)
+	for i := range times {
+		times[i] = timeutil.Millis(r.Intn(1000000))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := New()
+		for _, at := range times {
+			s.At(at, func(timeutil.Millis) {})
+		}
+		s.Run(2000000)
+	}
+}

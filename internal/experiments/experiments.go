@@ -1,0 +1,176 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (Section 3) against the synthetic OWA workload, plus the
+// validation experiments the simulation makes possible (ground-truth
+// recovery and estimator ablations).
+//
+// Each experiment renders a textual figure to an io.Writer and returns its
+// underlying data series and headline values, so the same code serves the
+// cmd/experiments binary, the benchmark harness, and the assertion tests.
+package experiments
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+
+	"autosens/internal/core"
+	"autosens/internal/owasim"
+	"autosens/internal/report"
+	"autosens/internal/telemetry"
+	"autosens/internal/timeutil"
+)
+
+// Scale selects the simulation size.
+type Scale int
+
+// Available scales.
+const (
+	// ScaleSmall is sized for tests and quick iteration: one week,
+	// small population.
+	ScaleSmall Scale = iota
+	// ScalePaper covers January and February (59 days) with a larger
+	// population, mirroring the paper's two-month window.
+	ScalePaper
+)
+
+// SimConfig returns the owasim configuration for a scale.
+func SimConfig(s Scale, seed uint64) owasim.Config {
+	switch s {
+	case ScalePaper:
+		cfg := owasim.DefaultConfig(59*timeutil.MillisPerDay, 220, 220)
+		cfg.Seed = seed
+		return cfg
+	default:
+		cfg := owasim.DefaultConfig(7*timeutil.MillisPerDay, 70, 70)
+		cfg.Seed = seed
+		return cfg
+	}
+}
+
+// Context carries one simulation run shared by all experiments.
+type Context struct {
+	Scale   Scale
+	Sim     owasim.Config
+	Result  *owasim.Result
+	Records []telemetry.Record // successful actions only
+	Opts    core.Options
+}
+
+// NewContext simulates the workload once at the given scale.
+func NewContext(scale Scale, seed uint64) (*Context, error) {
+	cfg := SimConfig(scale, seed)
+	res, err := owasim.Run(cfg)
+	if err != nil {
+		return nil, err
+	}
+	opts := core.DefaultOptions()
+	if scale == ScaleSmall {
+		// Fewer actions per hour slot in the small population.
+		opts.MinSlotActions = 10
+	}
+	return &Context{
+		Scale:   scale,
+		Sim:     cfg,
+		Result:  res,
+		Records: telemetry.Successful(res.Records),
+		Opts:    opts,
+	}, nil
+}
+
+// BusinessAction returns the business-segment records of one action type —
+// the slice most of the paper's figures are computed on.
+func (c *Context) BusinessAction(a telemetry.ActionType) []telemetry.Record {
+	return telemetry.ByUserType(telemetry.ByAction(c.Records, a), telemetry.Business)
+}
+
+// FebruaryOrAll returns the February slice when the window covers two
+// months (paper scale) and the whole window otherwise.
+func (c *Context) FebruaryOrAll(records []telemetry.Record) []telemetry.Record {
+	months := owasim.Months(records)
+	if len(months) >= 2 {
+		return months[1]
+	}
+	return records
+}
+
+// Estimator builds an estimator from the context's options.
+func (c *Context) Estimator() (*core.Estimator, error) {
+	return core.NewEstimator(c.Opts)
+}
+
+// Outcome is an experiment's machine-readable result.
+type Outcome struct {
+	// Series holds the data behind the figure (one per plotted line).
+	Series []report.Series
+	// Values holds headline scalar results keyed by a stable name.
+	Values map[string]float64
+}
+
+// Experiment is one reproducible table or figure.
+type Experiment struct {
+	// ID is the registry key, e.g. "fig4".
+	ID string
+	// Title describes the paper artifact being reproduced.
+	Title string
+	// Run executes the experiment against a shared context, rendering
+	// human-readable output to w.
+	Run func(ctx *Context, w io.Writer) (*Outcome, error)
+}
+
+// registry of all experiments, populated by init functions in the
+// per-experiment files.
+var registry = map[string]Experiment{}
+
+func register(e Experiment) {
+	if _, dup := registry[e.ID]; dup {
+		panic("experiments: duplicate id " + e.ID)
+	}
+	registry[e.ID] = e
+}
+
+// All returns every registered experiment sorted by ID.
+func All() []Experiment {
+	out := make([]Experiment, 0, len(registry))
+	for _, e := range registry {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Lookup returns the experiment with the given ID.
+func Lookup(id string) (Experiment, error) {
+	e, ok := registry[id]
+	if !ok {
+		return Experiment{}, fmt.Errorf("experiments: unknown experiment %q", id)
+	}
+	return e, nil
+}
+
+// nlpSeries converts an estimated curve into a plottable series restricted
+// to its valid bins and downsampled for charting.
+func nlpSeries(name string, c *core.Curve, maxPoints int) report.Series {
+	var xs, ys []float64
+	for i, v := range c.NLP {
+		if !c.Valid[i] {
+			continue
+		}
+		xs = append(xs, c.BinCenters[i])
+		ys = append(ys, v)
+	}
+	xs, ys = report.Downsample(xs, ys, maxPoints)
+	return report.Series{Name: name, X: xs, Y: ys}
+}
+
+// curveValue extracts the NLP at a probe latency, NaN when invalid.
+func curveValue(c *core.Curve, ms float64) float64 {
+	v, ok := c.At(ms)
+	if !ok {
+		return math.NaN()
+	}
+	return v
+}
+
+var errNoData = errors.New("experiments: no data for slice")

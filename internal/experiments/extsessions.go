@@ -1,0 +1,91 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math"
+
+	"autosens/internal/report"
+	"autosens/internal/sessions"
+	"autosens/internal/telemetry"
+	"autosens/internal/timeutil"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "ext-sessions",
+		Title: "Extension: session continuation probability vs latency (the §2.1 mechanism)",
+		Run:   runExtSessions,
+	})
+}
+
+// runExtSessions measures the behavioural mechanism the paper argues
+// underlies latency bias: after a slow action, users are more likely to
+// take a break. It reports P(another action within five minutes) as a
+// function of the latency of the action just performed, plus session-level
+// summary statistics.
+//
+// Two methodological details mirror the paper's confounder discussion:
+// the continuation window must be short (a 30-minute window saturates near
+// 1 for active users and hides the effect), and the analysis must control
+// for time of day (slow actions cluster in busy daytime hours when
+// continuation is high regardless — the same confounder α corrects). We
+// therefore restrict to the 8am–2pm local period, within which the diurnal
+// rate is roughly constant.
+func runExtSessions(ctx *Context, w io.Writer) (*Outcome, error) {
+	recs := telemetry.ByPeriod(telemetry.ByUserType(ctx.Records, telemetry.Business), timeutil.Period8am2pm)
+	if len(recs) == 0 {
+		return nil, errNoData
+	}
+	const window = 5 * timeutil.MillisPerMinute
+	cont, err := sessions.ContinuationByLatency(recs, window, 50, 2000, 200)
+	if err != nil {
+		return nil, err
+	}
+	var xs, ys []float64
+	for i, p := range cont.Prob {
+		if math.IsNaN(p) {
+			continue
+		}
+		xs = append(xs, cont.BinCenters[i])
+		ys = append(ys, p)
+	}
+	if len(xs) == 0 {
+		return nil, errNoData
+	}
+	series := report.Series{Name: "P(continue)", X: xs, Y: ys}
+	chart := report.LineChart{
+		Title:  "P(another action within 5 min) by latency of the current action (8am-2pm local)",
+		XLabel: "latency (ms)", YLabel: "continuation probability",
+		Width: 72, Height: 14,
+	}
+	if err := chart.Render(w, series); err != nil {
+		return nil, err
+	}
+
+	sess, err := sessions.Sessionize(telemetry.ByUserType(ctx.Records, telemetry.Business), sessions.DefaultMaxGap)
+	if err != nil {
+		return nil, err
+	}
+	st, err := sessions.Summarize(sess)
+	if err != nil {
+		return nil, err
+	}
+	fmt.Fprintf(w, "\n%d sessions; mean %.1f actions (median %.0f), mean span %.1f min\n",
+		st.Sessions, st.MeanActions, st.MedianActions, st.MeanDurationMS/60000)
+	fmt.Fprintf(w, "Correlation between a session's mean latency and its action count: %.3f\n", st.ActionsLatencyCor)
+
+	out := &Outcome{Series: []report.Series{series}, Values: map[string]float64{
+		"sessions":            float64(st.Sessions),
+		"mean_actions":        st.MeanActions,
+		"actions_latency_cor": st.ActionsLatencyCor,
+	}}
+	for _, probe := range []float64{300, 600, 1000} {
+		if p, ok := cont.At(probe); ok {
+			out.Values[fmt.Sprintf("continue@%.0f", probe)] = p
+		} else {
+			out.Values[fmt.Sprintf("continue@%.0f", probe)] = math.NaN()
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,227 @@
+// Package latencymodel synthesizes the time-varying end-to-end latency of
+// the simulated service. It is the substrate that makes natural experiments
+// possible: the latency a user would experience varies over time with
+//
+//   - a diurnal load component (busy hours are slower) — this is the *time
+//     confounder* of Section 2.4.1, deliberately planted so the estimator's
+//     α normalization has something real to correct;
+//   - an Ornstein–Uhlenbeck (AR(1) on log scale) component — smooth,
+//     mean-reverting drift that gives the latency series the *temporal
+//     locality* (Figure 1) users can react to;
+//   - a two-state Markov incident regime — occasional multi-minute
+//     degradations, the "period of high latency" visible in Figure 2;
+//   - a per-user network multiplier — persistent user-level differences
+//     that drive the conditioning-to-speed quartiles of Section 3.4; and
+//   - per-sample log-normal noise — the irreducible jitter of an
+//     individual request.
+//
+// The shared service path is precomputed on a fixed grid at construction,
+// so looking up the condition at any time is O(1) and a run is fully
+// reproducible from its seed.
+package latencymodel
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"autosens/internal/queueing"
+	"autosens/internal/rng"
+	"autosens/internal/telemetry"
+	"autosens/internal/timeutil"
+)
+
+// Config parameterizes the latency process.
+type Config struct {
+	// Horizon is the length of the observation window.
+	Horizon timeutil.Millis
+	// Step is the resolution of the precomputed service path.
+	Step timeutil.Millis
+	// BaseMS is the baseline (uncongested) latency per action type.
+	BaseMS [telemetry.NumActionTypes]float64
+	// LoadGain scales how strongly the diurnal load profile inflates
+	// latency: factor = 1 + LoadGain·profile(hour).
+	LoadGain float64
+	// LoadProfile is the service-wide diurnal load curve, evaluated on
+	// service time (UTC).
+	LoadProfile timeutil.DiurnalProfile
+	// OURho is the per-step AR(1) autocorrelation of the log-latency
+	// drift, in [0, 1).
+	OURho float64
+	// OUSigma is the per-step innovation standard deviation of the
+	// drift.
+	OUSigma float64
+	// IncidentUp is the per-step probability of entering a degraded
+	// regime; IncidentDown the per-step probability of leaving it.
+	IncidentUp, IncidentDown float64
+	// IncidentSeverity multiplies latency while degraded (> 1).
+	IncidentSeverity float64
+	// NoiseSigma is the log-normal sigma of per-sample jitter.
+	NoiseSigma float64
+	// QueueServers, when positive, replaces the parametric load factor
+	// (1 + LoadGain·profile) with the mechanistic M/M/c response-time
+	// factor of a QueueServers-server pool running at
+	// QueuePeakUtilization when the load profile is at its peak.
+	QueueServers int
+	// QueuePeakUtilization is the busy-hour server utilization, in (0,1).
+	QueuePeakUtilization float64
+}
+
+// UsesQueueing reports whether the mechanistic load backend is selected.
+func (c Config) UsesQueueing() bool { return c.QueueServers > 0 }
+
+// DefaultConfig returns the configuration used by the paper-reproduction
+// experiments: a two-month horizon caller-adjustable via Horizon.
+func DefaultConfig(horizon timeutil.Millis) Config {
+	return Config{
+		Horizon: horizon,
+		Step:    30 * timeutil.MillisPerSecond,
+		BaseMS: [telemetry.NumActionTypes]float64{
+			telemetry.SelectMail:   240,
+			telemetry.SwitchFolder: 270,
+			telemetry.Search:       420,
+			telemetry.ComposeSend:  160,
+		},
+		LoadGain:         0.9,
+		LoadProfile:      timeutil.LoadProfile(),
+		OURho:            0.99,
+		OUSigma:          0.085,
+		IncidentUp:       0.002,
+		IncidentDown:     0.015,
+		IncidentSeverity: 2.6,
+		NoiseSigma:       0.06,
+	}
+}
+
+// Validate checks configuration invariants.
+func (c Config) Validate() error {
+	if c.Horizon <= 0 {
+		return errors.New("latencymodel: non-positive horizon")
+	}
+	if c.Step <= 0 {
+		return errors.New("latencymodel: non-positive step")
+	}
+	for a, b := range c.BaseMS {
+		if b <= 0 {
+			return fmt.Errorf("latencymodel: non-positive base latency for %v", telemetry.ActionType(a))
+		}
+	}
+	if c.LoadGain < 0 {
+		return errors.New("latencymodel: negative load gain")
+	}
+	if err := c.LoadProfile.Validate(); err != nil {
+		return err
+	}
+	if c.OURho < 0 || c.OURho >= 1 {
+		return errors.New("latencymodel: OURho out of [0,1)")
+	}
+	if c.OUSigma < 0 {
+		return errors.New("latencymodel: negative OUSigma")
+	}
+	if c.IncidentUp < 0 || c.IncidentUp > 1 || c.IncidentDown < 0 || c.IncidentDown > 1 {
+		return errors.New("latencymodel: incident probabilities out of [0,1]")
+	}
+	if c.IncidentSeverity < 1 {
+		return errors.New("latencymodel: incident severity below 1")
+	}
+	if c.NoiseSigma < 0 {
+		return errors.New("latencymodel: negative NoiseSigma")
+	}
+	if c.QueueServers < 0 {
+		return errors.New("latencymodel: negative server count")
+	}
+	if c.UsesQueueing() && (c.QueuePeakUtilization <= 0 || c.QueuePeakUtilization >= 1) {
+		return errors.New("latencymodel: queue peak utilization out of (0,1)")
+	}
+	return nil
+}
+
+// loadFactorAt evaluates the diurnal load component at time t: the
+// parametric form by default, or the M/M/c response-time ratio when the
+// queueing backend is selected.
+func (c Config) loadFactorAt(t timeutil.Millis) (float64, error) {
+	profile := c.LoadProfile.AtTime(t, 0)
+	if !c.UsesQueueing() {
+		return 1 + c.LoadGain*profile, nil
+	}
+	return queueing.LoadFactor(c.QueueServers, c.QueuePeakUtilization, profile)
+}
+
+// Model is an instantiated latency process over a fixed horizon.
+type Model struct {
+	cfg  Config
+	path []float64 // shared condition multiplier per step
+}
+
+// New builds the model, precomputing the shared service path with src.
+func New(cfg Config, src *rng.Source) (*Model, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	steps := int(cfg.Horizon/cfg.Step) + 1
+	path := make([]float64, steps)
+	x := 0.0 // OU state (log scale)
+	degraded := false
+	for i := range path {
+		t := timeutil.Millis(i) * cfg.Step
+		x = cfg.OURho*x + src.Normal(0, cfg.OUSigma)
+		if degraded {
+			if src.Bool(cfg.IncidentDown) {
+				degraded = false
+			}
+		} else if src.Bool(cfg.IncidentUp) {
+			degraded = true
+		}
+		load, err := cfg.loadFactorAt(t)
+		if err != nil {
+			return nil, err
+		}
+		factor := load * math.Exp(x)
+		if degraded {
+			factor *= cfg.IncidentSeverity
+		}
+		path[i] = factor
+	}
+	return &Model{cfg: cfg, path: path}, nil
+}
+
+// Config returns the model's configuration.
+func (m *Model) Config() Config { return m.cfg }
+
+// PathFactor returns the shared service condition multiplier at time t,
+// linearly interpolated between grid points. Times outside the horizon are
+// clamped.
+func (m *Model) PathFactor(t timeutil.Millis) float64 {
+	if t <= 0 {
+		return m.path[0]
+	}
+	pos := float64(t) / float64(m.cfg.Step)
+	i := int(pos)
+	if i >= len(m.path)-1 {
+		return m.path[len(m.path)-1]
+	}
+	frac := pos - float64(i)
+	return m.path[i]*(1-frac) + m.path[i+1]*frac
+}
+
+// ExpectedMS returns the expected latency (in ms) at time t for an action of
+// the given type by a user with network multiplier userMult. This is the
+// quantity a user can "sense" through locality; it excludes per-sample
+// noise.
+func (m *Model) ExpectedMS(t timeutil.Millis, a telemetry.ActionType, userMult float64) float64 {
+	return m.cfg.BaseMS[a] * m.PathFactor(t) * userMult
+}
+
+// SampleMS draws one end-to-end latency observation at time t: the expected
+// latency perturbed by log-normal per-request jitter.
+func (m *Model) SampleMS(t timeutil.Millis, a telemetry.ActionType, userMult float64, src *rng.Source) float64 {
+	jitter := math.Exp(src.Normal(-m.cfg.NoiseSigma*m.cfg.NoiseSigma/2, m.cfg.NoiseSigma))
+	return m.ExpectedMS(t, a, userMult) * jitter
+}
+
+// NewUserMultiplier draws a persistent per-user network-quality multiplier:
+// log-normal around 1 so the population's median latency spans the
+// quartile analysis range.
+func NewUserMultiplier(src *rng.Source, sigma float64) float64 {
+	return math.Exp(src.Normal(0, sigma))
+}

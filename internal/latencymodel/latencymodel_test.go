@@ -1,0 +1,308 @@
+package latencymodel
+
+import (
+	"math"
+	"testing"
+
+	"autosens/internal/rng"
+	"autosens/internal/stats"
+	"autosens/internal/telemetry"
+	"autosens/internal/timeutil"
+)
+
+func testConfig() Config {
+	return DefaultConfig(2 * timeutil.MillisPerDay)
+}
+
+func TestValidateDefault(t *testing.T) {
+	if err := testConfig().Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+}
+
+func TestValidateRejectsBadConfigs(t *testing.T) {
+	mutations := []func(*Config){
+		func(c *Config) { c.Horizon = 0 },
+		func(c *Config) { c.Step = 0 },
+		func(c *Config) { c.BaseMS[0] = 0 },
+		func(c *Config) { c.LoadGain = -1 },
+		func(c *Config) { c.OURho = 1 },
+		func(c *Config) { c.OURho = -0.1 },
+		func(c *Config) { c.OUSigma = -1 },
+		func(c *Config) { c.IncidentUp = 1.5 },
+		func(c *Config) { c.IncidentDown = -0.1 },
+		func(c *Config) { c.IncidentSeverity = 0.5 },
+		func(c *Config) { c.NoiseSigma = -0.1 },
+	}
+	for i, mut := range mutations {
+		c := testConfig()
+		mut(&c)
+		if err := c.Validate(); err == nil {
+			t.Fatalf("mutation %d accepted", i)
+		}
+	}
+}
+
+func TestDeterministicPath(t *testing.T) {
+	cfg := testConfig()
+	m1, err := New(cfg, rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := New(cfg, rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tm := range []timeutil.Millis{0, 12345, timeutil.MillisPerDay, 2*timeutil.MillisPerDay - 1} {
+		if m1.PathFactor(tm) != m2.PathFactor(tm) {
+			t.Fatalf("path differs at %d", tm)
+		}
+	}
+}
+
+func TestPathFactorPositive(t *testing.T) {
+	m, err := New(testConfig(), rng.New(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for tm := timeutil.Millis(0); tm < 2*timeutil.MillisPerDay; tm += timeutil.MillisPerMinute {
+		if f := m.PathFactor(tm); f <= 0 || math.IsNaN(f) || math.IsInf(f, 0) {
+			t.Fatalf("PathFactor(%d) = %v", tm, f)
+		}
+	}
+}
+
+func TestPathFactorClampsOutsideHorizon(t *testing.T) {
+	m, err := New(testConfig(), rng.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.PathFactor(-5) != m.PathFactor(0) {
+		t.Fatal("negative time not clamped")
+	}
+	if m.PathFactor(100*timeutil.MillisPerDay) <= 0 {
+		t.Fatal("beyond-horizon not clamped")
+	}
+}
+
+func TestPathFactorInterpolates(t *testing.T) {
+	m, err := New(testConfig(), rng.New(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	step := m.Config().Step
+	a := m.PathFactor(0)
+	b := m.PathFactor(step)
+	mid := m.PathFactor(step / 2)
+	lo, hi := math.Min(a, b), math.Max(a, b)
+	if mid < lo-1e-12 || mid > hi+1e-12 {
+		t.Fatalf("midpoint %v outside [%v, %v]", mid, lo, hi)
+	}
+}
+
+func TestExpectedLatencyScalesWithUserMult(t *testing.T) {
+	m, err := New(testConfig(), rng.New(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tm := timeutil.MillisPerHour
+	base := m.ExpectedMS(tm, telemetry.SelectMail, 1.0)
+	doubled := m.ExpectedMS(tm, telemetry.SelectMail, 2.0)
+	if math.Abs(doubled-2*base) > 1e-9 {
+		t.Fatalf("user multiplier not linear: %v vs %v", base, doubled)
+	}
+}
+
+func TestActionTypeOrdering(t *testing.T) {
+	m, err := New(testConfig(), rng.New(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tm := timeutil.MillisPerHour
+	// Search must be slower than SelectMail; ComposeSend fastest ack.
+	if m.ExpectedMS(tm, telemetry.Search, 1) <= m.ExpectedMS(tm, telemetry.SelectMail, 1) {
+		t.Fatal("Search should be slower than SelectMail")
+	}
+	if m.ExpectedMS(tm, telemetry.ComposeSend, 1) >= m.ExpectedMS(tm, telemetry.SelectMail, 1) {
+		t.Fatal("ComposeSend ack should be faster than SelectMail")
+	}
+}
+
+func TestSampleNoiseUnbiased(t *testing.T) {
+	m, err := New(testConfig(), rng.New(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := rng.New(8)
+	tm := timeutil.MillisPerHour
+	expected := m.ExpectedMS(tm, telemetry.SelectMail, 1)
+	const n = 50000
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += m.SampleMS(tm, telemetry.SelectMail, 1, src)
+	}
+	mean := sum / n
+	// The jitter uses mu = -sigma^2/2, so E[jitter] = 1.
+	if math.Abs(mean/expected-1) > 0.02 {
+		t.Fatalf("sample mean %v vs expected %v", mean, expected)
+	}
+}
+
+func TestDiurnalLoadVisibleInPath(t *testing.T) {
+	// Average the path factor over busy (14h UTC) vs quiet (3h UTC) hours
+	// across many days: busy hours must be slower.
+	cfg := DefaultConfig(20 * timeutil.MillisPerDay)
+	m, err := New(cfg, rng.New(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var busy, quiet float64
+	var n int
+	for day := 0; day < 20; day++ {
+		d := timeutil.Millis(day) * timeutil.MillisPerDay
+		busy += m.PathFactor(d + 14*timeutil.MillisPerHour)
+		quiet += m.PathFactor(d + 3*timeutil.MillisPerHour)
+		n++
+	}
+	if busy/float64(n) <= quiet/float64(n) {
+		t.Fatalf("busy-hour factor %v not above quiet-hour %v", busy/float64(n), quiet/float64(n))
+	}
+}
+
+func TestPathHasTemporalLocality(t *testing.T) {
+	// The latency series sampled on the path grid must show an MSD/MAD
+	// ratio well below 1 — the property Figure 1 depends on.
+	cfg := DefaultConfig(5 * timeutil.MillisPerDay)
+	m, err := New(cfg, rng.New(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var series []float64
+	for tm := timeutil.Millis(0); tm < cfg.Horizon; tm += cfg.Step {
+		series = append(series, m.PathFactor(tm))
+	}
+	ratio, err := stats.MSDMADRatio(series)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ratio > 0.5 {
+		t.Fatalf("path MSD/MAD = %v, want strong locality (<0.5)", ratio)
+	}
+}
+
+func TestIncidentsOccur(t *testing.T) {
+	// Over 20 days with default rates, at least one degradation period
+	// should push the path well above its median.
+	cfg := DefaultConfig(20 * timeutil.MillisPerDay)
+	m, err := New(cfg, rng.New(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var series []float64
+	for tm := timeutil.Millis(0); tm < cfg.Horizon; tm += cfg.Step {
+		series = append(series, m.PathFactor(tm))
+	}
+	med, err := stats.Median(series)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spikes := 0
+	for _, v := range series {
+		if v > 2*med {
+			spikes++
+		}
+	}
+	if spikes == 0 {
+		t.Fatal("no incident spikes over 20 days")
+	}
+}
+
+func TestUserMultiplierSpread(t *testing.T) {
+	src := rng.New(12)
+	const n = 20000
+	vals := make([]float64, n)
+	for i := range vals {
+		vals[i] = NewUserMultiplier(src, 0.35)
+		if vals[i] <= 0 {
+			t.Fatal("non-positive user multiplier")
+		}
+	}
+	med, _ := stats.Median(vals)
+	if math.Abs(med-1) > 0.03 {
+		t.Fatalf("multiplier median = %v, want ~1", med)
+	}
+	q1, _, q3, _ := stats.Quartiles(vals)
+	if q3/q1 < 1.3 {
+		t.Fatalf("multiplier IQR ratio %v too narrow for quartile analysis", q3/q1)
+	}
+}
+
+func TestQueueingBackendValidation(t *testing.T) {
+	c := testConfig()
+	c.QueueServers = -1
+	if err := c.Validate(); err == nil {
+		t.Fatal("negative servers accepted")
+	}
+	c = testConfig()
+	c.QueueServers = 8
+	c.QueuePeakUtilization = 0
+	if err := c.Validate(); err == nil {
+		t.Fatal("zero utilization accepted")
+	}
+	c.QueuePeakUtilization = 0.85
+	if err := c.Validate(); err != nil {
+		t.Fatalf("valid queueing config rejected: %v", err)
+	}
+	if !c.UsesQueueing() {
+		t.Fatal("UsesQueueing false")
+	}
+}
+
+func TestQueueingBackendDiurnalShape(t *testing.T) {
+	// The queueing load factor must preserve the busy-slower-than-quiet
+	// structure the parametric factor provides.
+	cfg := DefaultConfig(20 * timeutil.MillisPerDay)
+	cfg.QueueServers = 8
+	cfg.QueuePeakUtilization = 0.85
+	m, err := New(cfg, rng.New(21))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var busy, quiet float64
+	for day := 0; day < 20; day++ {
+		d := timeutil.Millis(day) * timeutil.MillisPerDay
+		busy += m.PathFactor(d + 15*timeutil.MillisPerHour)
+		quiet += m.PathFactor(d + 6*timeutil.MillisPerHour)
+	}
+	if busy <= quiet {
+		t.Fatalf("queueing backend lost the diurnal structure: busy %v vs quiet %v", busy, quiet)
+	}
+	for tm := timeutil.Millis(0); tm < cfg.Horizon; tm += timeutil.MillisPerHour {
+		if f := m.PathFactor(tm); f <= 0 || math.IsNaN(f) {
+			t.Fatalf("bad factor %v at %d", f, tm)
+		}
+	}
+}
+
+func BenchmarkPathFactor(b *testing.B) {
+	m, err := New(DefaultConfig(60*timeutil.MillisPerDay), rng.New(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = m.PathFactor(timeutil.Millis(i % int(60*timeutil.MillisPerDay)))
+	}
+}
+
+func BenchmarkSampleMS(b *testing.B) {
+	m, err := New(DefaultConfig(60*timeutil.MillisPerDay), rng.New(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	src := rng.New(2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = m.SampleMS(timeutil.Millis(i), telemetry.SelectMail, 1.0, src)
+	}
+}

@@ -1,0 +1,168 @@
+// Package pipeline orchestrates end-to-end AutoSens analyses: it slices a
+// telemetry stream the ways the paper's evaluation does (by action type,
+// user segment, conditioning quartile, time-of-day period, month), runs the
+// estimator on every slice — in parallel — and collects the named NLP
+// curves.
+package pipeline
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"autosens/internal/core"
+	"autosens/internal/owasim"
+	"autosens/internal/telemetry"
+	"autosens/internal/timeutil"
+)
+
+// Slice is a named subset of records to estimate a curve for.
+type Slice struct {
+	Name    string
+	Records []telemetry.Record
+}
+
+// Result is the outcome of estimating one slice.
+type Result struct {
+	Name  string
+	Curve *core.Curve
+	Err   error
+}
+
+// Request describes a batch of slice estimations.
+type Request struct {
+	// Options configures the estimator.
+	Options core.Options
+	// TimeNormalized selects EstimateTimeNormalized (the full method)
+	// over the plain pooled estimate.
+	TimeNormalized bool
+	// Slices are the record subsets to analyze.
+	Slices []Slice
+	// Workers bounds parallelism; 0 means GOMAXPROCS.
+	Workers int
+}
+
+// Run estimates every slice. Results are returned in slice order; per-slice
+// failures are reported in Result.Err rather than failing the batch.
+func Run(req Request) ([]Result, error) {
+	if len(req.Slices) == 0 {
+		return nil, errors.New("pipeline: no slices")
+	}
+	workers := req.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(req.Slices) {
+		workers = len(req.Slices)
+	}
+
+	results := make([]Result, len(req.Slices))
+	var wg sync.WaitGroup
+	jobs := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				results[i] = estimateOne(req, req.Slices[i])
+			}
+		}()
+	}
+	for i := range req.Slices {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	return results, nil
+}
+
+func estimateOne(req Request, s Slice) Result {
+	res := Result{Name: s.Name}
+	est, err := core.NewEstimator(req.Options)
+	if err != nil {
+		res.Err = err
+		return res
+	}
+	if req.TimeNormalized {
+		res.Curve, res.Err = est.EstimateTimeNormalized(s.Records)
+	} else {
+		res.Curve, res.Err = est.Estimate(s.Records)
+	}
+	if res.Err != nil {
+		res.Err = fmt.Errorf("pipeline: slice %q: %w", s.Name, res.Err)
+	}
+	return res
+}
+
+// ByActionType builds one slice per action type.
+func ByActionType(records []telemetry.Record) []Slice {
+	out := make([]Slice, 0, telemetry.NumActionTypes)
+	for _, a := range telemetry.ActionTypes() {
+		out = append(out, Slice{Name: a.String(), Records: telemetry.ByAction(records, a)})
+	}
+	return out
+}
+
+// BySegment builds one slice per user segment, optionally restricted to one
+// action type first.
+func BySegment(records []telemetry.Record, action telemetry.ActionType) []Slice {
+	records = telemetry.ByAction(records, action)
+	out := make([]Slice, 0, telemetry.NumUserTypes)
+	for _, u := range telemetry.UserTypes() {
+		out = append(out, Slice{
+			Name:    fmt.Sprintf("%s/%s", action, u),
+			Records: telemetry.ByUserType(records, u),
+		})
+	}
+	return out
+}
+
+// ByQuartile assigns users to median-latency quartiles over the full record
+// set, then slices one action type's records by quartile.
+func ByQuartile(records []telemetry.Record, action telemetry.ActionType) ([]Slice, error) {
+	assign, _, err := telemetry.AssignQuartiles(records)
+	if err != nil {
+		return nil, err
+	}
+	groups := telemetry.ByQuartile(telemetry.ByAction(records, action), assign)
+	out := make([]Slice, 0, telemetry.NumQuartiles)
+	for q, rs := range groups {
+		out = append(out, Slice{
+			Name:    fmt.Sprintf("%s/%s", action, telemetry.Quartile(q)),
+			Records: rs,
+		})
+	}
+	return out, nil
+}
+
+// ByPeriod slices one action type's records by the user-local 6-hour
+// period.
+func ByPeriod(records []telemetry.Record, action telemetry.ActionType) []Slice {
+	records = telemetry.ByAction(records, action)
+	out := make([]Slice, 0, timeutil.NumPeriods)
+	for p := 0; p < timeutil.NumPeriods; p++ {
+		period := timeutil.Period(p)
+		out = append(out, Slice{
+			Name:    fmt.Sprintf("%s/%s", action, period),
+			Records: telemetry.ByPeriod(records, period),
+		})
+	}
+	return out
+}
+
+// ByMonth slices one action type's records by calendar month (window
+// starting January 1st), naming them Jan, Feb, ….
+func ByMonth(records []telemetry.Record, action telemetry.ActionType) []Slice {
+	names := []string{"Jan", "Feb", "Mar", "Apr", "May", "Jun", "Jul", "Aug", "Sep", "Oct", "Nov", "Dec"}
+	months := owasim.Months(telemetry.ByAction(records, action))
+	out := make([]Slice, 0, len(months))
+	for i, m := range months {
+		name := fmt.Sprintf("month%d", i)
+		if i < len(names) {
+			name = names[i]
+		}
+		out = append(out, Slice{Name: fmt.Sprintf("%s/%s", action, name), Records: m})
+	}
+	return out
+}

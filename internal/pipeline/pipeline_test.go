@@ -1,0 +1,196 @@
+package pipeline
+
+import (
+	"strings"
+	"testing"
+
+	"autosens/internal/core"
+	"autosens/internal/owasim"
+	"autosens/internal/telemetry"
+	"autosens/internal/timeutil"
+)
+
+// simRecords simulates a small shared workload once.
+var simRecords []telemetry.Record
+
+func records(t *testing.T) []telemetry.Record {
+	t.Helper()
+	if simRecords == nil {
+		cfg := owasim.DefaultConfig(3*timeutil.MillisPerDay, 40, 40)
+		cfg.Seed = 123
+		res, err := owasim.Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		simRecords = telemetry.Successful(res.Records)
+	}
+	return simRecords
+}
+
+func testOptions() core.Options {
+	o := core.DefaultOptions()
+	o.MinSlotActions = 10
+	return o
+}
+
+func TestRunEstimatesAllSlices(t *testing.T) {
+	slices := ByActionType(records(t))
+	results, err := Run(Request{Options: testOptions(), Slices: slices})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != telemetry.NumActionTypes {
+		t.Fatalf("got %d results", len(results))
+	}
+	for i, r := range results {
+		if r.Name != slices[i].Name {
+			t.Fatalf("result %d name %q, want %q (order must be preserved)", i, r.Name, slices[i].Name)
+		}
+		if r.Err != nil {
+			t.Fatalf("slice %s: %v", r.Name, r.Err)
+		}
+		if r.Curve == nil || len(r.Curve.NLP) == 0 {
+			t.Fatalf("slice %s: empty curve", r.Name)
+		}
+	}
+}
+
+func TestRunTimeNormalizedMode(t *testing.T) {
+	slices := []Slice{{Name: "all-selectmail", Records: telemetry.ByAction(records(t), telemetry.SelectMail)}}
+	results, err := Run(Request{Options: testOptions(), TimeNormalized: true, Slices: slices})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if results[0].Err != nil {
+		t.Fatal(results[0].Err)
+	}
+}
+
+func TestRunNoSlices(t *testing.T) {
+	if _, err := Run(Request{Options: testOptions()}); err == nil {
+		t.Fatal("empty request accepted")
+	}
+}
+
+func TestRunPerSliceErrors(t *testing.T) {
+	slices := []Slice{
+		{Name: "good", Records: telemetry.ByAction(records(t), telemetry.SelectMail)},
+		{Name: "empty", Records: nil},
+	}
+	results, err := Run(Request{Options: testOptions(), Slices: slices})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if results[0].Err != nil {
+		t.Fatalf("good slice failed: %v", results[0].Err)
+	}
+	if results[1].Err == nil {
+		t.Fatal("empty slice succeeded")
+	}
+	if !strings.Contains(results[1].Err.Error(), "empty") {
+		t.Fatalf("error does not name the slice: %v", results[1].Err)
+	}
+}
+
+func TestRunBadOptions(t *testing.T) {
+	bad := testOptions()
+	bad.BinWidthMS = 0
+	results, err := Run(Request{Options: bad, Slices: []Slice{{Name: "x", Records: records(t)}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if results[0].Err == nil {
+		t.Fatal("invalid options accepted")
+	}
+}
+
+func TestRunWorkerLimit(t *testing.T) {
+	slices := ByActionType(records(t))
+	results, err := Run(Request{Options: testOptions(), Slices: slices, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range results {
+		if r.Err != nil {
+			t.Fatal(r.Err)
+		}
+	}
+}
+
+func TestByActionTypeCoversAll(t *testing.T) {
+	slices := ByActionType(records(t))
+	total := 0
+	for _, s := range slices {
+		for _, r := range s.Records {
+			if r.Action.String() != s.Name {
+				t.Fatalf("record of type %v in slice %s", r.Action, s.Name)
+			}
+		}
+		total += len(s.Records)
+	}
+	if total != len(records(t)) {
+		t.Fatalf("slices cover %d of %d records", total, len(records(t)))
+	}
+}
+
+func TestBySegmentNames(t *testing.T) {
+	slices := BySegment(records(t), telemetry.SelectMail)
+	if len(slices) != telemetry.NumUserTypes {
+		t.Fatalf("%d slices", len(slices))
+	}
+	if slices[0].Name != "SelectMail/business" || slices[1].Name != "SelectMail/consumer" {
+		t.Fatalf("names: %s, %s", slices[0].Name, slices[1].Name)
+	}
+	for _, s := range slices {
+		if len(s.Records) == 0 {
+			t.Fatalf("slice %s empty", s.Name)
+		}
+	}
+}
+
+func TestByQuartileSlices(t *testing.T) {
+	slices, err := ByQuartile(records(t), telemetry.SelectMail)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(slices) != telemetry.NumQuartiles {
+		t.Fatalf("%d slices", len(slices))
+	}
+	for _, s := range slices {
+		if len(s.Records) == 0 {
+			t.Fatalf("slice %s empty", s.Name)
+		}
+	}
+}
+
+func TestByPeriodSlices(t *testing.T) {
+	slices := ByPeriod(records(t), telemetry.SelectMail)
+	if len(slices) != timeutil.NumPeriods {
+		t.Fatalf("%d slices", len(slices))
+	}
+	for _, s := range slices {
+		for _, r := range s.Records[:min(5, len(s.Records))] {
+			if r.Action != telemetry.SelectMail {
+				t.Fatalf("wrong action in %s", s.Name)
+			}
+		}
+	}
+}
+
+func TestByMonthSingleMonth(t *testing.T) {
+	// 3-day window: all records fall in "Jan".
+	slices := ByMonth(records(t), telemetry.SelectMail)
+	if len(slices) != 1 {
+		t.Fatalf("%d month slices", len(slices))
+	}
+	if slices[0].Name != "SelectMail/Jan" {
+		t.Fatalf("name %s", slices[0].Name)
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

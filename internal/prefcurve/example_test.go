@@ -1,0 +1,41 @@
+package prefcurve_test
+
+import (
+	"fmt"
+
+	"autosens/internal/prefcurve"
+)
+
+// ExampleNewPiecewiseLinear builds the paper's SelectMail preference shape
+// from its quoted anchor points and evaluates it.
+func ExampleNewPiecewiseLinear() {
+	curve, err := prefcurve.NewPiecewiseLinear([]prefcurve.Anchor{
+		{Latency: 300, Value: 1.00},
+		{Latency: 500, Value: 0.88},
+		{Latency: 1000, Value: 0.68},
+		{Latency: 1500, Value: 0.61},
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("p(500)  = %.2f\n", curve.Eval(500))
+	fmt.Printf("p(750)  = %.2f (interpolated)\n", curve.Eval(750))
+	fmt.Printf("p(2000) = %.2f (clamped to last anchor)\n", curve.Eval(2000))
+	// Output:
+	// p(500)  = 0.88
+	// p(750)  = 0.78 (interpolated)
+	// p(2000) = 0.61 (clamped to last anchor)
+}
+
+// ExampleNormalize rescales a curve so its value at a chosen reference
+// latency is exactly 1, as the paper does at 300 ms.
+func ExampleNormalize() {
+	base := prefcurve.ExpDecay{Knee: 0, Tau: 1000, Floor: 0.2}
+	n, err := prefcurve.Normalize(base, 300)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("normalized at reference: %.3f\n", n.Eval(300))
+	// Output:
+	// normalized at reference: 1.000
+}

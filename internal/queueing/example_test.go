@@ -1,0 +1,35 @@
+package queueing_test
+
+import (
+	"fmt"
+
+	"autosens/internal/queueing"
+)
+
+// ExampleErlangC evaluates the waiting probability of a 4-server pool
+// offered 3 Erlangs of load (75% utilization).
+func ExampleErlangC() {
+	c, err := queueing.ErlangC(4, 3)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("P(wait) = %.3f\n", c)
+	// Output:
+	// P(wait) = 0.509
+}
+
+// ExampleMeanResponse shows how response time explodes as a single server
+// approaches saturation — the mechanism behind busy-hour latency.
+func ExampleMeanResponse() {
+	for _, lambda := range []float64{0.5, 0.8, 0.95} {
+		w, err := queueing.MeanResponse(1, lambda, 1)
+		if err != nil {
+			panic(err)
+		}
+		fmt.Printf("rho=%.2f  W=%.1f\n", lambda, w)
+	}
+	// Output:
+	// rho=0.50  W=2.0
+	// rho=0.80  W=5.0
+	// rho=0.95  W=20.0
+}

@@ -1,0 +1,192 @@
+// Package queueing provides M/M/c queueing theory (Erlang C, waiting and
+// response times) and an event-driven M/M/c simulator, used as the
+// mechanistic alternative to the latency model's parametric load factor:
+// instead of postulating "busy hours are X% slower", the service is modeled
+// as a pool of servers whose queueing delay responds to the diurnal
+// arrival rate.
+//
+// The analytic formulas and the discrete-event simulator cross-validate
+// each other in the tests (Erlang C vs simulated wait probability, Little's
+// law on the simulated queue).
+package queueing
+
+import (
+	"errors"
+
+	"autosens/internal/des"
+	"autosens/internal/rng"
+	"autosens/internal/timeutil"
+)
+
+// ErlangC returns the steady-state probability that an arriving job must
+// wait in an M/M/c queue with offered load a = λ/μ (in Erlangs) and c
+// servers. Requires a < c for stability.
+func ErlangC(c int, a float64) (float64, error) {
+	if c <= 0 {
+		return 0, errors.New("queueing: non-positive server count")
+	}
+	if a < 0 {
+		return 0, errors.New("queueing: negative offered load")
+	}
+	if a >= float64(c) {
+		return 0, errors.New("queueing: unstable (offered load >= servers)")
+	}
+	// Iteratively build the Erlang B blocking probability, then convert:
+	// B(0, a) = 1; B(k, a) = a·B(k−1)/(k + a·B(k−1)); C = B/(1 − ρ(1−B)).
+	b := 1.0
+	for k := 1; k <= c; k++ {
+		b = a * b / (float64(k) + a*b)
+	}
+	rho := a / float64(c)
+	return b / (1 - rho*(1-b)), nil
+}
+
+// MeanWait returns the expected queueing delay W_q of an M/M/c system with
+// per-server service rate mu (jobs per unit time) and arrival rate lambda.
+// The result is in the same time unit as 1/mu.
+func MeanWait(c int, lambda, mu float64) (float64, error) {
+	if mu <= 0 {
+		return 0, errors.New("queueing: non-positive service rate")
+	}
+	if lambda < 0 {
+		return 0, errors.New("queueing: negative arrival rate")
+	}
+	if lambda == 0 {
+		return 0, nil
+	}
+	a := lambda / mu
+	pw, err := ErlangC(c, a)
+	if err != nil {
+		return 0, err
+	}
+	return pw / (float64(c)*mu - lambda), nil
+}
+
+// MeanResponse returns the expected sojourn time W = W_q + 1/mu.
+func MeanResponse(c int, lambda, mu float64) (float64, error) {
+	wq, err := MeanWait(c, lambda, mu)
+	if err != nil {
+		return 0, err
+	}
+	return wq + 1/mu, nil
+}
+
+// SimResult summarizes a simulated M/M/c run.
+type SimResult struct {
+	// Completed is the number of jobs that finished service.
+	Completed int
+	// MeanWaitMS and MeanResponseMS are averages over completed jobs.
+	MeanWaitMS, MeanResponseMS float64
+	// WaitProbability is the fraction of jobs that queued at all.
+	WaitProbability float64
+	// MeanInSystem is the time-averaged number of jobs in the system
+	// (for Little's-law checks).
+	MeanInSystem float64
+	// Utilization is the time-averaged busy-server fraction.
+	Utilization float64
+}
+
+// Simulate runs an event-driven M/M/c queue for the given horizon:
+// Poisson arrivals at ratePerSec, exponential service with mean
+// serviceMS, c servers, FIFO queue. Returns job- and time-averaged
+// statistics.
+func Simulate(c int, ratePerSec, serviceMS float64, horizon timeutil.Millis, src *rng.Source) (SimResult, error) {
+	if c <= 0 {
+		return SimResult{}, errors.New("queueing: non-positive server count")
+	}
+	if ratePerSec <= 0 || serviceMS <= 0 {
+		return SimResult{}, errors.New("queueing: non-positive rate")
+	}
+	if horizon <= 0 {
+		return SimResult{}, errors.New("queueing: non-positive horizon")
+	}
+
+	sim := des.New()
+	type job struct{ arrival timeutil.Millis }
+	var queue []job
+	busy := 0
+	var res SimResult
+	var waitSum, respSum float64
+
+	// Time-integrals for Little's law and utilization.
+	var lastT timeutil.Millis
+	var areaInSystem, areaBusy float64
+	account := func(now timeutil.Millis) {
+		dt := float64(now - lastT)
+		areaInSystem += dt * float64(busy+len(queue))
+		areaBusy += dt * float64(busy)
+		lastT = now
+	}
+
+	arrivalGap := func() timeutil.Millis {
+		return timeutil.Millis(src.Exp(ratePerSec/1000)) + 1
+	}
+	serviceTime := func() timeutil.Millis {
+		return timeutil.Millis(src.Exp(1/serviceMS)) + 1
+	}
+
+	var depart func(now timeutil.Millis)
+	start := func(now timeutil.Millis, j job) {
+		busy++
+		if now > j.arrival {
+			res.WaitProbability++ // counted per job; normalized later
+		}
+		waitSum += float64(now - j.arrival)
+		d := serviceTime()
+		respSum += float64(now - j.arrival + d)
+		_ = sim.At(now+d, depart)
+	}
+	depart = func(now timeutil.Millis) {
+		account(now)
+		busy--
+		res.Completed++
+		if len(queue) > 0 {
+			j := queue[0]
+			queue = queue[1:]
+			start(now, j)
+		}
+	}
+	var arrive func(now timeutil.Millis)
+	arrive = func(now timeutil.Millis) {
+		account(now)
+		j := job{arrival: now}
+		if busy < c {
+			start(now, j)
+		} else {
+			queue = append(queue, j)
+		}
+		_ = sim.At(now+arrivalGap(), arrive)
+	}
+	_ = sim.At(arrivalGap(), arrive)
+	sim.Run(horizon)
+
+	if res.Completed == 0 {
+		return res, errors.New("queueing: no jobs completed; horizon too short")
+	}
+	res.MeanWaitMS = waitSum / float64(res.Completed)
+	res.MeanResponseMS = respSum / float64(res.Completed)
+	res.WaitProbability /= float64(res.Completed)
+	res.MeanInSystem = areaInSystem / float64(lastT)
+	res.Utilization = areaBusy / (float64(lastT) * float64(c))
+	return res, nil
+}
+
+// LoadFactor converts a diurnal arrival-rate profile point into a latency
+// multiplication factor for the latency model: the ratio of the M/M/c mean
+// response time at the given utilization to the bare service time.
+// peakUtilization is the server utilization at profile value 1.
+func LoadFactor(servers int, peakUtilization, profile float64) (float64, error) {
+	if peakUtilization <= 0 || peakUtilization >= 1 {
+		return 0, errors.New("queueing: peak utilization out of (0,1)")
+	}
+	if profile < 0 || profile > 1 {
+		return 0, errors.New("queueing: profile out of [0,1]")
+	}
+	mu := 1.0 // per-server rate; only the ratio matters
+	lambda := float64(servers) * peakUtilization * profile * mu
+	w, err := MeanResponse(servers, lambda, mu)
+	if err != nil {
+		return 0, err
+	}
+	return w * mu, nil // response time over service time
+}

@@ -1,0 +1,205 @@
+package queueing
+
+import (
+	"math"
+	"testing"
+
+	"autosens/internal/rng"
+	"autosens/internal/timeutil"
+)
+
+func TestErlangCKnownValues(t *testing.T) {
+	// M/M/1: C = rho.
+	for _, rho := range []float64{0.1, 0.5, 0.9} {
+		c, err := ErlangC(1, rho)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(c-rho) > 1e-12 {
+			t.Fatalf("ErlangC(1, %v) = %v, want %v", rho, c, rho)
+		}
+	}
+	// Published value: c=2, a=1 => C = 1/3.
+	c, err := ErlangC(2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(c-1.0/3) > 1e-12 {
+		t.Fatalf("ErlangC(2,1) = %v, want 1/3", c)
+	}
+}
+
+func TestErlangCValidation(t *testing.T) {
+	if _, err := ErlangC(0, 0.5); err == nil {
+		t.Fatal("zero servers accepted")
+	}
+	if _, err := ErlangC(2, -1); err == nil {
+		t.Fatal("negative load accepted")
+	}
+	if _, err := ErlangC(2, 2); err == nil {
+		t.Fatal("unstable load accepted")
+	}
+}
+
+func TestErlangCMonotoneInLoad(t *testing.T) {
+	prev := -1.0
+	for a := 0.1; a < 3.9; a += 0.2 {
+		c, err := ErlangC(4, a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c <= prev {
+			t.Fatalf("ErlangC not increasing at a=%v", a)
+		}
+		prev = c
+	}
+}
+
+func TestMeanWaitMM1(t *testing.T) {
+	// M/M/1: Wq = rho / (mu - lambda).
+	lambda, mu := 0.8, 1.0
+	w, err := MeanWait(1, lambda, mu)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := (lambda / mu) / (mu - lambda)
+	if math.Abs(w-want) > 1e-12 {
+		t.Fatalf("MeanWait = %v, want %v", w, want)
+	}
+	// Zero arrivals: no wait.
+	if w, _ := MeanWait(3, 0, 1); w != 0 {
+		t.Fatalf("MeanWait at lambda=0 is %v", w)
+	}
+}
+
+func TestMeanResponseAddsService(t *testing.T) {
+	wq, err := MeanWait(2, 1.5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := MeanResponse(2, 1.5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(w-wq-1) > 1e-12 {
+		t.Fatalf("response %v != wait %v + service 1", w, wq)
+	}
+}
+
+func TestSimulateMatchesTheoryMM1(t *testing.T) {
+	// lambda = 8/s, service 100ms => mu = 10/s, rho = 0.8.
+	src := rng.New(1)
+	res, err := Simulate(1, 8, 100, 4*timeutil.MillisPerHour, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	theory, _ := MeanWait(1, 8.0/1000, 1.0/100) // per-ms rates
+	if math.Abs(res.MeanWaitMS-theory)/theory > 0.15 {
+		t.Fatalf("simulated wait %v vs theory %v", res.MeanWaitMS, theory)
+	}
+	if math.Abs(res.Utilization-0.8) > 0.05 {
+		t.Fatalf("utilization %v, want ~0.8", res.Utilization)
+	}
+	// Wait probability equals rho for M/M/1 (PASTA).
+	if math.Abs(res.WaitProbability-0.8) > 0.05 {
+		t.Fatalf("wait probability %v, want ~0.8", res.WaitProbability)
+	}
+}
+
+func TestSimulateMatchesErlangCMMc(t *testing.T) {
+	// c=4, lambda = 30/s, service 100ms => a = 3, rho = 0.75.
+	src := rng.New(2)
+	res, err := Simulate(4, 30, 100, 2*timeutil.MillisPerHour, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pw, err := ErlangC(4, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.WaitProbability-pw) > 0.05 {
+		t.Fatalf("simulated wait probability %v vs Erlang C %v", res.WaitProbability, pw)
+	}
+}
+
+func TestSimulateLittlesLaw(t *testing.T) {
+	// L = lambda · W.
+	src := rng.New(3)
+	res, err := Simulate(2, 12, 120, 2*timeutil.MillisPerHour, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lambdaPerMS := 12.0 / 1000
+	want := lambdaPerMS * res.MeanResponseMS
+	if math.Abs(res.MeanInSystem-want)/want > 0.1 {
+		t.Fatalf("Little's law violated: L=%v, lambda*W=%v", res.MeanInSystem, want)
+	}
+}
+
+func TestSimulateValidation(t *testing.T) {
+	src := rng.New(4)
+	if _, err := Simulate(0, 1, 1, 1000, src); err == nil {
+		t.Fatal("zero servers accepted")
+	}
+	if _, err := Simulate(1, 0, 1, 1000, src); err == nil {
+		t.Fatal("zero rate accepted")
+	}
+	if _, err := Simulate(1, 1, 1, 0, src); err == nil {
+		t.Fatal("zero horizon accepted")
+	}
+}
+
+func TestLoadFactorShape(t *testing.T) {
+	// At zero load the factor is 1 (bare service time); it grows with
+	// the profile and explodes as utilization approaches 1.
+	f0, err := LoadFactor(8, 0.85, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(f0-1) > 1e-9 {
+		t.Fatalf("LoadFactor at zero load = %v", f0)
+	}
+	prev := 0.0
+	for _, p := range []float64{0.2, 0.5, 0.8, 1.0} {
+		f, err := LoadFactor(8, 0.85, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if f <= prev {
+			t.Fatalf("LoadFactor not increasing at profile %v", p)
+		}
+		prev = f
+	}
+	if prev < 1.1 {
+		t.Fatalf("peak load factor %v too mild to matter", prev)
+	}
+}
+
+func TestLoadFactorValidation(t *testing.T) {
+	if _, err := LoadFactor(4, 0, 0.5); err == nil {
+		t.Fatal("zero utilization accepted")
+	}
+	if _, err := LoadFactor(4, 1, 0.5); err == nil {
+		t.Fatal("full utilization accepted")
+	}
+	if _, err := LoadFactor(4, 0.8, 1.5); err == nil {
+		t.Fatal("profile > 1 accepted")
+	}
+}
+
+func BenchmarkErlangC(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := ErlangC(64, 50); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSimulateHour(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		src := rng.New(uint64(i + 1))
+		if _, err := Simulate(4, 30, 100, timeutil.MillisPerHour, src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

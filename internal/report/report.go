@@ -1,0 +1,332 @@
+// Package report renders experiment results as ASCII line charts,
+// horizontal bar charts, aligned tables, and CSV series — the textual
+// equivalents of the paper's figures and tables, suitable for terminals and
+// for diffing across runs.
+package report
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Series is one named line on a chart.
+type Series struct {
+	Name string
+	X, Y []float64
+}
+
+// validate checks that the series is plottable.
+func (s Series) validate() error {
+	if len(s.X) != len(s.Y) {
+		return fmt.Errorf("report: series %q has %d x values but %d y values", s.Name, len(s.X), len(s.Y))
+	}
+	return nil
+}
+
+// finite reports whether v is plottable.
+func finite(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) }
+
+// LineChart renders series on a width×height character grid with axis
+// labels. Distinct series use distinct glyphs; overlapping points show the
+// later series' glyph.
+type LineChart struct {
+	Title         string
+	XLabel        string
+	YLabel        string
+	Width, Height int
+	// YMin/YMax fix the y range; when both are zero the range is fitted
+	// to the data (with a small margin).
+	YMin, YMax float64
+}
+
+var glyphs = []byte{'*', 'o', '+', 'x', '#', '@', '%', '~'}
+
+// Render draws the chart to w.
+func (c LineChart) Render(w io.Writer, series ...Series) error {
+	if len(series) == 0 {
+		return errors.New("report: no series")
+	}
+	width, height := c.Width, c.Height
+	if width <= 0 {
+		width = 72
+	}
+	if height <= 0 {
+		height = 18
+	}
+	var xmin, xmax, ymin, ymax float64
+	first := true
+	for _, s := range series {
+		if err := s.validate(); err != nil {
+			return err
+		}
+		for i := range s.X {
+			if !finite(s.X[i]) || !finite(s.Y[i]) {
+				continue
+			}
+			if first {
+				xmin, xmax, ymin, ymax = s.X[i], s.X[i], s.Y[i], s.Y[i]
+				first = false
+				continue
+			}
+			xmin = math.Min(xmin, s.X[i])
+			xmax = math.Max(xmax, s.X[i])
+			ymin = math.Min(ymin, s.Y[i])
+			ymax = math.Max(ymax, s.Y[i])
+		}
+	}
+	if first {
+		return errors.New("report: no finite points")
+	}
+	if c.YMin != 0 || c.YMax != 0 {
+		ymin, ymax = c.YMin, c.YMax
+	} else {
+		margin := (ymax - ymin) * 0.05
+		if margin == 0 {
+			margin = math.Abs(ymax) * 0.1
+			if margin == 0 {
+				margin = 1
+			}
+		}
+		ymin -= margin
+		ymax += margin
+	}
+	if xmax == xmin {
+		xmax = xmin + 1
+	}
+	if ymax == ymin {
+		ymax = ymin + 1
+	}
+
+	grid := make([][]byte, height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", width))
+	}
+	for si, s := range series {
+		g := glyphs[si%len(glyphs)]
+		for i := range s.X {
+			if !finite(s.X[i]) || !finite(s.Y[i]) {
+				continue
+			}
+			col := int((s.X[i] - xmin) / (xmax - xmin) * float64(width-1))
+			row := int((ymax - s.Y[i]) / (ymax - ymin) * float64(height-1))
+			if col < 0 || col >= width || row < 0 || row >= height {
+				continue
+			}
+			grid[row][col] = g
+		}
+	}
+
+	if c.Title != "" {
+		if _, err := fmt.Fprintf(w, "%s\n", c.Title); err != nil {
+			return err
+		}
+	}
+	for i, row := range grid {
+		label := "        "
+		switch i {
+		case 0:
+			label = fmt.Sprintf("%8.3g", ymax)
+		case height - 1:
+			label = fmt.Sprintf("%8.3g", ymin)
+		case (height - 1) / 2:
+			label = fmt.Sprintf("%8.3g", (ymax+ymin)/2)
+		}
+		if _, err := fmt.Fprintf(w, "%s |%s|\n", label, string(row)); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%8s  %-10.4g%*s\n", "", xmin, width-8, fmt.Sprintf("%.4g", xmax)); err != nil {
+		return err
+	}
+	if c.XLabel != "" || c.YLabel != "" {
+		if _, err := fmt.Fprintf(w, "%10sx: %s   y: %s\n", "", c.XLabel, c.YLabel); err != nil {
+			return err
+		}
+	}
+	// Legend.
+	var legend []string
+	for si, s := range series {
+		legend = append(legend, fmt.Sprintf("%c %s", glyphs[si%len(glyphs)], s.Name))
+	}
+	_, err := fmt.Fprintf(w, "%10s%s\n", "", strings.Join(legend, "   "))
+	return err
+}
+
+// BarChart renders named values as horizontal bars scaled to the maximum.
+type BarChart struct {
+	Title string
+	Width int // bar area width in characters
+}
+
+// Render draws the bars to w.
+func (b BarChart) Render(w io.Writer, names []string, values []float64) error {
+	if len(names) != len(values) {
+		return errors.New("report: names/values length mismatch")
+	}
+	if len(names) == 0 {
+		return errors.New("report: no bars")
+	}
+	width := b.Width
+	if width <= 0 {
+		width = 50
+	}
+	var maxV float64
+	nameW := 0
+	for i, v := range values {
+		if finite(v) && v > maxV {
+			maxV = v
+		}
+		if len(names[i]) > nameW {
+			nameW = len(names[i])
+		}
+	}
+	if maxV == 0 {
+		maxV = 1
+	}
+	if b.Title != "" {
+		if _, err := fmt.Fprintf(w, "%s\n", b.Title); err != nil {
+			return err
+		}
+	}
+	for i, v := range values {
+		if !finite(v) {
+			if _, err := fmt.Fprintf(w, "%-*s | (undefined)\n", nameW, names[i]); err != nil {
+				return err
+			}
+			continue
+		}
+		n := int(v / maxV * float64(width))
+		if n < 0 {
+			n = 0
+		}
+		if _, err := fmt.Fprintf(w, "%-*s |%s %.4g\n", nameW, names[i], strings.Repeat("#", n), v); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Table renders rows with aligned columns.
+type Table struct {
+	Title   string
+	Headers []string
+}
+
+// Render draws the table to w. All rows must have len(Headers) cells.
+func (t Table) Render(w io.Writer, rows [][]string) error {
+	if len(t.Headers) == 0 {
+		return errors.New("report: table without headers")
+	}
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, r := range rows {
+		if len(r) != len(t.Headers) {
+			return fmt.Errorf("report: row has %d cells, want %d", len(r), len(t.Headers))
+		}
+		for i, cell := range r {
+			if len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	if t.Title != "" {
+		if _, err := fmt.Fprintf(w, "%s\n", t.Title); err != nil {
+			return err
+		}
+	}
+	line := func(cells []string) error {
+		parts := make([]string, len(cells))
+		for i, cell := range cells {
+			parts[i] = fmt.Sprintf("%-*s", widths[i], cell)
+		}
+		_, err := fmt.Fprintf(w, "| %s |\n", strings.Join(parts, " | "))
+		return err
+	}
+	if err := line(t.Headers); err != nil {
+		return err
+	}
+	seps := make([]string, len(widths))
+	for i, wd := range widths {
+		seps[i] = strings.Repeat("-", wd)
+	}
+	if err := line(seps); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		if err := line(r); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// CSV writes named columns as comma-separated values with a header row.
+// Columns must have equal length. Values are formatted with %g; NaN becomes
+// an empty cell.
+func CSV(w io.Writer, names []string, columns ...[]float64) error {
+	if len(names) != len(columns) {
+		return errors.New("report: names/columns mismatch")
+	}
+	if len(columns) == 0 {
+		return errors.New("report: no columns")
+	}
+	n := len(columns[0])
+	for _, col := range columns {
+		if len(col) != n {
+			return errors.New("report: ragged columns")
+		}
+	}
+	if _, err := fmt.Fprintln(w, strings.Join(names, ",")); err != nil {
+		return err
+	}
+	cells := make([]string, len(columns))
+	for i := 0; i < n; i++ {
+		for j, col := range columns {
+			if finite(col[i]) {
+				cells[j] = fmt.Sprintf("%g", col[i])
+			} else {
+				cells[j] = ""
+			}
+		}
+		if _, err := fmt.Fprintln(w, strings.Join(cells, ",")); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Downsample reduces a series to at most n points by keeping every k-th
+// point (always keeping the last). Useful before plotting dense curves.
+func Downsample(x, y []float64, n int) (dx, dy []float64) {
+	if n <= 0 || len(x) <= n {
+		return x, y
+	}
+	step := float64(len(x)) / float64(n)
+	for i := 0; i < n; i++ {
+		idx := int(float64(i) * step)
+		dx = append(dx, x[idx])
+		dy = append(dy, y[idx])
+	}
+	if dx[len(dx)-1] != x[len(x)-1] {
+		dx = append(dx, x[len(x)-1])
+		dy = append(dy, y[len(y)-1])
+	}
+	return dx, dy
+}
+
+// SortedKeys returns the keys of a string-keyed map in sorted order;
+// convenience for deterministic report output.
+func SortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -1,0 +1,192 @@
+package report
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestLineChartBasic(t *testing.T) {
+	var buf bytes.Buffer
+	c := LineChart{Title: "test", Width: 40, Height: 10, XLabel: "ms", YLabel: "nlp"}
+	s := Series{Name: "a", X: []float64{0, 1, 2, 3}, Y: []float64{0, 1, 2, 3}}
+	if err := c.Render(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "test") || !strings.Contains(out, "* a") {
+		t.Fatalf("missing title or legend:\n%s", out)
+	}
+	if !strings.Contains(out, "*") {
+		t.Fatal("no points plotted")
+	}
+	if lines := strings.Count(out, "\n"); lines < 10 {
+		t.Fatalf("chart too short: %d lines", lines)
+	}
+}
+
+func TestLineChartMultipleSeriesDistinctGlyphs(t *testing.T) {
+	var buf bytes.Buffer
+	c := LineChart{Width: 40, Height: 8}
+	a := Series{Name: "a", X: []float64{0, 1}, Y: []float64{0, 0}}
+	b := Series{Name: "b", X: []float64{0, 1}, Y: []float64{1, 1}}
+	if err := c.Render(&buf, a, b); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "*") || !strings.Contains(out, "o") {
+		t.Fatalf("expected two glyphs:\n%s", out)
+	}
+}
+
+func TestLineChartSkipsNaN(t *testing.T) {
+	var buf bytes.Buffer
+	c := LineChart{Width: 20, Height: 5}
+	s := Series{Name: "a", X: []float64{0, 1, 2}, Y: []float64{1, math.NaN(), 2}}
+	if err := c.Render(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLineChartErrors(t *testing.T) {
+	var buf bytes.Buffer
+	c := LineChart{}
+	if err := c.Render(&buf); err == nil {
+		t.Fatal("no series accepted")
+	}
+	bad := Series{Name: "x", X: []float64{1}, Y: []float64{1, 2}}
+	if err := c.Render(&buf, bad); err == nil {
+		t.Fatal("ragged series accepted")
+	}
+	allNaN := Series{Name: "n", X: []float64{1}, Y: []float64{math.NaN()}}
+	if err := c.Render(&buf, allNaN); err == nil {
+		t.Fatal("all-NaN series accepted")
+	}
+}
+
+func TestLineChartFixedYRange(t *testing.T) {
+	var buf bytes.Buffer
+	c := LineChart{Width: 30, Height: 6, YMin: 0, YMax: 2}
+	s := Series{Name: "a", X: []float64{0, 1}, Y: []float64{0.5, 1.5}}
+	if err := c.Render(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "2") {
+		t.Fatal("fixed ymax not labelled")
+	}
+}
+
+func TestBarChart(t *testing.T) {
+	var buf bytes.Buffer
+	b := BarChart{Title: "ratios", Width: 20}
+	err := b.Render(&buf, []string{"actual", "shuffled", "sorted"}, []float64{0.3, 1.0, 0.001})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "ratios") || !strings.Contains(out, "shuffled |####################") {
+		t.Fatalf("bar chart wrong:\n%s", out)
+	}
+}
+
+func TestBarChartUndefined(t *testing.T) {
+	var buf bytes.Buffer
+	if err := (BarChart{}).Render(&buf, []string{"a"}, []float64{math.NaN()}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "undefined") {
+		t.Fatal("NaN bar not marked undefined")
+	}
+}
+
+func TestBarChartErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := (BarChart{}).Render(&buf, []string{"a"}, []float64{1, 2}); err == nil {
+		t.Fatal("mismatch accepted")
+	}
+	if err := (BarChart{}).Render(&buf, nil, nil); err == nil {
+		t.Fatal("empty accepted")
+	}
+}
+
+func TestTable(t *testing.T) {
+	var buf bytes.Buffer
+	tab := Table{Title: "t1", Headers: []string{"slot", "count"}}
+	err := tab.Render(&buf, [][]string{{"day", "90"}, {"night", "26"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "| slot  | count |") {
+		t.Fatalf("misaligned table:\n%s", out)
+	}
+	if !strings.Contains(out, "| night | 26    |") {
+		t.Fatalf("row missing:\n%s", out)
+	}
+}
+
+func TestTableErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := (Table{}).Render(&buf, nil); err == nil {
+		t.Fatal("headerless table accepted")
+	}
+	tab := Table{Headers: []string{"a", "b"}}
+	if err := tab.Render(&buf, [][]string{{"only one"}}); err == nil {
+		t.Fatal("ragged row accepted")
+	}
+}
+
+func TestCSV(t *testing.T) {
+	var buf bytes.Buffer
+	err := CSV(&buf, []string{"x", "y"}, []float64{1, 2}, []float64{3, math.NaN()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "x,y\n1,3\n2,\n"
+	if buf.String() != want {
+		t.Fatalf("CSV = %q, want %q", buf.String(), want)
+	}
+}
+
+func TestCSVErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := CSV(&buf, []string{"x"}, []float64{1}, []float64{2}); err == nil {
+		t.Fatal("mismatch accepted")
+	}
+	if err := CSV(&buf, nil); err == nil {
+		t.Fatal("no columns accepted")
+	}
+	if err := CSV(&buf, []string{"x", "y"}, []float64{1}, []float64{1, 2}); err == nil {
+		t.Fatal("ragged columns accepted")
+	}
+}
+
+func TestDownsample(t *testing.T) {
+	x := make([]float64, 100)
+	y := make([]float64, 100)
+	for i := range x {
+		x[i] = float64(i)
+		y[i] = float64(i * 2)
+	}
+	dx, dy := Downsample(x, y, 10)
+	if len(dx) > 11 || len(dx) != len(dy) {
+		t.Fatalf("downsampled to %d points", len(dx))
+	}
+	if dx[len(dx)-1] != 99 {
+		t.Fatal("last point not kept")
+	}
+	// Short series pass through.
+	sx, sy := Downsample(x[:5], y[:5], 10)
+	if len(sx) != 5 || len(sy) != 5 {
+		t.Fatal("short series altered")
+	}
+}
+
+func TestSortedKeys(t *testing.T) {
+	m := map[string]int{"b": 1, "a": 2, "c": 3}
+	keys := SortedKeys(m)
+	if len(keys) != 3 || keys[0] != "a" || keys[2] != "c" {
+		t.Fatalf("SortedKeys = %v", keys)
+	}
+}

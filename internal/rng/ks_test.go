@@ -1,0 +1,134 @@
+package rng_test
+
+// Distribution-level goodness-of-fit checks for the generator, kept in an
+// external test package so they can use the stats package (which itself
+// depends on rng) without an import cycle.
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"autosens/internal/rng"
+)
+
+// ksAgainstCDF computes the one-sample Kolmogorov–Smirnov statistic of xs
+// against the analytic CDF.
+func ksAgainstCDF(xs []float64, cdf func(float64) float64) float64 {
+	sorted := make([]float64, len(xs))
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+	n := float64(len(sorted))
+	var d float64
+	for i, x := range sorted {
+		f := cdf(x)
+		if hi := float64(i+1)/n - f; hi > d {
+			d = hi
+		}
+		if lo := f - float64(i)/n; lo > d {
+			d = lo
+		}
+	}
+	return d
+}
+
+// ksBound returns the ~99.9% critical value for the one-sample KS test.
+func ksBound(n int) float64 {
+	return 1.95 / math.Sqrt(float64(n))
+}
+
+func TestUniformKS(t *testing.T) {
+	src := rng.New(101)
+	const n = 50000
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = src.Float64()
+	}
+	d := ksAgainstCDF(xs, func(x float64) float64 {
+		switch {
+		case x < 0:
+			return 0
+		case x > 1:
+			return 1
+		default:
+			return x
+		}
+	})
+	if d > ksBound(n) {
+		t.Fatalf("uniform KS statistic %v exceeds bound %v", d, ksBound(n))
+	}
+}
+
+func TestExpKS(t *testing.T) {
+	src := rng.New(102)
+	const n, rate = 50000, 2.5
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = src.Exp(rate)
+	}
+	d := ksAgainstCDF(xs, func(x float64) float64 {
+		if x < 0 {
+			return 0
+		}
+		return 1 - math.Exp(-rate*x)
+	})
+	if d > ksBound(n) {
+		t.Fatalf("exponential KS statistic %v exceeds bound %v", d, ksBound(n))
+	}
+}
+
+// normCDF is the standard normal CDF via erf.
+func normCDF(x float64) float64 {
+	return 0.5 * (1 + math.Erf(x/math.Sqrt2))
+}
+
+func TestNormalKS(t *testing.T) {
+	src := rng.New(103)
+	const n = 50000
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = src.Normal(0, 1)
+	}
+	d := ksAgainstCDF(xs, normCDF)
+	if d > ksBound(n) {
+		t.Fatalf("normal KS statistic %v exceeds bound %v", d, ksBound(n))
+	}
+}
+
+func TestLogNormalKS(t *testing.T) {
+	src := rng.New(104)
+	const n = 50000
+	mu, sigma := math.Log(300), 0.4
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = src.LogNormal(mu, sigma)
+	}
+	d := ksAgainstCDF(xs, func(x float64) float64 {
+		if x <= 0 {
+			return 0
+		}
+		return normCDF((math.Log(x) - mu) / sigma)
+	})
+	if d > ksBound(n) {
+		t.Fatalf("log-normal KS statistic %v exceeds bound %v", d, ksBound(n))
+	}
+}
+
+func TestParetoKS(t *testing.T) {
+	src := rng.New(105)
+	const n = 50000
+	xm, alpha := 1.0, 2.0
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = src.Pareto(xm, alpha)
+	}
+	d := ksAgainstCDF(xs, func(x float64) float64 {
+		if x < xm {
+			return 0
+		}
+		return 1 - math.Pow(xm/x, alpha)
+	})
+	if d > ksBound(n) {
+		t.Fatalf("pareto KS statistic %v exceeds bound %v", d, ksBound(n))
+	}
+}

@@ -1,0 +1,207 @@
+// Package sessions provides gap-based sessionization and session-level
+// latency analyses that complement AutoSens' distribution-level estimator.
+//
+// Section 2.1 of the paper argues the mechanism behind latency bias: "when
+// the service is fast and responsive, users would likely stay on and do
+// more actions; conversely, if the service is slow... they might prefer to
+// take a break and come back later". Sessionizing the telemetry makes that
+// mechanism directly measurable: the probability that a user performs
+// another action within the session gap, conditioned on the latency of the
+// action they just performed, should fall with latency.
+package sessions
+
+import (
+	"errors"
+	"sort"
+
+	"autosens/internal/histogram"
+	"autosens/internal/stats"
+	"autosens/internal/telemetry"
+	"autosens/internal/timeutil"
+)
+
+// DefaultMaxGap is the idle gap that terminates a session.
+const DefaultMaxGap = 30 * timeutil.MillisPerMinute
+
+// Session is one user's contiguous burst of activity.
+type Session struct {
+	UserID  uint64
+	Start   timeutil.Millis
+	End     timeutil.Millis // time of the last action in the session
+	Actions int
+	// MeanLatencyMS is the mean latency over the session's actions.
+	MeanLatencyMS float64
+}
+
+// Duration returns the session's span from first to last action.
+func (s Session) Duration() timeutil.Millis { return s.End - s.Start }
+
+// perUserSorted groups successful records per user, each sorted by time.
+func perUserSorted(records []telemetry.Record) map[uint64][]telemetry.Record {
+	byUser := make(map[uint64][]telemetry.Record)
+	for _, r := range records {
+		if r.Failed {
+			continue
+		}
+		byUser[r.UserID] = append(byUser[r.UserID], r)
+	}
+	for _, rs := range byUser {
+		sort.SliceStable(rs, func(i, j int) bool { return rs[i].Time < rs[j].Time })
+	}
+	return byUser
+}
+
+// Sessionize splits each user's record stream into sessions separated by
+// idle gaps longer than maxGap. Sessions are returned sorted by start time.
+func Sessionize(records []telemetry.Record, maxGap timeutil.Millis) ([]Session, error) {
+	if maxGap <= 0 {
+		return nil, errors.New("sessions: non-positive gap")
+	}
+	byUser := perUserSorted(records)
+	var out []Session
+	for uid, rs := range byUser {
+		cur := Session{UserID: uid, Start: rs[0].Time, End: rs[0].Time, Actions: 1, MeanLatencyMS: rs[0].LatencyMS}
+		var latSum = rs[0].LatencyMS
+		for _, r := range rs[1:] {
+			if r.Time-cur.End > maxGap {
+				cur.MeanLatencyMS = latSum / float64(cur.Actions)
+				out = append(out, cur)
+				cur = Session{UserID: uid, Start: r.Time, Actions: 0}
+				latSum = 0
+			}
+			cur.End = r.Time
+			cur.Actions++
+			latSum += r.LatencyMS
+		}
+		cur.MeanLatencyMS = latSum / float64(cur.Actions)
+		out = append(out, cur)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Start != out[j].Start {
+			return out[i].Start < out[j].Start
+		}
+		return out[i].UserID < out[j].UserID
+	})
+	return out, nil
+}
+
+// Continuation is the probability of performing another action within the
+// session gap, as a function of the latency of the action just performed.
+type Continuation struct {
+	// BinCenters are the latency bin midpoints.
+	BinCenters []float64
+	// Prob is P(another action within the gap | latency in bin); NaN for
+	// bins with fewer than MinCount actions.
+	Prob []float64
+	// Count is the number of actions per bin.
+	Count []float64
+	// MinCount is the support threshold applied to Prob.
+	MinCount float64
+}
+
+// At returns the continuation probability at the bin containing ms.
+func (c *Continuation) At(ms float64) (float64, bool) {
+	if len(c.BinCenters) == 0 {
+		return 0, false
+	}
+	w := c.BinCenters[1] - c.BinCenters[0]
+	i := int((ms - (c.BinCenters[0] - w/2)) / w)
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(c.Prob) {
+		i = len(c.Prob) - 1
+	}
+	p := c.Prob[i]
+	return p, c.Count[i] >= c.MinCount
+}
+
+// ContinuationByLatency computes the continuation curve over latency bins
+// of the given width up to maxLatency, requiring minCount actions per bin.
+// The last action of the record stream per user is excluded (its
+// continuation is right-censored by the window edge).
+func ContinuationByLatency(records []telemetry.Record, maxGap timeutil.Millis, binWidth, maxLatency, minCount float64) (*Continuation, error) {
+	if maxGap <= 0 {
+		return nil, errors.New("sessions: non-positive gap")
+	}
+	total := histogram.MustNew(0, maxLatency, binWidth)
+	continued := histogram.MustNew(0, maxLatency, binWidth)
+	byUser := perUserSorted(records)
+	any := false
+	for _, rs := range byUser {
+		for i := 0; i+1 < len(rs); i++ {
+			any = true
+			total.Add(rs[i].LatencyMS)
+			if rs[i+1].Time-rs[i].Time <= maxGap {
+				continued.Add(rs[i].LatencyMS)
+			}
+		}
+	}
+	if !any {
+		return nil, errors.New("sessions: no consecutive actions")
+	}
+	bins := total.Bins()
+	out := &Continuation{
+		BinCenters: make([]float64, bins),
+		Prob:       make([]float64, bins),
+		Count:      make([]float64, bins),
+		MinCount:   minCount,
+	}
+	for i := 0; i < bins; i++ {
+		out.BinCenters[i] = total.Center(i)
+		n := total.Count(i)
+		out.Count[i] = n
+		if n >= minCount && n > 0 {
+			out.Prob[i] = continued.Count(i) / n
+		} else {
+			out.Prob[i] = nan()
+		}
+	}
+	return out, nil
+}
+
+func nan() float64 {
+	return stats.NaN()
+}
+
+// Stats summarizes a session population.
+type Stats struct {
+	Sessions          int
+	MeanActions       float64
+	MedianActions     float64
+	MeanDurationMS    float64
+	ActionsLatencyCor float64 // Pearson(session mean latency, session actions)
+}
+
+// Summarize computes population statistics over sessions. The correlation
+// is NaN when undefined (fewer than 2 sessions or zero variance).
+func Summarize(sessions []Session) (Stats, error) {
+	if len(sessions) == 0 {
+		return Stats{}, errors.New("sessions: empty input")
+	}
+	var st Stats
+	st.Sessions = len(sessions)
+	actions := make([]float64, len(sessions))
+	lats := make([]float64, len(sessions))
+	var durSum float64
+	for i, s := range sessions {
+		actions[i] = float64(s.Actions)
+		lats[i] = s.MeanLatencyMS
+		durSum += float64(s.Duration())
+	}
+	m, err := stats.Mean(actions)
+	if err != nil {
+		return st, err
+	}
+	st.MeanActions = m
+	if st.MedianActions, err = stats.Median(actions); err != nil {
+		return st, err
+	}
+	st.MeanDurationMS = durSum / float64(len(sessions))
+	if cor, err := stats.Pearson(lats, actions); err == nil {
+		st.ActionsLatencyCor = cor
+	} else {
+		st.ActionsLatencyCor = stats.NaN()
+	}
+	return st, nil
+}

@@ -1,0 +1,173 @@
+package sessions
+
+import (
+	"math"
+	"testing"
+
+	"autosens/internal/rng"
+	"autosens/internal/telemetry"
+	"autosens/internal/timeutil"
+)
+
+func rec(uid uint64, t timeutil.Millis, lat float64) telemetry.Record {
+	return telemetry.Record{Time: t, Action: telemetry.SelectMail, LatencyMS: lat, UserID: uid, UserType: telemetry.Business}
+}
+
+func TestSessionizeSplitsOnGap(t *testing.T) {
+	gap := 10 * timeutil.MillisPerMinute
+	rs := []telemetry.Record{
+		rec(1, 0, 100),
+		rec(1, gap, 200),       // exactly at gap: same session
+		rec(1, 3*gap, 300),     // new session
+		rec(1, 3*gap+100, 400), // continues
+	}
+	sessions, err := Sessionize(rs, gap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sessions) != 2 {
+		t.Fatalf("%d sessions", len(sessions))
+	}
+	if sessions[0].Actions != 2 || sessions[1].Actions != 2 {
+		t.Fatalf("session sizes %d, %d", sessions[0].Actions, sessions[1].Actions)
+	}
+	if sessions[0].MeanLatencyMS != 150 || sessions[1].MeanLatencyMS != 350 {
+		t.Fatalf("mean latencies %v, %v", sessions[0].MeanLatencyMS, sessions[1].MeanLatencyMS)
+	}
+	if sessions[1].Duration() != 100 {
+		t.Fatalf("duration %v", sessions[1].Duration())
+	}
+}
+
+func TestSessionizePerUser(t *testing.T) {
+	gap := timeutil.MillisPerMinute
+	rs := []telemetry.Record{
+		rec(1, 0, 100),
+		rec(2, 10, 100), // interleaved different user: separate sessions
+		rec(1, 20, 100),
+	}
+	sessions, err := Sessionize(rs, gap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sessions) != 2 {
+		t.Fatalf("%d sessions", len(sessions))
+	}
+}
+
+func TestSessionizeSkipsFailed(t *testing.T) {
+	gap := timeutil.MillisPerMinute
+	failed := rec(1, 0, 100)
+	failed.Failed = true
+	sessions, err := Sessionize([]telemetry.Record{failed, rec(1, 10, 100)}, gap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sessions) != 1 || sessions[0].Actions != 1 {
+		t.Fatalf("sessions %+v", sessions)
+	}
+}
+
+func TestSessionizeValidation(t *testing.T) {
+	if _, err := Sessionize(nil, 0); err == nil {
+		t.Fatal("zero gap accepted")
+	}
+}
+
+func TestSessionizeUnsortedInput(t *testing.T) {
+	gap := timeutil.MillisPerMinute
+	rs := []telemetry.Record{
+		rec(1, 100, 2),
+		rec(1, 0, 1),
+	}
+	sessions, err := Sessionize(rs, gap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sessions) != 1 || sessions[0].Start != 0 || sessions[0].End != 100 {
+		t.Fatalf("sessions %+v", sessions)
+	}
+}
+
+func TestContinuationPlantedSignal(t *testing.T) {
+	// Construct a stream where fast actions are always followed within
+	// the gap and slow actions only half the time.
+	src := rng.New(1)
+	gap := 5 * timeutil.MillisPerMinute
+	var rs []telemetry.Record
+	now := timeutil.Millis(0)
+	for i := 0; i < 4000; i++ {
+		fast := i%2 == 0
+		lat := 200.0
+		if !fast {
+			lat = 900
+		}
+		rs = append(rs, rec(7, now, lat))
+		if fast || src.Bool(0.5) {
+			now += timeutil.Millis(1 + src.Intn(int(gap)-1)) // within gap
+		} else {
+			now += gap * 3 // break
+		}
+	}
+	c, err := ContinuationByLatency(rs, gap, 100, 1500, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pf, ok := c.At(200)
+	if !ok {
+		t.Fatal("fast bin unsupported")
+	}
+	ps, ok := c.At(900)
+	if !ok {
+		t.Fatal("slow bin unsupported")
+	}
+	if math.Abs(pf-1) > 0.02 {
+		t.Fatalf("fast continuation %v, want ~1", pf)
+	}
+	if math.Abs(ps-0.5) > 0.05 {
+		t.Fatalf("slow continuation %v, want ~0.5", ps)
+	}
+}
+
+func TestContinuationThinBinsNaN(t *testing.T) {
+	rs := []telemetry.Record{rec(1, 0, 100), rec(1, 10, 100)}
+	c, err := ContinuationByLatency(rs, timeutil.MillisPerMinute, 100, 1000, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.At(100); ok {
+		t.Fatal("thin bin reported as supported")
+	}
+}
+
+func TestContinuationNoConsecutive(t *testing.T) {
+	rs := []telemetry.Record{rec(1, 0, 100), rec(2, 10, 100)}
+	if _, err := ContinuationByLatency(rs, timeutil.MillisPerMinute, 100, 1000, 1); err == nil {
+		t.Fatal("no-consecutive-actions accepted")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	gap := timeutil.MillisPerMinute
+	rs := []telemetry.Record{
+		rec(1, 0, 100), rec(1, 10, 100), rec(1, 20, 100), // 3-action session
+		rec(2, 0, 500), // 1-action session
+	}
+	sessions, err := Sessionize(rs, gap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := Summarize(sessions)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Sessions != 2 || st.MeanActions != 2 || st.MedianActions != 2 {
+		t.Fatalf("stats %+v", st)
+	}
+	if st.ActionsLatencyCor >= 0 {
+		t.Fatalf("expected negative actions/latency correlation, got %v", st.ActionsLatencyCor)
+	}
+	if _, err := Summarize(nil); err == nil {
+		t.Fatal("empty summarize accepted")
+	}
+}

@@ -1,0 +1,47 @@
+package sgolay_test
+
+import (
+	"fmt"
+	"math"
+
+	"autosens/internal/sgolay"
+)
+
+// ExampleSmooth demonstrates the paper's smoothing step: a noisy ratio
+// series is smoothed with a Savitzky–Golay filter. Here a clean parabola
+// passes through unchanged because its degree does not exceed the filter's.
+func ExampleSmooth() {
+	ys := make([]float64, 20)
+	for i := range ys {
+		x := float64(i)
+		ys[i] = 1 + 0.1*x*x
+	}
+	out, err := sgolay.Smooth(ys, 7, 3)
+	if err != nil {
+		panic(err)
+	}
+	var worst float64
+	for i := range ys {
+		if d := math.Abs(out[i] - ys[i]); d > worst {
+			worst = d
+		}
+	}
+	fmt.Printf("parabola preserved to within %.0e\n", worst+1e-10)
+	// Output:
+	// parabola preserved to within 1e-10
+}
+
+// ExampleNew_coefficients shows the classical window-5, degree-2 weights
+// from Savitzky & Golay's 1964 tables.
+func ExampleNew_coefficients() {
+	f, err := sgolay.New(5, 2)
+	if err != nil {
+		panic(err)
+	}
+	for _, c := range f.Coefficients() {
+		fmt.Printf("%.0f ", c*35)
+	}
+	fmt.Println()
+	// Output:
+	// -3 12 17 12 -3
+}

@@ -1,0 +1,48 @@
+package telemetry
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+)
+
+// Anonymizer replaces user identifiers with salted one-way hashes, the way
+// the paper's OWA logs carry "an anonymized GUID of the user": analyses can
+// still group actions by user (medians, quartiles, sessions) without the
+// identifier being reversible to an account. The same salt maps the same
+// user to the same pseudonym; changing the salt unlinks datasets.
+type Anonymizer struct {
+	salt []byte
+}
+
+// NewAnonymizer builds an Anonymizer with the given salt. The salt should
+// be secret and dataset-specific.
+func NewAnonymizer(salt []byte) *Anonymizer {
+	s := make([]byte, len(salt))
+	copy(s, salt)
+	return &Anonymizer{salt: s}
+}
+
+// UserID returns the pseudonymous identifier for id.
+func (a *Anonymizer) UserID(id uint64) uint64 {
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], id)
+	h := sha256.New()
+	h.Write(a.salt)
+	h.Write(buf[:])
+	sum := h.Sum(nil)
+	return binary.LittleEndian.Uint64(sum[:8])
+}
+
+// Record returns r with its UserID pseudonymized.
+func (a *Anonymizer) Record(r Record) Record {
+	r.UserID = a.UserID(r.UserID)
+	return r
+}
+
+// Records pseudonymizes a batch in place and returns it.
+func (a *Anonymizer) Records(rs []Record) []Record {
+	for i := range rs {
+		rs[i].UserID = a.UserID(rs[i].UserID)
+	}
+	return rs
+}

@@ -1,0 +1,75 @@
+package telemetry
+
+import "testing"
+
+func TestAnonymizerDeterministic(t *testing.T) {
+	a := NewAnonymizer([]byte("salt-1"))
+	if a.UserID(42) != a.UserID(42) {
+		t.Fatal("same id maps to different pseudonyms")
+	}
+}
+
+func TestAnonymizerDistinguishesUsers(t *testing.T) {
+	a := NewAnonymizer([]byte("salt-1"))
+	seen := make(map[uint64]bool)
+	for id := uint64(0); id < 10000; id++ {
+		p := a.UserID(id)
+		if seen[p] {
+			t.Fatalf("pseudonym collision at id %d", id)
+		}
+		seen[p] = true
+	}
+}
+
+func TestAnonymizerSaltUnlinks(t *testing.T) {
+	a := NewAnonymizer([]byte("salt-1"))
+	b := NewAnonymizer([]byte("salt-2"))
+	same := 0
+	for id := uint64(0); id < 1000; id++ {
+		if a.UserID(id) == b.UserID(id) {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("%d pseudonyms survived a salt change", same)
+	}
+}
+
+func TestAnonymizerRecordPreservesPayload(t *testing.T) {
+	a := NewAnonymizer([]byte("s"))
+	orig := Record{Time: 5, Action: Search, LatencyMS: 123, UserID: 9, UserType: Consumer}
+	got := a.Record(orig)
+	if got.UserID == orig.UserID {
+		t.Fatal("user id unchanged")
+	}
+	got.UserID = orig.UserID
+	if got != orig {
+		t.Fatal("non-identifier fields modified")
+	}
+}
+
+func TestAnonymizerRecordsGroupingPreserved(t *testing.T) {
+	a := NewAnonymizer([]byte("s"))
+	rs := []Record{
+		{Time: 1, Action: SelectMail, LatencyMS: 1, UserID: 7},
+		{Time: 2, Action: SelectMail, LatencyMS: 2, UserID: 7},
+		{Time: 3, Action: SelectMail, LatencyMS: 3, UserID: 8},
+	}
+	a.Records(rs)
+	if rs[0].UserID != rs[1].UserID {
+		t.Fatal("same-user records unlinked")
+	}
+	if rs[0].UserID == rs[2].UserID {
+		t.Fatal("distinct users merged")
+	}
+}
+
+func TestAnonymizerSaltCopied(t *testing.T) {
+	salt := []byte("mutable")
+	a := NewAnonymizer(salt)
+	before := a.UserID(1)
+	salt[0] = 'X'
+	if a.UserID(1) != before {
+		t.Fatal("anonymizer shares caller's salt buffer")
+	}
+}

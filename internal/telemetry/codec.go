@@ -1,0 +1,233 @@
+package telemetry
+
+import (
+	"bufio"
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+
+	"autosens/internal/timeutil"
+)
+
+// Format selects a wire/file encoding for telemetry records.
+type Format int
+
+// Supported formats.
+const (
+	// JSONL encodes one JSON object per line; it is the default log
+	// format, mirroring structured web-access logs.
+	JSONL Format = iota
+	// CSV encodes a header row plus one comma-separated row per record.
+	CSV
+)
+
+// csvHeader is the column layout of the CSV format.
+var csvHeader = []string{"time_ms", "action", "latency_ms", "user_id", "user_type", "tz_offset_ms", "failed"}
+
+// Writer streams records to an underlying io.Writer in a fixed format.
+// Close (or at least Flush) must be called to drain buffers.
+type Writer struct {
+	format Format
+	buf    *bufio.Writer
+	csvw   *csv.Writer
+	wrote  bool
+	count  int
+}
+
+// NewWriter returns a Writer emitting the given format to w.
+func NewWriter(w io.Writer, format Format) *Writer {
+	tw := &Writer{format: format, buf: bufio.NewWriterSize(w, 1<<16)}
+	if format == CSV {
+		tw.csvw = csv.NewWriter(tw.buf)
+	}
+	return tw
+}
+
+// Write appends one record.
+func (w *Writer) Write(r Record) error {
+	if err := r.Validate(); err != nil {
+		return err
+	}
+	switch w.format {
+	case JSONL:
+		b, err := json.Marshal(r)
+		if err != nil {
+			return err
+		}
+		if _, err := w.buf.Write(b); err != nil {
+			return err
+		}
+		if err := w.buf.WriteByte('\n'); err != nil {
+			return err
+		}
+	case CSV:
+		if !w.wrote {
+			if err := w.csvw.Write(csvHeader); err != nil {
+				return err
+			}
+		}
+		row := []string{
+			strconv.FormatInt(int64(r.Time), 10),
+			r.Action.String(),
+			strconv.FormatFloat(r.LatencyMS, 'g', -1, 64),
+			strconv.FormatUint(r.UserID, 10),
+			r.UserType.String(),
+			strconv.FormatInt(int64(r.TZOffset), 10),
+			strconv.FormatBool(r.Failed),
+		}
+		if err := w.csvw.Write(row); err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("telemetry: unknown format %d", w.format)
+	}
+	w.wrote = true
+	w.count++
+	return nil
+}
+
+// WriteAll appends every record in rs.
+func (w *Writer) WriteAll(rs []Record) error {
+	for _, r := range rs {
+		if err := w.Write(r); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Count returns the number of records written so far.
+func (w *Writer) Count() int { return w.count }
+
+// Flush drains buffered output to the underlying writer.
+func (w *Writer) Flush() error {
+	if w.csvw != nil {
+		w.csvw.Flush()
+		if err := w.csvw.Error(); err != nil {
+			return err
+		}
+	}
+	return w.buf.Flush()
+}
+
+// Reader streams records from an underlying io.Reader.
+type Reader struct {
+	format Format
+	scan   *bufio.Scanner
+	csvr   *csv.Reader
+	header bool
+	line   int
+}
+
+// NewReader returns a Reader decoding the given format from r.
+func NewReader(r io.Reader, format Format) *Reader {
+	tr := &Reader{format: format}
+	switch format {
+	case CSV:
+		tr.csvr = csv.NewReader(r)
+		tr.csvr.FieldsPerRecord = len(csvHeader)
+	default:
+		tr.scan = bufio.NewScanner(r)
+		tr.scan.Buffer(make([]byte, 0, 1<<16), 1<<20)
+	}
+	return tr
+}
+
+// Read returns the next record, or io.EOF when the stream ends.
+func (r *Reader) Read() (Record, error) {
+	switch r.format {
+	case JSONL:
+		for {
+			if !r.scan.Scan() {
+				if err := r.scan.Err(); err != nil {
+					return Record{}, err
+				}
+				return Record{}, io.EOF
+			}
+			r.line++
+			line := r.scan.Bytes()
+			if len(line) == 0 {
+				continue
+			}
+			var rec Record
+			if err := json.Unmarshal(line, &rec); err != nil {
+				return Record{}, fmt.Errorf("telemetry: line %d: %w", r.line, err)
+			}
+			if err := rec.Validate(); err != nil {
+				return Record{}, fmt.Errorf("telemetry: line %d: %w", r.line, err)
+			}
+			return rec, nil
+		}
+	case CSV:
+		for {
+			row, err := r.csvr.Read()
+			if err != nil {
+				return Record{}, err
+			}
+			r.line++
+			if !r.header {
+				r.header = true
+				if row[0] == csvHeader[0] {
+					continue
+				}
+			}
+			rec, err := parseCSVRow(row)
+			if err != nil {
+				return Record{}, fmt.Errorf("telemetry: line %d: %w", r.line, err)
+			}
+			return rec, nil
+		}
+	default:
+		return Record{}, fmt.Errorf("telemetry: unknown format %d", r.format)
+	}
+}
+
+func parseCSVRow(row []string) (Record, error) {
+	var rec Record
+	t, err := strconv.ParseInt(row[0], 10, 64)
+	if err != nil {
+		return rec, fmt.Errorf("bad time: %w", err)
+	}
+	rec.Time = timeutil.Millis(t)
+	if rec.Action, err = ParseActionType(row[1]); err != nil {
+		return rec, err
+	}
+	if rec.LatencyMS, err = strconv.ParseFloat(row[2], 64); err != nil {
+		return rec, fmt.Errorf("bad latency: %w", err)
+	}
+	if rec.UserID, err = strconv.ParseUint(row[3], 10, 64); err != nil {
+		return rec, fmt.Errorf("bad user id: %w", err)
+	}
+	if rec.UserType, err = ParseUserType(row[4]); err != nil {
+		return rec, err
+	}
+	tz, err := strconv.ParseInt(row[5], 10, 64)
+	if err != nil {
+		return rec, fmt.Errorf("bad tz offset: %w", err)
+	}
+	rec.TZOffset = timeutil.Millis(tz)
+	if rec.Failed, err = strconv.ParseBool(row[6]); err != nil {
+		return rec, fmt.Errorf("bad failed flag: %w", err)
+	}
+	if err := rec.Validate(); err != nil {
+		return rec, err
+	}
+	return rec, nil
+}
+
+// ReadAll drains the reader into a slice.
+func (r *Reader) ReadAll() ([]Record, error) {
+	var out []Record
+	for {
+		rec, err := r.Read()
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, rec)
+	}
+}

@@ -1,0 +1,185 @@
+package telemetry
+
+import (
+	"bytes"
+	"io"
+	"strings"
+	"testing"
+
+	"autosens/internal/rng"
+	"autosens/internal/timeutil"
+)
+
+func sampleRecords() []Record {
+	return []Record{
+		{Time: 0, Action: SelectMail, LatencyMS: 312.5, UserID: 42, UserType: Business, TZOffset: -5 * timeutil.MillisPerHour},
+		{Time: 1500, Action: Search, LatencyMS: 890, UserID: 7, UserType: Consumer, TZOffset: 0, Failed: true},
+		{Time: 99999, Action: ComposeSend, LatencyMS: 45.25, UserID: 1 << 60, UserType: Business, TZOffset: timeutil.MillisPerHour},
+	}
+}
+
+func roundTrip(t *testing.T, f Format) {
+	t.Helper()
+	var buf bytes.Buffer
+	w := NewWriter(&buf, f)
+	if err := w.WriteAll(sampleRecords()); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if w.Count() != 3 {
+		t.Fatalf("Count = %d", w.Count())
+	}
+	r := NewReader(&buf, f)
+	got, err := r.ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := sampleRecords()
+	if len(got) != len(want) {
+		t.Fatalf("read %d records, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("record %d: got %+v, want %+v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestJSONLRoundTrip(t *testing.T) { roundTrip(t, JSONL) }
+func TestCSVRoundTrip(t *testing.T)   { roundTrip(t, CSV) }
+
+func TestJSONLSkipsBlankLines(t *testing.T) {
+	in := `{"t":1,"a":0,"l":5,"u":1,"ut":0,"tz":0}
+
+{"t":2,"a":1,"l":6,"u":2,"ut":1,"tz":0}
+`
+	r := NewReader(strings.NewReader(in), JSONL)
+	rs, err := r.ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 2 {
+		t.Fatalf("read %d records", len(rs))
+	}
+}
+
+func TestJSONLRejectsGarbage(t *testing.T) {
+	r := NewReader(strings.NewReader("not json\n"), JSONL)
+	if _, err := r.Read(); err == nil || err == io.EOF {
+		t.Fatalf("garbage accepted: %v", err)
+	}
+}
+
+func TestJSONLRejectsInvalidRecord(t *testing.T) {
+	r := NewReader(strings.NewReader(`{"t":1,"a":99,"l":5,"u":1,"ut":0,"tz":0}`+"\n"), JSONL)
+	if _, err := r.Read(); err == nil || err == io.EOF {
+		t.Fatalf("invalid action accepted: %v", err)
+	}
+}
+
+func TestCSVHeaderRequiredOnce(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf, CSV)
+	if err := w.WriteAll(sampleRecords()); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("CSV line count = %d, want header + 3", len(lines))
+	}
+	if !strings.HasPrefix(lines[0], "time_ms,") {
+		t.Fatalf("missing header: %q", lines[0])
+	}
+}
+
+func TestCSVRejectsBadRow(t *testing.T) {
+	in := "time_ms,action,latency_ms,user_id,user_type,tz_offset_ms,failed\nx,SelectMail,5,1,business,0,false\n"
+	r := NewReader(strings.NewReader(in), CSV)
+	if _, err := r.Read(); err == nil || err == io.EOF {
+		t.Fatalf("bad row accepted: %v", err)
+	}
+}
+
+func TestCSVWithoutHeaderStillParses(t *testing.T) {
+	in := "123,SelectMail,5,1,business,0,false\n"
+	r := NewReader(strings.NewReader(in), CSV)
+	rec, err := r.Read()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Time != 123 || rec.Action != SelectMail {
+		t.Fatalf("parsed %+v", rec)
+	}
+}
+
+func TestWriterRejectsInvalidRecord(t *testing.T) {
+	w := NewWriter(io.Discard, JSONL)
+	if err := w.Write(Record{LatencyMS: -1}); err == nil {
+		t.Fatal("invalid record written")
+	}
+}
+
+func TestEmptyStream(t *testing.T) {
+	for _, f := range []Format{JSONL, CSV} {
+		r := NewReader(strings.NewReader(""), f)
+		rs, err := r.ReadAll()
+		if err != nil {
+			t.Fatalf("format %d: %v", f, err)
+		}
+		if len(rs) != 0 {
+			t.Fatalf("format %d: read %d records from empty stream", f, len(rs))
+		}
+	}
+}
+
+func TestLargeRoundTrip(t *testing.T) {
+	s := rng.New(5)
+	var rs []Record
+	for i := 0; i < 5000; i++ {
+		rs = append(rs, Record{
+			Time:      timeutil.Millis(i * 100),
+			Action:    ActionType(s.Intn(NumActionTypes)),
+			LatencyMS: s.LogNormal(6, 0.5),
+			UserID:    uint64(s.Intn(500)),
+			UserType:  UserType(s.Intn(NumUserTypes)),
+			TZOffset:  timeutil.Millis(s.Intn(24)-12) * timeutil.MillisPerHour,
+			Failed:    s.Bool(0.02),
+		})
+	}
+	var buf bytes.Buffer
+	w := NewWriter(&buf, JSONL)
+	if err := w.WriteAll(rs); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := NewReader(&buf, JSONL).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(rs) {
+		t.Fatalf("read %d, want %d", len(got), len(rs))
+	}
+	for i := range rs {
+		if got[i] != rs[i] {
+			t.Fatalf("record %d mismatch", i)
+		}
+	}
+}
+
+func BenchmarkJSONLWrite(b *testing.B) {
+	rs := sampleRecords()
+	w := NewWriter(io.Discard, JSONL)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := w.Write(rs[i%len(rs)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

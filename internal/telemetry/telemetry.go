@@ -1,0 +1,269 @@
+// Package telemetry defines the minimal telemetry AutoSens consumes:
+// tuples (T, A, L, M) — timestamp, action type, end-to-end latency, and
+// optional user metadata (Section 2.1 of the paper) — together with codecs
+// (JSONL, CSV), filters, and the per-user median-latency quartile grouping
+// used by the conditioning analysis (Section 3.4).
+package telemetry
+
+import (
+	"fmt"
+	"sort"
+
+	"autosens/internal/stats"
+	"autosens/internal/timeutil"
+)
+
+// ActionType enumerates the four OWA user actions the paper analyzes.
+type ActionType int
+
+// Action types from Section 3.2.
+const (
+	SelectMail ActionType = iota
+	SwitchFolder
+	Search
+	ComposeSend
+	numActionTypes
+)
+
+// NumActionTypes is the number of distinct action types.
+const NumActionTypes = int(numActionTypes)
+
+// ActionTypes lists all action types in declaration order.
+func ActionTypes() []ActionType {
+	return []ActionType{SelectMail, SwitchFolder, Search, ComposeSend}
+}
+
+// String implements fmt.Stringer.
+func (a ActionType) String() string {
+	switch a {
+	case SelectMail:
+		return "SelectMail"
+	case SwitchFolder:
+		return "SwitchFolder"
+	case Search:
+		return "Search"
+	case ComposeSend:
+		return "ComposeSend"
+	default:
+		return fmt.Sprintf("ActionType(%d)", int(a))
+	}
+}
+
+// ParseActionType converts a string produced by String back to an
+// ActionType.
+func ParseActionType(s string) (ActionType, error) {
+	for _, a := range ActionTypes() {
+		if a.String() == s {
+			return a, nil
+		}
+	}
+	return 0, fmt.Errorf("telemetry: unknown action type %q", s)
+}
+
+// UserType distinguishes paying business users from free consumers
+// (Section 3.3).
+type UserType int
+
+// User segments.
+const (
+	Business UserType = iota
+	Consumer
+	numUserTypes
+)
+
+// NumUserTypes is the number of user segments.
+const NumUserTypes = int(numUserTypes)
+
+// UserTypes lists all user types in declaration order.
+func UserTypes() []UserType { return []UserType{Business, Consumer} }
+
+// String implements fmt.Stringer.
+func (u UserType) String() string {
+	switch u {
+	case Business:
+		return "business"
+	case Consumer:
+		return "consumer"
+	default:
+		return fmt.Sprintf("UserType(%d)", int(u))
+	}
+}
+
+// ParseUserType converts a string produced by String back to a UserType.
+func ParseUserType(s string) (UserType, error) {
+	for _, u := range UserTypes() {
+		if u.String() == s {
+			return u, nil
+		}
+	}
+	return 0, fmt.Errorf("telemetry: unknown user type %q", s)
+}
+
+// Record is one logged user action: the (T, A, L, M) tuple. The latency is
+// measured at the client from action initiation to completion and conveyed
+// to the server, as in OWA. TZOffset carries the user's local-time offset so
+// analyses can slot on local time. Failed marks an action that returned an
+// error; per the paper such records are excluded from analysis.
+type Record struct {
+	Time      timeutil.Millis `json:"t"`
+	Action    ActionType      `json:"a"`
+	LatencyMS float64         `json:"l"`
+	UserID    uint64          `json:"u"`
+	UserType  UserType        `json:"ut"`
+	TZOffset  timeutil.Millis `json:"tz"`
+	Failed    bool            `json:"f,omitempty"`
+}
+
+// Validate checks the record's invariants.
+func (r Record) Validate() error {
+	if r.LatencyMS < 0 {
+		return fmt.Errorf("telemetry: negative latency %v", r.LatencyMS)
+	}
+	if r.Action < 0 || int(r.Action) >= NumActionTypes {
+		return fmt.Errorf("telemetry: invalid action type %d", r.Action)
+	}
+	if r.UserType < 0 || int(r.UserType) >= NumUserTypes {
+		return fmt.Errorf("telemetry: invalid user type %d", r.UserType)
+	}
+	return nil
+}
+
+// SortByTime sorts records in place by ascending timestamp (stable, so
+// simultaneous records keep their generation order).
+func SortByTime(rs []Record) {
+	sort.SliceStable(rs, func(i, j int) bool { return rs[i].Time < rs[j].Time })
+}
+
+// Filter returns the records matching keep, preserving order.
+func Filter(rs []Record, keep func(Record) bool) []Record {
+	out := make([]Record, 0, len(rs))
+	for _, r := range rs {
+		if keep(r) {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// Successful returns only the non-failed records, mirroring the paper's
+// "we only focus on successful actions".
+func Successful(rs []Record) []Record {
+	return Filter(rs, func(r Record) bool { return !r.Failed })
+}
+
+// ByAction returns the records with the given action type.
+func ByAction(rs []Record, a ActionType) []Record {
+	return Filter(rs, func(r Record) bool { return r.Action == a })
+}
+
+// ByUserType returns the records with the given user segment.
+func ByUserType(rs []Record, u UserType) []Record {
+	return Filter(rs, func(r Record) bool { return r.UserType == u })
+}
+
+// ByTimeRange returns the records with lo <= Time < hi.
+func ByTimeRange(rs []Record, lo, hi timeutil.Millis) []Record {
+	return Filter(rs, func(r Record) bool { return r.Time >= lo && r.Time < hi })
+}
+
+// ByPeriod returns the records whose user-local time of day falls in the
+// given 6-hour period.
+func ByPeriod(rs []Record, p timeutil.Period) []Record {
+	return Filter(rs, func(r Record) bool { return timeutil.PeriodOf(r.Time, r.TZOffset) == p })
+}
+
+// Latencies extracts the latency series in record order.
+func Latencies(rs []Record) []float64 {
+	out := make([]float64, len(rs))
+	for i, r := range rs {
+		out[i] = r.LatencyMS
+	}
+	return out
+}
+
+// UserMedians returns each user's median latency over their records.
+func UserMedians(rs []Record) map[uint64]float64 {
+	perUser := make(map[uint64][]float64)
+	for _, r := range rs {
+		perUser[r.UserID] = append(perUser[r.UserID], r.LatencyMS)
+	}
+	out := make(map[uint64]float64, len(perUser))
+	for id, ls := range perUser {
+		m, err := stats.Median(ls)
+		if err != nil {
+			continue // unreachable: every user here has >= 1 record
+		}
+		out[id] = m
+	}
+	return out
+}
+
+// Quartile identifies one of the four median-latency user groups of
+// Section 3.4; Q1 is the fastest (lowest median latency).
+type Quartile int
+
+// Quartile labels.
+const (
+	Q1 Quartile = iota
+	Q2
+	Q3
+	Q4
+	numQuartiles
+)
+
+// NumQuartiles is the number of quartile groups.
+const NumQuartiles = int(numQuartiles)
+
+// String implements fmt.Stringer.
+func (q Quartile) String() string {
+	if q >= 0 && int(q) < NumQuartiles {
+		return fmt.Sprintf("Q%d", int(q)+1)
+	}
+	return fmt.Sprintf("Quartile(%d)", int(q))
+}
+
+// AssignQuartiles groups users into quartiles of their median latency.
+// Returns the per-user quartile map and the three latency cut points.
+func AssignQuartiles(rs []Record) (map[uint64]Quartile, [3]float64, error) {
+	medians := UserMedians(rs)
+	if len(medians) < NumQuartiles {
+		return nil, [3]float64{}, fmt.Errorf("telemetry: %d users is too few for quartiles", len(medians))
+	}
+	vals := make([]float64, 0, len(medians))
+	for _, m := range medians {
+		vals = append(vals, m)
+	}
+	q1, q2, q3, err := stats.Quartiles(vals)
+	if err != nil {
+		return nil, [3]float64{}, err
+	}
+	cuts := [3]float64{q1, q2, q3}
+	out := make(map[uint64]Quartile, len(medians))
+	for id, m := range medians {
+		switch {
+		case m <= q1:
+			out[id] = Q1
+		case m <= q2:
+			out[id] = Q2
+		case m <= q3:
+			out[id] = Q3
+		default:
+			out[id] = Q4
+		}
+	}
+	return out, cuts, nil
+}
+
+// ByQuartile splits records by their user's quartile assignment. Records of
+// users missing from the map are dropped.
+func ByQuartile(rs []Record, assign map[uint64]Quartile) [NumQuartiles][]Record {
+	var out [NumQuartiles][]Record
+	for _, r := range rs {
+		q, ok := assign[r.UserID]
+		if !ok {
+			continue
+		}
+		out[q] = append(out[q], r)
+	}
+	return out
+}

@@ -1,0 +1,213 @@
+package telemetry
+
+import (
+	"testing"
+
+	"autosens/internal/rng"
+	"autosens/internal/timeutil"
+)
+
+func rec(t timeutil.Millis, a ActionType, l float64, uid uint64) Record {
+	return Record{Time: t, Action: a, LatencyMS: l, UserID: uid, UserType: Business}
+}
+
+func TestActionTypeStringRoundTrip(t *testing.T) {
+	for _, a := range ActionTypes() {
+		got, err := ParseActionType(a.String())
+		if err != nil || got != a {
+			t.Fatalf("round trip %v: %v, %v", a, got, err)
+		}
+	}
+	if _, err := ParseActionType("bogus"); err == nil {
+		t.Fatal("bogus action parsed")
+	}
+}
+
+func TestUserTypeStringRoundTrip(t *testing.T) {
+	for _, u := range UserTypes() {
+		got, err := ParseUserType(u.String())
+		if err != nil || got != u {
+			t.Fatalf("round trip %v: %v, %v", u, got, err)
+		}
+	}
+	if _, err := ParseUserType("bogus"); err == nil {
+		t.Fatal("bogus user type parsed")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	good := rec(0, SelectMail, 100, 1)
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Record{
+		{LatencyMS: -1},
+		{Action: ActionType(99)},
+		{Action: ActionType(-1)},
+		{UserType: UserType(99)},
+	}
+	for i, r := range bad {
+		if err := r.Validate(); err == nil {
+			t.Fatalf("bad record %d validated", i)
+		}
+	}
+}
+
+func TestSortByTimeStable(t *testing.T) {
+	rs := []Record{
+		rec(30, SelectMail, 1, 1),
+		rec(10, Search, 2, 2),
+		rec(10, ComposeSend, 3, 3),
+		rec(20, SelectMail, 4, 4),
+	}
+	SortByTime(rs)
+	if rs[0].Time != 10 || rs[1].Time != 10 || rs[2].Time != 20 || rs[3].Time != 30 {
+		t.Fatalf("not sorted: %v", rs)
+	}
+	if rs[0].Action != Search || rs[1].Action != ComposeSend {
+		t.Fatal("sort not stable for equal timestamps")
+	}
+}
+
+func TestFilters(t *testing.T) {
+	rs := []Record{
+		rec(0, SelectMail, 1, 1),
+		rec(100, Search, 2, 2),
+		{Time: 200, Action: SelectMail, LatencyMS: 3, UserID: 3, UserType: Consumer},
+		{Time: 300, Action: Search, LatencyMS: 4, UserID: 4, UserType: Business, Failed: true},
+	}
+	if got := len(ByAction(rs, SelectMail)); got != 2 {
+		t.Fatalf("ByAction = %d", got)
+	}
+	if got := len(ByUserType(rs, Consumer)); got != 1 {
+		t.Fatalf("ByUserType = %d", got)
+	}
+	if got := len(ByTimeRange(rs, 100, 300)); got != 2 {
+		t.Fatalf("ByTimeRange = %d", got)
+	}
+	if got := len(Successful(rs)); got != 3 {
+		t.Fatalf("Successful = %d", got)
+	}
+}
+
+func TestByPeriod(t *testing.T) {
+	// 9am local => Period8am2pm; 3am local => Period2am8am.
+	rs := []Record{
+		rec(9*timeutil.MillisPerHour, SelectMail, 1, 1),
+		rec(3*timeutil.MillisPerHour, SelectMail, 1, 2),
+	}
+	if got := len(ByPeriod(rs, timeutil.Period8am2pm)); got != 1 {
+		t.Fatalf("ByPeriod day = %d", got)
+	}
+	if got := len(ByPeriod(rs, timeutil.Period2am8am)); got != 1 {
+		t.Fatalf("ByPeriod night = %d", got)
+	}
+	// A timezone offset moves the record between periods.
+	rs[1].TZOffset = 6 * timeutil.MillisPerHour // 3am UTC + 6h = 9am local
+	if got := len(ByPeriod(rs, timeutil.Period8am2pm)); got != 2 {
+		t.Fatalf("ByPeriod with tz = %d", got)
+	}
+}
+
+func TestLatencies(t *testing.T) {
+	rs := []Record{rec(0, SelectMail, 10, 1), rec(1, SelectMail, 20, 1)}
+	ls := Latencies(rs)
+	if len(ls) != 2 || ls[0] != 10 || ls[1] != 20 {
+		t.Fatalf("Latencies = %v", ls)
+	}
+}
+
+func TestUserMedians(t *testing.T) {
+	rs := []Record{
+		rec(0, SelectMail, 10, 1),
+		rec(1, SelectMail, 30, 1),
+		rec(2, SelectMail, 20, 1),
+		rec(3, SelectMail, 100, 2),
+	}
+	m := UserMedians(rs)
+	if m[1] != 20 || m[2] != 100 {
+		t.Fatalf("UserMedians = %v", m)
+	}
+}
+
+func TestAssignQuartiles(t *testing.T) {
+	var rs []Record
+	// 100 users with median latency = 10*user id: clean quartiles.
+	for uid := uint64(1); uid <= 100; uid++ {
+		rs = append(rs, rec(timeutil.Millis(uid), SelectMail, float64(uid*10), uid))
+	}
+	assign, cuts, err := AssignQuartiles(rs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(assign) != 100 {
+		t.Fatalf("assigned %d users", len(assign))
+	}
+	if assign[1] != Q1 || assign[100] != Q4 {
+		t.Fatalf("extremes misassigned: %v %v", assign[1], assign[100])
+	}
+	if !(cuts[0] < cuts[1] && cuts[1] < cuts[2]) {
+		t.Fatalf("cuts not increasing: %v", cuts)
+	}
+	// Roughly equal group sizes.
+	var sizes [NumQuartiles]int
+	for _, q := range assign {
+		sizes[q]++
+	}
+	for q, n := range sizes {
+		if n < 20 || n > 30 {
+			t.Fatalf("quartile %d has %d users", q, n)
+		}
+	}
+}
+
+func TestAssignQuartilesTooFewUsers(t *testing.T) {
+	rs := []Record{rec(0, SelectMail, 1, 1), rec(1, SelectMail, 2, 2)}
+	if _, _, err := AssignQuartiles(rs); err == nil {
+		t.Fatal("too-few-users accepted")
+	}
+}
+
+func TestByQuartile(t *testing.T) {
+	rs := []Record{
+		rec(0, SelectMail, 1, 1),
+		rec(1, SelectMail, 2, 2),
+		rec(2, SelectMail, 3, 3), // not assigned
+	}
+	assign := map[uint64]Quartile{1: Q1, 2: Q4}
+	groups := ByQuartile(rs, assign)
+	if len(groups[Q1]) != 1 || len(groups[Q4]) != 1 || len(groups[Q2]) != 0 {
+		t.Fatalf("ByQuartile groups = %v", groups)
+	}
+}
+
+func TestQuartileString(t *testing.T) {
+	if Q1.String() != "Q1" || Q4.String() != "Q4" {
+		t.Fatal("quartile names wrong")
+	}
+}
+
+func TestQuartileMonotonicityProperty(t *testing.T) {
+	// Users with strictly higher median latency never land in a lower
+	// quartile.
+	s := rng.New(1)
+	var rs []Record
+	medians := make(map[uint64]float64)
+	for uid := uint64(1); uid <= 200; uid++ {
+		l := s.LogNormal(5, 0.8)
+		medians[uid] = l
+		rs = append(rs, rec(timeutil.Millis(uid), SelectMail, l, uid))
+	}
+	assign, _, err := AssignQuartiles(rs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for a, qa := range assign {
+		for b, qb := range assign {
+			if medians[a] < medians[b] && qa > qb {
+				t.Fatalf("user %d (median %v, %v) above user %d (median %v, %v)",
+					a, medians[a], qa, b, medians[b], qb)
+			}
+		}
+	}
+}

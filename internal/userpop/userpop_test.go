@@ -1,0 +1,261 @@
+package userpop
+
+import (
+	"math"
+	"testing"
+
+	"autosens/internal/rng"
+	"autosens/internal/telemetry"
+	"autosens/internal/timeutil"
+)
+
+func TestDefaultGroundTruthValid(t *testing.T) {
+	if err := Default().Validate(); err != nil {
+		t.Fatalf("default ground truth invalid: %v", err)
+	}
+}
+
+func TestGroundTruthValidateRejectsBroken(t *testing.T) {
+	g := Default()
+	g.ReferenceMS = 0
+	if err := g.Validate(); err == nil {
+		t.Fatal("zero reference accepted")
+	}
+
+	g = Default()
+	g.Base[0] = nil
+	if err := g.Validate(); err == nil {
+		t.Fatal("nil curve accepted")
+	}
+
+	g = Default()
+	g.SegmentGamma[0] = 0
+	if err := g.Validate(); err == nil {
+		t.Fatal("zero segment gamma accepted")
+	}
+
+	g = Default()
+	g.PeriodGamma[0] = -1
+	if err := g.Validate(); err == nil {
+		t.Fatal("negative period gamma accepted")
+	}
+
+	g = Default()
+	g.ConditioningK = -1
+	if err := g.Validate(); err == nil {
+		t.Fatal("negative conditioning K accepted")
+	}
+}
+
+func TestSelectMailAnchorsNearPaper(t *testing.T) {
+	// The planted behavioural curve keeps the paper's NLP quotes as its
+	// shape reference; the tail anchors are calibrated slightly upward to
+	// compensate for differential measurement attenuation (see the
+	// CalibrationGamma doc comment), so allow a small tolerance.
+	g := Default()
+	cases := []struct{ ms, want float64 }{
+		{300, 1.0}, {500, 0.88}, {1000, 0.68}, {1500, 0.61}, {2000, 0.59},
+	}
+	for _, c := range cases {
+		got := g.Base[telemetry.SelectMail].Eval(c.ms)
+		if math.Abs(got-c.want) > 0.03 {
+			t.Fatalf("SelectMail(%v) = %v, want ~%v", c.ms, got, c.want)
+		}
+	}
+}
+
+func TestActionSensitivityOrdering(t *testing.T) {
+	// At high latency: SelectMail < SwitchFolder < Search < ComposeSend.
+	g := Default()
+	at := 1500.0
+	sm := g.Base[telemetry.SelectMail].Eval(at)
+	sf := g.Base[telemetry.SwitchFolder].Eval(at)
+	se := g.Base[telemetry.Search].Eval(at)
+	cs := g.Base[telemetry.ComposeSend].Eval(at)
+	if !(sm < sf && sf < se && se < cs) {
+		t.Fatalf("ordering violated: %v %v %v %v", sm, sf, se, cs)
+	}
+	if cs != 1 {
+		t.Fatalf("ComposeSend not flat: %v", cs)
+	}
+}
+
+func TestGammaStructure(t *testing.T) {
+	g := Default()
+	// Business more sensitive than consumer, same conditions.
+	gb := g.Gamma(telemetry.Business, 1, timeutil.Period8am2pm)
+	gc := g.Gamma(telemetry.Consumer, 1, timeutil.Period8am2pm)
+	if gb <= gc {
+		t.Fatalf("business gamma %v not above consumer %v", gb, gc)
+	}
+	// Daytime more sensitive than deep night.
+	gday := g.Gamma(telemetry.Business, 1, timeutil.Period8am2pm)
+	gnight := g.Gamma(telemetry.Business, 1, timeutil.Period2am8am)
+	if gday <= gnight {
+		t.Fatalf("day gamma %v not above night %v", gday, gnight)
+	}
+	// Fast-network users more sensitive than slow-network users.
+	gfast := g.Gamma(telemetry.Business, 0.7, timeutil.Period8am2pm)
+	gslow := g.Gamma(telemetry.Business, 1.6, timeutil.Period8am2pm)
+	if gfast <= gslow {
+		t.Fatalf("fast gamma %v not above slow %v", gfast, gslow)
+	}
+}
+
+func TestPrefGammaSteepens(t *testing.T) {
+	g := Default()
+	at := 1500.0
+	base := g.Pref(telemetry.SelectMail, at, 1)
+	steep := g.Pref(telemetry.SelectMail, at, 1.5)
+	flat := g.Pref(telemetry.SelectMail, at, 0.5)
+	if !(steep < base && base < flat) {
+		t.Fatalf("gamma does not order drops: %v %v %v", steep, base, flat)
+	}
+	// All variants equal 1 at the reference.
+	for _, gm := range []float64{0.5, 1, 1.5} {
+		if v := g.Pref(telemetry.SelectMail, 300, gm); math.Abs(v-1) > 1e-12 {
+			t.Fatalf("Pref at reference with gamma %v = %v", gm, v)
+		}
+	}
+}
+
+func TestEffectiveCurve(t *testing.T) {
+	g := Default()
+	c := g.EffectiveCurve(telemetry.SelectMail, telemetry.Consumer, 1.0, timeutil.Period2am8am)
+	// Consumer at night: strongly flattened relative to base.
+	base := g.Base[telemetry.SelectMail].Eval(1500)
+	got := c.Eval(1500)
+	if got <= base {
+		t.Fatalf("flattened curve %v not above base %v at 1500ms", got, base)
+	}
+	if math.Abs(c.Eval(300)-1) > 1e-12 {
+		t.Fatalf("effective curve at reference = %v", c.Eval(300))
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	cfg := DefaultConfig(20, 30)
+	u1, err := Generate(cfg, rng.New(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	u2, err := Generate(cfg, rng.New(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(u1) != 50 || len(u2) != 50 {
+		t.Fatalf("sizes %d, %d", len(u1), len(u2))
+	}
+	for i := range u1 {
+		if u1[i] != u2[i] {
+			t.Fatalf("user %d differs between identical seeds", i)
+		}
+	}
+}
+
+func TestGenerateSegments(t *testing.T) {
+	users, err := Generate(DefaultConfig(10, 15), rng.New(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var nb, nc int
+	ids := make(map[uint64]bool)
+	for _, u := range users {
+		if err := u.Validate(); err != nil {
+			t.Fatalf("generated user invalid: %v", err)
+		}
+		if ids[u.ID] {
+			t.Fatalf("duplicate user id %d", u.ID)
+		}
+		ids[u.ID] = true
+		switch u.Type {
+		case telemetry.Business:
+			nb++
+		case telemetry.Consumer:
+			nc++
+		}
+	}
+	if nb != 10 || nc != 15 {
+		t.Fatalf("segments %d business / %d consumer", nb, nc)
+	}
+}
+
+func TestGenerateTimezonesFromConfig(t *testing.T) {
+	cfg := DefaultConfig(50, 0)
+	users, err := Generate(cfg, rng.New(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	allowed := make(map[timeutil.Millis]bool)
+	for _, tz := range cfg.TZOffsets {
+		allowed[tz] = true
+	}
+	for _, u := range users {
+		if !allowed[u.TZOffset] {
+			t.Fatalf("user %d has unexpected tz %d", u.ID, u.TZOffset)
+		}
+	}
+}
+
+func TestGenerateEmptyRejected(t *testing.T) {
+	if _, err := Generate(DefaultConfig(0, 0), rng.New(1)); err == nil {
+		t.Fatal("empty population accepted")
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	c := DefaultConfig(1, 1)
+	c.NetSigma = -1
+	if err := c.Validate(); err == nil {
+		t.Fatal("negative NetSigma accepted")
+	}
+	c = DefaultConfig(1, 1)
+	c.TZOffsets = nil
+	if err := c.Validate(); err == nil {
+		t.Fatal("empty TZOffsets accepted")
+	}
+}
+
+func TestUserValidate(t *testing.T) {
+	good := User{ID: 1, NetMult: 1, RatePerHour: 10, Mix: businessMix, Diurnal: timeutil.WorkdayProfile(), WeekendFactor: 1}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := good
+	bad.NetMult = 0
+	if err := bad.Validate(); err == nil {
+		t.Fatal("zero NetMult accepted")
+	}
+	bad = good
+	bad.RatePerHour = 0
+	if err := bad.Validate(); err == nil {
+		t.Fatal("zero rate accepted")
+	}
+	bad = good
+	bad.Mix = [telemetry.NumActionTypes]float64{}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("empty mix accepted")
+	}
+	bad = good
+	bad.Mix[0] = -1
+	if err := bad.Validate(); err == nil {
+		t.Fatal("negative mix accepted")
+	}
+	bad = good
+	bad.WeekendFactor = 0
+	if err := bad.Validate(); err == nil {
+		t.Fatal("zero weekend factor accepted")
+	}
+}
+
+func TestMixTotals(t *testing.T) {
+	for _, mix := range [][telemetry.NumActionTypes]float64{businessMix, consumerMix} {
+		var s float64
+		for _, w := range mix {
+			s += w
+		}
+		if math.Abs(s-1) > 1e-9 {
+			t.Fatalf("mix sums to %v", s)
+		}
+	}
+}
