@@ -1,0 +1,31 @@
+GO ?= go
+
+.PHONY: build test race bench check fmt vet clean
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem -run=^$$ ./...
+
+fmt:
+	@out=$$(gofmt -l .); \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+vet:
+	$(GO) vet ./...
+
+# check is the pre-merge gate: formatting, static analysis, and the full
+# test suite under the race detector.
+check: fmt vet race
+
+clean:
+	$(GO) clean ./...

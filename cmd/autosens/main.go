@@ -6,23 +6,29 @@
 //	autosens -in telemetry.jsonl -action SelectMail -usertype business
 //	autosens -in telemetry.jsonl -action Search -mode plain -csv out.csv
 //	autosens -in telemetry.jsonl -action SelectMail -quartile Q1
+//	autosens -in telemetry.jsonl -action Search -trace -trace-out trace.json
 package main
 
 import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"math"
 	"os"
 	"strconv"
 	"strings"
 
 	"autosens/internal/core"
+	"autosens/internal/obs"
 	"autosens/internal/pipeline"
 	"autosens/internal/report"
 	"autosens/internal/telemetry"
 	"autosens/internal/timeutil"
 )
+
+// logger carries progress reporting; run() replaces it per -log-level.
+var logger = slog.New(slog.NewTextHandler(os.Stderr, nil))
 
 func main() {
 	if err := run(); err != nil {
@@ -50,7 +56,47 @@ func run() error {
 	ci := flag.Bool("ci", false, "compute bootstrap confidence bounds (moving 6h blocks, 40 replicates, 90%)")
 	stream := flag.Bool("stream", false, "stream the input through the constant-memory estimator instead of loading it (normalized mode only; incompatible with -quartile)")
 	reservoir := flag.Int("reservoir", 500, "per-slot reservoir size for -stream")
+	traceFlag := flag.Bool("trace", false, "print a stage-timing span tree to stderr when done")
+	traceOut := flag.String("trace-out", "", "also write the span tree as JSON to this path")
+	logLevel := flag.String("log-level", "info", "log level: debug, info, warn, error")
 	flag.Parse()
+
+	log, err := obs.NewLogger(os.Stderr, *logLevel)
+	if err != nil {
+		return err
+	}
+	logger = log
+
+	// When tracing is requested every stage below hangs its spans off root;
+	// a nil root (the default) makes all span calls no-ops.
+	var tr *obs.Tracer
+	var root *obs.Span
+	if *traceFlag || *traceOut != "" {
+		tr = obs.NewTracer("autosens")
+		root = tr.Root()
+		defer func() {
+			done := tr.Finish()
+			if *traceFlag {
+				fmt.Fprintln(os.Stderr)
+				if err := done.WriteTree(os.Stderr); err != nil {
+					logger.Error("trace render failed", "err", err)
+				}
+			}
+			if *traceOut != "" {
+				f, err := os.Create(*traceOut)
+				if err != nil {
+					logger.Error("trace output failed", "err", err)
+					return
+				}
+				defer f.Close()
+				if err := done.WriteJSON(f); err != nil {
+					logger.Error("trace output failed", "err", err)
+					return
+				}
+				logger.Info("trace written", "path", *traceOut)
+			}
+		}()
+	}
 
 	if *in == "" {
 		return fmt.Errorf("-in is required")
@@ -109,6 +155,7 @@ func run() error {
 	if err != nil {
 		return err
 	}
+	est.SetTrace(root)
 
 	if *stream {
 		if *quartile != "" {
@@ -124,15 +171,22 @@ func run() error {
 		return emit(os.Stdout, curve, nil, *noChart, *ref, *mode, *probesFlag, *csvOut, *jsonOut)
 	}
 
+	readSp := root.StartChild("read_input")
 	records, err := telemetry.NewReader(src, f).ReadAll()
 	if err != nil {
+		readSp.End()
 		return err
 	}
+	readSp.SetAttr("records", len(records))
 	records = telemetry.Successful(records)
-	fmt.Fprintf(os.Stderr, "autosens: %d successful records loaded\n", len(records))
+	readSp.SetAttr("successful", len(records))
+	readSp.End()
+	logger.Info("records loaded", "successful", len(records))
 
 	// Slice selection. Quartiles are assigned over the full population
 	// before any other filter, as in the paper.
+	sliceSp := root.StartChild("slice_records")
+	defer sliceSp.End() // End is idempotent; the happy path ends it below.
 	if *quartile != "" {
 		assign, cuts, err := telemetry.AssignQuartiles(records)
 		if err != nil {
@@ -153,20 +207,22 @@ func run() error {
 		}
 		groups := telemetry.ByQuartile(records, assign)
 		records = groups[q]
-		fmt.Fprintf(os.Stderr, "autosens: quartile cuts at %.0f / %.0f / %.0f ms median latency\n",
-			cuts[0], cuts[1], cuts[2])
+		logger.Info("quartile cuts assigned",
+			"q1_ms", cuts[0], "q2_ms", cuts[1], "q3_ms", cuts[2])
 	}
 	records = telemetry.Filter(records, keep)
+	sliceSp.SetAttr("records", len(records))
+	sliceSp.End()
 	if len(records) == 0 {
 		return fmt.Errorf("no records left after slicing")
 	}
-	fmt.Fprintf(os.Stderr, "autosens: analyzing %d records\n", len(records))
+	logger.Info("analyzing", "records", len(records))
 
 	if *by != "" {
 		if *ci {
 			return fmt.Errorf("-by and -ci are mutually exclusive")
 		}
-		return runComparison(os.Stdout, records, opts, *by, *action, *probesFlag, *noChart)
+		return runComparison(os.Stdout, records, opts, *by, *action, *probesFlag, *noChart, root)
 	}
 
 	if *ci {
@@ -176,7 +232,7 @@ func run() error {
 		if err != nil {
 			return err
 		}
-		fmt.Fprintf(os.Stderr, "autosens: %d bootstrap replicates\n", band.Replicates)
+		logger.Info("bootstrap complete", "replicates", band.Replicates)
 		return emit(os.Stdout, band.Curve, band, *noChart, *ref, *mode, *probesFlag, *csvOut, *jsonOut)
 	}
 
@@ -219,7 +275,7 @@ func runStreaming(est *core.Estimator, src io.Reader, f telemetry.Format, mode s
 			return nil, err
 		}
 	}
-	fmt.Fprintf(os.Stderr, "autosens: streamed %d records over %d slots\n", s.Count(), s.Slots())
+	logger.Info("streamed", "records", s.Count(), "slots", s.Slots())
 	switch mode {
 	case "normalized":
 		return s.Finalize()
@@ -329,7 +385,7 @@ func emit(out io.Writer, curve *core.Curve, band *core.CurveCI, noChart bool, re
 		if err := report.CSV(file, names, cols...); err != nil {
 			return err
 		}
-		fmt.Fprintf(os.Stderr, "autosens: curve written to %s\n", csvOut)
+		logger.Info("curve written", "path", csvOut)
 	}
 	if jsonOut != "" {
 		file, err := os.Create(jsonOut)
@@ -340,14 +396,15 @@ func emit(out io.Writer, curve *core.Curve, band *core.CurveCI, noChart bool, re
 		if err := curve.WriteJSON(file); err != nil {
 			return err
 		}
-		fmt.Fprintf(os.Stderr, "autosens: curve written to %s\n", jsonOut)
+		logger.Info("curve written", "path", jsonOut)
 	}
 	return nil
 }
 
 // runComparison estimates several slices with the full method and renders
-// them on one chart with a probe table.
-func runComparison(out io.Writer, records []telemetry.Record, opts core.Options, by, actionFlag, probesFlag string, noChart bool) error {
+// them on one chart with a probe table. A non-nil trace span receives one
+// child per slice from the pipeline.
+func runComparison(out io.Writer, records []telemetry.Record, opts core.Options, by, actionFlag, probesFlag string, noChart bool, trace *obs.Span) error {
 	var slices []pipeline.Slice
 	switch by {
 	case "action":
@@ -389,7 +446,7 @@ func runComparison(out io.Writer, records []telemetry.Record, opts core.Options,
 	default:
 		return fmt.Errorf("unknown -by dimension %q", by)
 	}
-	results, err := pipeline.Run(pipeline.Request{Options: opts, TimeNormalized: true, Slices: slices})
+	results, err := pipeline.Run(pipeline.Request{Options: opts, TimeNormalized: true, Slices: slices, Trace: trace})
 	if err != nil {
 		return err
 	}
@@ -409,7 +466,7 @@ func runComparison(out io.Writer, records []telemetry.Record, opts core.Options,
 	var rows [][]string
 	for _, r := range results {
 		if r.Err != nil {
-			fmt.Fprintf(os.Stderr, "autosens: %v (slice skipped)\n", r.Err)
+			logger.Warn("slice skipped", "err", r.Err)
 			continue
 		}
 		var xs, ys []float64

@@ -2,21 +2,29 @@
 // latency beacons over HTTP (POST /v1/beacons) and appends them to a JSONL
 // telemetry log that the autosens analyzer consumes directly.
 //
+// A second listener (-admin-addr) exposes the operational surface:
+// Prometheus metrics at /metrics, a liveness probe at /healthz, and the Go
+// profiler under /debug/pprof/. It binds loopback by default and can be
+// disabled with -admin-addr "".
+//
 // Example:
 //
-//	sensd -addr 127.0.0.1:8787 -out telemetry.jsonl
+//	sensd -addr 127.0.0.1:8787 -out telemetry.jsonl -admin-addr 127.0.0.1:8788
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
 	"autosens/internal/collector"
+	"autosens/internal/obs"
 	"autosens/internal/telemetry"
 )
 
@@ -30,7 +38,15 @@ func main() {
 func run() error {
 	addr := flag.String("addr", "127.0.0.1:8787", "listen address")
 	out := flag.String("out", "telemetry.jsonl", "telemetry sink path")
+	adminAddr := flag.String("admin-addr", "127.0.0.1:8788",
+		"admin listen address serving /metrics, /healthz and /debug/pprof/ (empty disables)")
+	logLevel := flag.String("log-level", "info", "log level: debug, info, warn, error")
 	flag.Parse()
+
+	log, err := obs.NewLogger(os.Stderr, *logLevel)
+	if err != nil {
+		return err
+	}
 
 	file, err := os.OpenFile(*out, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
@@ -38,25 +54,47 @@ func run() error {
 	}
 	defer file.Close()
 
-	srv := collector.NewServer(telemetry.NewWriter(file, telemetry.JSONL))
+	srv := collector.NewServer(telemetry.NewWriter(file, telemetry.JSONL),
+		collector.WithLogger(log))
 	bound, err := srv.Start(*addr)
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(os.Stderr, "sensd: listening on http://%s (sink %s)\n", bound, *out)
+	log.Info("listening", "addr", "http://"+bound, "sink", *out)
+
+	var admin *http.Server
+	if *adminAddr != "" {
+		ln, err := net.Listen("tcp", *adminAddr)
+		if err != nil {
+			return fmt.Errorf("admin listener: %w", err)
+		}
+		admin = &http.Server{Handler: obs.AdminMux(srv.Registry(), srv.Health)}
+		go func() {
+			if err := admin.Serve(ln); err != nil && err != http.ErrServerClosed {
+				log.Error("admin server failed", "err", err)
+			}
+		}()
+		log.Info("admin surface up", "addr", "http://"+ln.Addr().String(),
+			"endpoints", "/metrics /healthz /debug/pprof/")
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
-	fmt.Fprintln(os.Stderr, "sensd: shutting down")
+	log.Info("shutting down")
 
 	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
+	if admin != nil {
+		if err := admin.Shutdown(ctx); err != nil {
+			log.Warn("admin shutdown", "err", err)
+		}
+	}
 	if err := srv.Shutdown(ctx); err != nil {
 		return err
 	}
 	batches, accepted, rejected, bad := srv.Stats()
-	fmt.Fprintf(os.Stderr, "sensd: %d batches, %d accepted, %d rejected records, %d bad requests\n",
-		batches, accepted, rejected, bad)
+	log.Info("final stats",
+		"batches", batches, "accepted", accepted, "rejected", rejected, "bad_requests", bad)
 	return nil
 }

@@ -10,6 +10,7 @@ import (
 	"sync"
 	"time"
 
+	"autosens/internal/obs"
 	"autosens/internal/telemetry"
 )
 
@@ -29,6 +30,9 @@ type ClientConfig struct {
 	// HTTPClient overrides the transport (for tests); nil uses a client
 	// with a sane timeout.
 	HTTPClient *http.Client
+	// Registry exports the client's counters (flushes, retries, sent,
+	// dropped); nil keeps them in a private registry readable via Stats.
+	Registry *obs.Registry
 }
 
 // DefaultClientConfig returns a production-shaped configuration for the
@@ -43,20 +47,40 @@ func DefaultClientConfig(url string) ClientConfig {
 	}
 }
 
+// clientMetrics bundles the client's registry handles.
+type clientMetrics struct {
+	flushes       *obs.Counter
+	flushFailures *obs.Counter
+	retries       *obs.Counter
+	sent          *obs.Counter
+	dropped       *obs.Counter
+	flushDur      *obs.Histogram
+}
+
+func newClientMetrics(reg *obs.Registry) clientMetrics {
+	return clientMetrics{
+		flushes:       reg.Counter("autosens_client_flushes_total", "non-empty batch flushes attempted"),
+		flushFailures: reg.Counter("autosens_client_flush_failures_total", "flushes that exhausted retries"),
+		retries:       reg.Counter("autosens_client_retries_total", "batch retransmissions after a transient failure"),
+		sent:          reg.Counter("autosens_client_records_sent_total", "records delivered to the collector"),
+		dropped:       reg.Counter("autosens_client_records_dropped_total", "records dropped after exhausting retries"),
+		flushDur: reg.Histogram("autosens_client_flush_duration_seconds",
+			"end-to-end time of one flush, retries included", obs.DefLatencyBuckets()),
+	}
+}
+
 // Client batches telemetry records and ships them to a collector.
 // Safe for concurrent use.
 type Client struct {
 	cfg    ClientConfig
 	http   *http.Client
+	reg    *obs.Registry
+	m      clientMetrics
 	mu     sync.Mutex
 	buf    []telemetry.Record
 	closed bool
 	wg     sync.WaitGroup
 	stopCh chan struct{}
-
-	statsMu sync.Mutex
-	sent    uint64
-	dropped uint64
 }
 
 // NewClient validates cfg and starts the background flusher (when a
@@ -74,17 +98,25 @@ func NewClient(cfg ClientConfig) (*Client, error) {
 	c := &Client{
 		cfg:    cfg,
 		http:   cfg.HTTPClient,
+		reg:    cfg.Registry,
 		stopCh: make(chan struct{}),
 	}
 	if c.http == nil {
 		c.http = &http.Client{Timeout: 10 * time.Second}
 	}
+	if c.reg == nil {
+		c.reg = obs.NewRegistry()
+	}
+	c.m = newClientMetrics(c.reg)
 	if cfg.FlushInterval > 0 {
 		c.wg.Add(1)
 		go c.flushLoop()
 	}
 	return c, nil
 }
+
+// Registry returns the registry holding the client's metrics.
+func (c *Client) Registry() *obs.Registry { return c.reg }
 
 func (c *Client) flushLoop() {
 	defer c.wg.Done()
@@ -130,15 +162,16 @@ func (c *Client) Flush() error {
 	if len(batch) == 0 {
 		return nil
 	}
-	if err := c.send(batch); err != nil {
-		c.statsMu.Lock()
-		c.dropped += uint64(len(batch))
-		c.statsMu.Unlock()
+	c.m.flushes.Inc()
+	start := time.Now()
+	err := c.send(batch)
+	c.m.flushDur.ObserveSince(start)
+	if err != nil {
+		c.m.flushFailures.Inc()
+		c.m.dropped.Add(uint64(len(batch)))
 		return err
 	}
-	c.statsMu.Lock()
-	c.sent += uint64(len(batch))
-	c.statsMu.Unlock()
+	c.m.sent.Add(uint64(len(batch)))
 	return nil
 }
 
@@ -155,6 +188,7 @@ func (c *Client) send(batch []telemetry.Record) error {
 	var lastErr error
 	for attempt := 0; attempt <= c.cfg.MaxRetries; attempt++ {
 		if attempt > 0 {
+			c.m.retries.Inc()
 			time.Sleep(backoff)
 			backoff *= 2
 		}
@@ -196,7 +230,10 @@ func (c *Client) Close() error {
 // Stats returns how many records were successfully shipped and how many
 // were dropped after exhausting retries.
 func (c *Client) Stats() (sent, dropped uint64) {
-	c.statsMu.Lock()
-	defer c.statsMu.Unlock()
-	return c.sent, c.dropped
+	return c.m.sent.Value(), c.m.dropped.Value()
+}
+
+// RetryStats returns flush and retry counts.
+func (c *Client) RetryStats() (flushes, retries uint64) {
+	return c.m.flushes.Value(), c.m.retries.Value()
 }

@@ -4,9 +4,12 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"io"
+	"log/slog"
 	"net/http"
 	"net/http/httptest"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -184,6 +187,171 @@ func TestStartAndShutdownRealListener(t *testing.T) {
 	}
 }
 
+// failingWriter errors on every underlying write; records buffer inside
+// telemetry.Writer until its 64 KiB buffer spills, which models a disk that
+// dies mid-batch.
+type failingWriter struct{}
+
+func (failingWriter) Write([]byte) (int, error) {
+	return 0, errors.New("disk gone")
+}
+
+func TestPartialBatchAccountingOnSinkFailure(t *testing.T) {
+	srv := NewServer(telemetry.NewWriter(failingWriter{}, telemetry.JSONL),
+		WithLogger(slog.New(slog.NewTextHandler(io.Discard, nil))))
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	// Big enough that the sink's buffer overflows and the write error
+	// surfaces partway through the batch.
+	batch := make([]telemetry.Record, 2000)
+	for i := range batch {
+		batch[i] = testRecord(i)
+	}
+	resp := postBatch(t, ts.URL, batch)
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	batches, accepted, _, _ := srv.Stats()
+	if batches != 1 {
+		t.Fatalf("batches = %d", batches)
+	}
+	if accepted == 0 || accepted >= uint64(len(batch)) {
+		t.Fatalf("accepted = %d, want partial count in (0, %d)", accepted, len(batch))
+	}
+	if got := srv.Registry().Counter("autosens_collector_sink_failures_total", "").Value(); got != 1 {
+		t.Fatalf("sink_failures_total = %d", got)
+	}
+	h := srv.Health()
+	if h.Status != "degraded" {
+		t.Fatalf("health after sink failure: %+v", h)
+	}
+}
+
+func TestServeErrorSurfacesThroughShutdown(t *testing.T) {
+	var buf bytes.Buffer
+	srv := NewServer(telemetry.NewWriter(&buf, telemetry.JSONL),
+		WithLogger(slog.New(slog.NewTextHandler(io.Discard, nil))))
+	if _, err := srv.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	// Kill the listener out from under Serve: the accept loop fails with
+	// something other than ErrServerClosed.
+	srv.ln.Close()
+	deadline := time.Now().Add(2 * time.Second)
+	for srv.ServeError() == nil && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if srv.ServeError() == nil {
+		t.Fatal("serve error never recorded")
+	}
+	if got := srv.Registry().Counter("autosens_collector_serve_errors_total", "").Value(); got != 1 {
+		t.Fatalf("serve_errors_total = %d", got)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err == nil {
+		t.Fatal("Shutdown swallowed the serve error")
+	}
+}
+
+// TestMetricsEndpointPrometheusFormat is the exposition golden test over
+// real ingest traffic: known batches in, then the scrape must contain the
+// expected _total counters and a well-formed cumulative latency histogram
+// ending at le="+Inf".
+func TestMetricsEndpointPrometheusFormat(t *testing.T) {
+	_, _, ts := newTestServer(t)
+	postBatch(t, ts.URL, []telemetry.Record{testRecord(1), testRecord(2)})
+	postBatch(t, ts.URL, []telemetry.Record{testRecord(3), {LatencyMS: -5}})
+	resp, err := http.Post(ts.URL+"/v1/beacons", "application/json", strings.NewReader("{nope"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	resp, err = http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Fatalf("content type %q", ct)
+	}
+	text := string(body)
+	for _, want := range []string{
+		"autosens_collector_batches_total 2",
+		"autosens_collector_records_accepted_total 3",
+		"autosens_collector_records_rejected_total 1",
+		"autosens_collector_bad_requests_total 1",
+		"autosens_collector_sink_failures_total 0",
+		"# TYPE autosens_collector_ingest_duration_seconds histogram",
+		"# TYPE autosens_collector_batch_records histogram",
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("scrape missing %q:\n%s", want, text)
+		}
+	}
+
+	// Structural checks: every sample line parses, every counter ends in
+	// _total, buckets are cumulative and close with le="+Inf" == _count.
+	lastCum := map[string]float64{}
+	infBucket := map[string]float64{}
+	histCount := map[string]float64{}
+	for _, line := range strings.Split(strings.TrimRight(text, "\n"), "\n") {
+		if strings.HasPrefix(line, "#") {
+			if strings.HasPrefix(line, "# TYPE ") {
+				parts := strings.Fields(line)
+				if parts[3] == "counter" && !strings.HasSuffix(parts[2], "_total") {
+					t.Fatalf("counter %q not suffixed _total", parts[2])
+				}
+			}
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			t.Fatalf("unparseable line %q", line)
+		}
+		v, err := strconv.ParseFloat(fields[1], 64)
+		if err != nil {
+			t.Fatalf("bad value in %q: %v", line, err)
+		}
+		name := fields[0]
+		switch {
+		case strings.Contains(name, "_bucket{"):
+			series := name[:strings.Index(name, "_bucket{")]
+			if v < lastCum[series] {
+				t.Fatalf("non-cumulative bucket at %q", line)
+			}
+			lastCum[series] = v
+			if strings.Contains(name, `le="+Inf"`) {
+				infBucket[series] = v
+			}
+		case strings.HasSuffix(name, "_count"):
+			histCount[strings.TrimSuffix(name, "_count")] = v
+		}
+	}
+	if len(histCount) == 0 {
+		t.Fatal("no histograms in scrape")
+	}
+	for series, n := range histCount {
+		inf, ok := infBucket[series]
+		if !ok {
+			t.Fatalf(`histogram %s missing le="+Inf"`, series)
+		}
+		if inf != n {
+			t.Fatalf("histogram %s: +Inf %v != count %v", series, inf, n)
+		}
+	}
+	if infBucket["autosens_collector_batch_records"] != 2 {
+		t.Fatalf("batch_records histogram counted %v batches, want 2",
+			infBucket["autosens_collector_batch_records"])
+	}
+}
+
 func TestClientBatchingAndFlush(t *testing.T) {
 	srv, buf, ts := newTestServer(t)
 	cfg := DefaultClientConfig(ts.URL + "/v1/beacons")
@@ -265,6 +433,13 @@ func TestClientRetriesTransientErrors(t *testing.T) {
 	}
 	if atomic.LoadInt32(&got) != 1 {
 		t.Fatal("batch never delivered")
+	}
+	flushes, retries := c.RetryStats()
+	if flushes != 1 || retries != 2 {
+		t.Fatalf("flushes %d retries %d, want 1 and 2", flushes, retries)
+	}
+	if got := c.Registry().Counter("autosens_client_retries_total", "").Value(); got != 2 {
+		t.Fatalf("retries_total = %d", got)
 	}
 	c.Close()
 }

@@ -6,7 +6,9 @@
 // The Server accepts batched JSON beacons over HTTP and appends them to a
 // telemetry sink (typically a JSONL file); the Client batches records,
 // flushes them on a timer or when full, and retries transient failures with
-// exponential backoff.
+// exponential backoff. Both ends are instrumented through an obs.Registry,
+// so the ingest path of the collector can itself be scraped and analyzed —
+// including with AutoSens.
 package collector
 
 import (
@@ -15,11 +17,13 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net"
 	"net/http"
 	"sync"
 	"time"
 
+	"autosens/internal/obs"
 	"autosens/internal/telemetry"
 )
 
@@ -29,42 +33,96 @@ const MaxBatchBytes = 8 << 20
 // MaxBatchRecords bounds the number of records per beacon request.
 const MaxBatchRecords = 10000
 
-// Metrics counts server activity. All fields are monotonically increasing.
-type Metrics struct {
-	mu              sync.Mutex
-	Batches         uint64
-	Accepted        uint64
-	RejectedRecords uint64
-	BadRequests     uint64
+// serverMetrics bundles the registry handles the hot path uses.
+type serverMetrics struct {
+	batches      *obs.Counter
+	accepted     *obs.Counter
+	rejected     *obs.Counter
+	badRequests  *obs.Counter
+	sinkFailures *obs.Counter
+	serveErrors  *obs.Counter
+	ingestDur    *obs.Histogram
+	batchRecords *obs.Histogram
+	sinkWriteDur *obs.Histogram
 }
 
-func (m *Metrics) snapshot() (batches, accepted, rejectedRecords, badRequests uint64) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.Batches, m.Accepted, m.RejectedRecords, m.BadRequests
+func newServerMetrics(reg *obs.Registry) serverMetrics {
+	return serverMetrics{
+		batches:      reg.Counter("autosens_collector_batches_total", "beacon batches processed"),
+		accepted:     reg.Counter("autosens_collector_records_accepted_total", "records validated and written to the sink"),
+		rejected:     reg.Counter("autosens_collector_records_rejected_total", "records that failed validation"),
+		badRequests:  reg.Counter("autosens_collector_bad_requests_total", "structurally invalid beacon requests"),
+		sinkFailures: reg.Counter("autosens_collector_sink_failures_total", "batches aborted by a sink write error"),
+		serveErrors:  reg.Counter("autosens_collector_serve_errors_total", "fatal errors from the HTTP accept loop"),
+		ingestDur: reg.Histogram("autosens_collector_ingest_duration_seconds",
+			"wall-clock time spent handling one beacon batch", obs.DefLatencyBuckets()),
+		batchRecords: reg.Histogram("autosens_collector_batch_records",
+			"records per beacon batch", obs.DefSizeBuckets()),
+		sinkWriteDur: reg.Histogram("autosens_collector_sink_write_duration_seconds",
+			"time spent appending one batch to the sink", obs.DefLatencyBuckets()),
+	}
 }
 
 // Server ingests beacons and appends them to a telemetry.Writer.
 type Server struct {
-	mu      sync.Mutex
+	mu      sync.Mutex // guards sink and lastSinkErr
 	sink    *telemetry.Writer
-	metrics Metrics
+	reg     *obs.Registry
+	m       serverMetrics
+	log     *slog.Logger
+	started time.Time
+
+	lastSinkErr error
+
 	httpSrv *http.Server
 	ln      net.Listener
+
+	errMu    sync.Mutex
+	serveErr error
+}
+
+// ServerOption customizes a Server.
+type ServerOption func(*Server)
+
+// WithRegistry exports the server's metrics through reg instead of a
+// private registry — pass the registry backing an admin /metrics endpoint.
+func WithRegistry(reg *obs.Registry) ServerOption {
+	return func(s *Server) { s.reg = reg }
+}
+
+// WithLogger routes the server's structured logs to l.
+func WithLogger(l *slog.Logger) ServerOption {
+	return func(s *Server) { s.log = l }
 }
 
 // NewServer wraps a telemetry sink. The sink must not be used concurrently
 // by other writers.
-func NewServer(sink *telemetry.Writer) *Server {
-	return &Server{sink: sink}
+func NewServer(sink *telemetry.Writer, opts ...ServerOption) *Server {
+	s := &Server{sink: sink, started: time.Now()}
+	for _, o := range opts {
+		o(s)
+	}
+	if s.reg == nil {
+		s.reg = obs.NewRegistry()
+	}
+	if s.log == nil {
+		s.log = slog.Default()
+	}
+	s.m = newServerMetrics(s.reg)
+	s.reg.GaugeFunc("autosens_collector_uptime_seconds", "seconds since the server was constructed",
+		func() float64 { return time.Since(s.started).Seconds() })
+	return s
 }
+
+// Registry returns the registry holding the server's metrics.
+func (s *Server) Registry() *obs.Registry { return s.reg }
 
 // Handler returns the server's HTTP routes.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/beacons", s.handleBeacons)
 	mux.HandleFunc("/healthz", s.handleHealth)
-	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.Handle("/metrics", s.reg.Handler())
 	return mux
 }
 
@@ -75,54 +133,65 @@ type BatchResponse struct {
 }
 
 func (s *Server) handleBeacons(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	defer s.m.ingestDur.ObserveSince(start)
+
 	if r.Method != http.MethodPost {
 		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
 		return
 	}
 	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, MaxBatchBytes))
 	if err != nil {
-		s.metrics.mu.Lock()
-		s.metrics.BadRequests++
-		s.metrics.mu.Unlock()
+		s.m.badRequests.Inc()
 		http.Error(w, "body too large or unreadable", http.StatusRequestEntityTooLarge)
 		return
 	}
 	var batch []telemetry.Record
 	if err := json.Unmarshal(body, &batch); err != nil {
-		s.metrics.mu.Lock()
-		s.metrics.BadRequests++
-		s.metrics.mu.Unlock()
+		s.m.badRequests.Inc()
 		http.Error(w, "malformed JSON batch", http.StatusBadRequest)
 		return
 	}
 	if len(batch) > MaxBatchRecords {
-		s.metrics.mu.Lock()
-		s.metrics.BadRequests++
-		s.metrics.mu.Unlock()
+		s.m.badRequests.Inc()
 		http.Error(w, fmt.Sprintf("batch exceeds %d records", MaxBatchRecords), http.StatusRequestEntityTooLarge)
 		return
 	}
+	s.m.batchRecords.Observe(float64(len(batch)))
+
 	resp := BatchResponse{}
+	var sinkErr error
 	s.mu.Lock()
+	sinkStart := time.Now()
 	for _, rec := range batch {
 		if rec.Validate() != nil {
 			resp.Rejected++
 			continue
 		}
 		if err := s.sink.Write(rec); err != nil {
-			s.mu.Unlock()
-			http.Error(w, "sink failure", http.StatusInternalServerError)
-			return
+			sinkErr = err
+			s.lastSinkErr = err
+			break
 		}
 		resp.Accepted++
 	}
 	s.mu.Unlock()
+	s.m.sinkWriteDur.ObserveSince(sinkStart)
 
-	s.metrics.mu.Lock()
-	s.metrics.Batches++
-	s.metrics.Accepted += uint64(resp.Accepted)
-	s.metrics.RejectedRecords += uint64(resp.Rejected)
-	s.metrics.mu.Unlock()
+	// Account for the batch whether or not the sink survived it: on a
+	// mid-batch sink failure the records already written ARE in the sink,
+	// so /metrics must count them or it permanently undercounts relative
+	// to the sink's contents.
+	s.m.batches.Inc()
+	s.m.accepted.Add(uint64(resp.Accepted))
+	s.m.rejected.Add(uint64(resp.Rejected))
+	if sinkErr != nil {
+		s.m.sinkFailures.Inc()
+		s.log.Error("collector: sink write failed mid-batch",
+			"err", sinkErr, "written", resp.Accepted, "rejected", resp.Rejected, "batch", len(batch))
+		http.Error(w, "sink failure", http.StatusInternalServerError)
+		return
+	}
 
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(http.StatusAccepted)
@@ -131,18 +200,33 @@ func (s *Server) handleBeacons(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
-func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
-	w.WriteHeader(http.StatusOK)
-	fmt.Fprintln(w, "ok")
+// Health reports uptime and sink status for the admin surface.
+func (s *Server) Health() obs.Health {
+	s.mu.Lock()
+	lastErr := s.lastSinkErr
+	s.mu.Unlock()
+	h := obs.Health{
+		Status:        "ok",
+		UptimeSeconds: time.Since(s.started).Seconds(),
+		Details: map[string]any{
+			"sink_records_accepted": s.m.accepted.Value(),
+			"sink_failures":         s.m.sinkFailures.Value(),
+		},
+	}
+	if lastErr != nil {
+		h.Status = "degraded"
+		h.Details["sink_last_error"] = lastErr.Error()
+	}
+	return h
 }
 
-func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
-	batches, accepted, rejected, bad := s.metrics.snapshot()
-	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-	fmt.Fprintf(w, "autosens_collector_batches_total %d\n", batches)
-	fmt.Fprintf(w, "autosens_collector_records_accepted_total %d\n", accepted)
-	fmt.Fprintf(w, "autosens_collector_records_rejected_total %d\n", rejected)
-	fmt.Fprintf(w, "autosens_collector_bad_requests_total %d\n", bad)
+func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	h := s.Health()
+	w.Header().Set("Content-Type", "application/json")
+	if h.Status != "ok" {
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}
+	_ = json.NewEncoder(w).Encode(h)
 }
 
 // Start begins serving on addr (e.g. "127.0.0.1:0") and returns the bound
@@ -159,29 +243,44 @@ func (s *Server) Start(addr string) (string, error) {
 	}
 	go func() {
 		if err := s.httpSrv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
-			// Serve errors after shutdown are expected; others have
-			// nowhere to go but the next Shutdown call.
-			_ = err
+			// The accept loop died underneath us: count it, log it, and
+			// hold the error for Shutdown to return.
+			s.m.serveErrors.Inc()
+			s.log.Error("collector: serve failed", "addr", ln.Addr().String(), "err", err)
+			s.errMu.Lock()
+			s.serveErr = err
+			s.errMu.Unlock()
 		}
 	}()
 	return ln.Addr().String(), nil
 }
 
-// Shutdown gracefully stops the server and flushes the sink.
+// ServeError returns the fatal accept-loop error, if one occurred.
+func (s *Server) ServeError() error {
+	s.errMu.Lock()
+	defer s.errMu.Unlock()
+	return s.serveErr
+}
+
+// Shutdown gracefully stops the server and flushes the sink. If the accept
+// loop had already failed, that error is returned.
 func (s *Server) Shutdown(ctx context.Context) error {
 	var err error
 	if s.httpSrv != nil {
 		err = s.httpSrv.Shutdown(ctx)
 	}
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	if ferr := s.sink.Flush(); ferr != nil && err == nil {
 		err = ferr
+	}
+	s.mu.Unlock()
+	if serr := s.ServeError(); serr != nil && err == nil {
+		err = serr
 	}
 	return err
 }
 
 // Stats returns current counters.
 func (s *Server) Stats() (batches, accepted, rejectedRecords, badRequests uint64) {
-	return s.metrics.snapshot()
+	return s.m.batches.Value(), s.m.accepted.Value(), s.m.rejected.Value(), s.m.badRequests.Value()
 }

@@ -7,6 +7,7 @@ import (
 	"sort"
 
 	"autosens/internal/histogram"
+	"autosens/internal/obs"
 	"autosens/internal/rng"
 	"autosens/internal/stats"
 	"autosens/internal/telemetry"
@@ -42,21 +43,24 @@ type slotData struct {
 //  4. average the per-reference results, smooth, and normalize at the
 //     reference latency.
 func (e *Estimator) EstimateTimeNormalized(records []telemetry.Record) (*Curve, error) {
+	sp := e.trace.StartChild("estimate_time_normalized")
+	defer sp.End()
 	records = usable(records)
 	if len(records) == 0 {
 		return nil, errors.New("core: no usable records")
 	}
+	sp.SetAttr("records", len(records))
 	telemetry.SortByTime(records)
 	src := rng.New(e.opts.Seed)
 
-	slots := e.buildSlots(records, src)
-	return e.poolNormalized(slots, len(records))
+	slots := e.buildSlots(sp, records, src)
+	return e.poolNormalized(sp, slots, len(records))
 }
 
 // poolNormalized runs the per-reference α pooling over prepared slots and
 // averages the resulting curves. totalN is reported as the curve's biased
-// sample count.
-func (e *Estimator) poolNormalized(slots []*slotData, totalN int) (*Curve, error) {
+// sample count. Stage spans are recorded under sp (which may be nil).
+func (e *Estimator) poolNormalized(sp *obs.Span, slots []*slotData, totalN int) (*Curve, error) {
 	if len(slots) == 0 {
 		return nil, fmt.Errorf("core: no slot reaches %d actions; use a longer window or coarser slots", e.opts.MinSlotActions)
 	}
@@ -74,8 +78,13 @@ func (e *Estimator) poolNormalized(slots []*slotData, totalN int) (*Curve, error
 	var firstErr error
 	for r := 0; r < numRefs; r++ {
 		ref := byCount[r]
+		refSp := sp.StartChild("alpha_reference")
+		refSp.SetAttr("rank", r)
+		refSp.SetAttr("slot", ref.slot)
 		alphas, ok := alphaAgainst(slots, ref, e.opts.MinAlphaBinCount)
 		if !ok {
+			refSp.SetAttr("skipped", "reference has no usable bins")
+			refSp.End()
 			continue
 		}
 		// Pool B and U over exactly the same slots: a slot whose α is
@@ -83,6 +92,7 @@ func (e *Estimator) poolNormalized(slots []*slotData, totalN int) (*Curve, error
 		// would depress the ratio wherever that slot's latency lived.
 		bPool := e.newHist()
 		uPool := e.newHist()
+		pooled := 0
 		for i, sd := range slots {
 			a := alphas[i]
 			if math.IsNaN(a) || a <= 0 {
@@ -94,10 +104,14 @@ func (e *Estimator) poolNormalized(slots []*slotData, totalN int) (*Curve, error
 				}
 			}
 			if err := uPool.AddHistogram(sd.fineU); err != nil {
+				refSp.End()
 				return nil, err
 			}
+			pooled++
 		}
-		c, err := e.finishCurve(bPool, uPool, totalN, int(uPool.Total()))
+		refSp.SetAttr("pooled_slots", pooled)
+		c, err := e.finishCurve(refSp, bPool, uPool, totalN, int(uPool.Total()))
+		refSp.End()
 		if err != nil {
 			if firstErr == nil {
 				firstErr = err
@@ -112,7 +126,11 @@ func (e *Estimator) poolNormalized(slots []*slotData, totalN int) (*Curve, error
 		}
 		return nil, errors.New("core: no usable reference slot for time normalization")
 	}
-	return averageCurves(curves), nil
+	avgSp := sp.StartChild("average_curves")
+	avgSp.SetAttr("references", len(curves))
+	out := averageCurves(curves)
+	avgSp.End()
+	return out, nil
 }
 
 // buildSlots groups time-sorted records into slots, drops thin slots, and
@@ -123,7 +141,8 @@ func (e *Estimator) poolNormalized(slots []*slotData, totalN int) (*Curve, error
 // after α normalization the pooled biased counts weight every slot's time
 // equally, so the pooled unbiased distribution must too — otherwise busy
 // (and typically slow) slots would dominate U and skew the ratio.
-func (e *Estimator) buildSlots(sorted []telemetry.Record, src *rng.Source) []*slotData {
+func (e *Estimator) buildSlots(sp *obs.Span, sorted []telemetry.Record, src *rng.Source) []*slotData {
+	partSp := sp.StartChild("partition_slots")
 	windowLo := sorted[0].Time
 	windowHi := sorted[len(sorted)-1].Time + 1
 	var slots []*slotData
@@ -145,30 +164,49 @@ func (e *Estimator) buildSlots(sorted []telemetry.Record, src *rng.Source) []*sl
 		}
 		i = j
 	}
+	partSp.SetAttr("slots", len(slots))
+	partSp.End()
 	if len(slots) == 0 {
 		return nil
 	}
+
+	bSp := sp.StartChild("build_biased_histograms")
+	for _, sd := range slots {
+		e.fillSlotBiased(sd)
+	}
+	bSp.SetAttr("slots", len(slots))
+	bSp.End()
+
+	uSp := sp.StartChild("sample_unbiased")
 	totalDraws := math.Ceil(float64(len(sorted)) * e.opts.UnbiasedPerSample)
 	var totalDur timeutil.Millis
 	for _, sd := range slots {
 		totalDur += sd.hi - sd.lo
 	}
+	draws := 0
 	for _, sd := range slots {
 		quota := int(math.Ceil(totalDraws * float64(sd.hi-sd.lo) / float64(totalDur)))
-		e.fillSlot(sd, quota, src)
+		e.fillSlotUnbiased(sd, quota, src)
+		draws += quota
 	}
+	uSp.SetAttr("draws", draws)
+	uSp.End()
 	return slots
 }
 
-// fillSlot populates a slot's histograms: fine/coarse biased counts and
-// the given quota of unbiased draws over the slot's time range.
-func (e *Estimator) fillSlot(sd *slotData, draws int, src *rng.Source) {
+// fillSlotBiased populates a slot's fine/coarse biased histograms.
+func (e *Estimator) fillSlotBiased(sd *slotData) {
 	sd.fine = e.newHist()
 	sd.coarse = histogram.MustNew(0, e.opts.MaxLatencyMS, e.opts.AlphaBinWidthMS)
 	for _, r := range sd.records {
 		sd.fine.Add(r.LatencyMS)
 		sd.coarse.Add(r.LatencyMS)
 	}
+}
+
+// fillSlotUnbiased adds the given quota of unbiased draws over the slot's
+// time range.
+func (e *Estimator) fillSlotUnbiased(sd *slotData, draws int, src *rng.Source) {
 	sd.fineU = e.newHist()
 	sd.coarseU = histogram.MustNew(0, e.opts.MaxLatencyMS, e.opts.AlphaBinWidthMS)
 	sampler := newUnbiasedSampler(sd.records)

@@ -101,17 +101,30 @@ func (e *Estimator) EstimateCI(records []telemetry.Record, opts CIOptions) (*Cur
 	if opts.MinSupport == 0 {
 		opts.MinSupport = 0.5
 	}
+	sp := e.trace.StartChild("estimate_ci")
+	defer sp.End()
 	records = usable(records)
 	if len(records) == 0 {
 		return nil, errors.New("core: no usable records")
 	}
+	sp.SetAttr("records", len(records))
 	telemetry.SortByTime(records)
 
-	estimate := e.Estimate
+	// The point estimate's stage spans nest under estimate_ci; the
+	// bootstrap replicates run untraced (40 replicates × 6 stages of
+	// span noise would drown the report) and are summarized by a single
+	// bootstrap span instead.
+	traced := *e
+	traced.trace = sp
+	untraced := *e
+	untraced.trace = nil
+	estimate := untraced.Estimate
+	pointEstimate := traced.Estimate
 	if opts.TimeNormalized {
-		estimate = e.EstimateTimeNormalized
+		estimate = untraced.EstimateTimeNormalized
+		pointEstimate = traced.EstimateTimeNormalized
 	}
-	point, err := estimate(records)
+	point, err := pointEstimate(records)
 	if err != nil {
 		return nil, err
 	}
@@ -128,6 +141,9 @@ func (e *Estimator) EstimateCI(records []telemetry.Record, opts CIOptions) (*Cur
 		blocks[b] = append(blocks[b], r)
 	}
 
+	bootSp := sp.StartChild("bootstrap")
+	bootSp.SetAttr("resamples", opts.Resamples)
+	bootSp.SetAttr("blocks", numBlocks)
 	src := rng.New(opts.Seed)
 	bins := len(point.NLP)
 	samples := make([][]float64, bins) // per-bin replicate values
@@ -154,6 +170,8 @@ func (e *Estimator) EstimateCI(records []telemetry.Record, opts CIOptions) (*Cur
 			}
 		}
 	}
+	bootSp.SetAttr("replicates", replicates)
+	bootSp.End()
 	if replicates < 2 {
 		return nil, errors.New("core: too few successful bootstrap replicates")
 	}

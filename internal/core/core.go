@@ -34,6 +34,7 @@ import (
 	"math"
 
 	"autosens/internal/histogram"
+	"autosens/internal/obs"
 	"autosens/internal/prefcurve"
 	"autosens/internal/rng"
 	"autosens/internal/sgolay"
@@ -146,6 +147,7 @@ func (o Options) Validate() error {
 type Estimator struct {
 	opts   Options
 	filter *sgolay.Filter
+	trace  *obs.Span
 }
 
 // NewEstimator validates opts and builds the estimator.
@@ -162,6 +164,13 @@ func NewEstimator(opts Options) (*Estimator, error) {
 
 // Options returns the estimator's configuration.
 func (e *Estimator) Options() Options { return e.opts }
+
+// SetTrace attaches a parent span under which subsequent Estimate* calls
+// record per-stage child spans (histogram build, unbiased sampling, α
+// normalization, smoothing, bootstrap). A nil parent — the default —
+// disables tracing at zero cost; the estimator must not be shared across
+// goroutines while a trace is attached.
+func (e *Estimator) SetTrace(parent *obs.Span) { e.trace = parent }
 
 // Curve is an estimated normalized-latency-preference curve plus the
 // intermediate distributions it was derived from.
@@ -241,16 +250,17 @@ func (e *Estimator) newHist() *histogram.Histogram {
 
 // finishCurve turns a biased and an unbiased histogram into a Curve:
 // ratio, hole interpolation, smoothing, and normalization at the reference.
-func (e *Estimator) finishCurve(b, u *histogram.Histogram, biasedN, unbiasedN int) (*Curve, error) {
+// Stage spans are recorded under sp (which may be nil).
+func (e *Estimator) finishCurve(sp *obs.Span, b, u *histogram.Histogram, biasedN, unbiasedN int) (*Curve, error) {
 	raw, err := histogram.Ratio(b, u)
 	if err != nil {
 		return nil, err
 	}
-	return e.curveFromRaw(raw, b, u, biasedN, unbiasedN)
+	return e.curveFromRaw(sp, raw, b, u, biasedN, unbiasedN)
 }
 
 // curveFromRaw completes a Curve from a precomputed raw ratio series.
-func (e *Estimator) curveFromRaw(raw []float64, b, u *histogram.Histogram, biasedN, unbiasedN int) (*Curve, error) {
+func (e *Estimator) curveFromRaw(sp *obs.Span, raw []float64, b, u *histogram.Histogram, biasedN, unbiasedN int) (*Curve, error) {
 	bins := b.Bins()
 	c := &Curve{
 		BinCenters:  make([]float64, bins),
@@ -277,7 +287,12 @@ func (e *Estimator) curveFromRaw(raw []float64, b, u *histogram.Histogram, biase
 	if filled == nil {
 		return nil, errors.New("core: no valid bins in ratio")
 	}
-	if c.Smoothed, err = e.filter.Apply(filled); err != nil {
+	smoothSp := sp.StartChild("savitzky_golay_smooth")
+	smoothSp.SetAttr("bins", bins)
+	smoothSp.SetAttr("window", e.opts.SGWindow)
+	c.Smoothed, err = e.filter.Apply(filled)
+	smoothSp.End()
+	if err != nil {
 		return nil, err
 	}
 	// Normalize at the reference latency.
@@ -333,10 +348,13 @@ func interpolateHoles(xs []float64, valid []bool) []float64 {
 // reference latency — the estimate one would get with no exposure
 // correction at all. It exists as a baseline to show what B/U fixes.
 func (e *Estimator) BiasedOnly(records []telemetry.Record) (*Curve, error) {
+	sp := e.trace.StartChild("biased_only")
+	defer sp.End()
 	records = usable(records)
 	if len(records) == 0 {
 		return nil, errors.New("core: no usable records")
 	}
+	sp.SetAttr("records", len(records))
 	b := e.newHist()
 	for _, r := range records {
 		b.Add(r.LatencyMS)
@@ -347,23 +365,31 @@ func (e *Estimator) BiasedOnly(records []telemetry.Record) (*Curve, error) {
 	for i := 0; i < u.Bins(); i++ {
 		u.SetCount(i, math.Max(e.opts.MinUnbiasedCount, 1))
 	}
-	return e.finishCurve(b, u, len(records), 0)
+	return e.finishCurve(sp, b, u, len(records), 0)
 }
 
 // Estimate computes the NLP curve with the whole-window unbiased
 // correction but no time-confounder normalization (Sections 2.2–2.3).
 func (e *Estimator) Estimate(records []telemetry.Record) (*Curve, error) {
+	sp := e.trace.StartChild("estimate")
+	defer sp.End()
 	records = usable(records)
 	if len(records) == 0 {
 		return nil, errors.New("core: no usable records")
 	}
+	sp.SetAttr("records", len(records))
 	telemetry.SortByTime(records)
 	src := rng.New(e.opts.Seed)
 
+	bSp := sp.StartChild("build_biased_histogram")
 	b := e.newHist()
 	for _, r := range records {
 		b.Add(r.LatencyMS)
 	}
+	bSp.SetAttr("samples", len(records))
+	bSp.End()
+
+	uSp := sp.StartChild("sample_unbiased")
 	draws := int(math.Ceil(float64(len(records)) * e.opts.UnbiasedPerSample))
 	u := e.newHist()
 	lo := records[0].Time
@@ -372,7 +398,10 @@ func (e *Estimator) Estimate(records []telemetry.Record) (*Curve, error) {
 	for i := 0; i < draws; i++ {
 		u.Add(sampler.draw(lo, hi, src))
 	}
-	return e.finishCurve(b, u, len(records), draws)
+	uSp.SetAttr("draws", draws)
+	uSp.End()
+
+	return e.finishCurve(sp, b, u, len(records), draws)
 }
 
 // usable filters out failed records (the paper analyzes successful actions

@@ -107,11 +107,15 @@ func (s *StreamingEstimator) Slots() int { return len(s.slots) }
 // sketches. The StreamingEstimator remains usable afterwards (more records
 // can be added and Finalize called again).
 func (s *StreamingEstimator) Finalize() (*Curve, error) {
+	sp := s.est.trace.StartChild("finalize_streaming")
+	defer sp.End()
 	slots, err := s.prepareSlots(s.est.opts.MinSlotActions)
 	if err != nil {
 		return nil, err
 	}
-	return s.est.poolNormalized(slots, s.total)
+	sp.SetAttr("slots", len(slots))
+	sp.SetAttr("records", s.total)
+	return s.est.poolNormalized(sp, slots, s.total)
 }
 
 // FinalizePlain computes the pooled (no-α) NLP curve from the sketches,
@@ -119,10 +123,14 @@ func (s *StreamingEstimator) Finalize() (*Curve, error) {
 // unbiased draws are still allotted per unit time, matching the batch
 // estimator's uniform random-time sampling.
 func (s *StreamingEstimator) FinalizePlain() (*Curve, error) {
+	sp := s.est.trace.StartChild("finalize_streaming_plain")
+	defer sp.End()
 	slots, err := s.prepareSlots(1)
 	if err != nil {
 		return nil, err
 	}
+	sp.SetAttr("slots", len(slots))
+	sp.SetAttr("records", s.total)
 	bPool := s.est.newHist()
 	uPool := s.est.newHist()
 	for _, sd := range slots {
@@ -133,7 +141,7 @@ func (s *StreamingEstimator) FinalizePlain() (*Curve, error) {
 			return nil, err
 		}
 	}
-	return s.est.finishCurve(bPool, uPool, s.total, int(uPool.Total()))
+	return s.est.finishCurve(sp, bPool, uPool, s.total, int(uPool.Total()))
 }
 
 // prepareSlots materializes slotData for every slot with at least

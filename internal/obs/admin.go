@@ -1,0 +1,48 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/pprof"
+)
+
+// Health is the payload served by the admin /healthz endpoint.
+type Health struct {
+	Status        string         `json:"status"`
+	UptimeSeconds float64        `json:"uptime_seconds"`
+	Details       map[string]any `json:"details,omitempty"`
+}
+
+// AdminMux builds the standard admin surface for a daemon:
+//
+//	/metrics        Prometheus exposition of reg
+//	/healthz        JSON health report from the health callback
+//	/debug/pprof/*  the net/http/pprof profiles
+//
+// pprof handlers are mounted explicitly so the admin mux works without the
+// package's http.DefaultServeMux side registrations. The returned mux is
+// meant for a loopback- or operator-only listener: profiles and metrics
+// are not for the public ingest port.
+func AdminMux(reg *Registry, health func() Health) *http.ServeMux {
+	mux := http.NewServeMux()
+	if reg != nil {
+		mux.Handle("/metrics", reg.Handler())
+	}
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		h := Health{Status: "ok"}
+		if health != nil {
+			h = health()
+		}
+		w.Header().Set("Content-Type", "application/json")
+		if h.Status != "ok" {
+			w.WriteHeader(http.StatusServiceUnavailable)
+		}
+		_ = json.NewEncoder(w).Encode(h)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}

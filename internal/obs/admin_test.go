@@ -1,0 +1,84 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestAdminMuxMetrics(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("pings_total", "").Add(3)
+	ts := httptest.NewServer(AdminMux(reg, nil))
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(body), "pings_total 3") {
+		t.Fatalf("metrics body:\n%s", body)
+	}
+}
+
+func TestAdminMuxHealthz(t *testing.T) {
+	reg := NewRegistry()
+	ts := httptest.NewServer(AdminMux(reg, func() Health {
+		return Health{Status: "ok", UptimeSeconds: 1.5, Details: map[string]any{"sink": "telemetry.jsonl"}}
+	}))
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	var h Health
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		t.Fatal(err)
+	}
+	if h.Status != "ok" || h.UptimeSeconds != 1.5 || h.Details["sink"] != "telemetry.jsonl" {
+		t.Fatalf("health %+v", h)
+	}
+}
+
+func TestAdminMuxHealthzUnhealthy(t *testing.T) {
+	ts := httptest.NewServer(AdminMux(nil, func() Health {
+		return Health{Status: "degraded"}
+	}))
+	defer ts.Close()
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+}
+
+func TestAdminMuxPprofIndex(t *testing.T) {
+	ts := httptest.NewServer(AdminMux(NewRegistry(), nil))
+	defer ts.Close()
+	for _, path := range []string{"/debug/pprof/", "/debug/pprof/cmdline", "/debug/pprof/symbol"} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s: status %d", path, resp.StatusCode)
+		}
+	}
+}

@@ -1,0 +1,70 @@
+package obs
+
+import "testing"
+
+// The registry's promise is that instrumentation is too cheap to think
+// about: a counter bump or histogram observation on the collector's ingest
+// hot path should stay well under 50ns/op. These benchmarks are the proof
+// (run `make bench` or `go test -bench Obs ./internal/obs`).
+
+func BenchmarkObsCounterInc(b *testing.B) {
+	c := NewRegistry().Counter("bench_total", "")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+func BenchmarkObsCounterParallel(b *testing.B) {
+	c := NewRegistry().Counter("bench_total", "")
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			c.Inc()
+		}
+	})
+}
+
+func BenchmarkObsHistogramObserve(b *testing.B) {
+	h := NewRegistry().Histogram("bench_seconds", "", DefLatencyBuckets())
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(float64(i%100) / 1000)
+	}
+}
+
+func BenchmarkObsHistogramObserveParallel(b *testing.B) {
+	h := NewRegistry().Histogram("bench_seconds", "", DefLatencyBuckets())
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			h.Observe(float64(i%100) / 1000)
+			i++
+		}
+	})
+}
+
+func BenchmarkObsGaugeSet(b *testing.B) {
+	g := NewRegistry().Gauge("bench_gauge", "")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		g.Set(float64(i))
+	}
+}
+
+// BenchmarkObsSpanStartEnd prices one traced stage (two clock readings plus
+// a locked child append) so the per-slice tracing cost is known too.
+func BenchmarkObsSpanStartEnd(b *testing.B) {
+	tr := NewTracer("bench")
+	root := tr.Root()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		root.StartChild("stage").End()
+		if i%1024 == 0 { // keep the child slice from growing unboundedly
+			root.mu.Lock()
+			root.children = root.children[:0]
+			root.mu.Unlock()
+		}
+	}
+}

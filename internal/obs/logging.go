@@ -1,0 +1,35 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"log/slog"
+	"strings"
+)
+
+// ParseLogLevel maps the conventional flag spellings (debug, info, warn,
+// error, case-insensitively; "warning" is accepted for warn) to slog levels.
+func ParseLogLevel(s string) (slog.Level, error) {
+	switch strings.ToLower(s) {
+	case "debug":
+		return slog.LevelDebug, nil
+	case "info", "":
+		return slog.LevelInfo, nil
+	case "warn", "warning":
+		return slog.LevelWarn, nil
+	case "error":
+		return slog.LevelError, nil
+	default:
+		return 0, fmt.Errorf("obs: unknown log level %q (want debug, info, warn, or error)", s)
+	}
+}
+
+// NewLogger builds a text-format slog.Logger at the given level string,
+// the shared -log-level plumbing for the CLIs.
+func NewLogger(w io.Writer, level string) (*slog.Logger, error) {
+	lv, err := ParseLogLevel(level)
+	if err != nil {
+		return nil, err
+	}
+	return slog.New(slog.NewTextHandler(w, &slog.HandlerOptions{Level: lv})), nil
+}

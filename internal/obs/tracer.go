@@ -1,0 +1,275 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Tracer owns a tree of stage spans for one run. It is deliberately tiny:
+// a span is a name, a start instant, a duration, a flat set of attributes,
+// and children. There is no sampling, no propagation, no IDs — the tree is
+// the whole story of one in-process analysis.
+//
+// Every method on Tracer and Span is safe on a nil receiver and becomes a
+// no-op, so instrumented code paths never need to branch on "is tracing
+// enabled": they carry a possibly-nil *Span and call through it.
+type Tracer struct {
+	root *Span
+	now  func() time.Time
+}
+
+// NewTracer starts a trace whose root span is named name.
+func NewTracer(name string) *Tracer {
+	return NewTracerClock(name, time.Now)
+}
+
+// NewTracerClock is NewTracer with an injected clock, for tests.
+func NewTracerClock(name string, now func() time.Time) *Tracer {
+	t := &Tracer{now: now}
+	t.root = &Span{name: name, start: now(), now: now}
+	return t
+}
+
+// Root returns the root span (nil on a nil tracer).
+func (t *Tracer) Root() *Span {
+	if t == nil {
+		return nil
+	}
+	return t.root
+}
+
+// Finish ends the root span and returns it.
+func (t *Tracer) Finish() *Span {
+	if t == nil {
+		return nil
+	}
+	t.root.End()
+	return t.root
+}
+
+// Span is one timed stage. Create children with StartChild and close each
+// span with End; an unended span reports the duration up to the moment it
+// is read. Safe for concurrent use (parallel workers may add children and
+// attributes to a shared parent).
+type Span struct {
+	name  string
+	start time.Time
+	now   func() time.Time
+
+	mu       sync.Mutex
+	ended    bool
+	duration time.Duration
+	attrs    []Attr
+	children []*Span
+}
+
+// Attr is one span attribute. Values should be small scalars (numbers,
+// strings, bools): they go verbatim into JSON reports.
+type Attr struct {
+	Key   string `json:"key"`
+	Value any    `json:"value"`
+}
+
+// StartChild opens a sub-span under s. On a nil span it returns nil, so
+// chains of StartChild through uninstrumented runs stay no-ops.
+func (s *Span) StartChild(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	c := &Span{name: name, start: s.now(), now: s.now}
+	s.mu.Lock()
+	s.children = append(s.children, c)
+	s.mu.Unlock()
+	return c
+}
+
+// End freezes the span's duration. Later Ends are ignored.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if !s.ended {
+		s.ended = true
+		s.duration = s.now().Sub(s.start)
+	}
+	s.mu.Unlock()
+}
+
+// SetAttr records (or overwrites) one attribute.
+func (s *Span) SetAttr(key string, value any) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i := range s.attrs {
+		if s.attrs[i].Key == key {
+			s.attrs[i].Value = value
+			return
+		}
+	}
+	s.attrs = append(s.attrs, Attr{Key: key, Value: value})
+}
+
+// Name returns the span's name ("" on nil).
+func (s *Span) Name() string {
+	if s == nil {
+		return ""
+	}
+	return s.name
+}
+
+// Start returns the span's start instant.
+func (s *Span) Start() time.Time {
+	if s == nil {
+		return time.Time{}
+	}
+	return s.start
+}
+
+// Duration returns the frozen duration, or the live elapsed time when the
+// span has not ended yet.
+func (s *Span) Duration() time.Duration {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ended {
+		return s.duration
+	}
+	return s.now().Sub(s.start)
+}
+
+// Children returns a copy of the child list.
+func (s *Span) Children() []*Span {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]*Span, len(s.children))
+	copy(out, s.children)
+	return out
+}
+
+// Attrs returns a copy of the attributes.
+func (s *Span) Attrs() []Attr {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Attr, len(s.attrs))
+	copy(out, s.attrs)
+	return out
+}
+
+// Attr returns one attribute value by key.
+func (s *Span) Attr(key string) (any, bool) {
+	for _, a := range s.Attrs() {
+		if a.Key == key {
+			return a.Value, true
+		}
+	}
+	return nil, false
+}
+
+// Find returns the first descendant span (depth-first, including s) with
+// the given name, or nil.
+func (s *Span) Find(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	if s.name == name {
+		return s
+	}
+	for _, c := range s.Children() {
+		if got := c.Find(name); got != nil {
+			return got
+		}
+	}
+	return nil
+}
+
+// spanJSON is the export schema for one span.
+type spanJSON struct {
+	Name        string         `json:"name"`
+	StartUnixMS int64          `json:"start_unix_ms"`
+	DurationMS  float64        `json:"duration_ms"`
+	Attrs       map[string]any `json:"attrs,omitempty"`
+	Children    []spanJSON     `json:"children,omitempty"`
+}
+
+func (s *Span) toJSON() spanJSON {
+	j := spanJSON{
+		Name:        s.Name(),
+		StartUnixMS: s.Start().UnixMilli(),
+		DurationMS:  float64(s.Duration()) / float64(time.Millisecond),
+	}
+	if attrs := s.Attrs(); len(attrs) > 0 {
+		j.Attrs = make(map[string]any, len(attrs))
+		for _, a := range attrs {
+			j.Attrs[a.Key] = a.Value
+		}
+	}
+	for _, c := range s.Children() {
+		j.Children = append(j.Children, c.toJSON())
+	}
+	return j
+}
+
+// WriteJSON writes the span tree as an indented JSON document.
+func (s *Span) WriteJSON(w io.Writer) error {
+	if s == nil {
+		return nil
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s.toJSON())
+}
+
+// WriteTree renders the span tree as indented text with absolute durations
+// and each span's share of the root's time.
+func (s *Span) WriteTree(w io.Writer) error {
+	if s == nil {
+		return nil
+	}
+	total := s.Duration()
+	if total <= 0 {
+		total = 1 // degenerate zero-length trace; avoid dividing by zero
+	}
+	return s.writeTree(w, "", total)
+}
+
+func (s *Span) writeTree(w io.Writer, indent string, total time.Duration) error {
+	d := s.Duration()
+	line := fmt.Sprintf("%s%-32s %12s %6.1f%%", indent, s.Name(), d.Round(time.Microsecond), 100*float64(d)/float64(total))
+	if attrs := s.Attrs(); len(attrs) > 0 {
+		line += "  "
+		for i, a := range attrs {
+			if i > 0 {
+				line += " "
+			}
+			line += fmt.Sprintf("%s=%v", a.Key, a.Value)
+		}
+	}
+	if _, err := fmt.Fprintln(w, line); err != nil {
+		return err
+	}
+	children := s.Children()
+	// Children are shown in start order even when appended by parallel
+	// workers, so the tree reads chronologically.
+	sort.SliceStable(children, func(i, j int) bool { return children[i].Start().Before(children[j].Start()) })
+	for _, c := range children {
+		if err := c.writeTree(w, indent+"  ", total); err != nil {
+			return err
+		}
+	}
+	return nil
+}

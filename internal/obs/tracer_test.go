@@ -1,0 +1,194 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock advances a fixed step on every reading, so span durations are
+// deterministic.
+type fakeClock struct {
+	mu   sync.Mutex
+	t    time.Time
+	step time.Duration
+}
+
+func (c *fakeClock) now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.t = c.t.Add(c.step)
+	return c.t
+}
+
+func TestSpanTreeStructure(t *testing.T) {
+	clock := &fakeClock{t: time.UnixMilli(0), step: time.Millisecond}
+	tr := NewTracerClock("run", clock.now)
+	root := tr.Root()
+	a := root.StartChild("stage_a")
+	a.SetAttr("items", 3)
+	a.End()
+	b := root.StartChild("stage_b")
+	b.StartChild("inner").End()
+	b.End()
+	done := tr.Finish()
+
+	if done.Name() != "run" {
+		t.Fatalf("root name %q", done.Name())
+	}
+	kids := done.Children()
+	if len(kids) != 2 || kids[0].Name() != "stage_a" || kids[1].Name() != "stage_b" {
+		t.Fatalf("children %v", kids)
+	}
+	if v, ok := kids[0].Attr("items"); !ok || v != 3 {
+		t.Fatalf("attr = %v, %v", v, ok)
+	}
+	if d := kids[0].Duration(); d <= 0 {
+		t.Fatalf("stage_a duration %v", d)
+	}
+	if done.Find("inner") == nil {
+		t.Fatal("Find missed a grandchild")
+	}
+	if done.Find("nope") != nil {
+		t.Fatal("Find invented a span")
+	}
+}
+
+func TestSpanDurationFreezesOnEnd(t *testing.T) {
+	clock := &fakeClock{t: time.UnixMilli(0), step: time.Millisecond}
+	tr := NewTracerClock("run", clock.now)
+	s := tr.Root().StartChild("x")
+	s.End()
+	d := s.Duration()
+	s.End() // second End is a no-op
+	if s.Duration() != d {
+		t.Fatal("duration moved after End")
+	}
+}
+
+func TestSetAttrOverwrites(t *testing.T) {
+	tr := NewTracer("run")
+	s := tr.Root()
+	s.SetAttr("k", 1)
+	s.SetAttr("k", 2)
+	if attrs := s.Attrs(); len(attrs) != 1 || attrs[0].Value != 2 {
+		t.Fatalf("attrs %v", attrs)
+	}
+}
+
+// TestNilSpanSafety drives the whole API through nil receivers: this is the
+// contract that lets instrumented code run untraced with zero branches.
+func TestNilSpanSafety(t *testing.T) {
+	var tr *Tracer
+	root := tr.Root()
+	if root != nil {
+		t.Fatal("nil tracer produced a root")
+	}
+	tr.Finish()
+	child := root.StartChild("x")
+	if child != nil {
+		t.Fatal("nil span produced a child")
+	}
+	child.SetAttr("k", 1)
+	child.End()
+	if child.Name() != "" || child.Duration() != 0 || child.Children() != nil || child.Attrs() != nil {
+		t.Fatal("nil span accessors not zero")
+	}
+	if child.Find("x") != nil {
+		t.Fatal("nil Find found something")
+	}
+	if err := child.WriteJSON(&bytes.Buffer{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := child.WriteTree(&bytes.Buffer{}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWriteJSONSchema(t *testing.T) {
+	clock := &fakeClock{t: time.UnixMilli(1000), step: time.Millisecond}
+	tr := NewTracerClock("run", clock.now)
+	c := tr.Root().StartChild("stage")
+	c.SetAttr("records", 10)
+	c.End()
+	root := tr.Finish()
+
+	var buf bytes.Buffer
+	if err := root.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Name       string  `json:"name"`
+		DurationMS float64 `json:"duration_ms"`
+		Children   []struct {
+			Name  string         `json:"name"`
+			Attrs map[string]any `json:"attrs"`
+		} `json:"children"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, buf.String())
+	}
+	if doc.Name != "run" || doc.DurationMS <= 0 {
+		t.Fatalf("root %+v", doc)
+	}
+	if len(doc.Children) != 1 || doc.Children[0].Name != "stage" {
+		t.Fatalf("children %+v", doc.Children)
+	}
+	if doc.Children[0].Attrs["records"] != float64(10) {
+		t.Fatalf("attrs %+v", doc.Children[0].Attrs)
+	}
+}
+
+func TestWriteTreeRendersAllSpans(t *testing.T) {
+	clock := &fakeClock{t: time.UnixMilli(0), step: time.Millisecond}
+	tr := NewTracerClock("run", clock.now)
+	a := tr.Root().StartChild("alpha")
+	a.SetAttr("slots", 4)
+	a.End()
+	tr.Root().StartChild("beta").End()
+	root := tr.Finish()
+
+	var buf bytes.Buffer
+	if err := root.WriteTree(&buf); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	for _, want := range []string{"run", "alpha", "beta", "slots=4", "%"} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("tree missing %q:\n%s", want, text)
+		}
+	}
+	lines := strings.Split(strings.TrimRight(text, "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("want 3 lines, got %d:\n%s", len(lines), text)
+	}
+	if !strings.HasPrefix(lines[1], "  ") {
+		t.Fatalf("children not indented:\n%s", text)
+	}
+}
+
+// TestConcurrentChildren models the pipeline: many workers attach children
+// and attributes to one shared parent. Meaningful under -race.
+func TestConcurrentChildren(t *testing.T) {
+	tr := NewTracer("run")
+	root := tr.Root()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				s := root.StartChild("slice")
+				s.SetAttr("worker", w)
+				s.End()
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := len(tr.Finish().Children()); got != 800 {
+		t.Fatalf("%d children", got)
+	}
+}

@@ -10,8 +10,10 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"time"
 
 	"autosens/internal/core"
+	"autosens/internal/obs"
 	"autosens/internal/owasim"
 	"autosens/internal/telemetry"
 	"autosens/internal/timeutil"
@@ -41,6 +43,11 @@ type Request struct {
 	Slices []Slice
 	// Workers bounds parallelism; 0 means GOMAXPROCS.
 	Workers int
+	// Trace, when non-nil, receives one child span per slice carrying the
+	// worker id, the time the job waited in the queue, and the record
+	// count, with the estimator's stage spans nested underneath. Nil (the
+	// default) runs untraced.
+	Trace *obs.Span
 }
 
 // Run estimates every slice. Results are returned in slice order; per-slice
@@ -58,18 +65,29 @@ func Run(req Request) ([]Result, error) {
 	}
 
 	results := make([]Result, len(req.Slices))
+	// enqueuedAt is written by the dispatcher just before sending index i
+	// and read by the worker that receives i; the channel send orders the
+	// two, so per-slice queue-wait needs no extra locking.
+	enqueuedAt := make([]time.Time, len(req.Slices))
 	var wg sync.WaitGroup
 	jobs := make(chan int)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(worker int) {
 			defer wg.Done()
 			for i := range jobs {
-				results[i] = estimateOne(req, req.Slices[i])
+				s := req.Slices[i]
+				sp := req.Trace.StartChild("slice:" + s.Name)
+				sp.SetAttr("worker", worker)
+				sp.SetAttr("queue_wait_ms", float64(time.Since(enqueuedAt[i]))/float64(time.Millisecond))
+				sp.SetAttr("records", len(s.Records))
+				results[i] = estimateOne(req, s, sp)
+				sp.End()
 			}
-		}()
+		}(w)
 	}
 	for i := range req.Slices {
+		enqueuedAt[i] = time.Now()
 		jobs <- i
 	}
 	close(jobs)
@@ -77,13 +95,14 @@ func Run(req Request) ([]Result, error) {
 	return results, nil
 }
 
-func estimateOne(req Request, s Slice) Result {
+func estimateOne(req Request, s Slice, sp *obs.Span) Result {
 	res := Result{Name: s.Name}
 	est, err := core.NewEstimator(req.Options)
 	if err != nil {
 		res.Err = err
 		return res
 	}
+	est.SetTrace(sp)
 	if req.TimeNormalized {
 		res.Curve, res.Err = est.EstimateTimeNormalized(s.Records)
 	} else {

@@ -13,7 +13,7 @@ import (
 // simRecords simulates a small shared workload once.
 var simRecords []telemetry.Record
 
-func records(t *testing.T) []telemetry.Record {
+func records(t testing.TB) []telemetry.Record {
 	t.Helper()
 	if simRecords == nil {
 		cfg := owasim.DefaultConfig(3*timeutil.MillisPerDay, 40, 40)
