@@ -1,6 +1,10 @@
 GO ?= go
 
-.PHONY: build test race bench check fmt vet clean
+.PHONY: build test race bench bench-json check fmt vet clean
+
+# Label recorded in BENCH_core.json for a bench-json run; override like
+#   make bench-json BENCH_LABEL="after: shared key plan"
+BENCH_LABEL ?= local run
 
 build:
 	$(GO) build ./...
@@ -13,6 +17,13 @@ race:
 
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ ./...
+
+# bench-json appends a labelled estimator-core benchmark run to
+# BENCH_core.json (committed, so the perf trajectory is diffable).
+bench-json:
+	$(GO) test -bench=. -benchmem -run=^$$ ./internal/core/ | \
+		$(GO) run ./cmd/benchjson -label "$(BENCH_LABEL)" -prev BENCH_core.json > BENCH_core.json.tmp
+	mv BENCH_core.json.tmp BENCH_core.json
 
 fmt:
 	@out=$$(gofmt -l .); \

@@ -54,6 +54,7 @@ func run() error {
 	noChart := flag.Bool("nochart", false, "suppress the ASCII chart")
 	by := flag.String("by", "", "compare slices on one chart: action, usertype, quartile, or period (normalized estimator)")
 	ci := flag.Bool("ci", false, "compute bootstrap confidence bounds (moving 6h blocks, 40 replicates, 90%)")
+	workers := flag.Int("workers", 0, "worker goroutines for estimation and bootstrap (0 = GOMAXPROCS)")
 	stream := flag.Bool("stream", false, "stream the input through the constant-memory estimator instead of loading it (normalized mode only; incompatible with -quartile)")
 	reservoir := flag.Int("reservoir", 500, "per-slot reservoir size for -stream")
 	traceFlag := flag.Bool("trace", false, "print a stage-timing span tree to stderr when done")
@@ -151,6 +152,7 @@ func run() error {
 	opts.ReferenceMS = *ref
 	opts.BinWidthMS = *binWidth
 	opts.MaxLatencyMS = *maxLatency
+	opts.Workers = *workers
 	est, err := core.NewEstimator(opts)
 	if err != nil {
 		return err
@@ -222,12 +224,13 @@ func run() error {
 		if *ci {
 			return fmt.Errorf("-by and -ci are mutually exclusive")
 		}
-		return runComparison(os.Stdout, records, opts, *by, *action, *probesFlag, *noChart, root)
+		return runComparison(os.Stdout, records, opts, *by, *action, *probesFlag, *noChart, *workers, root)
 	}
 
 	if *ci {
 		ciOpts := core.DefaultCIOptions()
 		ciOpts.TimeNormalized = *mode == "normalized"
+		ciOpts.Workers = *workers
 		band, err := est.EstimateCI(records, ciOpts)
 		if err != nil {
 			return err
@@ -404,7 +407,7 @@ func emit(out io.Writer, curve *core.Curve, band *core.CurveCI, noChart bool, re
 // runComparison estimates several slices with the full method and renders
 // them on one chart with a probe table. A non-nil trace span receives one
 // child per slice from the pipeline.
-func runComparison(out io.Writer, records []telemetry.Record, opts core.Options, by, actionFlag, probesFlag string, noChart bool, trace *obs.Span) error {
+func runComparison(out io.Writer, records []telemetry.Record, opts core.Options, by, actionFlag, probesFlag string, noChart bool, workers int, trace *obs.Span) error {
 	var slices []pipeline.Slice
 	switch by {
 	case "action":
@@ -446,7 +449,7 @@ func runComparison(out io.Writer, records []telemetry.Record, opts core.Options,
 	default:
 		return fmt.Errorf("unknown -by dimension %q", by)
 	}
-	results, err := pipeline.Run(pipeline.Request{Options: opts, TimeNormalized: true, Slices: slices, Trace: trace})
+	results, err := pipeline.Run(pipeline.Request{Options: opts, TimeNormalized: true, Slices: slices, Workers: workers, Trace: trace})
 	if err != nil {
 		return err
 	}

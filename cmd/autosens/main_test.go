@@ -155,7 +155,7 @@ func TestRunComparisonByAction(t *testing.T) {
 	opts := core.DefaultOptions()
 	opts.MinSlotActions = 10
 	var out bytes.Buffer
-	if err := runComparison(&out, recs, opts, "action", "", "500,1000", true, nil); err != nil {
+	if err := runComparison(&out, recs, opts, "action", "", "500,1000", true, 0, nil); err != nil {
 		t.Fatal(err)
 	}
 	for _, name := range []string{"SelectMail", "SwitchFolder", "Search", "ComposeSend"} {
@@ -163,7 +163,7 @@ func TestRunComparisonByAction(t *testing.T) {
 			t.Fatalf("slice %s missing from comparison:\n%s", name, out.String())
 		}
 	}
-	if err := runComparison(&out, recs, opts, "bogus", "", "500", true, nil); err == nil {
+	if err := runComparison(&out, recs, opts, "bogus", "", "500", true, 0, nil); err == nil {
 		t.Fatal("unknown dimension accepted")
 	}
 }

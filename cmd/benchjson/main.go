@@ -1,0 +1,157 @@
+// Command benchjson converts `go test -bench` text output into a stable
+// JSON document so benchmark trajectories can be committed and diffed.
+//
+// It reads benchmark output on stdin and writes JSON on stdout. With -prev
+// pointing at an existing document, the new run is appended to the previous
+// runs, building a before/after history:
+//
+//	go test -bench=. -benchmem -run='^$' ./internal/core/ |
+//	    benchjson -label "PR 2 (shared key plan)" -prev BENCH_core.json > out.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Result is one benchmark line.
+type Result struct {
+	// Name is the benchmark name with the -P GOMAXPROCS suffix stripped.
+	Name string `json:"name"`
+	// Procs is the GOMAXPROCS suffix (1 when absent).
+	Procs int `json:"procs"`
+	// Iterations is the measured b.N.
+	Iterations int64   `json:"iterations"`
+	NsPerOp    float64 `json:"ns_per_op"`
+	// BytesPerOp and AllocsPerOp are present only with -benchmem.
+	BytesPerOp  *float64 `json:"bytes_per_op,omitempty"`
+	AllocsPerOp *float64 `json:"allocs_per_op,omitempty"`
+}
+
+// Run is one labelled invocation of the benchmark suite.
+type Run struct {
+	Label   string   `json:"label"`
+	Goos    string   `json:"goos,omitempty"`
+	Goarch  string   `json:"goarch,omitempty"`
+	Pkg     string   `json:"pkg,omitempty"`
+	CPU     string   `json:"cpu,omitempty"`
+	Results []Result `json:"results"`
+}
+
+// Document is the committed file: an append-only list of runs.
+type Document struct {
+	Runs []Run `json:"runs"`
+}
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	label := flag.String("label", "run", "label recorded for this benchmark run")
+	prev := flag.String("prev", "", "existing benchjson document to append to (ignored if missing)")
+	flag.Parse()
+
+	doc := Document{}
+	if *prev != "" {
+		data, err := os.ReadFile(*prev)
+		switch {
+		case err == nil:
+			if err := json.Unmarshal(data, &doc); err != nil {
+				return fmt.Errorf("parse %s: %w", *prev, err)
+			}
+		case os.IsNotExist(err):
+			// First run: start a fresh document.
+		default:
+			return err
+		}
+	}
+
+	cur, err := parse(os.Stdin, *label)
+	if err != nil {
+		return err
+	}
+	if len(cur.Results) == 0 {
+		return fmt.Errorf("no benchmark lines found on stdin")
+	}
+	doc.Runs = append(doc.Runs, cur)
+
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}
+
+// parse scans `go test -bench` output. Benchmark lines look like:
+//
+//	BenchmarkEstimateCI-8   13   83212345 ns/op   18812345 B/op   1590 allocs/op
+//
+// Header lines (goos:, goarch:, pkg:, cpu:) annotate the run.
+func parse(r io.Reader, label string) (Run, error) {
+	run := Run{Label: label}
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos:"):
+			run.Goos = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
+		case strings.HasPrefix(line, "goarch:"):
+			run.Goarch = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
+		case strings.HasPrefix(line, "pkg:"):
+			run.Pkg = strings.TrimSpace(strings.TrimPrefix(line, "pkg:"))
+		case strings.HasPrefix(line, "cpu:"):
+			run.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+		case strings.HasPrefix(line, "Benchmark"):
+			res, ok := parseBenchLine(line)
+			if !ok {
+				continue
+			}
+			run.Results = append(run.Results, res)
+		}
+	}
+	return run, sc.Err()
+}
+
+func parseBenchLine(line string) (Result, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 {
+		return Result{}, false
+	}
+	res := Result{Name: fields[0], Procs: 1}
+	if i := strings.LastIndex(res.Name, "-"); i > 0 {
+		if p, err := strconv.Atoi(res.Name[i+1:]); err == nil {
+			res.Name, res.Procs = res.Name[:i], p
+		}
+	}
+	n, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Result{}, false
+	}
+	res.Iterations = n
+	// The tail is value/unit pairs: 83212345 ns/op 18812345 B/op ...
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Result{}, false
+		}
+		switch fields[i+1] {
+		case "ns/op":
+			res.NsPerOp = v
+		case "B/op":
+			val := v
+			res.BytesPerOp = &val
+		case "allocs/op":
+			val := v
+			res.AllocsPerOp = &val
+		}
+	}
+	return res, res.NsPerOp > 0
+}

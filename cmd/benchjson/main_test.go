@@ -1,0 +1,58 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseBenchOutput(t *testing.T) {
+	const out = `goos: linux
+goarch: amd64
+pkg: autosens/internal/core
+cpu: Intel(R) Xeon(R) CPU @ 2.10GHz
+BenchmarkEstimate-8            74    15807216 ns/op    4771234 B/op    38 allocs/op
+BenchmarkEstimateCI-8          13    83212345 ns/op   18812345 B/op  1590 allocs/op
+BenchmarkNoMem                100     1234567 ns/op
+PASS
+ok   autosens/internal/core  4.2s
+`
+	run, err := parse(strings.NewReader(out), "test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if run.Goos != "linux" || run.Goarch != "amd64" || run.Pkg != "autosens/internal/core" {
+		t.Fatalf("header fields wrong: %+v", run)
+	}
+	if !strings.Contains(run.CPU, "Xeon") {
+		t.Fatalf("cpu = %q", run.CPU)
+	}
+	if len(run.Results) != 3 {
+		t.Fatalf("got %d results, want 3", len(run.Results))
+	}
+	ci := run.Results[1]
+	if ci.Name != "BenchmarkEstimateCI" || ci.Procs != 8 {
+		t.Fatalf("name/procs = %q/%d", ci.Name, ci.Procs)
+	}
+	if ci.Iterations != 13 || ci.NsPerOp != 83212345 {
+		t.Fatalf("iterations/ns = %d/%v", ci.Iterations, ci.NsPerOp)
+	}
+	if ci.BytesPerOp == nil || *ci.BytesPerOp != 18812345 || ci.AllocsPerOp == nil || *ci.AllocsPerOp != 1590 {
+		t.Fatalf("benchmem fields wrong: %+v", ci)
+	}
+	nomem := run.Results[2]
+	if nomem.Procs != 1 || nomem.BytesPerOp != nil {
+		t.Fatalf("no-benchmem line parsed wrong: %+v", nomem)
+	}
+}
+
+func TestParseBenchLineRejectsGarbage(t *testing.T) {
+	for _, line := range []string{
+		"BenchmarkShort 1",
+		"BenchmarkBadIter-4 xx 100 ns/op",
+		"BenchmarkBadVal-4 10 abc ns/op",
+	} {
+		if _, ok := parseBenchLine(line); ok {
+			t.Fatalf("accepted %q", line)
+		}
+	}
+}

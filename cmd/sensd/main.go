@@ -20,10 +20,12 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"runtime"
 	"syscall"
 	"time"
 
 	"autosens/internal/collector"
+	"autosens/internal/core"
 	"autosens/internal/obs"
 	"autosens/internal/telemetry"
 )
@@ -40,12 +42,18 @@ func run() error {
 	out := flag.String("out", "telemetry.jsonl", "telemetry sink path")
 	adminAddr := flag.String("admin-addr", "127.0.0.1:8788",
 		"admin listen address serving /metrics, /healthz and /debug/pprof/ (empty disables)")
+	maxProcs := flag.Int("max-procs", 0,
+		"cap GOMAXPROCS, bounding estimator worker parallelism (0 leaves the runtime default)")
 	logLevel := flag.String("log-level", "info", "log level: debug, info, warn, error")
 	flag.Parse()
 
 	log, err := obs.NewLogger(os.Stderr, *logLevel)
 	if err != nil {
 		return err
+	}
+	if *maxProcs > 0 {
+		runtime.GOMAXPROCS(*maxProcs)
+		log.Info("GOMAXPROCS capped", "max_procs", *maxProcs)
 	}
 
 	file, err := os.OpenFile(*out, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
@@ -56,6 +64,9 @@ func run() error {
 
 	srv := collector.NewServer(telemetry.NewWriter(file, telemetry.JSONL),
 		collector.WithLogger(log))
+	// Export estimator-core counters (autosens_core_*) alongside the
+	// collector's own metrics on the admin /metrics endpoint.
+	core.EnableMetrics(srv.Registry())
 	bound, err := srv.Start(*addr)
 	if err != nil {
 		return err

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"time"
 
 	"autosens/internal/histogram"
 	"autosens/internal/obs"
@@ -43,6 +44,7 @@ type slotData struct {
 //  4. average the per-reference results, smooth, and normalize at the
 //     reference latency.
 func (e *Estimator) EstimateTimeNormalized(records []telemetry.Record) (*Curve, error) {
+	defer observeEstimate(time.Now())
 	sp := e.trace.StartChild("estimate_time_normalized")
 	defer sp.End()
 	records = usable(records)
@@ -51,10 +53,17 @@ func (e *Estimator) EstimateTimeNormalized(records []telemetry.Record) (*Curve, 
 	}
 	sp.SetAttr("records", len(records))
 	telemetry.SortByTime(records)
-	src := rng.New(e.opts.Seed)
+	return e.estimateTimeNormalizedSorted(sp, records)
+}
 
-	slots := e.buildSlots(sp, records, src)
-	return e.poolNormalized(sp, slots, len(records))
+// estimateTimeNormalizedSorted is EstimateTimeNormalized minus the
+// usable-filter and sort, for callers whose records are already filtered
+// and time-sorted (the bootstrap's resampled replicates are sorted by
+// construction, so re-sorting them every replicate would be pure waste).
+func (e *Estimator) estimateTimeNormalizedSorted(sp *obs.Span, sorted []telemetry.Record) (*Curve, error) {
+	src := rng.New(e.opts.Seed)
+	slots := e.buildSlots(sp, sorted, src)
+	return e.poolNormalized(sp, slots, len(sorted))
 }
 
 // poolNormalized runs the per-reference α pooling over prepared slots and
@@ -74,51 +83,27 @@ func (e *Estimator) poolNormalized(sp *obs.Span, slots []*slotData, totalN int) 
 		numRefs = len(byCount)
 	}
 
+	// Each reference's α pooling is independent of the others (slots are
+	// read-only here), so references fan out across the worker pool.
+	// Results are collected by rank and merged in rank order below, so the
+	// averaged curve and the reported firstErr are worker-count invariant.
+	refCurves := make([]*Curve, numRefs)
+	refErrs := make([]error, numRefs)
+	e.forEachIndex(numRefs, func(r int) {
+		refCurves[r], refErrs[r] = e.poolOneReference(sp, slots, byCount[r], r, totalN)
+	})
 	var curves []*Curve
 	var firstErr error
 	for r := 0; r < numRefs; r++ {
-		ref := byCount[r]
-		refSp := sp.StartChild("alpha_reference")
-		refSp.SetAttr("rank", r)
-		refSp.SetAttr("slot", ref.slot)
-		alphas, ok := alphaAgainst(slots, ref, e.opts.MinAlphaBinCount)
-		if !ok {
-			refSp.SetAttr("skipped", "reference has no usable bins")
-			refSp.End()
-			continue
-		}
-		// Pool B and U over exactly the same slots: a slot whose α is
-		// unusable must be excluded from both, or its unbiased mass
-		// would depress the ratio wherever that slot's latency lived.
-		bPool := e.newHist()
-		uPool := e.newHist()
-		pooled := 0
-		for i, sd := range slots {
-			a := alphas[i]
-			if math.IsNaN(a) || a <= 0 {
-				continue
-			}
-			for bin := 0; bin < sd.fine.Bins(); bin++ {
-				if c := sd.fine.Count(bin); c > 0 {
-					bPool.SetCount(bin, bPool.Count(bin)+c/a)
-				}
-			}
-			if err := uPool.AddHistogram(sd.fineU); err != nil {
-				refSp.End()
-				return nil, err
-			}
-			pooled++
-		}
-		refSp.SetAttr("pooled_slots", pooled)
-		c, err := e.finishCurve(refSp, bPool, uPool, totalN, int(uPool.Total()))
-		refSp.End()
-		if err != nil {
+		if refErrs[r] != nil {
 			if firstErr == nil {
-				firstErr = err
+				firstErr = refErrs[r]
 			}
 			continue
 		}
-		curves = append(curves, c)
+		if refCurves[r] != nil {
+			curves = append(curves, refCurves[r])
+		}
 	}
 	if len(curves) == 0 {
 		if firstErr != nil {
@@ -131,6 +116,44 @@ func (e *Estimator) poolNormalized(sp *obs.Span, slots []*slotData, totalN int) 
 	out := averageCurves(curves)
 	avgSp.End()
 	return out, nil
+}
+
+// poolOneReference computes one reference slot's α-normalized pooled
+// curve. It returns (nil, nil) when the reference has no usable bins and
+// is skipped.
+func (e *Estimator) poolOneReference(sp *obs.Span, slots []*slotData, ref *slotData, rank, totalN int) (*Curve, error) {
+	refSp := sp.StartChild("alpha_reference")
+	defer refSp.End()
+	refSp.SetAttr("rank", rank)
+	refSp.SetAttr("slot", ref.slot)
+	alphas, ok := alphaAgainst(slots, ref, e.opts.MinAlphaBinCount)
+	if !ok {
+		refSp.SetAttr("skipped", "reference has no usable bins")
+		return nil, nil
+	}
+	// Pool B and U over exactly the same slots: a slot whose α is
+	// unusable must be excluded from both, or its unbiased mass
+	// would depress the ratio wherever that slot's latency lived.
+	bPool := e.newHist()
+	uPool := e.newHist()
+	pooled := 0
+	for i, sd := range slots {
+		a := alphas[i]
+		if math.IsNaN(a) || a <= 0 {
+			continue
+		}
+		for bin := 0; bin < sd.fine.Bins(); bin++ {
+			if c := sd.fine.Count(bin); c > 0 {
+				bPool.SetCount(bin, bPool.Count(bin)+c/a)
+			}
+		}
+		if err := uPool.AddHistogram(sd.fineU); err != nil {
+			return nil, err
+		}
+		pooled++
+	}
+	refSp.SetAttr("pooled_slots", pooled)
+	return e.finishCurve(refSp, bPool, uPool, totalN, int(uPool.Total()))
 }
 
 // buildSlots groups time-sorted records into slots, drops thin slots, and
@@ -171,9 +194,9 @@ func (e *Estimator) buildSlots(sp *obs.Span, sorted []telemetry.Record, src *rng
 	}
 
 	bSp := sp.StartChild("build_biased_histograms")
-	for _, sd := range slots {
-		e.fillSlotBiased(sd)
-	}
+	e.forEachIndex(len(slots), func(i int) {
+		e.fillSlotBiased(slots[i])
+	})
 	bSp.SetAttr("slots", len(slots))
 	bSp.End()
 
@@ -183,12 +206,20 @@ func (e *Estimator) buildSlots(sp *obs.Span, sorted []telemetry.Record, src *rng
 	for _, sd := range slots {
 		totalDur += sd.hi - sd.lo
 	}
+	// Quotas and per-slot RNG streams are derived serially in slot order
+	// (Split advances src), then the fills — the expensive part — fan out
+	// across the worker pool with bit-identical results at any width.
+	quotas := make([]int, len(slots))
+	srcs := make([]*rng.Source, len(slots))
 	draws := 0
-	for _, sd := range slots {
-		quota := int(math.Ceil(totalDraws * float64(sd.hi-sd.lo) / float64(totalDur)))
-		e.fillSlotUnbiased(sd, quota, src)
-		draws += quota
+	for i, sd := range slots {
+		quotas[i] = int(math.Ceil(totalDraws * float64(sd.hi-sd.lo) / float64(totalDur)))
+		draws += quotas[i]
+		srcs[i] = src.Split(uint64(i))
 	}
+	e.forEachIndex(len(slots), func(i int) {
+		e.fillSlotUnbiased(slots[i], quotas[i], srcs[i])
+	})
 	uSp.SetAttr("draws", draws)
 	uSp.End()
 	return slots
@@ -205,16 +236,13 @@ func (e *Estimator) fillSlotBiased(sd *slotData) {
 }
 
 // fillSlotUnbiased adds the given quota of unbiased draws over the slot's
-// time range.
+// time range, batch-sweeping them into the fine and coarse histograms at
+// once.
 func (e *Estimator) fillSlotUnbiased(sd *slotData, draws int, src *rng.Source) {
 	sd.fineU = e.newHist()
 	sd.coarseU = histogram.MustNew(0, e.opts.MaxLatencyMS, e.opts.AlphaBinWidthMS)
 	sampler := newUnbiasedSampler(sd.records)
-	for k := 0; k < draws; k++ {
-		v := sampler.draw(sd.lo, sd.hi, src)
-		sd.fineU.Add(v)
-		sd.coarseU.Add(v)
-	}
+	sampler.fillSweep(sd.lo, sd.hi, draws, src, nil, sd.fineU, sd.coarseU)
 }
 
 // alphaAgainst estimates each slot's α relative to the reference slot,

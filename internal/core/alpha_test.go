@@ -335,31 +335,3 @@ func TestDensityLatencyCorrelationSign(t *testing.T) {
 		t.Fatalf("preference stream density correlation %v, want negative", r)
 	}
 }
-
-func BenchmarkEstimate(b *testing.B) {
-	records := confoundedRecords(26)
-	e, err := NewEstimator(DefaultOptions())
-	if err != nil {
-		b.Fatal(err)
-	}
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if _, err := e.Estimate(records); err != nil {
-			b.Fatal(err)
-		}
-	}
-}
-
-func BenchmarkEstimateTimeNormalized(b *testing.B) {
-	records := confoundedRecords(27)
-	e, err := NewEstimator(DefaultOptions())
-	if err != nil {
-		b.Fatal(err)
-	}
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if _, err := e.EstimateTimeNormalized(records); err != nil {
-			b.Fatal(err)
-		}
-	}
-}

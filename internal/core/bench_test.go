@@ -1,0 +1,179 @@
+package core
+
+import (
+	"testing"
+
+	"autosens/internal/rng"
+	"autosens/internal/telemetry"
+	"autosens/internal/timeutil"
+)
+
+// benchWorkload synthesizes the fixed estimator benchmark workload: four
+// days of confounded traffic (busy/slow days, quiet/fast nights), ~65k
+// records. The same seed is used everywhere so ns/op values are comparable
+// across commits (see BENCH_core.json).
+func benchWorkload() []telemetry.Record {
+	src := rng.New(77)
+	day := func(tm timeutil.Millis) bool {
+		h := timeutil.HourOfDay(tm, 0)
+		return h >= 8 && h < 20
+	}
+	return genBenchRecords(src, 4*timeutil.MillisPerDay,
+		func(tm timeutil.Millis) float64 {
+			if day(tm) {
+				return 550
+			}
+			return 280
+		}, 0.45,
+		func(tm timeutil.Millis) float64 {
+			if day(tm) {
+				return 20
+			}
+			return 2.5
+		})
+}
+
+// genBenchRecords mirrors genRecords but lives here so benchmarks do not
+// depend on test helpers ordering.
+func genBenchRecords(src *rng.Source, horizon timeutil.Millis, latMedian func(timeutil.Millis) float64, sigma float64, ratePerMin func(timeutil.Millis) float64) []telemetry.Record {
+	var out []telemetry.Record
+	for m := timeutil.Millis(0); m < horizon; m += timeutil.MillisPerMinute {
+		n := src.Poisson(ratePerMin(m))
+		for i := 0; i < n; i++ {
+			tt := m + timeutil.Millis(src.Intn(int(timeutil.MillisPerMinute)))
+			lat := latMedian(tt) * src.LogNormal(0, sigma)
+			out = append(out, mkRec(tt, lat))
+		}
+	}
+	telemetry.SortByTime(out)
+	return out
+}
+
+var benchRecs []telemetry.Record
+
+func benchRecords(b *testing.B) []telemetry.Record {
+	b.Helper()
+	if benchRecs == nil {
+		benchRecs = benchWorkload()
+	}
+	return benchRecs
+}
+
+func benchEstimator(b *testing.B) *Estimator {
+	b.Helper()
+	o := DefaultOptions()
+	o.ReferenceMS = 300
+	e, err := NewEstimator(o)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return e
+}
+
+func benchCIOpts() CIOptions {
+	o := DefaultCIOptions()
+	o.Resamples = 16
+	return o
+}
+
+// BenchmarkEstimate measures the pooled (no-α) estimator end to end.
+func BenchmarkEstimate(b *testing.B) {
+	records := benchRecords(b)
+	e := benchEstimator(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Estimate(records); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEstimateTimeNormalized measures the full method (slotting, α
+// normalization over rotating references, averaging).
+func BenchmarkEstimateTimeNormalized(b *testing.B) {
+	records := benchRecords(b)
+	e := benchEstimator(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.EstimateTimeNormalized(records); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEstimateCI measures the bootstrap confidence-interval path (16
+// replicates of 6 h blocks, plain estimator per replicate) at the default
+// worker count (GOMAXPROCS).
+func BenchmarkEstimateCI(b *testing.B) {
+	benchmarkEstimateCI(b, 0)
+}
+
+// BenchmarkEstimateCISerial pins the bootstrap to one worker, isolating
+// the algorithmic (non-parallel) part of the speedup.
+func BenchmarkEstimateCISerial(b *testing.B) {
+	benchmarkEstimateCI(b, 1)
+}
+
+// BenchmarkEstimateCIWorkers8 runs the bootstrap at eight workers (the
+// acceptance configuration; on fewer cores the scheduler just multiplexes).
+func BenchmarkEstimateCIWorkers8(b *testing.B) {
+	benchmarkEstimateCI(b, 8)
+}
+
+func benchmarkEstimateCI(b *testing.B, workers int) {
+	b.Helper()
+	records := benchRecords(b)
+	e := benchEstimator(b)
+	opts := benchCIOpts()
+	opts.Workers = workers
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.EstimateCI(records, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkUnbiasedSampling isolates the unbiased-distribution fill on the
+// historical per-draw path: 2× draws over the full window into one
+// histogram, one binary search per draw.
+func BenchmarkUnbiasedSampling(b *testing.B) {
+	records := benchRecords(b)
+	e := benchEstimator(b)
+	src := rng.New(3)
+	lo := records[0].Time
+	hi := records[len(records)-1].Time + 1
+	draws := 2 * len(records)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := newUnbiasedSampler(records)
+		u := e.newHist()
+		for k := 0; k < draws; k++ {
+			u.Add(s.draw(lo, hi, src))
+		}
+	}
+}
+
+// BenchmarkUnbiasedSweep is the batch counterpart of
+// BenchmarkUnbiasedSampling: same draw count, generate-sort-merge instead
+// of per-draw binary searches.
+func BenchmarkUnbiasedSweep(b *testing.B) {
+	records := benchRecords(b)
+	e := benchEstimator(b)
+	src := rng.New(3)
+	lo := records[0].Time
+	hi := records[len(records)-1].Time + 1
+	draws := 2 * len(records)
+	var sc sweepScratch
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := newUnbiasedSampler(records)
+		u := e.newHist()
+		s.fillSweep(lo, hi, draws, src, &sc, u)
+	}
+}

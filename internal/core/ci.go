@@ -4,8 +4,13 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"slices"
 	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
 
+	"autosens/internal/histogram"
 	"autosens/internal/rng"
 	"autosens/internal/telemetry"
 	"autosens/internal/timeutil"
@@ -29,10 +34,16 @@ type CIOptions struct {
 	MinSupport float64
 	// Seed drives block resampling.
 	Seed uint64
+	// Workers bounds how many bootstrap replicates run concurrently.
+	// 0 means GOMAXPROCS; 1 recovers the serial path. The output is
+	// bit-identical at any worker count: each replicate's randomness is
+	// derived up front with Source.Split(rep), and replicate results are
+	// aggregated in replicate order after all workers finish.
+	Workers int
 }
 
 // DefaultCIOptions returns a moderate-cost configuration: 40 replicates of
-// 6-hour blocks at 90 % confidence.
+// 6-hour blocks at 90 % confidence, parallel across GOMAXPROCS workers.
 func DefaultCIOptions() CIOptions {
 	return CIOptions{
 		Resamples:  40,
@@ -56,6 +67,9 @@ func (o CIOptions) Validate() error {
 	if o.MinSupport < 0 || o.MinSupport > 1 {
 		return errors.New("core: MinSupport out of [0,1]")
 	}
+	if o.Workers < 0 {
+		return errors.New("core: negative Workers")
+	}
 	return nil
 }
 
@@ -77,16 +91,165 @@ func (c *CurveCI) Bounds(ms float64) (lo, hi float64, ok bool) {
 	if len(c.BinCenters) == 0 {
 		return 0, 0, false
 	}
-	w := c.BinCenters[1] - c.BinCenters[0]
-	i := int((ms - (c.BinCenters[0] - w/2)) / w)
-	if i < 0 {
-		i = 0
-	}
-	if i >= len(c.Lower) {
-		i = len(c.Lower) - 1
+	i := 0
+	if len(c.BinCenters) > 1 {
+		w := c.BinCenters[1] - c.BinCenters[0]
+		i = int((ms - (c.BinCenters[0] - w/2)) / w)
+		if i < 0 {
+			i = 0
+		}
+		if i >= len(c.Lower) {
+			i = len(c.Lower) - 1
+		}
 	}
 	lo, hi = c.Lower[i], c.Upper[i]
 	return lo, hi, !math.IsNaN(lo) && !math.IsNaN(hi)
+}
+
+// bootBlocks is the block partition of the observation window, computed
+// once and shared read-only by every bootstrap replicate.
+type bootBlocks struct {
+	blockLen timeutil.Millis
+	windowLo timeutil.Millis
+	records  []telemetry.Record // usable, time-sorted
+	times    []timeutil.Millis  // times[i] == records[i].Time (plain path)
+	lats     []float64          // lats[i] == records[i].LatencyMS (plain path)
+	ranges   [][2]int           // half-open [i, j) record range per block
+	// hists[b] is block b's biased latency histogram (plain path). A
+	// replicate's biased histogram is the sum of its picked blocks'
+	// histograms — time shifts never change latencies — which turns n
+	// per-record adds into numBlocks·bins float adds.
+	hists []*histogram.Histogram
+	// sweepKeys are the sorted unbiased draw offsets from windowLo over
+	// the full block-partition span, with auxSeed the tie-break seed
+	// (plain path). Every replicate would generate the identical key set
+	// (the draws depend only on the estimator seed), so it is generated
+	// and sorted once and shared read-only.
+	sweepKeys []uint64
+	auxSeed   uint64
+}
+
+// buildBootBlocks partitions time-sorted records into BlockLen blocks.
+// Records are time-sorted, so each block is a contiguous index range — no
+// per-block copies. The plain (non-α) path additionally gets flat
+// time/latency arrays and per-block biased histograms.
+func (e *Estimator) buildBootBlocks(records []telemetry.Record, blockLen timeutil.Millis, plain bool) (*bootBlocks, error) {
+	windowLo := records[0].Time
+	numBlocks := int((records[len(records)-1].Time-windowLo)/blockLen) + 1
+	if numBlocks < 2 {
+		return nil, fmt.Errorf("core: window shorter than two %v-ms blocks", blockLen)
+	}
+	bb := &bootBlocks{
+		blockLen: blockLen,
+		windowLo: windowLo,
+		records:  records,
+		ranges:   make([][2]int, numBlocks),
+	}
+	idx := 0
+	for b := 0; b < numBlocks; b++ {
+		start := idx
+		for idx < len(records) && int((records[idx].Time-windowLo)/blockLen) == b {
+			idx++
+		}
+		bb.ranges[b] = [2]int{start, idx}
+	}
+	if plain {
+		bb.times = make([]timeutil.Millis, len(records))
+		bb.lats = make([]float64, len(records))
+		for i, r := range records {
+			bb.times[i] = r.Time
+			bb.lats[i] = r.LatencyMS
+		}
+		bb.hists = make([]*histogram.Histogram, numBlocks)
+		for b, r := range bb.ranges {
+			h := e.newHist()
+			for _, v := range bb.lats[r[0]:r[1]] {
+				h.Add(v)
+			}
+			bb.hists[b] = h
+		}
+		// Draw instants are uniform over the block-partition span (every
+		// replicate's resampled series occupies exactly this window).
+		draws := int(math.Ceil(float64(len(records)) * e.opts.UnbiasedPerSample))
+		span := uint64(timeutil.Millis(numBlocks) * blockLen)
+		src := rng.New(e.opts.Seed)
+		bb.sweepKeys = make([]uint64, draws)
+		for i := range bb.sweepKeys {
+			bb.sweepKeys[i] = src.Uint64n(span)
+		}
+		bb.auxSeed = src.Uint64()
+		slices.Sort(bb.sweepKeys)
+	}
+	return bb, nil
+}
+
+// ciScratch is one worker's reusable replicate state: resampled series
+// buffers, histograms, and the sweep sampler's key buffer all survive
+// across the replicates the worker processes.
+type ciScratch struct {
+	times   []timeutil.Millis
+	lats    []float64
+	records []telemetry.Record
+	b, u    *histogram.Histogram
+	sweep   sweepScratch
+}
+
+// runPlainReplicate estimates one bootstrap replicate with the pooled
+// (no-α) estimator, never materializing the resampled records: the biased
+// histogram is summed from the picked blocks' precomputed histograms and
+// the unbiased sweep runs over reused flat time/latency buffers. The
+// resampled series is sorted by construction (ascending blocks of
+// ascending, uniformly shifted times), so no re-sort is needed.
+func (e *Estimator) runPlainReplicate(bb *bootBlocks, src *rng.Source, sc *ciScratch) (*Curve, error) {
+	numBlocks := len(bb.ranges)
+	sc.times = sc.times[:0]
+	sc.lats = sc.lats[:0]
+	sc.b.Reset()
+	for pos := 0; pos < numBlocks; pos++ {
+		pick := src.Intn(numBlocks)
+		shift := timeutil.Millis(pos-pick) * bb.blockLen
+		r := bb.ranges[pick]
+		for _, t := range bb.times[r[0]:r[1]] {
+			sc.times = append(sc.times, t+shift)
+		}
+		sc.lats = append(sc.lats, bb.lats[r[0]:r[1]]...)
+		if err := sc.b.AddHistogram(bb.hists[pick]); err != nil {
+			return nil, err
+		}
+	}
+	n := len(sc.times)
+	if n == 0 {
+		return nil, errEmptyRecords
+	}
+	sc.u.Reset()
+	// Replicates share one precomputed sorted key set: the draw instants
+	// depend only on the estimator seed, so replicate variation comes
+	// from the block composition — not from re-rolling the Monte Carlo
+	// draws — and the per-replicate keygen + sort disappears entirely.
+	sweepSortedKeys(sc.times, sc.lats, bb.windowLo, bb.sweepKeys, bb.auxSeed, sc.u)
+	return e.finishCurve(nil, sc.b, sc.u, n, len(bb.sweepKeys))
+}
+
+// runNormalizedReplicate estimates one bootstrap replicate with the full
+// time-normalized estimator over a reused resampled-record buffer.
+func (e *Estimator) runNormalizedReplicate(bb *bootBlocks, src *rng.Source, sc *ciScratch) (*Curve, error) {
+	numBlocks := len(bb.ranges)
+	sc.records = sc.records[:0]
+	for pos := 0; pos < numBlocks; pos++ {
+		pick := src.Intn(numBlocks)
+		shift := timeutil.Millis(pos-pick) * bb.blockLen
+		r := bb.ranges[pick]
+		for _, rec := range bb.records[r[0]:r[1]] {
+			rec.Time += shift
+			sc.records = append(sc.records, rec)
+		}
+	}
+	if len(sc.records) == 0 {
+		return nil, errEmptyRecords
+	}
+	// Sorted by construction; the slot partition consumes the records
+	// before this replicate's buffer is reused.
+	return e.estimateTimeNormalizedSorted(nil, sc.records)
 }
 
 // EstimateCI computes the NLP curve together with moving-block bootstrap
@@ -94,6 +257,10 @@ func (c *CurveCI) Bounds(ms float64) (lo, hi float64, ok bool) {
 // blocks are resampled with replacement (records re-timed to their
 // resampled position so slotting and unbiased sampling see a coherent
 // pseudo-window), and the estimator is rerun per replicate.
+//
+// Replicates run on a pool of opts.Workers goroutines. Each replicate
+// draws its block picks from an independent stream split off the bootstrap
+// seed, so the result is bit-identical whatever the worker count.
 func (e *Estimator) EstimateCI(records []telemetry.Record, opts CIOptions) (*CurveCI, error) {
 	if err := opts.Validate(); err != nil {
 		return nil, err
@@ -101,6 +268,7 @@ func (e *Estimator) EstimateCI(records []telemetry.Record, opts CIOptions) (*Cur
 	if opts.MinSupport == 0 {
 		opts.MinSupport = 0.5
 	}
+	defer observeEstimate(time.Now())
 	sp := e.trace.StartChild("estimate_ci")
 	defer sp.End()
 	records = usable(records)
@@ -116,12 +284,8 @@ func (e *Estimator) EstimateCI(records []telemetry.Record, opts CIOptions) (*Cur
 	// bootstrap span instead.
 	traced := *e
 	traced.trace = sp
-	untraced := *e
-	untraced.trace = nil
-	estimate := untraced.Estimate
 	pointEstimate := traced.Estimate
 	if opts.TimeNormalized {
-		estimate = untraced.EstimateTimeNormalized
 		pointEstimate = traced.EstimateTimeNormalized
 	}
 	point, err := pointEstimate(records)
@@ -129,49 +293,104 @@ func (e *Estimator) EstimateCI(records []telemetry.Record, opts CIOptions) (*Cur
 		return nil, err
 	}
 
-	// Partition into blocks by original position.
-	windowLo := records[0].Time
-	numBlocks := int((records[len(records)-1].Time-windowLo)/opts.BlockLen) + 1
-	if numBlocks < 2 {
-		return nil, fmt.Errorf("core: window shorter than two %v-ms blocks", opts.BlockLen)
-	}
-	blocks := make([][]telemetry.Record, numBlocks)
-	for _, r := range records {
-		b := int((r.Time - windowLo) / opts.BlockLen)
-		blocks[b] = append(blocks[b], r)
+	bb, err := e.buildBootBlocks(records, opts.BlockLen, !opts.TimeNormalized)
+	if err != nil {
+		return nil, err
 	}
 
+	workers := workerCount(opts.Workers, opts.Resamples)
 	bootSp := sp.StartChild("bootstrap")
 	bootSp.SetAttr("resamples", opts.Resamples)
-	bootSp.SetAttr("blocks", numBlocks)
-	src := rng.New(opts.Seed)
+	bootSp.SetAttr("blocks", len(bb.ranges))
+	bootSp.SetAttr("workers", workers)
+	bootStart := time.Now()
+	if m := getMetrics(); m != nil {
+		m.workers.Set(float64(workers))
+	}
+
+	// One independent stream per replicate, derived up front: Split
+	// advances the parent source, so derivation happens serially here in
+	// replicate order, decoupled from worker scheduling.
+	base := rng.New(opts.Seed)
+	repSrcs := make([]*rng.Source, opts.Resamples)
+	for rep := range repSrcs {
+		repSrcs[rep] = base.Split(uint64(rep))
+	}
+
+	// Replicates run untraced and with the estimator's inner parallelism
+	// off — the replicates themselves are the parallel units here.
+	untraced := *e
+	untraced.trace = nil
+	untraced.opts.Workers = 1
+
+	type repOut struct {
+		nlp   []float64
+		valid []bool
+		ok    bool
+	}
+	outs := make([]repOut, opts.Resamples)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sc := &ciScratch{}
+			if !opts.TimeNormalized {
+				sc.b = untraced.newHist()
+				sc.u = untraced.newHist()
+			}
+			for {
+				rep := int(next.Add(1)) - 1
+				if rep >= opts.Resamples {
+					return
+				}
+				repStart := time.Now()
+				var c *Curve
+				var repErr error
+				if opts.TimeNormalized {
+					c, repErr = untraced.runNormalizedReplicate(bb, repSrcs[rep], sc)
+				} else {
+					c, repErr = untraced.runPlainReplicate(bb, repSrcs[rep], sc)
+				}
+				if m := getMetrics(); m != nil {
+					m.replicateDur.ObserveSince(repStart)
+					if repErr != nil {
+						m.replicateErr.Inc()
+					} else {
+						m.replicates.Inc()
+					}
+				}
+				if repErr != nil {
+					continue // a degenerate replicate (e.g. empty) is skipped
+				}
+				outs[rep] = repOut{nlp: c.NLP, valid: c.Valid, ok: true}
+			}
+		}()
+	}
+	wg.Wait()
+
+	// Aggregate in replicate order so per-bin sample order (and hence the
+	// quantiles below) never depends on worker scheduling.
 	bins := len(point.NLP)
 	samples := make([][]float64, bins) // per-bin replicate values
 	replicates := 0
-	resampled := make([]telemetry.Record, 0, len(records))
-	for rep := 0; rep < opts.Resamples; rep++ {
-		resampled = resampled[:0]
-		for pos := 0; pos < numBlocks; pos++ {
-			pick := src.Intn(numBlocks)
-			shift := timeutil.Millis(pos-pick) * opts.BlockLen
-			for _, r := range blocks[pick] {
-				r.Time += shift
-				resampled = append(resampled, r)
-			}
-		}
-		c, err := estimate(resampled)
-		if err != nil {
-			continue // a degenerate replicate (e.g. empty) is skipped
+	for _, o := range outs {
+		if !o.ok {
+			continue
 		}
 		replicates++
 		for i := 0; i < bins; i++ {
-			if c.Valid[i] {
-				samples[i] = append(samples[i], c.NLP[i])
+			if o.valid[i] {
+				samples[i] = append(samples[i], o.nlp[i])
 			}
 		}
 	}
 	bootSp.SetAttr("replicates", replicates)
 	bootSp.End()
+	if m := getMetrics(); m != nil {
+		m.bootstrapDur.ObserveSince(bootStart)
+	}
 	if replicates < 2 {
 		return nil, errors.New("core: too few successful bootstrap replicates")
 	}

@@ -23,6 +23,7 @@ func TestCIOptionsValidate(t *testing.T) {
 		func(o *CIOptions) { o.Confidence = 0 },
 		func(o *CIOptions) { o.Confidence = 1 },
 		func(o *CIOptions) { o.MinSupport = 1.5 },
+		func(o *CIOptions) { o.Workers = -1 },
 	}
 	for i, mut := range mutations {
 		o := DefaultCIOptions()

@@ -32,6 +32,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"time"
 
 	"autosens/internal/histogram"
 	"autosens/internal/obs"
@@ -84,6 +85,12 @@ type Options struct {
 	MinAlphaBinCount float64
 	// Seed drives the unbiased sampling draws.
 	Seed uint64
+	// Workers bounds the estimator's internal parallelism (per-slot
+	// histogram/unbiased fills and the per-reference α curves). 0 means
+	// GOMAXPROCS; 1 runs serially. Results are bit-identical at any
+	// worker count: every parallel unit derives its randomness by
+	// splitting the run's Source with a deterministic key.
+	Workers int
 }
 
 // DefaultOptions returns the paper's configuration.
@@ -139,6 +146,9 @@ func (o Options) Validate() error {
 	}
 	if o.MinAlphaBinCount < 0 {
 		return errors.New("core: negative MinAlphaBinCount")
+	}
+	if o.Workers < 0 {
+		return errors.New("core: negative Workers")
 	}
 	return nil
 }
@@ -200,6 +210,10 @@ type Curve struct {
 func (c *Curve) At(ms float64) (float64, bool) {
 	if len(c.BinCenters) == 0 {
 		return 0, false
+	}
+	if len(c.BinCenters) == 1 {
+		// A single bin has no width to infer; everything clamps into it.
+		return c.NLP[0], c.Valid[0]
 	}
 	w := c.BinCenters[1] - c.BinCenters[0]
 	i := int((ms - (c.BinCenters[0] - w/2)) / w)
@@ -348,6 +362,7 @@ func interpolateHoles(xs []float64, valid []bool) []float64 {
 // reference latency — the estimate one would get with no exposure
 // correction at all. It exists as a baseline to show what B/U fixes.
 func (e *Estimator) BiasedOnly(records []telemetry.Record) (*Curve, error) {
+	defer observeEstimate(time.Now())
 	sp := e.trace.StartChild("biased_only")
 	defer sp.End()
 	records = usable(records)
@@ -371,6 +386,7 @@ func (e *Estimator) BiasedOnly(records []telemetry.Record) (*Curve, error) {
 // Estimate computes the NLP curve with the whole-window unbiased
 // correction but no time-confounder normalization (Sections 2.2–2.3).
 func (e *Estimator) Estimate(records []telemetry.Record) (*Curve, error) {
+	defer observeEstimate(time.Now())
 	sp := e.trace.StartChild("estimate")
 	defer sp.End()
 	records = usable(records)
@@ -395,9 +411,7 @@ func (e *Estimator) Estimate(records []telemetry.Record) (*Curve, error) {
 	lo := records[0].Time
 	hi := records[len(records)-1].Time + 1
 	sampler := newUnbiasedSampler(records)
-	for i := 0; i < draws; i++ {
-		u.Add(sampler.draw(lo, hi, src))
-	}
+	sampler.fillSweep(lo, hi, draws, src, nil, u)
 	uSp.SetAttr("draws", draws)
 	uSp.End()
 

@@ -27,6 +27,7 @@ func TestOptionsValidate(t *testing.T) {
 		func(o *Options) { o.MinSlotActions = 0 },
 		func(o *Options) { o.AlphaBinWidthMS = 0 },
 		func(o *Options) { o.MinAlphaBinCount = -1 },
+		func(o *Options) { o.Workers = -1 },
 	}
 	for i, mut := range mutations {
 		o := DefaultOptions()

@@ -195,11 +195,7 @@ func (s *StreamingEstimator) prepareSlots(minActions int) ([]*slotData, error) {
 		telemetry.SortByTime(sorted)
 		sampler := newUnbiasedSampler(sorted)
 		quota := int(math.Ceil(totalDraws * float64(sd.hi-sd.lo) / float64(totalDur)))
-		for i := 0; i < quota; i++ {
-			v := sampler.draw(sd.lo, sd.hi, src)
-			sd.fineU.Add(v)
-			sd.coarseU.Add(v)
-		}
+		sampler.fillSweep(sd.lo, sd.hi, quota, src, nil, sd.fineU, sd.coarseU)
 	}
 	return out, nil
 }

@@ -2,8 +2,10 @@ package core
 
 import (
 	"errors"
+	"slices"
 	"sort"
 
+	"autosens/internal/histogram"
 	"autosens/internal/rng"
 	"autosens/internal/telemetry"
 	"autosens/internal/timeutil"
@@ -104,6 +106,122 @@ var (
 	errEmptyRecords     = errors.New("core: no usable records")
 	errNonPositiveDraws = errors.New("core: non-positive draw count")
 )
+
+// sweepScratch holds the reusable draw-key buffer for batch unbiased
+// sampling. A nil scratch allocates per call.
+type sweepScratch struct {
+	keys []uint64
+}
+
+func (sc *sweepScratch) buf(n int) []uint64 {
+	if sc == nil {
+		return make([]uint64, n)
+	}
+	if cap(sc.keys) < n {
+		sc.keys = make([]uint64, n)
+	}
+	return sc.keys[:n]
+}
+
+// fillUnbiasedSweep accumulates n unbiased draws over [lo, hi) into every
+// histogram in hists. times/lats are the time-sorted sample instants and
+// their latencies (times MUST be ascending).
+//
+// Semantically it matches the per-draw path (uniform random instant, adopt
+// the nearest sample's latency, break ties uniformly at random) but batches
+// the work: all n instants are generated up front, sorted once, and merged
+// against the sorted sample times in a single linear sweep. That replaces n
+// binary searches with poor cache locality (O(n·log m) scattered probes)
+// with one primitive-slice sort plus an O(n + m) sequential pass.
+//
+// Tie-break randomness is derived per draw from auxSeed and the draw's rank
+// with Mix64 rather than consumed from src in nearest-neighbour order, so
+// the result is a pure function of (times, lats, lo, hi, n, src state) —
+// independent of sweep order, which is what makes the parallel bootstrap
+// bit-identical at any worker count.
+func fillUnbiasedSweep(times []timeutil.Millis, lats []float64, lo, hi timeutil.Millis, n int, src *rng.Source, sc *sweepScratch, hists ...*histogram.Histogram) {
+	if n <= 0 || len(times) == 0 || hi <= lo {
+		return
+	}
+	span := uint64(hi - lo)
+	keys := sc.buf(n)
+	for i := range keys {
+		keys[i] = src.Uint64n(span)
+	}
+	auxSeed := src.Uint64()
+	slices.Sort(keys)
+	sweepSortedKeys(times, lats, lo, keys, auxSeed, hists...)
+}
+
+// sweepSortedKeys is the merge phase of the batch sweep: keys are sorted
+// draw offsets from lo. It is read-only in keys, so one precomputed key
+// set can be shared across bootstrap replicates (the draw instants depend
+// only on the estimator seed, not on the replicate's block picks — see
+// runPlainReplicate).
+func sweepSortedKeys(times []timeutil.Millis, lats []float64, lo timeutil.Millis, keys []uint64, auxSeed uint64, hists ...*histogram.Histogram) {
+	if len(keys) == 0 || len(times) == 0 {
+		return
+	}
+	nRec := len(times)
+	idx := 0 // first sample with times[idx] >= t; monotone over the sweep
+	for k, key := range keys {
+		t := lo + timeutil.Millis(key)
+		for idx < nRec && times[idx] < t {
+			idx++
+		}
+		var aux uint64
+		hasAux := false
+		var j int
+		switch {
+		case idx == 0:
+			j = 0
+		case idx == nRec:
+			j = nRec - 1
+		default:
+			dLeft := t - times[idx-1]
+			dRight := times[idx] - t
+			switch {
+			case dLeft < dRight:
+				j = idx - 1
+			case dRight < dLeft:
+				j = idx
+			default:
+				// Exact midpoint: both sides are equally near.
+				aux = rng.Mix64(auxSeed + uint64(k))
+				hasAux = true
+				if aux>>63 == 0 {
+					j = idx - 1
+				} else {
+					j = idx
+				}
+			}
+		}
+		// Expand j's equal-timestamp run and pick uniformly within it.
+		tj := times[j]
+		rLo, rHi := j, j
+		for rLo > 0 && times[rLo-1] == tj {
+			rLo--
+		}
+		for rHi+1 < nRec && times[rHi+1] == tj {
+			rHi++
+		}
+		v := lats[rLo]
+		if rHi > rLo {
+			if !hasAux {
+				aux = rng.Mix64(auxSeed + uint64(k))
+			}
+			v = lats[rLo+int(aux%uint64(rHi-rLo+1))]
+		}
+		for _, h := range hists {
+			h.Add(v)
+		}
+	}
+}
+
+// fillSweep is the sampler-side entry point to the batch sweep.
+func (s *unbiasedSampler) fillSweep(lo, hi timeutil.Millis, n int, src *rng.Source, sc *sweepScratch, hists ...*histogram.Histogram) {
+	fillUnbiasedSweep(s.times, s.latencies, lo, hi, n, src, sc, hists...)
+}
 
 // pickRun returns a uniformly random latency among all samples sharing the
 // timestamp of index i.

@@ -3,8 +3,10 @@ package experiments
 import (
 	"fmt"
 	"io"
+	"math"
 
 	"autosens/internal/abtest"
+	"autosens/internal/core"
 	"autosens/internal/owasim"
 	"autosens/internal/report"
 	"autosens/internal/telemetry"
@@ -85,26 +87,41 @@ func runExtABTest(ctx *Context, w io.Writer) (*Outcome, error) {
 		records := telemetry.ByAction(telemetry.Successful(res.Records), telemetry.SelectMail)
 		control := telemetry.Filter(records, func(r telemetry.Record) bool { return !inTreatment(r.UserID) })
 
-		est, err := ctx.Estimator()
-		if err != nil {
-			return nil, err
+		// The prediction inherits the Monte Carlo noise of the estimated
+		// NLP curve (the unbiased distribution is sampled), which at test
+		// scale moves the predicted relative by around ±0.015 with the
+		// estimator seed. Average the prediction over a few estimator
+		// sub-seeds so the comparison reflects the estimator, not one
+		// draw stream.
+		const predEnsemble = 3
+		var measured, predicted float64
+		for k := uint64(0); k < predEnsemble; k++ {
+			opts := ctx.Opts
+			opts.Seed += k
+			est, err := core.NewEstimator(opts)
+			if err != nil {
+				return nil, err
+			}
+			curve, err := est.EstimateTimeNormalized(control)
+			if err != nil {
+				return nil, err
+			}
+			result, err := abtest.Analyze(records, inTreatment, nControl, nTreat, curve, addMS)
+			if err != nil {
+				return nil, err
+			}
+			measured = result.MeasuredRelative
+			predicted += result.PredictedRelative / predEnsemble
 		}
-		curve, err := est.EstimateTimeNormalized(control)
-		if err != nil {
-			return nil, err
-		}
-		result, err := abtest.Analyze(records, inTreatment, nControl, nTreat, curve, addMS)
-		if err != nil {
-			return nil, err
-		}
-		out.Values[fmt.Sprintf("measured@+%.0f", addMS)] = result.MeasuredRelative
-		out.Values[fmt.Sprintf("predicted@+%.0f", addMS)] = result.PredictedRelative
-		out.Values[fmt.Sprintf("abs_error@+%.0f", addMS)] = result.AbsError()
+		absErr := math.Abs(predicted - measured)
+		out.Values[fmt.Sprintf("measured@+%.0f", addMS)] = measured
+		out.Values[fmt.Sprintf("predicted@+%.0f", addMS)] = predicted
+		out.Values[fmt.Sprintf("abs_error@+%.0f", addMS)] = absErr
 		rows = append(rows, []string{
 			fmt.Sprintf("+%.0f ms", addMS),
-			fmt.Sprintf("%.3f", result.MeasuredRelative),
-			fmt.Sprintf("%.3f", result.PredictedRelative),
-			fmt.Sprintf("%.3f", result.AbsError()),
+			fmt.Sprintf("%.3f", measured),
+			fmt.Sprintf("%.3f", predicted),
+			fmt.Sprintf("%.3f", absErr),
 		})
 	}
 	tab := report.Table{

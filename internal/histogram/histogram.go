@@ -111,6 +111,16 @@ func (h *Histogram) SetCount(i int, w float64) {
 // Total returns the total accumulated weight.
 func (h *Histogram) Total() float64 { return h.total }
 
+// Reset zeroes every bin and the total, keeping the binning. It lets hot
+// paths (bootstrap replicates, per-slot fills) reuse one allocation instead
+// of rebuilding a histogram per iteration.
+func (h *Histogram) Reset() {
+	for i := range h.counts {
+		h.counts[i] = 0
+	}
+	h.total = 0
+}
+
 // Counts returns a copy of the raw per-bin weights.
 func (h *Histogram) Counts() []float64 {
 	out := make([]float64, len(h.counts))

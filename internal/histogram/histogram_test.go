@@ -82,6 +82,26 @@ func TestNegativeWeightPanics(t *testing.T) {
 	MustNew(0, 10, 1).AddWeighted(1, -1)
 }
 
+func TestResetClearsCountsAndTotal(t *testing.T) {
+	h := MustNew(0, 100, 10)
+	h.Add(5)
+	h.AddWeighted(25, 3)
+	h.Reset()
+	if h.Total() != 0 {
+		t.Fatalf("Total after Reset = %v, want 0", h.Total())
+	}
+	for i := 0; i < h.Bins(); i++ {
+		if h.Count(i) != 0 {
+			t.Fatalf("bin %d = %v after Reset, want 0", i, h.Count(i))
+		}
+	}
+	// The histogram stays usable after Reset.
+	h.Add(15)
+	if h.Total() != 1 || h.Count(1) != 1 {
+		t.Fatalf("histogram unusable after Reset: total=%v bin1=%v", h.Total(), h.Count(1))
+	}
+}
+
 func TestSetCountAdjustsTotal(t *testing.T) {
 	h := MustNew(0, 100, 10)
 	h.AddWeighted(5, 4)

@@ -38,6 +38,12 @@ func splitMix64(x uint64) uint64 {
 	return x ^ (x >> 31)
 }
 
+// Mix64 scrambles x into a well-distributed 64-bit value (splitMix64). It
+// is the same hash the generator uses internally for seed scrambling and
+// Split; exported so batch samplers can derive per-item randomness from a
+// seed and an item index without materializing a Source per item.
+func Mix64(x uint64) uint64 { return splitMix64(x) }
+
 // New returns a Source seeded from seed. Distinct seeds give independent
 // streams; the same seed always yields the same sequence.
 func New(seed uint64) *Source {
