@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race bench bench-json check fmt vet clean
+.PHONY: build test race bench bench-json bench-ingest-json fuzz check fmt vet clean
 
 # Label recorded in BENCH_core.json for a bench-json run; override like
 #   make bench-json BENCH_LABEL="after: shared key plan"
@@ -24,6 +24,20 @@ bench-json:
 	$(GO) test -bench=. -benchmem -run=^$$ ./internal/core/ | \
 		$(GO) run ./cmd/benchjson -label "$(BENCH_LABEL)" -prev BENCH_core.json > BENCH_core.json.tmp
 	mv BENCH_core.json.tmp BENCH_core.json
+
+# bench-ingest-json appends a labelled ingest data-plane benchmark run
+# (codecs, collector, slicers) to BENCH_ingest.json.
+bench-ingest-json:
+	$(GO) test -bench='Decode|Encode|Ingest|UserMedians|AssignQuartiles|Slicers' \
+		-benchmem -run=^$$ ./internal/telemetry/ ./internal/collector/ ./internal/pipeline/ | \
+		$(GO) run ./cmd/benchjson -label "$(BENCH_LABEL)" -prev BENCH_ingest.json > BENCH_ingest.json.tmp
+	mv BENCH_ingest.json.tmp BENCH_ingest.json
+
+# fuzz runs each telemetry fuzz target for a short bounded burst.
+FUZZTIME ?= 30s
+fuzz:
+	$(GO) test -run=^$$ -fuzz='^FuzzRecordRoundTrip$$' -fuzztime=$(FUZZTIME) ./internal/telemetry/
+	$(GO) test -run=^$$ -fuzz='^FuzzReaderNoCrash$$' -fuzztime=$(FUZZTIME) ./internal/telemetry/
 
 fmt:
 	@out=$$(gofmt -l .); \

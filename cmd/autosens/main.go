@@ -39,7 +39,7 @@ func main() {
 
 func run() error {
 	in := flag.String("in", "", "telemetry input path (required), or - for stdin")
-	format := flag.String("format", "jsonl", "input format: jsonl or csv")
+	format := flag.String("format", "jsonl", "input format: jsonl, csv or tbin")
 	action := flag.String("action", "", "restrict to an action type (SelectMail, SwitchFolder, Search, ComposeSend)")
 	usertype := flag.String("usertype", "", "restrict to a user segment (business, consumer)")
 	period := flag.String("period", "", "restrict to a local time-of-day period (8am-2pm, 2pm-8pm, 8pm-2am, 2am-8am)")
@@ -102,14 +102,9 @@ func run() error {
 	if *in == "" {
 		return fmt.Errorf("-in is required")
 	}
-	var f telemetry.Format
-	switch *format {
-	case "jsonl":
-		f = telemetry.JSONL
-	case "csv":
-		f = telemetry.CSV
-	default:
-		return fmt.Errorf("unknown format %q", *format)
+	f, err := telemetry.ParseFormat(*format)
+	if err != nil {
+		return err
 	}
 	src := os.Stdin
 	if *in != "-" {

@@ -24,6 +24,9 @@ import (
 type Result struct {
 	// Name is the benchmark name with the -P GOMAXPROCS suffix stripped.
 	Name string `json:"name"`
+	// Pkg is set on multi-package runs, where results under one Run come
+	// from different packages; single-package runs record it on the Run.
+	Pkg string `json:"pkg,omitempty"`
 	// Procs is the GOMAXPROCS suffix (1 when absent).
 	Procs int `json:"procs"`
 	// Iterations is the measured b.N.
@@ -32,6 +35,8 @@ type Result struct {
 	// BytesPerOp and AllocsPerOp are present only with -benchmem.
 	BytesPerOp  *float64 `json:"bytes_per_op,omitempty"`
 	AllocsPerOp *float64 `json:"allocs_per_op,omitempty"`
+	// MBPerSec is present only for benchmarks that call b.SetBytes.
+	MBPerSec *float64 `json:"mb_per_sec,omitempty"`
 }
 
 // Run is one labelled invocation of the benchmark suite.
@@ -94,10 +99,15 @@ func run() error {
 //
 //	BenchmarkEstimateCI-8   13   83212345 ns/op   18812345 B/op   1590 allocs/op
 //
-// Header lines (goos:, goarch:, pkg:, cpu:) annotate the run.
+// Header lines (goos:, goarch:, pkg:, cpu:) annotate the run. Multi-package
+// invocations (`go test -bench=. ./pkg1/ ./pkg2/`) repeat the pkg: header
+// per package; each result is then tagged with its own package, and the
+// Run-level Pkg is set only when all results agree.
 func parse(r io.Reader, label string) (Run, error) {
 	run := Run{Label: label}
 	sc := bufio.NewScanner(r)
+	var pkg string
+	pkgs := map[string]bool{}
 	for sc.Scan() {
 		line := strings.TrimSpace(sc.Text())
 		switch {
@@ -106,7 +116,7 @@ func parse(r io.Reader, label string) (Run, error) {
 		case strings.HasPrefix(line, "goarch:"):
 			run.Goarch = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
 		case strings.HasPrefix(line, "pkg:"):
-			run.Pkg = strings.TrimSpace(strings.TrimPrefix(line, "pkg:"))
+			pkg = strings.TrimSpace(strings.TrimPrefix(line, "pkg:"))
 		case strings.HasPrefix(line, "cpu:"):
 			run.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
 		case strings.HasPrefix(line, "Benchmark"):
@@ -114,7 +124,16 @@ func parse(r io.Reader, label string) (Run, error) {
 			if !ok {
 				continue
 			}
+			res.Pkg = pkg
+			pkgs[pkg] = true
 			run.Results = append(run.Results, res)
+		}
+	}
+	if len(pkgs) == 1 {
+		// Single-package run: hoist the package to the Run, as before.
+		for i := range run.Results {
+			run.Pkg = run.Results[i].Pkg
+			run.Results[i].Pkg = ""
 		}
 	}
 	return run, sc.Err()
@@ -151,6 +170,9 @@ func parseBenchLine(line string) (Result, bool) {
 		case "allocs/op":
 			val := v
 			res.AllocsPerOp = &val
+		case "MB/s":
+			val := v
+			res.MBPerSec = &val
 		}
 	}
 	return res, res.NsPerOp > 0

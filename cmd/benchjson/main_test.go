@@ -45,6 +45,37 @@ ok   autosens/internal/core  4.2s
 	}
 }
 
+func TestParseMultiPackageOutput(t *testing.T) {
+	const out = `goos: linux
+goarch: amd64
+pkg: autosens/internal/telemetry
+cpu: Intel(R) Xeon(R) CPU @ 2.10GHz
+BenchmarkDecodeJSONLFast-8    777    1590213 ns/op    227.00 MB/s    280 B/op    4 allocs/op
+PASS
+ok   autosens/internal/telemetry  2.1s
+pkg: autosens/internal/collector
+BenchmarkIngestTBIN-8    6496    201287 ns/op    64.63 MB/s
+PASS
+ok   autosens/internal/collector  3.0s
+`
+	run, err := parse(strings.NewReader(out), "test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if run.Pkg != "" {
+		t.Fatalf("run-level pkg %q set on a multi-package run", run.Pkg)
+	}
+	if len(run.Results) != 2 {
+		t.Fatalf("got %d results, want 2", len(run.Results))
+	}
+	if run.Results[0].Pkg != "autosens/internal/telemetry" || run.Results[1].Pkg != "autosens/internal/collector" {
+		t.Fatalf("per-result pkgs wrong: %q, %q", run.Results[0].Pkg, run.Results[1].Pkg)
+	}
+	if run.Results[0].MBPerSec == nil || *run.Results[0].MBPerSec != 227 {
+		t.Fatalf("MB/s not parsed: %+v", run.Results[0])
+	}
+}
+
 func TestParseBenchLineRejectsGarbage(t *testing.T) {
 	for _, line := range []string{
 		"BenchmarkShort 1",

@@ -35,10 +35,20 @@ func run() error {
 	seed := flag.Uint64("seed", 1, "simulation seed")
 	batch := flag.Int("batch", 500, "beacon batch size")
 	senders := flag.Int("senders", 4, "concurrent sender clients")
+	format := flag.String("format", "json", "wire format for beacon batches: json or tbin")
 	flag.Parse()
 
 	if *senders <= 0 {
 		return fmt.Errorf("senders must be positive")
+	}
+	var wire telemetry.Format
+	switch *format {
+	case "json":
+		wire = telemetry.JSONL // JSONL selects the JSON-array wire encoding
+	case "tbin":
+		wire = telemetry.TBIN
+	default:
+		return fmt.Errorf("unknown wire format %q (want json or tbin)", *format)
 	}
 
 	// One batching client per sender goroutine, fed round-robin from the
@@ -47,6 +57,7 @@ func run() error {
 	for i := range clients {
 		cfg := collector.DefaultClientConfig(*url)
 		cfg.BatchSize = *batch
+		cfg.Format = wire
 		c, err := collector.NewClient(cfg)
 		if err != nil {
 			return err

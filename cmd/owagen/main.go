@@ -30,21 +30,16 @@ func run() error {
 	consumer := flag.Int("consumer", 100, "number of consumer users")
 	seed := flag.Uint64("seed", 1, "simulation seed (reruns are bit-identical)")
 	out := flag.String("out", "-", "output path, or - for stdout")
-	format := flag.String("format", "jsonl", "output format: jsonl or csv")
+	format := flag.String("format", "jsonl", "output format: jsonl, csv or tbin")
 	failures := flag.Float64("failures", 0.01, "fraction of actions that fail")
 	flag.Parse()
 
 	if *days <= 0 {
 		return fmt.Errorf("days must be positive, got %d", *days)
 	}
-	var f telemetry.Format
-	switch *format {
-	case "jsonl":
-		f = telemetry.JSONL
-	case "csv":
-		f = telemetry.CSV
-	default:
-		return fmt.Errorf("unknown format %q (want jsonl or csv)", *format)
+	f, err := telemetry.ParseFormat(*format)
+	if err != nil {
+		return err
 	}
 
 	dst := os.Stdout
@@ -64,7 +59,7 @@ func run() error {
 	if err := owasim.RunTo(cfg, w.Write, nil); err != nil {
 		return err
 	}
-	if err := w.Flush(); err != nil {
+	if err := w.Close(); err != nil {
 		return err
 	}
 	fmt.Fprintf(os.Stderr, "owagen: wrote %d records (%d days, %d users, seed %d)\n",

@@ -40,6 +40,7 @@ func main() {
 func run() error {
 	addr := flag.String("addr", "127.0.0.1:8787", "listen address")
 	out := flag.String("out", "telemetry.jsonl", "telemetry sink path")
+	format := flag.String("format", "jsonl", "sink format: jsonl, csv or tbin")
 	adminAddr := flag.String("admin-addr", "127.0.0.1:8788",
 		"admin listen address serving /metrics, /healthz and /debug/pprof/ (empty disables)")
 	maxProcs := flag.Int("max-procs", 0,
@@ -56,17 +57,23 @@ func run() error {
 		log.Info("GOMAXPROCS capped", "max_procs", *maxProcs)
 	}
 
+	sinkFormat, err := telemetry.ParseFormat(*format)
+	if err != nil {
+		return err
+	}
 	file, err := os.OpenFile(*out, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
 		return err
 	}
 	defer file.Close()
 
-	srv := collector.NewServer(telemetry.NewWriter(file, telemetry.JSONL),
-		collector.WithLogger(log))
-	// Export estimator-core counters (autosens_core_*) alongside the
-	// collector's own metrics on the admin /metrics endpoint.
+	sink := telemetry.NewWriter(file, sinkFormat)
+	srv := collector.NewServer(sink, collector.WithLogger(log))
+	// Export estimator-core counters (autosens_core_*) and codec counters
+	// (autosens_ingest_*) alongside the collector's own metrics on the
+	// admin /metrics endpoint.
 	core.EnableMetrics(srv.Registry())
+	telemetry.EnableMetrics(srv.Registry())
 	bound, err := srv.Start(*addr)
 	if err != nil {
 		return err

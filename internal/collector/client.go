@@ -2,7 +2,6 @@ package collector
 
 import (
 	"bytes"
-	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
@@ -33,6 +32,9 @@ type ClientConfig struct {
 	// Registry exports the client's counters (flushes, retries, sent,
 	// dropped); nil keeps them in a private registry readable via Stats.
 	Registry *obs.Registry
+	// Format selects the wire encoding: telemetry.JSONL (the zero value)
+	// posts a JSON array, telemetry.TBIN posts the compact binary format.
+	Format telemetry.Format
 }
 
 // DefaultClientConfig returns a production-shaped configuration for the
@@ -54,6 +56,7 @@ type clientMetrics struct {
 	retries       *obs.Counter
 	sent          *obs.Counter
 	dropped       *obs.Counter
+	encodes       *obs.Counter
 	flushDur      *obs.Histogram
 }
 
@@ -64,10 +67,18 @@ func newClientMetrics(reg *obs.Registry) clientMetrics {
 		retries:       reg.Counter("autosens_client_retries_total", "batch retransmissions after a transient failure"),
 		sent:          reg.Counter("autosens_client_records_sent_total", "records delivered to the collector"),
 		dropped:       reg.Counter("autosens_client_records_dropped_total", "records dropped after exhausting retries"),
+		encodes:       reg.Counter("autosens_client_batch_encodes_total", "batch encodes performed; retries reuse the encoded bytes"),
 		flushDur: reg.Histogram("autosens_client_flush_duration_seconds",
 			"end-to-end time of one flush, retries included", obs.DefLatencyBuckets()),
 	}
 }
+
+// encBufPool recycles flush encode buffers. The scratch cannot live on the
+// Client because timed and explicit flushes may encode concurrently.
+var encBufPool = sync.Pool{New: func() any {
+	b := make([]byte, 0, 32<<10)
+	return &b
+}}
 
 // Client batches telemetry records and ships them to a collector.
 // Safe for concurrent use.
@@ -94,6 +105,9 @@ func NewClient(cfg ClientConfig) (*Client, error) {
 	}
 	if cfg.MaxRetries < 0 {
 		return nil, errors.New("collector: negative retry count")
+	}
+	if cfg.Format != telemetry.JSONL && cfg.Format != telemetry.TBIN {
+		return nil, fmt.Errorf("collector: unsupported wire format %v", cfg.Format)
 	}
 	c := &Client{
 		cfg:    cfg,
@@ -175,12 +189,18 @@ func (c *Client) Flush() error {
 	return nil
 }
 
-// send posts one batch with bounded retries on transient failures.
+// send posts one batch with bounded retries on transient failures. The
+// batch is encoded exactly once into a pooled buffer; retries repost the
+// same bytes.
 func (c *Client) send(batch []telemetry.Record) error {
-	body, err := json.Marshal(batch)
+	bp := encBufPool.Get().(*[]byte)
+	defer encBufPool.Put(bp)
+	body, contentType, err := c.encodeBatch((*bp)[:0], batch)
+	*bp = body[:0] // keep any capacity the encode grew
 	if err != nil {
 		return err
 	}
+	c.m.encodes.Inc()
 	backoff := c.cfg.RetryBackoff
 	if backoff <= 0 {
 		backoff = 50 * time.Millisecond
@@ -192,7 +212,7 @@ func (c *Client) send(batch []telemetry.Record) error {
 			time.Sleep(backoff)
 			backoff *= 2
 		}
-		resp, err := c.http.Post(c.cfg.URL, "application/json", bytes.NewReader(body))
+		resp, err := c.http.Post(c.cfg.URL, contentType, bytes.NewReader(body))
 		if err != nil {
 			lastErr = err
 			continue // transient network failure
@@ -211,6 +231,36 @@ func (c *Client) send(batch []telemetry.Record) error {
 		}
 	}
 	return fmt.Errorf("collector: batch failed after %d attempts: %w", c.cfg.MaxRetries+1, lastErr)
+}
+
+// encodeBatch appends the wire encoding of batch to dst and returns the
+// encoded bytes with their content type. The JSON array form uses the
+// telemetry fast path per record and is byte-identical to json.Marshal.
+func (c *Client) encodeBatch(dst []byte, batch []telemetry.Record) ([]byte, string, error) {
+	if c.cfg.Format == telemetry.TBIN {
+		buf := bytes.NewBuffer(dst)
+		w := telemetry.NewWriter(buf, telemetry.TBIN)
+		if err := w.WriteAll(batch); err != nil {
+			w.Close()
+			return buf.Bytes(), "", err
+		}
+		if err := w.Close(); err != nil {
+			return buf.Bytes(), "", err
+		}
+		return buf.Bytes(), ContentTypeTBIN, nil
+	}
+	dst = append(dst, '[')
+	for i, rec := range batch {
+		if i > 0 {
+			dst = append(dst, ',')
+		}
+		var err error
+		if dst, err = telemetry.AppendRecordJSON(dst, rec); err != nil {
+			return dst, "", err
+		}
+	}
+	dst = append(dst, ']')
+	return dst, "application/json", nil
 }
 
 // Close flushes remaining records and stops the background flusher.

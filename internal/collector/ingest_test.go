@@ -1,0 +1,247 @@
+package collector
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"autosens/internal/telemetry"
+)
+
+func encodeTBIN(t testing.TB, batch []telemetry.Record) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	w := telemetry.NewWriter(&buf, telemetry.TBIN)
+	if err := w.WriteAll(batch); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestServerAcceptsTBINBatch(t *testing.T) {
+	srv, buf, ts := newTestServer(t)
+	batch := []telemetry.Record{testRecord(1), testRecord(2), testRecord(3)}
+	resp, err := http.Post(ts.URL+"/v1/beacons", ContentTypeTBIN, bytes.NewReader(encodeTBIN(t, batch)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	var br BatchResponse
+	if err := json.NewDecoder(resp.Body).Decode(&br); err != nil {
+		t.Fatal(err)
+	}
+	if br.Accepted != 3 || br.Rejected != 0 {
+		t.Fatalf("response %+v", br)
+	}
+	if err := srv.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	got, err := telemetry.NewReader(buf, telemetry.JSONL).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(batch) {
+		t.Fatalf("sink has %d records", len(got))
+	}
+	for i := range got {
+		if got[i] != batch[i] {
+			t.Fatalf("record %d mismatch", i)
+		}
+	}
+}
+
+func TestServerRejectsCorruptTBIN(t *testing.T) {
+	_, _, ts := newTestServer(t)
+	clean := encodeTBIN(t, []telemetry.Record{testRecord(1), testRecord(2)})
+	mut := bytes.Clone(clean)
+	mut[1] ^= 0xff // break the magic
+	resp, err := http.Post(ts.URL+"/v1/beacons", ContentTypeTBIN, bytes.NewReader(mut))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status %d, want 400", resp.StatusCode)
+	}
+}
+
+// TestStreamingDecodeEdgeCases pins behaviors the streaming decoder must
+// share with the json.Unmarshal implementation it replaced.
+func TestStreamingDecodeEdgeCases(t *testing.T) {
+	_, _, ts := newTestServer(t)
+	cases := []struct {
+		name   string
+		body   string
+		status int
+	}{
+		{"empty array", `[]`, http.StatusAccepted},
+		{"null batch", `null`, http.StatusAccepted},
+		{"whitespace around array", " [ ] \n", http.StatusAccepted},
+		{"object not array", `{"t":1}`, http.StatusBadRequest},
+		{"truncated array", `[{"t":1,"a":0,"l":1,"u":1,"ut":0,"tz":0}`, http.StatusBadRequest},
+		{"trailing garbage", `[]x`, http.StatusBadRequest},
+		{"null after null", `null null`, http.StatusBadRequest},
+		{"scalar", `42`, http.StatusBadRequest},
+		{"empty body", ``, http.StatusBadRequest},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			resp, err := http.Post(ts.URL+"/v1/beacons", "application/json", strings.NewReader(tc.body))
+			if err != nil {
+				t.Fatal(err)
+			}
+			resp.Body.Close()
+			if resp.StatusCode != tc.status {
+				t.Fatalf("body %q: status %d, want %d", tc.body, resp.StatusCode, tc.status)
+			}
+		})
+	}
+}
+
+// TestClientEncodesOncePerFlushAcrossRetries pins the retry-path contract:
+// a flush that needs retransmissions still encodes its batch exactly once.
+func TestClientEncodesOncePerFlushAcrossRetries(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) <= 2 {
+			http.Error(w, "transient", http.StatusInternalServerError)
+			return
+		}
+		w.WriteHeader(http.StatusAccepted)
+	}))
+	defer ts.Close()
+
+	cfg := DefaultClientConfig(ts.URL)
+	cfg.FlushInterval = 0
+	cfg.RetryBackoff = time.Millisecond
+	c, err := NewClient(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 5; i++ {
+		if err := c.Enqueue(testRecord(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got := calls.Load(); got != 3 {
+		t.Fatalf("server saw %d posts, want 3 (2 failures + 1 success)", got)
+	}
+	flushes, retries := c.RetryStats()
+	if flushes != 1 || retries != 2 {
+		t.Fatalf("flushes=%d retries=%d, want 1/2", flushes, retries)
+	}
+	if got := c.m.encodes.Value(); got != 1 {
+		t.Fatalf("batch encoded %d times across the retrying flush, want exactly 1", got)
+	}
+	sent, dropped := c.Stats()
+	if sent != 5 || dropped != 0 {
+		t.Fatalf("sent=%d dropped=%d", sent, dropped)
+	}
+}
+
+// TestClientTBINWireFormat ships a batch over the binary wire format and
+// checks it lands in the sink identically to the JSON path.
+func TestClientTBINWireFormat(t *testing.T) {
+	srv, buf, ts := newTestServer(t)
+	cfg := DefaultClientConfig(ts.URL + "/v1/beacons")
+	cfg.FlushInterval = 0
+	cfg.Format = telemetry.TBIN
+	c, err := NewClient(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch := []telemetry.Record{testRecord(1), testRecord(2), testRecord(3)}
+	for _, rec := range batch {
+		if err := c.Enqueue(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	got, err := telemetry.NewReader(buf, telemetry.JSONL).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(batch) {
+		t.Fatalf("sink has %d records, want %d", len(got), len(batch))
+	}
+	for i := range got {
+		if got[i] != batch[i] {
+			t.Fatalf("record %d mismatch: %+v != %+v", i, got[i], batch[i])
+		}
+	}
+}
+
+func TestClientRejectsCSVWireFormat(t *testing.T) {
+	cfg := DefaultClientConfig("http://localhost/v1/beacons")
+	cfg.Format = telemetry.CSV
+	if _, err := NewClient(cfg); err == nil {
+		t.Fatal("CSV wire format accepted")
+	}
+}
+
+// benchmarkIngest drives the beacon handler directly (no network) with a
+// pre-encoded batch.
+func benchmarkIngest(b *testing.B, contentType string, body []byte, records int) {
+	srv := NewServer(telemetry.NewWriter(io.Discard, telemetry.JSONL))
+	handler := srv.Handler()
+	b.SetBytes(int64(len(body)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		req := httptest.NewRequest(http.MethodPost, "/v1/beacons", bytes.NewReader(body))
+		req.Header.Set("Content-Type", contentType)
+		rw := httptest.NewRecorder()
+		handler.ServeHTTP(rw, req)
+		if rw.Code != http.StatusAccepted {
+			b.Fatalf("status %d: %s", rw.Code, rw.Body.Bytes())
+		}
+	}
+	_, accepted, _, _ := srv.Stats()
+	if accepted != uint64(records)*uint64(b.N) {
+		b.Fatalf("accepted %d records, want %d", accepted, records*b.N)
+	}
+}
+
+func benchBatch(b *testing.B, n int) []telemetry.Record {
+	b.Helper()
+	batch := make([]telemetry.Record, 0, n)
+	for i := 0; i < n; i++ {
+		batch = append(batch, testRecord(i+1))
+	}
+	return batch
+}
+
+func BenchmarkIngestJSON(b *testing.B) {
+	batch := benchBatch(b, 1000)
+	body, err := json.Marshal(batch)
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchmarkIngest(b, "application/json", body, len(batch))
+}
+
+func BenchmarkIngestTBIN(b *testing.B) {
+	batch := benchBatch(b, 1000)
+	benchmarkIngest(b, ContentTypeTBIN, encodeTBIN(b, batch), len(batch))
+}

@@ -33,6 +33,17 @@ const MaxBatchBytes = 8 << 20
 // MaxBatchRecords bounds the number of records per beacon request.
 const MaxBatchRecords = 10000
 
+// ContentTypeTBIN selects the compact binary beacon encoding. Bodies with
+// any other content type are decoded as a JSON array of records.
+const ContentTypeTBIN = "application/x-autosens-tbin"
+
+// batchPool recycles the per-request record scratch so steady-state ingest
+// does not allocate a fresh batch slice per beacon.
+var batchPool = sync.Pool{New: func() any {
+	b := make([]telemetry.Record, 0, 512)
+	return &b
+}}
+
 // serverMetrics bundles the registry handles the hot path uses.
 type serverMetrics struct {
 	batches      *obs.Counter
@@ -140,21 +151,16 @@ func (s *Server) handleBeacons(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
 		return
 	}
-	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, MaxBatchBytes))
-	if err != nil {
+	scratch := batchPool.Get().(*[]telemetry.Record)
+	defer func() {
+		*scratch = (*scratch)[:0]
+		batchPool.Put(scratch)
+	}()
+	batch, status, msg := s.readBatch(w, r, (*scratch)[:0])
+	*scratch = batch[:0] // keep any capacity the decode grew
+	if status != 0 {
 		s.m.badRequests.Inc()
-		http.Error(w, "body too large or unreadable", http.StatusRequestEntityTooLarge)
-		return
-	}
-	var batch []telemetry.Record
-	if err := json.Unmarshal(body, &batch); err != nil {
-		s.m.badRequests.Inc()
-		http.Error(w, "malformed JSON batch", http.StatusBadRequest)
-		return
-	}
-	if len(batch) > MaxBatchRecords {
-		s.m.badRequests.Inc()
-		http.Error(w, fmt.Sprintf("batch exceeds %d records", MaxBatchRecords), http.StatusRequestEntityTooLarge)
+		http.Error(w, msg, status)
 		return
 	}
 	s.m.batchRecords.Observe(float64(len(batch)))
@@ -197,6 +203,91 @@ func (s *Server) handleBeacons(w http.ResponseWriter, r *http.Request) {
 	w.WriteHeader(http.StatusAccepted)
 	if err := json.NewEncoder(w).Encode(resp); err != nil {
 		return // client went away; nothing to do
+	}
+}
+
+// readBatch decodes the request body into dst, choosing the decoder from
+// the Content-Type header. A zero status means success; otherwise status
+// and msg describe the HTTP error to return.
+func (s *Server) readBatch(w http.ResponseWriter, r *http.Request, dst []telemetry.Record) (batch []telemetry.Record, status int, msg string) {
+	body := http.MaxBytesReader(w, r.Body, MaxBatchBytes)
+	if r.Header.Get("Content-Type") == ContentTypeTBIN {
+		return readBatchTBIN(body, dst)
+	}
+	return readBatchJSON(body, dst)
+}
+
+// decodeErrStatus maps a body-decode error to an HTTP status: the
+// MaxBytesReader limit is "too large", anything else is a bad request.
+func decodeErrStatus(err error) (int, string) {
+	var tooLarge *http.MaxBytesError
+	if errors.As(err, &tooLarge) {
+		return http.StatusRequestEntityTooLarge, "body too large"
+	}
+	return http.StatusBadRequest, "malformed batch"
+}
+
+// readBatchJSON streams a JSON array of records into dst without buffering
+// the request body: each record is decoded as it arrives, so an 8 MB batch
+// costs one record of decoder state instead of an 8 MB copy.
+func readBatchJSON(body io.Reader, dst []telemetry.Record) ([]telemetry.Record, int, string) {
+	dec := json.NewDecoder(body)
+	tok, err := dec.Token()
+	if err != nil {
+		st, msg := decodeErrStatus(err)
+		return dst, st, msg
+	}
+	if tok == nil {
+		// A JSON null batch is an empty batch, as with json.Unmarshal.
+		if _, err := dec.Token(); err != io.EOF {
+			return dst, http.StatusBadRequest, "malformed batch"
+		}
+		return dst, 0, ""
+	}
+	if d, ok := tok.(json.Delim); !ok || d != '[' {
+		return dst, http.StatusBadRequest, "malformed batch"
+	}
+	// rec lives outside the loop so handing its address to Decode heap-
+	// allocates once per request, not once per record.
+	var rec telemetry.Record
+	for dec.More() {
+		if len(dst) >= MaxBatchRecords {
+			return dst, http.StatusRequestEntityTooLarge, fmt.Sprintf("batch exceeds %d records", MaxBatchRecords)
+		}
+		rec = telemetry.Record{}
+		if err := dec.Decode(&rec); err != nil {
+			st, msg := decodeErrStatus(err)
+			return dst, st, msg
+		}
+		dst = append(dst, rec)
+	}
+	if _, err := dec.Token(); err != nil { // closing ']'
+		st, msg := decodeErrStatus(err)
+		return dst, st, msg
+	}
+	if _, err := dec.Token(); err != io.EOF {
+		return dst, http.StatusBadRequest, "trailing data after batch"
+	}
+	return dst, 0, ""
+}
+
+// readBatchTBIN streams a TBIN beacon body into dst.
+func readBatchTBIN(body io.Reader, dst []telemetry.Record) ([]telemetry.Record, int, string) {
+	tr := telemetry.NewReader(body, telemetry.TBIN)
+	defer tr.Close()
+	for {
+		rec, err := tr.Read()
+		if err == io.EOF {
+			return dst, 0, ""
+		}
+		if err != nil {
+			st, msg := decodeErrStatus(err)
+			return dst, st, msg
+		}
+		if len(dst) >= MaxBatchRecords {
+			return dst, http.StatusRequestEntityTooLarge, fmt.Sprintf("batch exceeds %d records", MaxBatchRecords)
+		}
+		dst = append(dst, rec)
 	}
 }
 

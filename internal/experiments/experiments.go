@@ -14,9 +14,11 @@ import (
 	"io"
 	"math"
 	"sort"
+	"sync"
 
 	"autosens/internal/core"
 	"autosens/internal/owasim"
+	"autosens/internal/pipeline"
 	"autosens/internal/report"
 	"autosens/internal/telemetry"
 	"autosens/internal/timeutil"
@@ -56,6 +58,9 @@ type Context struct {
 	Result  *owasim.Result
 	Records []telemetry.Record // successful actions only
 	Opts    core.Options
+
+	partOnce sync.Once
+	part     *pipeline.Partition
 }
 
 // NewContext simulates the workload once at the given scale.
@@ -93,6 +98,14 @@ func (c *Context) FebruaryOrAll(records []telemetry.Record) []telemetry.Record {
 		return months[1]
 	}
 	return records
+}
+
+// SharedPartition lazily partitions FebruaryOrAll(Records) once; the
+// figures that slice that same record set along different dimensions
+// share the classification pass instead of re-filtering per figure.
+func (c *Context) SharedPartition() *pipeline.Partition {
+	c.partOnce.Do(func() { c.part = pipeline.NewPartition(c.FebruaryOrAll(c.Records)) })
+	return c.part
 }
 
 // Estimator builds an estimator from the context's options.

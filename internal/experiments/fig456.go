@@ -106,20 +106,21 @@ func runFig4(ctx *Context, w io.Writer) (*Outcome, error) {
 }
 
 func runFig5(ctx *Context, w io.Writer) (*Outcome, error) {
-	recs := ctx.FebruaryOrAll(ctx.Records)
 	return runSlices(ctx, w, "NLP for SelectMail: business vs consumer (reference 300 ms)",
-		pipeline.BySegment(recs, telemetry.SelectMail))
+		ctx.SharedPartition().BySegment(telemetry.SelectMail))
 }
 
 func runFig6(ctx *Context, w io.Writer) (*Outcome, error) {
 	// The paper uses consumer users for the conditioning analysis. At
 	// small scale, pooling both segments keeps the quartile slices
-	// statistically usable.
-	recs := ctx.FebruaryOrAll(ctx.Records)
+	// statistically usable — and lets the figure share the context's
+	// cached partition with fig5.
+	p := ctx.SharedPartition()
 	if ctx.Scale == ScalePaper {
-		recs = telemetry.ByUserType(recs, telemetry.Consumer)
+		recs := telemetry.ByUserType(ctx.FebruaryOrAll(ctx.Records), telemetry.Consumer)
+		p = pipeline.NewPartition(recs)
 	}
-	slices, err := pipeline.ByQuartile(recs, telemetry.SelectMail)
+	slices, err := p.ByQuartile(telemetry.SelectMail)
 	if err != nil {
 		return nil, err
 	}

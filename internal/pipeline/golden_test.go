@@ -1,0 +1,129 @@
+package pipeline
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"autosens/internal/telemetry"
+)
+
+// TestGoldenCurvesInvariantAcrossIngestPaths is the end-to-end guarantee
+// the data-plane rewrite makes: however the records enter — JSONL through
+// encoding/json, JSONL through the fast path, or TBIN — and whichever
+// slicer builds the groups — the legacy filters or the single-pass
+// Partition — the estimated NLP curves are byte-identical.
+func TestGoldenCurvesInvariantAcrossIngestPaths(t *testing.T) {
+	orig := records(t)
+
+	// Encode once as JSONL and once as TBIN.
+	var jbuf, tbuf bytes.Buffer
+	for _, p := range []struct {
+		buf    *bytes.Buffer
+		format telemetry.Format
+	}{{&jbuf, telemetry.JSONL}, {&tbuf, telemetry.TBIN}} {
+		w := telemetry.NewWriter(p.buf, p.format)
+		if err := w.WriteAll(orig); err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Decode path 1: JSONL via encoding/json only — the pre-optimization
+	// reference decoder.
+	var viaStdlib []telemetry.Record
+	sc := bufio.NewScanner(bytes.NewReader(jbuf.Bytes()))
+	for sc.Scan() {
+		var rec telemetry.Record
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			t.Fatal(err)
+		}
+		viaStdlib = append(viaStdlib, rec)
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Decode path 2: JSONL via the Reader's fast path.
+	viaFast, err := telemetry.NewReader(bytes.NewReader(jbuf.Bytes()), telemetry.JSONL).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Decode path 3: TBIN.
+	viaTBIN, err := telemetry.NewReader(bytes.NewReader(tbuf.Bytes()), telemetry.TBIN).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for name, got := range map[string][]telemetry.Record{
+		"jsonl-stdlib": viaStdlib, "jsonl-fast": viaFast, "tbin": viaTBIN,
+	} {
+		if len(got) != len(orig) {
+			t.Fatalf("%s: decoded %d records, want %d", name, len(got), len(orig))
+		}
+		for i := range orig {
+			if got[i] != orig[i] {
+				t.Fatalf("%s: record %d: got %+v want %+v", name, i, got[i], orig[i])
+			}
+		}
+	}
+
+	// Slice each decoded stream with both slicer generations and estimate.
+	// Every combination must serialize to the same curve bytes.
+	curveBytes := func(recs []telemetry.Record, legacy bool) []byte {
+		var slices []Slice
+		if legacy {
+			slices = legacyByActionType(recs)
+			qs, err := legacyByQuartile(recs, telemetry.SelectMail)
+			if err != nil {
+				t.Fatal(err)
+			}
+			slices = append(slices, qs...)
+		} else {
+			p := NewPartition(recs)
+			slices = p.ByActionType()
+			qs, err := p.ByQuartile(telemetry.SelectMail)
+			if err != nil {
+				t.Fatal(err)
+			}
+			slices = append(slices, qs...)
+		}
+		results, err := Run(Request{Options: testOptions(), TimeNormalized: true, Slices: slices})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var out bytes.Buffer
+		for _, r := range results {
+			if r.Err != nil {
+				t.Fatalf("slice %s: %v", r.Name, r.Err)
+			}
+			out.WriteString(r.Name)
+			out.WriteByte('\n')
+			if err := r.Curve.WriteJSON(&out); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return out.Bytes()
+	}
+
+	golden := curveBytes(viaStdlib, true)
+	if len(golden) == 0 {
+		t.Fatal("empty golden curves")
+	}
+	for name, recs := range map[string][]telemetry.Record{
+		"jsonl-fast": viaFast, "tbin": viaTBIN,
+	} {
+		if got := curveBytes(recs, true); !bytes.Equal(got, golden) {
+			t.Fatalf("%s + legacy slicers: curves differ from golden", name)
+		}
+		if got := curveBytes(recs, false); !bytes.Equal(got, golden) {
+			t.Fatalf("%s + partition: curves differ from golden", name)
+		}
+	}
+	if got := curveBytes(viaStdlib, false); !bytes.Equal(got, golden) {
+		t.Fatal("jsonl-stdlib + partition: curves differ from golden")
+	}
+}

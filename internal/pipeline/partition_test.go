@@ -1,0 +1,280 @@
+package pipeline
+
+import (
+	"fmt"
+	"testing"
+
+	"autosens/internal/owasim"
+	"autosens/internal/telemetry"
+	"autosens/internal/timeutil"
+)
+
+// The legacy slicer implementations, frozen here as the behavioral
+// reference for Partition: every group must contain exactly the same
+// records in the same order under the same name.
+
+func legacyByActionType(records []telemetry.Record) []Slice {
+	out := make([]Slice, 0, telemetry.NumActionTypes)
+	for _, a := range telemetry.ActionTypes() {
+		out = append(out, Slice{Name: a.String(), Records: telemetry.ByAction(records, a)})
+	}
+	return out
+}
+
+func legacyBySegment(records []telemetry.Record, action telemetry.ActionType) []Slice {
+	records = telemetry.ByAction(records, action)
+	out := make([]Slice, 0, telemetry.NumUserTypes)
+	for _, u := range telemetry.UserTypes() {
+		out = append(out, Slice{
+			Name:    fmt.Sprintf("%s/%s", action, u),
+			Records: telemetry.ByUserType(records, u),
+		})
+	}
+	return out
+}
+
+func legacyByQuartile(records []telemetry.Record, action telemetry.ActionType) ([]Slice, error) {
+	assign, _, err := telemetry.AssignQuartiles(records)
+	if err != nil {
+		return nil, err
+	}
+	groups := telemetry.ByQuartile(telemetry.ByAction(records, action), assign)
+	out := make([]Slice, 0, telemetry.NumQuartiles)
+	for q, rs := range groups {
+		out = append(out, Slice{
+			Name:    fmt.Sprintf("%s/%s", action, telemetry.Quartile(q)),
+			Records: rs,
+		})
+	}
+	return out, nil
+}
+
+func legacyByPeriod(records []telemetry.Record, action telemetry.ActionType) []Slice {
+	records = telemetry.ByAction(records, action)
+	out := make([]Slice, 0, timeutil.NumPeriods)
+	for p := 0; p < timeutil.NumPeriods; p++ {
+		period := timeutil.Period(p)
+		out = append(out, Slice{
+			Name:    fmt.Sprintf("%s/%s", action, period),
+			Records: telemetry.ByPeriod(records, period),
+		})
+	}
+	return out
+}
+
+func legacyByMonth(records []telemetry.Record, action telemetry.ActionType) []Slice {
+	names := []string{"Jan", "Feb", "Mar", "Apr", "May", "Jun", "Jul", "Aug", "Sep", "Oct", "Nov", "Dec"}
+	months := owasim.Months(telemetry.ByAction(records, action))
+	out := make([]Slice, 0, len(months))
+	for i, m := range months {
+		name := fmt.Sprintf("month%d", i)
+		if i < len(names) {
+			name = names[i]
+		}
+		out = append(out, Slice{Name: fmt.Sprintf("%s/%s", action, name), Records: m})
+	}
+	return out
+}
+
+func requireSlicesEqual(t *testing.T, dim string, got, want []Slice) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d slices, want %d", dim, len(got), len(want))
+	}
+	for i := range want {
+		if got[i].Name != want[i].Name {
+			t.Fatalf("%s: slice %d named %q, want %q", dim, i, got[i].Name, want[i].Name)
+		}
+		if len(got[i].Records) != len(want[i].Records) {
+			t.Fatalf("%s: slice %q has %d records, want %d",
+				dim, want[i].Name, len(got[i].Records), len(want[i].Records))
+		}
+		for j := range want[i].Records {
+			if got[i].Records[j] != want[i].Records[j] {
+				t.Fatalf("%s: slice %q record %d differs:\n got %+v\nwant %+v",
+					dim, want[i].Name, j, got[i].Records[j], want[i].Records[j])
+			}
+		}
+	}
+}
+
+// multiMonthRecords simulates a workload spanning three calendar months.
+var multiMonthRecords []telemetry.Record
+
+func monthsRecords(t testing.TB) []telemetry.Record {
+	t.Helper()
+	if multiMonthRecords == nil {
+		cfg := owasim.DefaultConfig(65*timeutil.MillisPerDay, 24, 24)
+		cfg.Seed = 321
+		res, err := owasim.Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		multiMonthRecords = res.Records // keep failed records: slicers must agree on them too
+	}
+	return multiMonthRecords
+}
+
+func TestPartitionMatchesLegacySlicers(t *testing.T) {
+	recs := monthsRecords(t)
+	p := NewPartition(recs)
+	requireSlicesEqual(t, "action", p.ByActionType(), legacyByActionType(recs))
+	for _, a := range telemetry.ActionTypes() {
+		requireSlicesEqual(t, "segment", p.BySegment(a), legacyBySegment(recs, a))
+		requireSlicesEqual(t, "period", p.ByPeriod(a), legacyByPeriod(recs, a))
+		requireSlicesEqual(t, "month", p.ByMonth(a), legacyByMonth(recs, a))
+		got, err := p.ByQuartile(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := legacyByQuartile(recs, a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		requireSlicesEqual(t, "quartile", got, want)
+	}
+}
+
+// TestPartitionMatchesLegacyOnAdversarialRecords covers shapes simulation
+// never produces: invalid enum values, negative and far-future times, and
+// users outside the quartile map.
+func TestPartitionMatchesLegacyOnAdversarialRecords(t *testing.T) {
+	recs := []telemetry.Record{
+		{Time: 0, Action: telemetry.SelectMail, LatencyMS: 100, UserID: 1},
+		{Time: -5 * timeutil.MillisPerDay, Action: telemetry.Search, LatencyMS: 200, UserID: 2, UserType: telemetry.Consumer},
+		{Time: 400 * timeutil.MillisPerDay, Action: telemetry.SelectMail, LatencyMS: 300, UserID: 3},
+		{Time: 40 * timeutil.MillisPerDay, Action: telemetry.ActionType(9), LatencyMS: 50, UserID: 4},
+		{Time: 40 * timeutil.MillisPerDay, Action: telemetry.ActionType(-1), LatencyMS: 50, UserID: 1},
+		{Time: 41 * timeutil.MillisPerDay, Action: telemetry.ComposeSend, LatencyMS: 75, UserID: 5, UserType: telemetry.UserType(7)},
+		{Time: 12 * timeutil.MillisPerHour, Action: telemetry.SelectMail, LatencyMS: 120, UserID: 2, TZOffset: -7 * timeutil.MillisPerHour},
+		{Time: 3 * timeutil.MillisPerDay, Action: telemetry.SwitchFolder, LatencyMS: 90, UserID: 6, Failed: true},
+	}
+	p := NewPartition(recs)
+	requireSlicesEqual(t, "action", p.ByActionType(), legacyByActionType(recs))
+	for _, a := range append(telemetry.ActionTypes(), telemetry.ActionType(9), telemetry.ActionType(-1)) {
+		requireSlicesEqual(t, "segment", p.BySegment(a), legacyBySegment(recs, a))
+		requireSlicesEqual(t, "period", p.ByPeriod(a), legacyByPeriod(recs, a))
+		requireSlicesEqual(t, "month", p.ByMonth(a), legacyByMonth(recs, a))
+		got, gotErr := p.ByQuartile(a)
+		want, wantErr := legacyByQuartile(recs, a)
+		if (gotErr == nil) != (wantErr == nil) {
+			t.Fatalf("quartile error mismatch: %v vs %v", gotErr, wantErr)
+		}
+		if gotErr == nil {
+			requireSlicesEqual(t, "quartile", got, want)
+		}
+	}
+}
+
+// TestPartitionByMonthBreakSemantics pins the owasim.Months gap rule: a
+// month with no records ends the sequence, so later months are dropped.
+func TestPartitionByMonthBreakSemantics(t *testing.T) {
+	mk := func(day int) telemetry.Record {
+		return telemetry.Record{
+			Time: timeutil.Millis(day) * timeutil.MillisPerDay, Action: telemetry.SelectMail,
+			LatencyMS: 100, UserID: 1,
+		}
+	}
+	// Records in January and March but none in February: only January
+	// survives, named "Jan".
+	recs := []telemetry.Record{mk(2), mk(20), mk(70)}
+	got := NewPartition(recs).ByMonth(telemetry.SelectMail)
+	requireSlicesEqual(t, "month", got, legacyByMonth(recs, telemetry.SelectMail))
+	if len(got) != 1 || got[0].Name != "SelectMail/Jan" || len(got[0].Records) != 2 {
+		t.Fatalf("gap semantics broken: %+v", got)
+	}
+	// Records only in March: the leading empty months are skipped and the
+	// March group takes the first positional name.
+	recs = []telemetry.Record{mk(65), mk(70)}
+	got = NewPartition(recs).ByMonth(telemetry.SelectMail)
+	requireSlicesEqual(t, "month", got, legacyByMonth(recs, telemetry.SelectMail))
+	if len(got) != 1 || got[0].Name != "SelectMail/Jan" {
+		t.Fatalf("leading-gap semantics broken: %+v", got)
+	}
+}
+
+func TestPartitionQuartileTooFewUsers(t *testing.T) {
+	recs := []telemetry.Record{
+		{Action: telemetry.SelectMail, LatencyMS: 1, UserID: 1},
+		{Action: telemetry.SelectMail, LatencyMS: 2, UserID: 2},
+	}
+	if _, err := NewPartition(recs).ByQuartile(telemetry.SelectMail); err == nil {
+		t.Fatal("quartiles over 2 users succeeded")
+	}
+	if _, err := legacyByQuartile(recs, telemetry.SelectMail); err == nil {
+		t.Fatal("legacy quartiles over 2 users succeeded")
+	}
+}
+
+func TestPartitionQuartileCutsMatchLegacy(t *testing.T) {
+	recs := monthsRecords(t)
+	_, cuts, err := telemetry.AssignQuartiles(recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := NewPartition(recs).QuartileCuts()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != cuts {
+		t.Fatalf("cuts %v, want %v", got, cuts)
+	}
+}
+
+// TestPartitionActionZeroCopy checks that action groups alias the backing
+// array instead of copying.
+func TestPartitionActionZeroCopy(t *testing.T) {
+	recs := monthsRecords(t)
+	p := NewPartition(recs)
+	total := 0
+	for _, a := range telemetry.ActionTypes() {
+		g := p.Action(a)
+		total += len(g)
+		if len(g) == 0 {
+			continue
+		}
+		if &g[0] != &p.recs[p.off[a]] {
+			t.Fatalf("action %v group does not alias the backing array", a)
+		}
+	}
+	if total != len(recs) {
+		t.Fatalf("groups cover %d of %d records", total, len(recs))
+	}
+}
+
+// BenchmarkSlicersLegacy measures the paper's full set of slicings done
+// the old way: every dimension re-filters the record set.
+func BenchmarkSlicersLegacy(b *testing.B) {
+	recs := monthsRecords(b)
+	a := telemetry.SelectMail
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		legacyByActionType(recs)
+		legacyBySegment(recs, a)
+		if _, err := legacyByQuartile(recs, a); err != nil {
+			b.Fatal(err)
+		}
+		legacyByPeriod(recs, a)
+		legacyByMonth(recs, a)
+	}
+}
+
+// BenchmarkSlicersPartition measures the same slicings served from one
+// single-pass Partition.
+func BenchmarkSlicersPartition(b *testing.B) {
+	recs := monthsRecords(b)
+	a := telemetry.SelectMail
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := NewPartition(recs)
+		p.ByActionType()
+		p.BySegment(a)
+		if _, err := p.ByQuartile(a); err != nil {
+			b.Fatal(err)
+		}
+		p.ByPeriod(a)
+		p.ByMonth(a)
+	}
+}

@@ -14,9 +14,7 @@ import (
 
 	"autosens/internal/core"
 	"autosens/internal/obs"
-	"autosens/internal/owasim"
 	"autosens/internal/telemetry"
-	"autosens/internal/timeutil"
 )
 
 // Slice is a named subset of records to estimate a curve for.
@@ -114,74 +112,32 @@ func estimateOne(req Request, s Slice, sp *obs.Span) Result {
 	return res
 }
 
-// ByActionType builds one slice per action type.
+// ByActionType builds one slice per action type. Convenience wrapper over
+// Partition for one-shot callers; code slicing the same records several
+// ways should build one Partition and reuse it.
 func ByActionType(records []telemetry.Record) []Slice {
-	out := make([]Slice, 0, telemetry.NumActionTypes)
-	for _, a := range telemetry.ActionTypes() {
-		out = append(out, Slice{Name: a.String(), Records: telemetry.ByAction(records, a)})
-	}
-	return out
+	return NewPartition(records).ByActionType()
 }
 
-// BySegment builds one slice per user segment, optionally restricted to one
-// action type first.
+// BySegment builds one slice per user segment within one action type.
 func BySegment(records []telemetry.Record, action telemetry.ActionType) []Slice {
-	records = telemetry.ByAction(records, action)
-	out := make([]Slice, 0, telemetry.NumUserTypes)
-	for _, u := range telemetry.UserTypes() {
-		out = append(out, Slice{
-			Name:    fmt.Sprintf("%s/%s", action, u),
-			Records: telemetry.ByUserType(records, u),
-		})
-	}
-	return out
+	return NewPartition(records).BySegment(action)
 }
 
 // ByQuartile assigns users to median-latency quartiles over the full record
 // set, then slices one action type's records by quartile.
 func ByQuartile(records []telemetry.Record, action telemetry.ActionType) ([]Slice, error) {
-	assign, _, err := telemetry.AssignQuartiles(records)
-	if err != nil {
-		return nil, err
-	}
-	groups := telemetry.ByQuartile(telemetry.ByAction(records, action), assign)
-	out := make([]Slice, 0, telemetry.NumQuartiles)
-	for q, rs := range groups {
-		out = append(out, Slice{
-			Name:    fmt.Sprintf("%s/%s", action, telemetry.Quartile(q)),
-			Records: rs,
-		})
-	}
-	return out, nil
+	return NewPartition(records).ByQuartile(action)
 }
 
 // ByPeriod slices one action type's records by the user-local 6-hour
 // period.
 func ByPeriod(records []telemetry.Record, action telemetry.ActionType) []Slice {
-	records = telemetry.ByAction(records, action)
-	out := make([]Slice, 0, timeutil.NumPeriods)
-	for p := 0; p < timeutil.NumPeriods; p++ {
-		period := timeutil.Period(p)
-		out = append(out, Slice{
-			Name:    fmt.Sprintf("%s/%s", action, period),
-			Records: telemetry.ByPeriod(records, period),
-		})
-	}
-	return out
+	return NewPartition(records).ByPeriod(action)
 }
 
 // ByMonth slices one action type's records by calendar month (window
 // starting January 1st), naming them Jan, Feb, ….
 func ByMonth(records []telemetry.Record, action telemetry.ActionType) []Slice {
-	names := []string{"Jan", "Feb", "Mar", "Apr", "May", "Jun", "Jul", "Aug", "Sep", "Oct", "Nov", "Dec"}
-	months := owasim.Months(telemetry.ByAction(records, action))
-	out := make([]Slice, 0, len(months))
-	for i, m := range months {
-		name := fmt.Sprintf("month%d", i)
-		if i < len(names) {
-			name = names[i]
-		}
-		out = append(out, Slice{Name: fmt.Sprintf("%s/%s", action, name), Records: m})
-	}
-	return out
+	return NewPartition(records).ByMonth(action)
 }

@@ -89,6 +89,19 @@ func Median(xs []float64) (float64, error) {
 	return Quantile(xs, 0.5)
 }
 
+// QuantileSorted is Quantile for a slice the caller has already sorted
+// ascending, skipping Quantile's defensive copy-and-sort. Results are
+// bit-identical to Quantile on the same multiset.
+func QuantileSorted(sorted []float64, q float64) (float64, error) {
+	if len(sorted) == 0 {
+		return 0, ErrEmpty
+	}
+	if q < 0 || q > 1 || math.IsNaN(q) {
+		return 0, errors.New("stats: quantile out of [0,1]")
+	}
+	return quantileSorted(sorted, q), nil
+}
+
 // Quartiles returns the 25th, 50th and 75th percentiles.
 func Quartiles(xs []float64) (q1, q2, q3 float64, err error) {
 	if len(xs) == 0 {

@@ -17,30 +17,74 @@ type Format int
 // Supported formats.
 const (
 	// JSONL encodes one JSON object per line; it is the default log
-	// format, mirroring structured web-access logs.
+	// format, mirroring structured web-access logs. Encoding and decoding
+	// run on a hand-rolled allocation-free fast path that is
+	// byte-compatible with encoding/json (the decoder falls back to the
+	// stdlib on shapes it does not recognize).
 	JSONL Format = iota
 	// CSV encodes a header row plus one comma-separated row per record.
 	CSV
+	// TBIN is the compact binary format: block-framed, varint-delta
+	// times, dictionary-coded enums. See tbin.go for the layout. It is
+	// typically >5x smaller than JSONL and decodes without per-record
+	// allocations.
+	TBIN
 )
+
+// String implements fmt.Stringer with the names ParseFormat accepts.
+func (f Format) String() string {
+	switch f {
+	case JSONL:
+		return "jsonl"
+	case CSV:
+		return "csv"
+	case TBIN:
+		return "tbin"
+	default:
+		return fmt.Sprintf("Format(%d)", int(f))
+	}
+}
+
+// ParseFormat converts a -format flag value into a Format.
+func ParseFormat(s string) (Format, error) {
+	switch s {
+	case "jsonl":
+		return JSONL, nil
+	case "csv":
+		return CSV, nil
+	case "tbin":
+		return TBIN, nil
+	default:
+		return 0, fmt.Errorf("telemetry: unknown format %q (want jsonl, csv or tbin)", s)
+	}
+}
 
 // csvHeader is the column layout of the CSV format.
 var csvHeader = []string{"time_ms", "action", "latency_ms", "user_id", "user_type", "tz_offset_ms", "failed"}
 
 // Writer streams records to an underlying io.Writer in a fixed format.
-// Close (or at least Flush) must be called to drain buffers.
+// Close (or at least Flush) must be called to drain buffers; Close also
+// returns the Writer's pooled scratch buffers.
 type Writer struct {
-	format Format
-	buf    *bufio.Writer
-	csvw   *csv.Writer
-	wrote  bool
-	count  int
+	format  Format
+	buf     *bufio.Writer
+	csvw    *csv.Writer
+	scratch []byte // pooled JSONL line buffer
+	tbin    *tbinWriter
+	wrote   bool
+	count   int
 }
 
 // NewWriter returns a Writer emitting the given format to w.
 func NewWriter(w io.Writer, format Format) *Writer {
 	tw := &Writer{format: format, buf: bufio.NewWriterSize(w, 1<<16)}
-	if format == CSV {
+	switch format {
+	case CSV:
 		tw.csvw = csv.NewWriter(tw.buf)
+	case TBIN:
+		tw.tbin = newTBINWriter()
+	default:
+		tw.scratch = getBuf()
 	}
 	return tw
 }
@@ -52,14 +96,12 @@ func (w *Writer) Write(r Record) error {
 	}
 	switch w.format {
 	case JSONL:
-		b, err := json.Marshal(r)
+		line, err := AppendRecordJSON(w.scratch[:0], r)
 		if err != nil {
 			return err
 		}
-		if _, err := w.buf.Write(b); err != nil {
-			return err
-		}
-		if err := w.buf.WriteByte('\n'); err != nil {
+		w.scratch = append(line, '\n')
+		if _, err := w.buf.Write(w.scratch); err != nil {
 			return err
 		}
 	case CSV:
@@ -80,11 +122,16 @@ func (w *Writer) Write(r Record) error {
 		if err := w.csvw.Write(row); err != nil {
 			return err
 		}
+	case TBIN:
+		if err := w.tbin.write(r, w.buf); err != nil {
+			return err
+		}
 	default:
 		return fmt.Errorf("telemetry: unknown format %d", w.format)
 	}
 	w.wrote = true
 	w.count++
+	observeEncoded()
 	return nil
 }
 
@@ -101,7 +148,9 @@ func (w *Writer) WriteAll(rs []Record) error {
 // Count returns the number of records written so far.
 func (w *Writer) Count() int { return w.count }
 
-// Flush drains buffered output to the underlying writer.
+// Flush drains buffered output to the underlying writer. For TBIN this
+// frames and emits the partially filled block (and the stream header, so
+// an empty flushed stream is still a valid TBIN file).
 func (w *Writer) Flush() error {
 	if w.csvw != nil {
 		w.csvw.Flush()
@@ -109,16 +158,40 @@ func (w *Writer) Flush() error {
 			return err
 		}
 	}
+	if w.tbin != nil {
+		if err := w.tbin.flushBlock(w.buf); err != nil {
+			return err
+		}
+	}
 	return w.buf.Flush()
 }
 
-// Reader streams records from an underlying io.Reader.
+// Close flushes and returns the Writer's pooled buffers. The Writer must
+// not be used after Close.
+func (w *Writer) Close() error {
+	err := w.Flush()
+	if w.scratch != nil {
+		putBuf(w.scratch)
+		w.scratch = nil
+	}
+	if w.tbin != nil {
+		w.tbin.release()
+		w.tbin = nil
+	}
+	return err
+}
+
+// Reader streams records from an underlying io.Reader. JSONL input is
+// decoded on an allocation-free fast path, falling back to encoding/json
+// line by line for shapes the fast path does not recognize.
 type Reader struct {
-	format Format
-	scan   *bufio.Scanner
-	csvr   *csv.Reader
-	header bool
-	line   int
+	format  Format
+	scan    *bufio.Scanner
+	scanBuf []byte // pooled initial scanner buffer
+	csvr    *csv.Reader
+	tbin    *tbinReader
+	header  bool
+	line    int
 }
 
 // NewReader returns a Reader decoding the given format from r.
@@ -128,9 +201,13 @@ func NewReader(r io.Reader, format Format) *Reader {
 	case CSV:
 		tr.csvr = csv.NewReader(r)
 		tr.csvr.FieldsPerRecord = len(csvHeader)
+	case TBIN:
+		br := bufio.NewReaderSize(r, 1<<16)
+		tr.tbin = newTBINReader(br, br)
 	default:
 		tr.scan = bufio.NewScanner(r)
-		tr.scan.Buffer(make([]byte, 0, 1<<16), 1<<20)
+		tr.scanBuf = getBuf()
+		tr.scan.Buffer(tr.scanBuf[:0], 1<<20)
 	}
 	return tr
 }
@@ -151,13 +228,20 @@ func (r *Reader) Read() (Record, error) {
 			if len(line) == 0 {
 				continue
 			}
-			var rec Record
-			if err := json.Unmarshal(line, &rec); err != nil {
-				return Record{}, fmt.Errorf("telemetry: line %d: %w", r.line, err)
+			rec, ok := parseRecordFast(line)
+			if !ok {
+				var err error
+				// The fallback lives in its own function so taking &rec for
+				// json.Unmarshal there does not force this rec — the one the
+				// fast path fills on every call — onto the heap.
+				if rec, err = unmarshalRecordSlow(line); err != nil {
+					return Record{}, fmt.Errorf("telemetry: line %d: %w", r.line, err)
+				}
 			}
 			if err := rec.Validate(); err != nil {
 				return Record{}, fmt.Errorf("telemetry: line %d: %w", r.line, err)
 			}
+			observeDecoded()
 			return rec, nil
 		}
 	case CSV:
@@ -177,11 +261,47 @@ func (r *Reader) Read() (Record, error) {
 			if err != nil {
 				return Record{}, fmt.Errorf("telemetry: line %d: %w", r.line, err)
 			}
+			observeDecoded()
 			return rec, nil
 		}
+	case TBIN:
+		rec, err := r.tbin.read()
+		if err != nil {
+			return Record{}, err
+		}
+		r.line++
+		if err := rec.Validate(); err != nil {
+			return Record{}, fmt.Errorf("telemetry: tbin record %d: %w", r.line, err)
+		}
+		observeDecoded()
+		return rec, nil
 	default:
 		return Record{}, fmt.Errorf("telemetry: unknown format %d", r.format)
 	}
+}
+
+// SkipBlock discards the next TBIN block without decoding it, returning
+// the number of records skipped; io.EOF marks the end of the stream. It
+// is the primitive for samplers and parallel readers that shard a file by
+// block. Only valid for TBIN readers positioned on a block boundary.
+func (r *Reader) SkipBlock() (int, error) {
+	if r.format != TBIN {
+		return 0, fmt.Errorf("telemetry: SkipBlock requires TBIN input, have %v", r.format)
+	}
+	n, err := r.tbin.skipBlock()
+	r.line += n
+	return n, err
+}
+
+// unmarshalRecordSlow is the encoding/json fallback for JSONL lines the
+// fast path declines.
+//
+//go:noinline
+func unmarshalRecordSlow(line []byte) (Record, error) {
+	observeJSONLFallback()
+	var rec Record
+	err := json.Unmarshal(line, &rec)
+	return rec, err
 }
 
 func parseCSVRow(row []string) (Record, error) {
@@ -229,5 +349,18 @@ func (r *Reader) ReadAll() ([]Record, error) {
 			return nil, err
 		}
 		out = append(out, rec)
+	}
+}
+
+// Close returns the Reader's pooled buffers. The Reader must not be used
+// after Close.
+func (r *Reader) Close() {
+	if r.scanBuf != nil {
+		putBuf(r.scanBuf)
+		r.scanBuf = nil
+	}
+	if r.tbin != nil {
+		r.tbin.release()
+		r.tbin = nil
 	}
 }

@@ -1,0 +1,272 @@
+package telemetry
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"unsafe"
+
+	"autosens/internal/timeutil"
+)
+
+// This file is the JSONL hot path: a hand-rolled encoder and decoder for
+// the exact object shape Record marshals to, so steady-state ingest never
+// touches encoding/json. The encoder is byte-identical to json.Marshal
+// (same field order, float formatting, and omitempty handling); the decoder
+// accepts any key order but bails out to encoding/json on anything it does
+// not recognize — escapes, whitespace, unknown keys, exotic numbers — so
+// correctness never depends on the fast path's coverage.
+
+// AppendRecordJSON appends the JSON encoding of r to dst and returns the
+// extended slice. The bytes produced are identical to json.Marshal(r).
+// The only error is a non-finite latency, which JSON cannot represent.
+func AppendRecordJSON(dst []byte, r Record) ([]byte, error) {
+	if math.IsNaN(r.LatencyMS) || math.IsInf(r.LatencyMS, 0) {
+		return dst, fmt.Errorf("telemetry: unsupported latency value %v", r.LatencyMS)
+	}
+	dst = append(dst, `{"t":`...)
+	dst = strconv.AppendInt(dst, int64(r.Time), 10)
+	dst = append(dst, `,"a":`...)
+	dst = strconv.AppendInt(dst, int64(r.Action), 10)
+	dst = append(dst, `,"l":`...)
+	dst = appendJSONFloat(dst, r.LatencyMS)
+	dst = append(dst, `,"u":`...)
+	dst = strconv.AppendUint(dst, r.UserID, 10)
+	dst = append(dst, `,"ut":`...)
+	dst = strconv.AppendInt(dst, int64(r.UserType), 10)
+	dst = append(dst, `,"tz":`...)
+	dst = strconv.AppendInt(dst, int64(r.TZOffset), 10)
+	if r.Failed {
+		dst = append(dst, `,"f":true`...)
+	}
+	return append(dst, '}'), nil
+}
+
+// appendJSONFloat formats f the way encoding/json does: shortest 'f' form,
+// switching to 'e' outside [1e-6, 1e21) and trimming a leading zero from
+// two-digit negative exponents ("2e-07" -> "2e-7").
+func appendJSONFloat(dst []byte, f float64) []byte {
+	abs := math.Abs(f)
+	format := byte('f')
+	if abs != 0 && (abs < 1e-6 || abs >= 1e21) {
+		format = 'e'
+	}
+	dst = strconv.AppendFloat(dst, f, format, -1, 64)
+	if format == 'e' {
+		if n := len(dst); n >= 4 && dst[n-4] == 'e' && dst[n-3] == '-' && dst[n-2] == '0' {
+			dst[n-2] = dst[n-1]
+			dst = dst[:n-1]
+		}
+	}
+	return dst
+}
+
+// parseRecordFast decodes one JSONL line without allocating. It handles
+// the flat object shape AppendRecordJSON emits — known keys, primitive
+// values, no interior whitespace — in any key order. ok=false means the
+// line needs the encoding/json fallback, not that it is invalid.
+func parseRecordFast(line []byte) (rec Record, ok bool) {
+	n := len(line)
+	if n < 2 || line[0] != '{' || line[n-1] != '}' {
+		return rec, false
+	}
+	i := 1
+	if n == 2 {
+		return rec, true // "{}": all fields keep their zero values
+	}
+	for {
+		if i >= n || line[i] != '"' {
+			return rec, false
+		}
+		i++
+		ks := i
+		for i < n && line[i] != '"' {
+			if line[i] == '\\' {
+				return rec, false
+			}
+			i++
+		}
+		if i >= n-1 {
+			return rec, false
+		}
+		key := line[ks:i]
+		i++
+		if line[i] != ':' {
+			return rec, false
+		}
+		i++
+		vs := i
+		for i < n && line[i] != ',' && line[i] != '}' {
+			switch line[i] {
+			case '"', '{', '[', ' ', '\t':
+				return rec, false
+			}
+			i++
+		}
+		if i >= n {
+			return rec, false
+		}
+		val := line[vs:i]
+		if len(val) == 0 {
+			return rec, false
+		}
+		switch string(key) { // the compiler avoids allocating for this conversion
+		case "t":
+			v, ok := parseJSONInt(val)
+			if !ok {
+				return rec, false
+			}
+			rec.Time = timeutil.Millis(v)
+		case "a":
+			v, ok := parseJSONInt(val)
+			if !ok {
+				return rec, false
+			}
+			rec.Action = ActionType(v)
+		case "l":
+			v, ok := parseJSONFloat(val)
+			if !ok {
+				return rec, false
+			}
+			rec.LatencyMS = v
+		case "u":
+			v, ok := parseJSONUint(val)
+			if !ok {
+				return rec, false
+			}
+			rec.UserID = v
+		case "ut":
+			v, ok := parseJSONInt(val)
+			if !ok {
+				return rec, false
+			}
+			rec.UserType = UserType(v)
+		case "tz":
+			v, ok := parseJSONInt(val)
+			if !ok {
+				return rec, false
+			}
+			rec.TZOffset = timeutil.Millis(v)
+		case "f":
+			switch string(val) {
+			case "true":
+				rec.Failed = true
+			case "false":
+				rec.Failed = false
+			default:
+				return rec, false
+			}
+		default:
+			return rec, false
+		}
+		if line[i] == '}' {
+			// Anything after the closing brace (other than nothing) is not
+			// the shape we recognize.
+			return rec, i == n-1
+		}
+		i++ // consume ','
+	}
+}
+
+// parseJSONInt parses a strict JSON integer (optional '-', no leading
+// zeros, no fraction or exponent). Overflow reports !ok so the stdlib
+// fallback produces the canonical error.
+func parseJSONInt(b []byte) (int64, bool) {
+	neg := false
+	if len(b) > 0 && b[0] == '-' {
+		neg = true
+		b = b[1:]
+	}
+	u, ok := parseJSONUint(b)
+	if !ok {
+		return 0, false
+	}
+	if neg {
+		if u > 1<<63 {
+			return 0, false
+		}
+		return -int64(u), true
+	}
+	if u > 1<<63-1 {
+		return 0, false
+	}
+	return int64(u), true
+}
+
+// parseJSONUint parses a strict JSON non-negative integer.
+func parseJSONUint(b []byte) (uint64, bool) {
+	if len(b) == 0 || len(b) > 20 {
+		return 0, false
+	}
+	if b[0] == '0' && len(b) > 1 {
+		return 0, false // leading zeros are not valid JSON
+	}
+	var u uint64
+	for _, c := range b {
+		if c < '0' || c > '9' {
+			return 0, false
+		}
+		d := uint64(c - '0')
+		if u > (math.MaxUint64-d)/10 {
+			return 0, false
+		}
+		u = u*10 + d
+	}
+	return u, true
+}
+
+// parseJSONFloat parses a JSON number into a float64 without allocating.
+// The shape is validated against the JSON grammar first (so "+1", "01" and
+// hex floats never sneak through), then handed to strconv via a no-copy
+// string view. Out-of-range values report !ok and fall back to the stdlib
+// for its canonical error.
+func parseJSONFloat(b []byte) (float64, bool) {
+	if !validJSONNumber(b) {
+		return 0, false
+	}
+	v, err := strconv.ParseFloat(unsafe.String(unsafe.SliceData(b), len(b)), 64)
+	if err != nil {
+		return 0, false
+	}
+	return v, true
+}
+
+// validJSONNumber reports whether b matches the RFC 8259 number grammar.
+func validJSONNumber(b []byte) bool {
+	i, n := 0, len(b)
+	if i < n && b[i] == '-' {
+		i++
+	}
+	switch {
+	case i < n && b[i] == '0':
+		i++
+	case i < n && b[i] >= '1' && b[i] <= '9':
+		for i < n && b[i] >= '0' && b[i] <= '9' {
+			i++
+		}
+	default:
+		return false
+	}
+	if i < n && b[i] == '.' {
+		i++
+		if i >= n || b[i] < '0' || b[i] > '9' {
+			return false
+		}
+		for i < n && b[i] >= '0' && b[i] <= '9' {
+			i++
+		}
+	}
+	if i < n && (b[i] == 'e' || b[i] == 'E') {
+		i++
+		if i < n && (b[i] == '+' || b[i] == '-') {
+			i++
+		}
+		if i >= n || b[i] < '0' || b[i] > '9' {
+			return false
+		}
+		for i < n && b[i] >= '0' && b[i] <= '9' {
+			i++
+		}
+	}
+	return i == n
+}

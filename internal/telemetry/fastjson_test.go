@@ -1,0 +1,167 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+
+	"autosens/internal/rng"
+	"autosens/internal/timeutil"
+)
+
+// genRecords builds n deterministic records shaped like simulator output,
+// with occasional adversarial values mixed in.
+func genRecords(n int, seed uint64) []Record {
+	s := rng.New(seed)
+	out := make([]Record, 0, n)
+	t := timeutil.Millis(0)
+	for i := 0; i < n; i++ {
+		t += timeutil.Millis(s.Intn(5000))
+		rec := Record{
+			Time:      t,
+			Action:    ActionType(s.Intn(NumActionTypes)),
+			LatencyMS: s.LogNormal(6, 0.5),
+			UserID:    uint64(s.Intn(5000)),
+			UserType:  UserType(s.Intn(NumUserTypes)),
+			TZOffset:  timeutil.Millis(s.Intn(27)-12) * timeutil.MillisPerHour,
+			Failed:    s.Bool(0.02),
+		}
+		switch i % 97 {
+		case 13:
+			rec.LatencyMS = 0
+		case 29:
+			rec.LatencyMS = 1e-9 // forces the 'e' float form
+		case 43:
+			rec.LatencyMS = 3.5e21
+		case 61:
+			rec.UserID = math.MaxUint64
+		case 71:
+			rec.Time = -rec.Time // negative timestamps are legal
+		}
+		out = append(out, rec)
+	}
+	return out
+}
+
+func TestAppendRecordJSONMatchesStdlib(t *testing.T) {
+	for i, rec := range genRecords(2000, 11) {
+		want, err := json.Marshal(rec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := AppendRecordJSON(nil, rec)
+		if err != nil {
+			t.Fatalf("record %d: %v", i, err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("record %d: fast %s != stdlib %s", i, got, want)
+		}
+	}
+}
+
+func TestAppendRecordJSONRejectsNonFinite(t *testing.T) {
+	for _, l := range []float64{math.NaN(), math.Inf(1)} {
+		if _, err := AppendRecordJSON(nil, Record{LatencyMS: l}); err == nil {
+			t.Fatalf("latency %v encoded", l)
+		}
+	}
+}
+
+func TestParseRecordFastMatchesStdlib(t *testing.T) {
+	for i, rec := range genRecords(2000, 13) {
+		line, err := json.Marshal(rec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, ok := parseRecordFast(line)
+		if !ok {
+			t.Fatalf("record %d: fast path refused %s", i, line)
+		}
+		if got != rec {
+			t.Fatalf("record %d: got %+v want %+v", i, got, rec)
+		}
+	}
+}
+
+// TestParseRecordFastAgreesOrFallsBack feeds the fast parser shapes it is
+// not required to handle; whenever it does claim success, the result must
+// match encoding/json exactly.
+func TestParseRecordFastAgreesOrFallsBack(t *testing.T) {
+	lines := []string{
+		`{}`,
+		`{"t":1,"a":2,"l":5.5,"u":3,"ut":1,"tz":-60000}`,
+		`{"tz":-60000,"u":3,"t":1,"f":true,"a":2,"l":5.5,"ut":1}`, // shuffled keys
+		`{"t":1,"a":2,"l":5.5,"u":3,"ut":1,"tz":0,"f":false}`,
+		`{"t": 1, "a": 2, "l": 5.5, "u": 3, "ut": 1, "tz": 0}`, // whitespace
+		`{"t":1,"t":2,"a":0,"l":1,"u":1,"ut":0,"tz":0}`,        // duplicate key
+		`{"t":1e3,"a":0,"l":1,"u":1,"ut":0,"tz":0}`,            // exponent int
+		`{"t":01,"a":0,"l":1,"u":1,"ut":0,"tz":0}`,             // leading zero
+		`{"t":1,"a":0,"l":+1,"u":1,"ut":0,"tz":0}`,             // bad float sign
+		`{"t":1,"a":0,"l":0x10,"u":1,"ut":0,"tz":0}`,           // hex float
+		`{"t":1,"a":0,"l":1e999,"u":1,"ut":0,"tz":0}`,          // out of range
+		`{"t":1,"a":0,"l":1,"u":-1,"ut":0,"tz":0}`,             // negative uint
+		`{"t":1,"a":0,"l":1,"u":1,"ut":0,"tz":0,"x":1}`,        // unknown key
+		`{"t":1,"a":0,"l":1,"u":1,"ut":0,"tz":0,"f":1}`,        // non-bool flag
+		`{"t":-0,"a":0,"l":-0.0,"u":0,"ut":0,"tz":-0}`,
+		`{"t":9223372036854775807,"a":0,"l":1,"u":18446744073709551615,"ut":0,"tz":-9223372036854775808}`,
+		`{"t":9223372036854775808,"a":0,"l":1,"u":1,"ut":0,"tz":0}`, // int64 overflow
+		`{"l":2e-7,"t":0,"a":0,"u":0,"ut":0,"tz":0}`,
+		`{"l":123456789.12345678901234567890,"t":0,"a":0,"u":0,"ut":0,"tz":0}`,
+	}
+	for _, line := range lines {
+		var want Record
+		stdErr := json.Unmarshal([]byte(line), &want)
+		got, ok := parseRecordFast([]byte(line))
+		if !ok {
+			continue // fallback is always acceptable
+		}
+		if stdErr != nil {
+			t.Errorf("fast path accepted %q which stdlib rejects: %v", line, stdErr)
+			continue
+		}
+		if got != want {
+			t.Errorf("%q: fast %+v != stdlib %+v", line, got, want)
+		}
+	}
+}
+
+func TestReaderFallsBackOnStdlibShapes(t *testing.T) {
+	// Whitespace-laden but valid JSON must still decode through the
+	// fallback, exactly as before the fast path existed.
+	in := "{ \"t\": 5, \"a\": 1, \"l\": 2.5, \"u\": 9, \"ut\": 1, \"tz\": 0 }\n"
+	rs, err := NewReader(strings.NewReader(in), JSONL).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 1 || rs[0].Time != 5 || rs[0].Action != SwitchFolder || rs[0].LatencyMS != 2.5 {
+		t.Fatalf("parsed %+v", rs)
+	}
+}
+
+func TestWriterReaderFastRoundTripLarge(t *testing.T) {
+	recs := genRecords(20000, 17)
+	var buf bytes.Buffer
+	w := NewWriter(&buf, JSONL)
+	if err := w.WriteAll(recs); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r := NewReader(bytes.NewReader(buf.Bytes()), JSONL)
+	defer r.Close()
+	got, err := r.ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(recs) {
+		t.Fatalf("read %d want %d", len(got), len(recs))
+	}
+	for i := range recs {
+		if got[i] != recs[i] {
+			t.Fatalf("record %d: got %+v want %+v", i, got[i], recs[i])
+		}
+	}
+}

@@ -1,0 +1,356 @@
+package telemetry
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"sync"
+
+	"autosens/internal/timeutil"
+)
+
+// TBIN is a compact block-framed binary record format:
+//
+//	stream  := magic block*
+//	magic   := "TBN1"
+//	block   := uvarint(recordCount) uvarint(len(payload)) payload
+//	payload := uvarint(len(tzDict)) zigzag(tzDict[0]) ... records
+//	record  := tag delta user tz latency
+//	tag     := byte — bits 0-1 action, bit 2 user type, bit 3 failed
+//	delta   := zigzag varint of Time minus the previous record's Time
+//	           (the first record in a block is relative to zero)
+//	user    := uvarint UserID
+//	tz      := uvarint index into the block's tzDict
+//	latency := 8-byte little-endian IEEE 754 bits
+//
+// Times are delta-coded because telemetry is written roughly
+// chronologically, timezone offsets are dictionary-coded because a block
+// sees only a handful of distinct values, and the enums ride in one tag
+// byte. Each block resets the time base and dictionary and announces its
+// record count and byte length up front, so a reader can skip blocks
+// without parsing them and workers can decode different blocks in
+// parallel.
+
+const tbinMagic = "TBN1"
+
+const (
+	// tbinBlockRecords caps records per block.
+	tbinBlockRecords = 4096
+	// tbinBlockBytes triggers an early block flush on bulky payloads.
+	tbinBlockBytes = 1 << 16
+	// tbinMaxPayload bounds the payload length a reader will buffer, so a
+	// corrupt frame cannot provoke a huge allocation.
+	tbinMaxPayload = 1 << 24
+)
+
+// bufPool recycles the scratch buffers behind writers and readers; Close
+// returns them. One pool serves every codec because the buffers are all
+// plain byte slices of similar magnitude.
+var bufPool = sync.Pool{
+	New: func() any {
+		b := make([]byte, 0, 1<<16)
+		return &b
+	},
+}
+
+func getBuf() []byte  { return (*bufPool.Get().(*[]byte))[:0] }
+func putBuf(b []byte) { bufPool.Put(&b) }
+func zigzag(v int64) uint64 {
+	return uint64(v<<1) ^ uint64(v>>63)
+}
+func unzigzag(u uint64) int64 {
+	return int64(u>>1) ^ -int64(u&1)
+}
+
+// tbinWriter accumulates one block at a time.
+type tbinWriter struct {
+	block    []byte // encoded records of the open block (pooled)
+	scratch  []byte // per-flush frame assembly buffer (pooled)
+	recs     int
+	prevTime int64
+	dict     map[int64]uint64
+	dictVals []int64
+	header   bool
+	varint   [binary.MaxVarintLen64]byte
+}
+
+func newTBINWriter() *tbinWriter {
+	return &tbinWriter{
+		block:   getBuf(),
+		scratch: getBuf(),
+		dict:    make(map[int64]uint64, 8),
+	}
+}
+
+func (t *tbinWriter) appendUvarint(dst []byte, v uint64) []byte {
+	n := binary.PutUvarint(t.varint[:], v)
+	return append(dst, t.varint[:n]...)
+}
+
+// write encodes one record into the open block and flushes the block to
+// out when it is full.
+func (t *tbinWriter) write(r Record, out io.Writer) error {
+	tag := byte(r.Action)&3 | byte(r.UserType)&1<<2
+	if r.Failed {
+		tag |= 1 << 3
+	}
+	t.block = append(t.block, tag)
+	t.block = t.appendUvarint(t.block, zigzag(int64(r.Time)-t.prevTime))
+	t.prevTime = int64(r.Time)
+	t.block = t.appendUvarint(t.block, r.UserID)
+	idx, ok := t.dict[int64(r.TZOffset)]
+	if !ok {
+		idx = uint64(len(t.dictVals))
+		t.dict[int64(r.TZOffset)] = idx
+		t.dictVals = append(t.dictVals, int64(r.TZOffset))
+	}
+	t.block = t.appendUvarint(t.block, idx)
+	t.block = binary.LittleEndian.AppendUint64(t.block, math.Float64bits(r.LatencyMS))
+	t.recs++
+	if t.recs >= tbinBlockRecords || len(t.block) >= tbinBlockBytes {
+		return t.flushBlock(out)
+	}
+	return nil
+}
+
+// flushBlock frames and emits the open block (a no-op when empty) and
+// guarantees the stream header exists.
+func (t *tbinWriter) flushBlock(out io.Writer) error {
+	if !t.header {
+		if _, err := io.WriteString(out, tbinMagic); err != nil {
+			return err
+		}
+		t.header = true
+	}
+	if t.recs == 0 {
+		return nil
+	}
+	payload := t.scratch[:0]
+	payload = t.appendUvarint(payload, uint64(len(t.dictVals)))
+	for _, tz := range t.dictVals {
+		payload = t.appendUvarint(payload, zigzag(tz))
+	}
+	payload = append(payload, t.block...)
+	t.scratch = payload
+
+	frame := t.varint[:0]
+	frame = t.appendUvarint(frame, uint64(t.recs))
+	if _, err := out.Write(frame); err != nil {
+		return err
+	}
+	frame = t.varint[:0]
+	frame = t.appendUvarint(frame, uint64(len(payload)))
+	if _, err := out.Write(frame); err != nil {
+		return err
+	}
+	if _, err := out.Write(payload); err != nil {
+		return err
+	}
+	observeTBINBlock()
+	t.block = t.block[:0]
+	t.recs = 0
+	t.prevTime = 0
+	clear(t.dict)
+	t.dictVals = t.dictVals[:0]
+	return nil
+}
+
+// release returns pooled buffers; the writer must not be used afterwards.
+func (t *tbinWriter) release() {
+	putBuf(t.block)
+	putBuf(t.scratch)
+	t.block, t.scratch = nil, nil
+}
+
+// tbinReader streams records back out of TBIN frames.
+type tbinReader struct {
+	br       io.ByteReader
+	r        io.Reader
+	payload  []byte // pooled backing for the current block
+	pos      int
+	remain   int
+	prevTime int64
+	dict     []int64
+	header   bool
+	block    int
+}
+
+func newTBINReader(r io.Reader, br io.ByteReader) *tbinReader {
+	return &tbinReader{r: r, br: br, payload: getBuf()}
+}
+
+func (t *tbinReader) errf(format string, args ...any) error {
+	return fmt.Errorf("telemetry: tbin block %d: %s", t.block, fmt.Sprintf(format, args...))
+}
+
+// readHeader consumes the magic. An immediately empty stream is a valid
+// empty log.
+func (t *tbinReader) readHeader() error {
+	var magic [len(tbinMagic)]byte
+	n, err := io.ReadFull(t.r, magic[:])
+	if n == 0 && (err == io.EOF || err == io.ErrUnexpectedEOF) {
+		return io.EOF
+	}
+	if err != nil {
+		return fmt.Errorf("telemetry: tbin header: %w", err)
+	}
+	if string(magic[:]) != tbinMagic {
+		return fmt.Errorf("telemetry: not a TBIN stream (bad magic %q)", magic[:])
+	}
+	t.header = true
+	return nil
+}
+
+// nextBlock loads and validates the next frame. io.EOF means a clean end
+// of stream.
+func (t *tbinReader) nextBlock() error {
+	if !t.header {
+		if err := t.readHeader(); err != nil {
+			return err
+		}
+	}
+	count, err := binary.ReadUvarint(t.br)
+	if err == io.EOF {
+		return io.EOF
+	}
+	if err != nil {
+		return t.errf("frame count: %v", err)
+	}
+	size, err := binary.ReadUvarint(t.br)
+	if err != nil {
+		return t.errf("frame length: %v", err)
+	}
+	if size > tbinMaxPayload {
+		return t.errf("payload length %d exceeds cap %d", size, tbinMaxPayload)
+	}
+	// Every record costs at least 12 bytes, so a count wildly out of
+	// proportion to the payload is corruption, not data.
+	if count == 0 || count > size {
+		return t.errf("implausible record count %d for %d payload bytes", count, size)
+	}
+	if cap(t.payload) < int(size) {
+		t.payload = make([]byte, size)
+	}
+	t.payload = t.payload[:size]
+	if _, err := io.ReadFull(t.r, t.payload); err != nil {
+		return t.errf("payload: %v", err)
+	}
+	t.pos = 0
+	t.prevTime = 0
+	dictLen, ok := t.uvarint()
+	if !ok || dictLen > size {
+		return t.errf("bad tz dictionary length")
+	}
+	t.dict = t.dict[:0]
+	for i := uint64(0); i < dictLen; i++ {
+		v, ok := t.uvarint()
+		if !ok {
+			return t.errf("truncated tz dictionary")
+		}
+		t.dict = append(t.dict, unzigzag(v))
+	}
+	t.remain = int(count)
+	t.block++
+	return nil
+}
+
+func (t *tbinReader) uvarint() (uint64, bool) {
+	v, n := binary.Uvarint(t.payload[t.pos:])
+	if n <= 0 {
+		return 0, false
+	}
+	t.pos += n
+	return v, true
+}
+
+// read decodes the next record, crossing block boundaries as needed.
+func (t *tbinReader) read() (Record, error) {
+	for t.remain == 0 {
+		if err := t.nextBlock(); err != nil {
+			return Record{}, err
+		}
+	}
+	if t.pos >= len(t.payload) {
+		return Record{}, t.errf("payload ends mid-record")
+	}
+	tag := t.payload[t.pos]
+	t.pos++
+	if tag&^0b1111 != 0 {
+		return Record{}, t.errf("invalid tag byte %#x", tag)
+	}
+	var rec Record
+	rec.Action = ActionType(tag & 3)
+	rec.UserType = UserType(tag >> 2 & 1)
+	rec.Failed = tag&(1<<3) != 0
+	delta, ok := t.uvarint()
+	if !ok {
+		return Record{}, t.errf("truncated time delta")
+	}
+	t.prevTime += unzigzag(delta)
+	rec.Time = timeutil.Millis(t.prevTime)
+	user, ok := t.uvarint()
+	if !ok {
+		return Record{}, t.errf("truncated user id")
+	}
+	rec.UserID = user
+	tzIdx, ok := t.uvarint()
+	if !ok {
+		return Record{}, t.errf("truncated tz index")
+	}
+	if tzIdx >= uint64(len(t.dict)) {
+		return Record{}, t.errf("tz index %d outside dictionary of %d", tzIdx, len(t.dict))
+	}
+	rec.TZOffset = timeutil.Millis(t.dict[tzIdx])
+	if t.pos+8 > len(t.payload) {
+		return Record{}, t.errf("truncated latency")
+	}
+	rec.LatencyMS = math.Float64frombits(binary.LittleEndian.Uint64(t.payload[t.pos:]))
+	t.pos += 8
+	t.remain--
+	if t.remain == 0 && t.pos != len(t.payload) {
+		return Record{}, t.errf("%d trailing payload bytes", len(t.payload)-t.pos)
+	}
+	return rec, nil
+}
+
+// skipBlock discards the next whole frame without parsing it and returns
+// the number of records skipped. It is only valid on a block boundary
+// (before the first Read of a block).
+func (t *tbinReader) skipBlock() (int, error) {
+	if t.remain != 0 {
+		return 0, t.errf("skip mid-block (%d records pending)", t.remain)
+	}
+	if !t.header {
+		if err := t.readHeader(); err != nil {
+			return 0, err
+		}
+	}
+	count, err := binary.ReadUvarint(t.br)
+	if err == io.EOF {
+		return 0, io.EOF
+	}
+	if err != nil {
+		return 0, t.errf("frame count: %v", err)
+	}
+	size, err := binary.ReadUvarint(t.br)
+	if err != nil {
+		return 0, t.errf("frame length: %v", err)
+	}
+	if size > tbinMaxPayload {
+		return 0, t.errf("payload length %d exceeds cap %d", size, tbinMaxPayload)
+	}
+	if _, err := io.CopyN(io.Discard, t.r, int64(size)); err != nil {
+		return 0, t.errf("skip payload: %v", err)
+	}
+	t.block++
+	return int(count), nil
+}
+
+// release returns pooled buffers; the reader must not be used afterwards.
+func (t *tbinReader) release() {
+	if t.payload != nil {
+		putBuf(t.payload)
+		t.payload = nil
+	}
+}

@@ -1,0 +1,215 @@
+package telemetry
+
+import (
+	"bytes"
+	"io"
+	"strings"
+	"testing"
+)
+
+func TestTBINRoundTrip(t *testing.T) { roundTrip(t, TBIN) }
+
+func TestTBINRoundTripLarge(t *testing.T) {
+	recs := genRecords(20000, 23) // spans multiple blocks
+	var buf bytes.Buffer
+	w := NewWriter(&buf, TBIN)
+	if err := w.WriteAll(recs); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r := NewReader(bytes.NewReader(buf.Bytes()), TBIN)
+	defer r.Close()
+	got, err := r.ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(recs) {
+		t.Fatalf("read %d want %d", len(got), len(recs))
+	}
+	for i := range recs {
+		if got[i] != recs[i] {
+			t.Fatalf("record %d: got %+v want %+v", i, got[i], recs[i])
+		}
+	}
+}
+
+func TestTBINSmallerThanJSONL(t *testing.T) {
+	recs := genRecords(10000, 29)
+	var jbuf, tbuf bytes.Buffer
+	for _, p := range []struct {
+		w *bytes.Buffer
+		f Format
+	}{{&jbuf, JSONL}, {&tbuf, TBIN}} {
+		w := NewWriter(p.w, p.f)
+		if err := w.WriteAll(recs); err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if ratio := float64(jbuf.Len()) / float64(tbuf.Len()); ratio < 3 {
+		t.Fatalf("TBIN only %.2fx smaller than JSONL (%d vs %d bytes), want >= 3x",
+			ratio, tbuf.Len(), jbuf.Len())
+	}
+}
+
+func TestTBINEmptyFlushedStreamIsValid(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf, TBIN)
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if buf.String() != tbinMagic {
+		t.Fatalf("empty stream = %q", buf.Bytes())
+	}
+	rs, err := NewReader(bytes.NewReader(buf.Bytes()), TBIN).ReadAll()
+	if err != nil || len(rs) != 0 {
+		t.Fatalf("ReadAll = %d records, %v", len(rs), err)
+	}
+}
+
+func TestTBINEmptyInputIsEmptyStream(t *testing.T) {
+	rs, err := NewReader(strings.NewReader(""), TBIN).ReadAll()
+	if err != nil || len(rs) != 0 {
+		t.Fatalf("ReadAll = %d records, %v", len(rs), err)
+	}
+}
+
+func TestTBINRejectsBadMagic(t *testing.T) {
+	if _, err := NewReader(strings.NewReader("nope"), TBIN).ReadAll(); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+}
+
+func TestTBINRejectsCorruption(t *testing.T) {
+	recs := genRecords(100, 31)
+	var buf bytes.Buffer
+	w := NewWriter(&buf, TBIN)
+	if err := w.WriteAll(recs); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	clean := buf.Bytes()
+	// Truncations and single-byte corruptions must error (or, for byte
+	// flips in latency bits, at worst decode to different records), never
+	// panic or loop.
+	for cut := 0; cut < len(clean); cut += 7 {
+		r := NewReader(bytes.NewReader(clean[:cut]), TBIN)
+		for {
+			if _, err := r.Read(); err != nil {
+				break
+			}
+		}
+		r.Close()
+	}
+	for i := 0; i < len(clean); i += 3 {
+		mut := bytes.Clone(clean)
+		mut[i] ^= 0x5a
+		r := NewReader(bytes.NewReader(mut), TBIN)
+		for n := 0; ; n++ {
+			if _, err := r.Read(); err != nil {
+				break
+			}
+			if n > len(recs)*2 {
+				t.Fatalf("corrupt stream (byte %d) yields unbounded records", i)
+			}
+		}
+		r.Close()
+	}
+}
+
+func TestTBINSkipBlock(t *testing.T) {
+	recs := genRecords(10000, 37) // > 2 blocks at 4096 records/block
+	var buf bytes.Buffer
+	w := NewWriter(&buf, TBIN)
+	if err := w.WriteAll(recs); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	r := NewReader(bytes.NewReader(buf.Bytes()), TBIN)
+	defer r.Close()
+	skipped, err := r.SkipBlock()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if skipped != tbinBlockRecords {
+		t.Fatalf("skipped %d records, want %d", skipped, tbinBlockRecords)
+	}
+	rest, err := r.ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rest) != len(recs)-skipped {
+		t.Fatalf("read %d after skip, want %d", len(rest), len(recs)-skipped)
+	}
+	for i := range rest {
+		if rest[i] != recs[skipped+i] {
+			t.Fatalf("record %d after skip mismatches", i)
+		}
+	}
+
+	// Skipping every block visits the whole stream.
+	r2 := NewReader(bytes.NewReader(buf.Bytes()), TBIN)
+	defer r2.Close()
+	total := 0
+	for {
+		n, err := r2.SkipBlock()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += n
+	}
+	if total != len(recs) {
+		t.Fatalf("skip-walk saw %d records, want %d", total, len(recs))
+	}
+}
+
+func TestTBINSkipBlockMidBlockFails(t *testing.T) {
+	recs := genRecords(10, 41)
+	var buf bytes.Buffer
+	w := NewWriter(&buf, TBIN)
+	if err := w.WriteAll(recs); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r := NewReader(bytes.NewReader(buf.Bytes()), TBIN)
+	defer r.Close()
+	if _, err := r.Read(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.SkipBlock(); err == nil {
+		t.Fatal("mid-block skip allowed")
+	}
+}
+
+func TestSkipBlockRequiresTBIN(t *testing.T) {
+	r := NewReader(strings.NewReader(""), JSONL)
+	if _, err := r.SkipBlock(); err == nil {
+		t.Fatal("SkipBlock on JSONL allowed")
+	}
+}
+
+func TestParseFormat(t *testing.T) {
+	for _, f := range []Format{JSONL, CSV, TBIN} {
+		got, err := ParseFormat(f.String())
+		if err != nil || got != f {
+			t.Fatalf("ParseFormat(%q) = %v, %v", f.String(), got, err)
+		}
+	}
+	if _, err := ParseFormat("protobuf"); err == nil {
+		t.Fatal("unknown format accepted")
+	}
+}

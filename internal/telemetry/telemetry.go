@@ -181,15 +181,43 @@ func Latencies(rs []Record) []float64 {
 	return out
 }
 
+// distinctUsersEstimate sizes per-user maps ahead of the first insert.
+// Real telemetry carries tens to thousands of records per user, so 1/16
+// of the record count overshoots slightly for short logs and avoids
+// rehash-and-copy growth for long ones.
+func distinctUsersEstimate(records int) int {
+	return records/16 + 16
+}
+
 // UserMedians returns each user's median latency over their records.
+// Latencies are bucketed per user into one shared scratch slice and the
+// per-user regions sorted in place, so the cost is a few fixed
+// allocations rather than one growing slice per user.
 func UserMedians(rs []Record) map[uint64]float64 {
-	perUser := make(map[uint64][]float64)
-	for _, r := range rs {
-		perUser[r.UserID] = append(perUser[r.UserID], r.LatencyMS)
+	counts := make(map[uint64]int, distinctUsersEstimate(len(rs)))
+	for i := range rs {
+		counts[rs[i].UserID]++
 	}
-	out := make(map[uint64]float64, len(perUser))
-	for id, ls := range perUser {
-		m, err := stats.Median(ls)
+	// Carve scratch into one contiguous region per user; offs tracks each
+	// user's fill position and ends at its region's end.
+	offs := make(map[uint64]int, len(counts))
+	next := 0
+	for id, n := range counts {
+		offs[id] = next
+		next += n
+	}
+	scratch := make([]float64, len(rs))
+	for i := range rs {
+		id := rs[i].UserID
+		p := offs[id]
+		scratch[p] = rs[i].LatencyMS
+		offs[id] = p + 1
+	}
+	out := make(map[uint64]float64, len(counts))
+	for id, end := range offs {
+		seg := scratch[end-counts[id] : end]
+		sort.Float64s(seg)
+		m, err := stats.QuantileSorted(seg, 0.5)
 		if err != nil {
 			continue // unreachable: every user here has >= 1 record
 		}
