@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race bench bench-json bench-ingest-json fuzz check fmt vet clean
+.PHONY: build test race bench bench-json bench-ingest-json fuzz check fmt vet clean crash-test race-ingest
 
 # Label recorded in BENCH_core.json for a bench-json run; override like
 #   make bench-json BENCH_LABEL="after: shared key plan"
@@ -14,6 +14,18 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# race-ingest is the focused race gate for the durable ingest path
+# (mirrors the CI job): collector server/client + WAL under -race.
+race-ingest:
+	$(GO) test -race -count=1 ./internal/collector/... ./internal/wal/
+
+# crash-test runs the kill-and-recover acceptance test: build a real
+# sensd, stream beacons at it, SIGKILL it mid-write, recover the WAL and
+# assert every acked record survived with at most one torn tail.
+crash-test:
+	$(GO) test -race -count=1 -run 'TestKillAndRecover|TestRecoveredCurveIsByteIdentical' -v \
+		./internal/collector/ ./internal/wal/
 
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ ./...

@@ -7,6 +7,7 @@
 //	autosens -in telemetry.jsonl -action Search -mode plain -csv out.csv
 //	autosens -in telemetry.jsonl -action SelectMail -quartile Q1
 //	autosens -in telemetry.jsonl -action Search -trace -trace-out trace.json
+//	autosens -in /var/lib/sensd/wal -action SelectMail   (replay a sensd WAL directory)
 package main
 
 import (
@@ -25,6 +26,7 @@ import (
 	"autosens/internal/report"
 	"autosens/internal/telemetry"
 	"autosens/internal/timeutil"
+	"autosens/internal/wal"
 )
 
 // logger carries progress reporting; run() replaces it per -log-level.
@@ -38,8 +40,9 @@ func main() {
 }
 
 func run() error {
-	in := flag.String("in", "", "telemetry input path (required), or - for stdin")
-	format := flag.String("format", "jsonl", "input format: jsonl, csv or tbin")
+	in := flag.String("in", "", "telemetry input path (required), - for stdin, or a WAL directory")
+	format := telemetry.NewFormatFlag(telemetry.JSONL)
+	flag.Var(format, "format", "input format: "+format.Choices()+" (ignored when -in is a WAL directory)")
 	action := flag.String("action", "", "restrict to an action type (SelectMail, SwitchFolder, Search, ComposeSend)")
 	usertype := flag.String("usertype", "", "restrict to a user segment (business, consumer)")
 	period := flag.String("period", "", "restrict to a local time-of-day period (8am-2pm, 2pm-8pm, 8pm-2am, 2am-8am)")
@@ -102,18 +105,42 @@ func run() error {
 	if *in == "" {
 		return fmt.Errorf("-in is required")
 	}
-	f, err := telemetry.ParseFormat(*format)
-	if err != nil {
-		return err
-	}
-	src := os.Stdin
-	if *in != "-" {
-		file, err := os.Open(*in)
-		if err != nil {
-			return err
+	f := format.Format()
+	// iterate streams the input records: a file or stdin through a
+	// telemetry.Reader, or — when -in names a directory — a sensd WAL
+	// replayed frame by frame.
+	var iterate func(fn func(telemetry.Record) error) error
+	if fi, err := os.Stat(*in); *in != "-" && err == nil && fi.IsDir() {
+		walDir := *in
+		iterate = func(fn func(telemetry.Record) error) error {
+			return wal.Replay(nil, walDir, fn)
 		}
-		defer file.Close()
-		src = file
+	} else {
+		src := os.Stdin
+		if *in != "-" {
+			file, err := os.Open(*in)
+			if err != nil {
+				return err
+			}
+			defer file.Close()
+			src = file
+		}
+		iterate = func(fn func(telemetry.Record) error) error {
+			r := telemetry.NewReader(src, f)
+			defer r.Close()
+			for {
+				rec, err := r.Read()
+				if err == io.EOF {
+					return nil
+				}
+				if err != nil {
+					return err
+				}
+				if err := fn(rec); err != nil {
+					return err
+				}
+			}
+		}
 	}
 
 	// Build the slice predicate shared by the batch and streaming paths.
@@ -161,7 +188,7 @@ func run() error {
 		if *ci {
 			return fmt.Errorf("-stream and -ci are mutually exclusive")
 		}
-		curve, err := runStreaming(est, src, f, *mode, *reservoir, keep)
+		curve, err := runStreaming(est, iterate, *mode, *reservoir, keep)
 		if err != nil {
 			return err
 		}
@@ -169,8 +196,11 @@ func run() error {
 	}
 
 	readSp := root.StartChild("read_input")
-	records, err := telemetry.NewReader(src, f).ReadAll()
-	if err != nil {
+	var records []telemetry.Record
+	if err := iterate(func(rec telemetry.Record) error {
+		records = append(records, rec)
+		return nil
+	}); err != nil {
 		readSp.End()
 		return err
 	}
@@ -252,26 +282,18 @@ func run() error {
 }
 
 // runStreaming feeds the input through the constant-memory estimator.
-func runStreaming(est *core.Estimator, src io.Reader, f telemetry.Format, mode string, reservoir int, keep func(telemetry.Record) bool) (*core.Curve, error) {
+func runStreaming(est *core.Estimator, iterate func(func(telemetry.Record) error) error, mode string, reservoir int, keep func(telemetry.Record) bool) (*core.Curve, error) {
 	s, err := core.NewStreaming(est, reservoir)
 	if err != nil {
 		return nil, err
 	}
-	reader := telemetry.NewReader(src, f)
-	for {
-		rec, err := reader.Read()
-		if err == io.EOF {
-			break
-		}
-		if err != nil {
-			return nil, err
-		}
+	if err := iterate(func(rec telemetry.Record) error {
 		if !keep(rec) {
-			continue
+			return nil
 		}
-		if err := s.Add(rec); err != nil {
-			return nil, err
-		}
+		return s.Add(rec)
+	}); err != nil {
+		return nil, err
 	}
 	logger.Info("streamed", "records", s.Count(), "slots", s.Slots())
 	switch mode {

@@ -125,18 +125,23 @@ func TestEmitRejectsBadProbes(t *testing.T) {
 	}
 }
 
-func TestRunStreamingFromReader(t *testing.T) {
-	var buf bytes.Buffer
-	w := telemetry.NewWriter(&buf, telemetry.JSONL)
-	if err := w.WriteAll(records(t)); err != nil {
-		t.Fatal(err)
+// iterateRecords adapts a record slice to the iterate-closure shape run()
+// builds for files, stdin, and WAL directories.
+func iterateRecords(recs []telemetry.Record) func(func(telemetry.Record) error) error {
+	return func(fn func(telemetry.Record) error) error {
+		for _, rec := range recs {
+			if err := fn(rec); err != nil {
+				return err
+			}
+		}
+		return nil
 	}
-	if err := w.Flush(); err != nil {
-		t.Fatal(err)
-	}
+}
+
+func TestRunStreamingFromIterator(t *testing.T) {
 	est := cliEstimator(t)
 	keep := func(r telemetry.Record) bool { return !r.Failed && r.Action == telemetry.SelectMail }
-	curve, err := runStreaming(est, &buf, telemetry.JSONL, "normalized", 300, keep)
+	curve, err := runStreaming(est, iterateRecords(records(t)), "normalized", 300, keep)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -145,7 +150,7 @@ func TestRunStreamingFromReader(t *testing.T) {
 		t.Fatalf("streamed NLP(500) = %v, %v", v, ok)
 	}
 	// Unsupported mode rejected.
-	if _, err := runStreaming(est, strings.NewReader(""), telemetry.JSONL, "biased", 300, keep); err == nil {
+	if _, err := runStreaming(est, iterateRecords(nil), "biased", 300, keep); err == nil {
 		t.Fatal("biased mode accepted for streaming")
 	}
 }

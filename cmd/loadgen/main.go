@@ -35,20 +35,16 @@ func run() error {
 	seed := flag.Uint64("seed", 1, "simulation seed")
 	batch := flag.Int("batch", 500, "beacon batch size")
 	senders := flag.Int("senders", 4, "concurrent sender clients")
-	format := flag.String("format", "json", "wire format for beacon batches: json or tbin")
+	format := telemetry.NewFormatFlag(telemetry.JSONL, telemetry.JSONL, telemetry.TBIN)
+	flag.Var(format, "format", "wire format for beacon batches: json or tbin")
+	overflow := flag.String("overflow", "",
+		"spill batches that exhaust their retries to this JSONL file instead of dropping them")
+	budget := flag.Duration("retry-budget", 0,
+		"cap the total time one flush may spend retrying (0 = attempts bounded by retries only)")
 	flag.Parse()
 
 	if *senders <= 0 {
 		return fmt.Errorf("senders must be positive")
-	}
-	var wire telemetry.Format
-	switch *format {
-	case "json":
-		wire = telemetry.JSONL // JSONL selects the JSON-array wire encoding
-	case "tbin":
-		wire = telemetry.TBIN
-	default:
-		return fmt.Errorf("unknown wire format %q (want json or tbin)", *format)
 	}
 
 	// One batching client per sender goroutine, fed round-robin from the
@@ -57,7 +53,9 @@ func run() error {
 	for i := range clients {
 		cfg := collector.DefaultClientConfig(*url)
 		cfg.BatchSize = *batch
-		cfg.Format = wire
+		cfg.Format = format.Format()
+		cfg.OverflowPath = *overflow
+		cfg.RetryBudget = *budget
 		c, err := collector.NewClient(cfg)
 		if err != nil {
 			return err
@@ -96,7 +94,7 @@ func run() error {
 		return simErr
 	}
 
-	var sent, dropped uint64
+	var sent, dropped, spilled uint64
 	for i, c := range clients {
 		if err := c.Close(); err != nil && errs[i] == nil {
 			errs[i] = err
@@ -104,13 +102,15 @@ func run() error {
 		s, d := c.Stats()
 		sent += s
 		dropped += d
+		spilled += c.Spilled()
 	}
 	for _, err := range errs {
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "loadgen: sender error: %v\n", err)
 		}
 	}
-	fmt.Fprintf(os.Stderr, "loadgen: generated %d records, shipped %d, dropped %d\n", n, sent, dropped)
+	fmt.Fprintf(os.Stderr, "loadgen: generated %d records, shipped %d, spilled %d, dropped %d\n",
+		n, sent, spilled, dropped)
 	if dropped > 0 {
 		return fmt.Errorf("%d records dropped", dropped)
 	}

@@ -30,17 +30,15 @@ func run() error {
 	consumer := flag.Int("consumer", 100, "number of consumer users")
 	seed := flag.Uint64("seed", 1, "simulation seed (reruns are bit-identical)")
 	out := flag.String("out", "-", "output path, or - for stdout")
-	format := flag.String("format", "jsonl", "output format: jsonl, csv or tbin")
+	format := telemetry.NewFormatFlag(telemetry.JSONL)
+	flag.Var(format, "format", "output format: "+format.Choices())
 	failures := flag.Float64("failures", 0.01, "fraction of actions that fail")
 	flag.Parse()
 
 	if *days <= 0 {
 		return fmt.Errorf("days must be positive, got %d", *days)
 	}
-	f, err := telemetry.ParseFormat(*format)
-	if err != nil {
-		return err
-	}
+	f := format.Format()
 
 	dst := os.Stdout
 	if *out != "-" {

@@ -1,15 +1,19 @@
 // Command sensd is the beacon collection server: it accepts batched
-// latency beacons over HTTP (POST /v1/beacons) and appends them to a JSONL
-// telemetry log that the autosens analyzer consumes directly.
+// latency beacons over HTTP (POST /v1/beacons per the collector API v1)
+// and appends them either to a single telemetry log file or — with
+// -wal-dir — to a segmented, CRC-framed write-ahead log with crash
+// recovery, so beacons acked during overload or before a crash survive to
+// analysis. GET /v1/status reports the queue and the startup recovery.
 //
 // A second listener (-admin-addr) exposes the operational surface:
 // Prometheus metrics at /metrics, a liveness probe at /healthz, and the Go
 // profiler under /debug/pprof/. It binds loopback by default and can be
 // disabled with -admin-addr "".
 //
-// Example:
+// Examples:
 //
 //	sensd -addr 127.0.0.1:8787 -out telemetry.jsonl -admin-addr 127.0.0.1:8788
+//	sensd -addr 127.0.0.1:8787 -wal-dir /var/lib/sensd/wal -fsync 250ms -queue-depth 128
 package main
 
 import (
@@ -25,9 +29,11 @@ import (
 	"time"
 
 	"autosens/internal/collector"
+	"autosens/internal/collector/api"
 	"autosens/internal/core"
 	"autosens/internal/obs"
 	"autosens/internal/telemetry"
+	"autosens/internal/wal"
 )
 
 func main() {
@@ -39,8 +45,16 @@ func main() {
 
 func run() error {
 	addr := flag.String("addr", "127.0.0.1:8787", "listen address")
-	out := flag.String("out", "telemetry.jsonl", "telemetry sink path")
-	format := flag.String("format", "jsonl", "sink format: jsonl, csv or tbin")
+	out := flag.String("out", "telemetry.jsonl", "telemetry sink path (single-file mode; ignored with -wal-dir)")
+	format := telemetry.NewFormatFlag(telemetry.JSONL)
+	flag.Var(format, "format", "sink format: "+format.Choices())
+	walDir := flag.String("wal-dir", "",
+		"write beacons to a segmented write-ahead log in this directory instead of a single file (jsonl or tbin formats)")
+	fsyncFlag := flag.String("fsync", "batch",
+		"WAL fsync policy: batch (fsync every append), off, or an interval like 250ms")
+	segBytes := flag.Int64("wal-segment-bytes", 64<<20, "WAL segment rotation size in bytes")
+	queueDepth := flag.Int("queue-depth", collector.DefaultQueueDepth,
+		"bound on beacon batches queued for the sink writer; a full queue sheds with 429")
 	adminAddr := flag.String("admin-addr", "127.0.0.1:8788",
 		"admin listen address serving /metrics, /healthz and /debug/pprof/ (empty disables)")
 	maxProcs := flag.Int("max-procs", 0,
@@ -57,18 +71,62 @@ func run() error {
 		log.Info("GOMAXPROCS capped", "max_procs", *maxProcs)
 	}
 
-	sinkFormat, err := telemetry.ParseFormat(*format)
-	if err != nil {
-		return err
+	reg := obs.NewRegistry()
+	srvCfg := collector.ServerConfig{
+		QueueDepth: *queueDepth,
+		Registry:   reg,
+		Logger:     log,
 	}
-	file, err := os.OpenFile(*out, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
-	if err != nil {
-		return err
+	var sinkDesc string
+	if *walDir != "" {
+		policy, every, err := wal.ParseSyncPolicy(*fsyncFlag)
+		if err != nil {
+			return err
+		}
+		w, recovery, err := wal.Open(wal.Options{
+			Dir:             *walDir,
+			Format:          format.Format(),
+			SegmentMaxBytes: *segBytes,
+			Sync:            policy,
+			SyncEvery:       every,
+			Registry:        reg,
+		})
+		if err != nil {
+			return err
+		}
+		log.Info("wal recovered",
+			"dir", *walDir,
+			"segments", recovery.Segments,
+			"records_recovered", recovery.RecordsRecovered,
+			"records_lost", recovery.RecordsLost,
+			"torn_bytes", recovery.TornBytes,
+			"truncated_segments", recovery.TruncatedSegments,
+			"active_segment", recovery.ActiveSegment)
+		srvCfg.Sink = w
+		srvCfg.SinkName = "wal"
+		srvCfg.Recovery = &api.RecoveryReport{
+			Segments:          recovery.Segments,
+			RecordsRecovered:  recovery.RecordsRecovered,
+			RecordsLost:       recovery.RecordsLost,
+			TornBytes:         recovery.TornBytes,
+			TruncatedSegments: recovery.TruncatedSegments,
+			ActiveSegment:     recovery.ActiveSegment,
+		}
+		sinkDesc = *walDir + " (wal, fsync=" + *fsyncFlag + ")"
+	} else {
+		file, err := os.OpenFile(*out, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return err
+		}
+		defer file.Close()
+		srvCfg.Sink = collector.NewWriterSink(telemetry.NewWriter(file, format.Format()))
+		sinkDesc = *out
 	}
-	defer file.Close()
 
-	sink := telemetry.NewWriter(file, sinkFormat)
-	srv := collector.NewServer(sink, collector.WithLogger(log))
+	srv, err := collector.NewServer(srvCfg)
+	if err != nil {
+		return err
+	}
 	// Export estimator-core counters (autosens_core_*) and codec counters
 	// (autosens_ingest_*) alongside the collector's own metrics on the
 	// admin /metrics endpoint.
@@ -78,7 +136,7 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	log.Info("listening", "addr", "http://"+bound, "sink", *out)
+	log.Info("listening", "addr", "http://"+bound, "sink", sinkDesc)
 
 	var admin *http.Server
 	if *adminAddr != "" {
@@ -112,7 +170,9 @@ func run() error {
 		return err
 	}
 	batches, accepted, rejected, bad := srv.Stats()
+	_, _, shed := srv.QueueStats()
 	log.Info("final stats",
-		"batches", batches, "accepted", accepted, "rejected", rejected, "bad_requests", bad)
+		"batches", batches, "accepted", accepted, "rejected", rejected,
+		"bad_requests", bad, "batches_shed", shed)
 	return nil
 }

@@ -33,7 +33,13 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	srv := collector.NewServer(telemetry.NewWriter(sinkFile, telemetry.JSONL))
+	srv, err := collector.NewServer(collector.ServerConfig{
+		Sink:     collector.NewWriterSink(telemetry.NewWriter(sinkFile, telemetry.JSONL)),
+		SinkName: sinkPath,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
 	addr, err := srv.Start("127.0.0.1:0")
 	if err != nil {
 		log.Fatal(err)

@@ -1,0 +1,204 @@
+// Package api is the versioned wire contract of the beacon collector:
+// endpoint paths, request/response bodies, and the single typed error
+// schema every 4xx/5xx response uses. It is imported by both ends — the
+// server renders these types, the client decodes them — and by nothing
+// else in the estimator, so the collector's HTTP surface can evolve
+// without touching analysis code.
+//
+// # Endpoints (v1)
+//
+//	POST /v1/beacons   ingest one batch of records (JSON array or TBIN)
+//	GET  /v1/status    operational snapshot: queue, counters, WAL recovery
+//	GET  /v1/formats   the wire encodings this server accepts
+//
+// # Error schema
+//
+// Every non-2xx response from a /v1 endpoint carries
+//
+//	{"error":{"code":"queue_full","message":"...","retry_after_ms":500}}
+//
+// with Content-Type application/json. Codes are stable identifiers for
+// programmatic handling; messages are human-readable and may change.
+// retry_after_ms is present only on shed-load responses (429, 503) where
+// the server advises when to retry; the Retry-After header carries the
+// same advice rounded up to whole seconds for generic HTTP clients.
+package api
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// Endpoint paths. PathBeacons accepts POST only; the others accept GET.
+const (
+	PathBeacons = "/v1/beacons"
+	PathStatus  = "/v1/status"
+	PathFormats = "/v1/formats"
+)
+
+// Error codes. These are the stable, programmatic half of the error
+// schema; clients switch on Code, never on Message.
+const (
+	// CodeBadRequest: the body was structurally invalid for the declared
+	// content type (malformed JSON, corrupt TBIN, trailing garbage).
+	CodeBadRequest = "bad_request"
+	// CodeTooLarge: the body exceeded the byte or record limit.
+	CodeTooLarge = "too_large"
+	// CodeQueueFull: the ingest queue is full; the batch was NOT accepted
+	// and should be retried after RetryAfterMS.
+	CodeQueueFull = "queue_full"
+	// CodeSinkUnavailable: the durable sink rejected the write; the batch
+	// may be partially persisted and should be retried.
+	CodeSinkUnavailable = "sink_unavailable"
+	// CodeMethodNotAllowed: wrong HTTP method for the endpoint.
+	CodeMethodNotAllowed = "method_not_allowed"
+	// CodeNotFound: unknown /v1 path.
+	CodeNotFound = "not_found"
+)
+
+// Error is the typed error payload. It implements error so the client can
+// return it directly.
+type Error struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+	// RetryAfterMS advises when to retry, in milliseconds; zero means the
+	// server gave no advice (omitted on the wire).
+	RetryAfterMS int64 `json:"retry_after_ms,omitempty"`
+	// HTTPStatus is the status code the error arrived with. Not part of
+	// the wire body (the status line carries it); filled by ReadError.
+	HTTPStatus int `json:"-"`
+}
+
+// Error implements the error interface.
+func (e *Error) Error() string {
+	if e.HTTPStatus != 0 {
+		return fmt.Sprintf("collector: %s (%d): %s", e.Code, e.HTTPStatus, e.Message)
+	}
+	return fmt.Sprintf("collector: %s: %s", e.Code, e.Message)
+}
+
+// Temporary reports whether retrying the same request can succeed.
+func (e *Error) Temporary() bool {
+	return e.Code == CodeQueueFull || e.Code == CodeSinkUnavailable
+}
+
+// ErrorResponse is the envelope every non-2xx /v1 response body uses.
+type ErrorResponse struct {
+	Err Error `json:"error"`
+}
+
+// BatchResponse is the body of a 202 from POST /v1/beacons.
+type BatchResponse struct {
+	Accepted int `json:"accepted"`
+	Rejected int `json:"rejected"`
+}
+
+// FormatInfo describes one accepted wire encoding.
+type FormatInfo struct {
+	Name        string `json:"name"`
+	ContentType string `json:"content_type"`
+}
+
+// FormatsResponse is the body of GET /v1/formats.
+type FormatsResponse struct {
+	Formats []FormatInfo `json:"formats"`
+}
+
+// RecoveryReport mirrors the WAL's startup scan for GET /v1/status: what
+// survived the previous incarnation and what a crash tore off.
+type RecoveryReport struct {
+	// Segments scanned on startup (not counting the fresh active one).
+	Segments int `json:"segments"`
+	// RecordsRecovered is the number of records in intact frames.
+	RecordsRecovered uint64 `json:"records_recovered"`
+	// RecordsLost counts records in torn frames whose frame header was
+	// still readable; bytes torn off before a header are only in TornBytes.
+	RecordsLost uint64 `json:"records_lost"`
+	// TornBytes is the total size of truncated torn tails.
+	TornBytes uint64 `json:"torn_bytes"`
+	// TruncatedSegments names the segments that had a torn tail removed.
+	TruncatedSegments []string `json:"truncated_segments,omitempty"`
+	// ActiveSegment is the segment new appends go to.
+	ActiveSegment string `json:"active_segment"`
+}
+
+// StatusResponse is the body of GET /v1/status.
+type StatusResponse struct {
+	Status          string          `json:"status"` // "ok" or "degraded"
+	UptimeSeconds   float64         `json:"uptime_seconds"`
+	Sink            string          `json:"sink"` // "file" or "wal"
+	QueueDepth      int             `json:"queue_depth"`
+	QueueLength     int             `json:"queue_length"`
+	Batches         uint64          `json:"batches_total"`
+	RecordsAccepted uint64          `json:"records_accepted_total"`
+	RecordsRejected uint64          `json:"records_rejected_total"`
+	BatchesShed     uint64          `json:"batches_shed_total"`
+	SinkFailures    uint64          `json:"sink_failures_total"`
+	LastSinkError   string          `json:"last_sink_error,omitempty"`
+	Recovery        *RecoveryReport `json:"recovery,omitempty"`
+}
+
+// WriteError renders err as the typed schema with the given HTTP status.
+// A positive retryAfter also sets the Retry-After header, rounded up to
+// whole seconds as RFC 9110 requires.
+func WriteError(w http.ResponseWriter, status int, code, message string, retryAfter time.Duration) {
+	w.Header().Set("Content-Type", "application/json")
+	body := ErrorResponse{Err: Error{Code: code, Message: message}}
+	if retryAfter > 0 {
+		body.Err.RetryAfterMS = retryAfter.Milliseconds()
+		secs := int64((retryAfter + time.Second - 1) / time.Second)
+		w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
+	}
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(body)
+}
+
+// maxErrorBody bounds how much of an error response body ReadError reads.
+const maxErrorBody = 16 << 10
+
+// ReadError decodes the typed error from a non-2xx response. Bodies that
+// are not the v1 schema (a proxy's HTML 502, a plain-text error from an
+// old server) degrade to CodeBadRequest/CodeSinkUnavailable classified by
+// status, so callers can always rely on Code and Temporary.
+func ReadError(resp *http.Response) *Error {
+	raw, _ := io.ReadAll(io.LimitReader(resp.Body, maxErrorBody))
+	var er ErrorResponse
+	if err := json.Unmarshal(raw, &er); err == nil && er.Err.Code != "" {
+		er.Err.HTTPStatus = resp.StatusCode
+		if er.Err.RetryAfterMS == 0 {
+			er.Err.RetryAfterMS = retryAfterHeaderMS(resp)
+		}
+		return &er.Err
+	}
+	e := &Error{HTTPStatus: resp.StatusCode, Message: http.StatusText(resp.StatusCode)}
+	switch {
+	case resp.StatusCode == http.StatusTooManyRequests:
+		e.Code = CodeQueueFull
+	case resp.StatusCode >= 500:
+		e.Code = CodeSinkUnavailable
+	case resp.StatusCode == http.StatusRequestEntityTooLarge:
+		e.Code = CodeTooLarge
+	default:
+		e.Code = CodeBadRequest
+	}
+	e.RetryAfterMS = retryAfterHeaderMS(resp)
+	return e
+}
+
+// retryAfterHeaderMS parses a delay-seconds Retry-After header; HTTP-date
+// forms and garbage return 0 (no advice).
+func retryAfterHeaderMS(resp *http.Response) int64 {
+	v := resp.Header.Get("Retry-After")
+	if v == "" {
+		return 0
+	}
+	secs, err := strconv.ParseInt(v, 10, 64)
+	if err != nil || secs < 0 {
+		return 0
+	}
+	return secs * 1000
+}

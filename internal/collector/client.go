@@ -5,32 +5,52 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/rand/v2"
 	"net/http"
+	"os"
 	"sync"
 	"time"
 
+	"autosens/internal/collector/api"
 	"autosens/internal/obs"
 	"autosens/internal/telemetry"
 )
 
-// ClientConfig parameterizes a beacon client.
+// ClientConfig parameterizes a beacon client. The zero value of every
+// field except URL selects a safe default; nonsense values (negative
+// intervals, counts, budgets) are rejected by NewClient.
 type ClientConfig struct {
 	// URL is the collector endpoint, e.g. http://host:port/v1/beacons.
+	// Required.
 	URL string
 	// BatchSize triggers a flush when this many records are buffered.
+	// Default 500.
 	BatchSize int
 	// FlushInterval triggers a flush even for partial batches. Zero
 	// disables timed flushing (flushes happen on BatchSize and Close).
 	FlushInterval time.Duration
-	// MaxRetries bounds retransmission attempts per batch.
-	MaxRetries int
-	// RetryBackoff is the initial backoff, doubled per retry.
+	// MaxRetries bounds retransmission attempts per batch. Default 4.
+	// DisableRetries turns retries off entirely (MaxRetries 0 means
+	// "default" so the zero value stays safe).
+	MaxRetries     int
+	DisableRetries bool
+	// RetryBackoff is the initial backoff, doubled per retry with jitter.
+	// Default 100ms. The server's Retry-After advice, when present,
+	// overrides the computed backoff.
 	RetryBackoff time.Duration
+	// RetryBudget caps the total time one flush may spend retrying. Zero
+	// means no time cap (attempts are still bounded by MaxRetries).
+	RetryBudget time.Duration
+	// OverflowPath, when set, receives batches that exhausted their
+	// retries as appended JSONL instead of dropping them. The file can be
+	// re-shipped later or fed to the analyzer directly.
+	OverflowPath string
 	// HTTPClient overrides the transport (for tests); nil uses a client
 	// with a sane timeout.
 	HTTPClient *http.Client
 	// Registry exports the client's counters (flushes, retries, sent,
-	// dropped); nil keeps them in a private registry readable via Stats.
+	// spilled, dropped); nil keeps them in a private registry readable
+	// via Stats.
 	Registry *obs.Registry
 	// Format selects the wire encoding: telemetry.JSONL (the zero value)
 	// posts a JSON array, telemetry.TBIN posts the compact binary format.
@@ -54,7 +74,9 @@ type clientMetrics struct {
 	flushes       *obs.Counter
 	flushFailures *obs.Counter
 	retries       *obs.Counter
+	throttled     *obs.Counter
 	sent          *obs.Counter
+	spilled       *obs.Counter
 	dropped       *obs.Counter
 	encodes       *obs.Counter
 	flushDur      *obs.Histogram
@@ -65,7 +87,9 @@ func newClientMetrics(reg *obs.Registry) clientMetrics {
 		flushes:       reg.Counter("autosens_client_flushes_total", "non-empty batch flushes attempted"),
 		flushFailures: reg.Counter("autosens_client_flush_failures_total", "flushes that exhausted retries"),
 		retries:       reg.Counter("autosens_client_retries_total", "batch retransmissions after a transient failure"),
+		throttled:     reg.Counter("autosens_client_throttled_total", "429 responses received from the collector"),
 		sent:          reg.Counter("autosens_client_records_sent_total", "records delivered to the collector"),
+		spilled:       reg.Counter("autosens_client_records_spilled_total", "records appended to the local overflow file after exhausting retries"),
 		dropped:       reg.Counter("autosens_client_records_dropped_total", "records dropped after exhausting retries"),
 		encodes:       reg.Counter("autosens_client_batch_encodes_total", "batch encodes performed; retries reuse the encoded bytes"),
 		flushDur: reg.Histogram("autosens_client_flush_duration_seconds",
@@ -83,37 +107,61 @@ var encBufPool = sync.Pool{New: func() any {
 // Client batches telemetry records and ships them to a collector.
 // Safe for concurrent use.
 type Client struct {
-	cfg    ClientConfig
-	http   *http.Client
-	reg    *obs.Registry
-	m      clientMetrics
-	mu     sync.Mutex
-	buf    []telemetry.Record
-	closed bool
-	wg     sync.WaitGroup
-	stopCh chan struct{}
+	cfg     ClientConfig
+	retries int // effective retry bound (0 when DisableRetries)
+	http    *http.Client
+	reg     *obs.Registry
+	m       clientMetrics
+	mu      sync.Mutex
+	buf     []telemetry.Record
+	closed  bool
+	spillMu sync.Mutex
+	wg      sync.WaitGroup
+	stopCh  chan struct{}
 }
 
-// NewClient validates cfg and starts the background flusher (when a
-// FlushInterval is configured).
+// NewClient validates cfg, fills zero-value defaults, and starts the
+// background flusher (when a FlushInterval is configured).
 func NewClient(cfg ClientConfig) (*Client, error) {
 	if cfg.URL == "" {
 		return nil, errors.New("collector: empty URL")
 	}
-	if cfg.BatchSize <= 0 {
-		return nil, errors.New("collector: non-positive batch size")
+	if cfg.BatchSize < 0 {
+		return nil, fmt.Errorf("collector: negative batch size %d", cfg.BatchSize)
+	}
+	if cfg.BatchSize == 0 {
+		cfg.BatchSize = 500
+	}
+	if cfg.FlushInterval < 0 {
+		return nil, fmt.Errorf("collector: negative flush interval %v", cfg.FlushInterval)
 	}
 	if cfg.MaxRetries < 0 {
-		return nil, errors.New("collector: negative retry count")
+		return nil, fmt.Errorf("collector: negative retry count %d", cfg.MaxRetries)
+	}
+	if cfg.MaxRetries == 0 {
+		cfg.MaxRetries = 4
+	}
+	if cfg.RetryBackoff < 0 {
+		return nil, fmt.Errorf("collector: negative retry backoff %v", cfg.RetryBackoff)
+	}
+	if cfg.RetryBackoff == 0 {
+		cfg.RetryBackoff = 100 * time.Millisecond
+	}
+	if cfg.RetryBudget < 0 {
+		return nil, fmt.Errorf("collector: negative retry budget %v", cfg.RetryBudget)
 	}
 	if cfg.Format != telemetry.JSONL && cfg.Format != telemetry.TBIN {
 		return nil, fmt.Errorf("collector: unsupported wire format %v", cfg.Format)
 	}
 	c := &Client{
-		cfg:    cfg,
-		http:   cfg.HTTPClient,
-		reg:    cfg.Registry,
-		stopCh: make(chan struct{}),
+		cfg:     cfg,
+		retries: cfg.MaxRetries,
+		http:    cfg.HTTPClient,
+		reg:     cfg.Registry,
+		stopCh:  make(chan struct{}),
+	}
+	if cfg.DisableRetries {
+		c.retries = 0
 	}
 	if c.http == nil {
 		c.http = &http.Client{Timeout: 10 * time.Second}
@@ -167,7 +215,10 @@ func (c *Client) Enqueue(rec telemetry.Record) error {
 	return nil
 }
 
-// Flush ships all buffered records now.
+// Flush ships all buffered records now. A batch that exhausts its retry
+// budget is appended to the overflow file when one is configured — that
+// counts as handled (nil error, spilled counter); without an overflow
+// file the batch is dropped and the send error returned.
 func (c *Client) Flush() error {
 	c.mu.Lock()
 	batch := c.buf
@@ -180,18 +231,48 @@ func (c *Client) Flush() error {
 	start := time.Now()
 	err := c.send(batch)
 	c.m.flushDur.ObserveSince(start)
-	if err != nil {
-		c.m.flushFailures.Inc()
-		c.m.dropped.Add(uint64(len(batch)))
-		return err
+	if err == nil {
+		c.m.sent.Add(uint64(len(batch)))
+		return nil
 	}
-	c.m.sent.Add(uint64(len(batch)))
-	return nil
+	c.m.flushFailures.Inc()
+	if c.cfg.OverflowPath != "" {
+		if serr := c.spill(batch); serr == nil {
+			c.m.spilled.Add(uint64(len(batch)))
+			return nil
+		}
+		// Spill failed too: fall through to the drop accounting with the
+		// original send error (the more actionable of the two).
+	}
+	c.m.dropped.Add(uint64(len(batch)))
+	return err
 }
 
-// send posts one batch with bounded retries on transient failures. The
-// batch is encoded exactly once into a pooled buffer; retries repost the
-// same bytes.
+// spill appends the batch to the overflow file as JSONL. Spills are rare
+// (the network and the server were both down for the whole retry budget),
+// so the file is opened per call rather than held open.
+func (c *Client) spill(batch []telemetry.Record) error {
+	c.spillMu.Lock()
+	defer c.spillMu.Unlock()
+	f, err := os.OpenFile(c.cfg.OverflowPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	w := telemetry.NewWriter(f, telemetry.JSONL)
+	werr := w.WriteAll(batch)
+	if cerr := w.Close(); werr == nil {
+		werr = cerr
+	}
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	return werr
+}
+
+// send posts one batch with bounded, jittered retries on transient
+// failures (network errors, 5xx, and 429 — whose Retry-After advice
+// overrides the computed backoff). The batch is encoded exactly once into
+// a pooled buffer; retries repost the same bytes.
 func (c *Client) send(batch []telemetry.Record) error {
 	bp := encBufPool.Get().(*[]byte)
 	defer encBufPool.Put(bp)
@@ -201,36 +282,60 @@ func (c *Client) send(batch []telemetry.Record) error {
 		return err
 	}
 	c.m.encodes.Inc()
+
+	start := time.Now()
 	backoff := c.cfg.RetryBackoff
-	if backoff <= 0 {
-		backoff = 50 * time.Millisecond
-	}
 	var lastErr error
-	for attempt := 0; attempt <= c.cfg.MaxRetries; attempt++ {
+	var advice time.Duration // server's Retry-After from the last response
+	for attempt := 0; attempt <= c.retries; attempt++ {
 		if attempt > 0 {
+			delay := retryDelay(backoff, advice)
+			if c.cfg.RetryBudget > 0 && time.Since(start)+delay > c.cfg.RetryBudget {
+				return fmt.Errorf("collector: retry budget %v exhausted after %d attempts: %w",
+					c.cfg.RetryBudget, attempt, lastErr)
+			}
 			c.m.retries.Inc()
-			time.Sleep(backoff)
+			time.Sleep(delay)
 			backoff *= 2
 		}
 		resp, err := c.http.Post(c.cfg.URL, contentType, bytes.NewReader(body))
 		if err != nil {
 			lastErr = err
+			advice = 0
 			continue // transient network failure
 		}
+		if resp.StatusCode == http.StatusAccepted {
+			_, _ = io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			return nil
+		}
+		apiErr := api.ReadError(resp) // drains what it needs from the body
 		_, _ = io.Copy(io.Discard, resp.Body)
 		resp.Body.Close()
-		switch {
-		case resp.StatusCode == http.StatusAccepted:
-			return nil
-		case resp.StatusCode >= 500:
-			lastErr = fmt.Errorf("collector: server error %d", resp.StatusCode)
-			continue // retryable
-		default:
-			// 4xx: the batch itself is bad; retrying cannot help.
-			return fmt.Errorf("collector: rejected with status %d", resp.StatusCode)
+		advice = time.Duration(apiErr.RetryAfterMS) * time.Millisecond
+		if apiErr.HTTPStatus == http.StatusTooManyRequests {
+			c.m.throttled.Inc()
 		}
+		if apiErr.Temporary() || apiErr.HTTPStatus >= 500 {
+			lastErr = apiErr
+			continue // retryable: shed load or server-side failure
+		}
+		// Permanent 4xx: the batch itself is bad; retrying cannot help.
+		return apiErr
 	}
-	return fmt.Errorf("collector: batch failed after %d attempts: %w", c.cfg.MaxRetries+1, lastErr)
+	return fmt.Errorf("collector: batch failed after %d attempts: %w", c.retries+1, lastErr)
+}
+
+// retryDelay computes the sleep before a retry: the server's advice when
+// it gave some, otherwise equal-jitter exponential backoff. Both get a
+// random component so a fleet of clients that shed together does not
+// retry together.
+func retryDelay(backoff, advice time.Duration) time.Duration {
+	if advice > 0 {
+		// Honor the advice as a floor, plus up to 25% spread.
+		return advice + rand.N(advice/4+time.Millisecond)
+	}
+	return backoff/2 + rand.N(backoff/2+time.Millisecond)
 }
 
 // encodeBatch appends the wire encoding of batch to dst and returns the
@@ -278,10 +383,14 @@ func (c *Client) Close() error {
 }
 
 // Stats returns how many records were successfully shipped and how many
-// were dropped after exhausting retries.
+// were dropped after exhausting retries (spilled records count as
+// neither; see Spilled).
 func (c *Client) Stats() (sent, dropped uint64) {
 	return c.m.sent.Value(), c.m.dropped.Value()
 }
+
+// Spilled returns how many records went to the overflow file.
+func (c *Client) Spilled() uint64 { return c.m.spilled.Value() }
 
 // RetryStats returns flush and retry counts.
 func (c *Client) RetryStats() (flushes, retries uint64) {

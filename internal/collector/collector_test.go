@@ -16,6 +16,7 @@ import (
 	"testing"
 	"time"
 
+	"autosens/internal/collector/api"
 	"autosens/internal/telemetry"
 	"autosens/internal/timeutil"
 )
@@ -34,8 +35,19 @@ func testRecord(i int) telemetry.Record {
 // httptest wrapper.
 func newTestServer(t *testing.T) (*Server, *bytes.Buffer, *httptest.Server) {
 	t.Helper()
+	return newTestServerCfg(t, ServerConfig{})
+}
+
+// newTestServerCfg builds a server around an in-memory JSONL sink with the
+// given config (the Sink field is filled in here).
+func newTestServerCfg(t *testing.T, cfg ServerConfig) (*Server, *bytes.Buffer, *httptest.Server) {
+	t.Helper()
 	var buf bytes.Buffer
-	srv := NewServer(telemetry.NewWriter(&buf, telemetry.JSONL))
+	cfg.Sink = NewWriterSink(telemetry.NewWriter(&buf, telemetry.JSONL))
+	srv, err := NewServer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
 	ts := httptest.NewServer(srv.Handler())
 	t.Cleanup(ts.Close)
 	return srv, &buf, ts
@@ -132,8 +144,8 @@ func TestServerRejectsWrongMethod(t *testing.T) {
 }
 
 func TestServerRejectsOversizedBatch(t *testing.T) {
-	_, _, ts := newTestServer(t)
-	batch := make([]telemetry.Record, MaxBatchRecords+1)
+	_, _, ts := newTestServerCfg(t, ServerConfig{MaxBatchRecords: 10})
+	batch := make([]telemetry.Record, 11)
 	for i := range batch {
 		batch[i] = testRecord(i)
 	}
@@ -170,7 +182,10 @@ func TestHealthAndMetricsEndpoints(t *testing.T) {
 
 func TestStartAndShutdownRealListener(t *testing.T) {
 	var buf bytes.Buffer
-	srv := NewServer(telemetry.NewWriter(&buf, telemetry.JSONL))
+	srv, err := NewServer(ServerConfig{Sink: NewWriterSink(telemetry.NewWriter(&buf, telemetry.JSONL))})
+	if err != nil {
+		t.Fatal(err)
+	}
 	addr, err := srv.Start("127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
@@ -197,20 +212,33 @@ func (failingWriter) Write([]byte) (int, error) {
 }
 
 func TestPartialBatchAccountingOnSinkFailure(t *testing.T) {
-	srv := NewServer(telemetry.NewWriter(failingWriter{}, telemetry.JSONL),
-		WithLogger(slog.New(slog.NewTextHandler(io.Discard, nil))))
+	srv, err := NewServer(ServerConfig{
+		Sink:   NewWriterSink(telemetry.NewWriter(failingWriter{}, telemetry.JSONL)),
+		Logger: slog.New(slog.NewTextHandler(io.Discard, nil)),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
 	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()
 
 	// Big enough that the sink's buffer overflows and the write error
-	// surfaces partway through the batch.
+	// surfaces partway through the batch. The server must NOT ack: the v1
+	// contract says a failed sink write is 503 sink_unavailable.
 	batch := make([]telemetry.Record, 2000)
 	for i := range batch {
 		batch[i] = testRecord(i)
 	}
 	resp := postBatch(t, ts.URL, batch)
-	if resp.StatusCode != http.StatusInternalServerError {
-		t.Fatalf("status %d", resp.StatusCode)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status %d, want 503", resp.StatusCode)
+	}
+	var er api.ErrorResponse
+	if err := json.NewDecoder(resp.Body).Decode(&er); err != nil {
+		t.Fatal(err)
+	}
+	if er.Err.Code != api.CodeSinkUnavailable {
+		t.Fatalf("error code %q, want %q", er.Err.Code, api.CodeSinkUnavailable)
 	}
 	batches, accepted, _, _ := srv.Stats()
 	if batches != 1 {
@@ -230,8 +258,13 @@ func TestPartialBatchAccountingOnSinkFailure(t *testing.T) {
 
 func TestServeErrorSurfacesThroughShutdown(t *testing.T) {
 	var buf bytes.Buffer
-	srv := NewServer(telemetry.NewWriter(&buf, telemetry.JSONL),
-		WithLogger(slog.New(slog.NewTextHandler(io.Discard, nil))))
+	srv, err := NewServer(ServerConfig{
+		Sink:   NewWriterSink(telemetry.NewWriter(&buf, telemetry.JSONL)),
+		Logger: slog.New(slog.NewTextHandler(io.Discard, nil)),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if _, err := srv.Start("127.0.0.1:0"); err != nil {
 		t.Fatal(err)
 	}
@@ -496,9 +529,18 @@ func TestClientValidatesConfigAndRecords(t *testing.T) {
 	if _, err := NewClient(ClientConfig{}); err == nil {
 		t.Fatal("empty config accepted")
 	}
-	if _, err := NewClient(ClientConfig{URL: "x", BatchSize: 0}); err == nil {
-		t.Fatal("zero batch accepted")
+	if _, err := NewClient(ClientConfig{URL: "x", BatchSize: -1}); err == nil {
+		t.Fatal("negative batch accepted")
 	}
+	if _, err := NewClient(ClientConfig{URL: "x", RetryBudget: -time.Second}); err == nil {
+		t.Fatal("negative retry budget accepted")
+	}
+	// Zero values select defaults rather than erroring.
+	zc, err := NewClient(ClientConfig{URL: "http://127.0.0.1:1/none"})
+	if err != nil {
+		t.Fatalf("zero-value config rejected: %v", err)
+	}
+	zc.Close()
 	cfg := DefaultClientConfig("http://127.0.0.1:1/none")
 	cfg.FlushInterval = 0
 	c, err := NewClient(cfg)

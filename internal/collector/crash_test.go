@@ -1,0 +1,179 @@
+package collector_test
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+	"syscall"
+	"testing"
+	"time"
+
+	"autosens/internal/telemetry"
+	"autosens/internal/timeutil"
+	"autosens/internal/wal"
+)
+
+// TestKillAndRecover is the crash-recovery acceptance test, run against a
+// real sensd process rather than an in-process server: stream beacon
+// batches at a live daemon with -fsync batch, SIGKILL it mid-stream, and
+// then recover the WAL directory it leaves behind. The durability
+// contract under test:
+//
+//   - every record acked with 202 before the kill is present after
+//     recovery (fsync-before-ack means a 202 survives SIGKILL);
+//   - at most the single in-flight unacked batch may additionally appear;
+//   - recovery truncates at most one torn tail.
+//
+// Wired to `make crash-test`. Skipped under -short because it builds and
+// execs the sensd binary.
+func TestKillAndRecover(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and kills a real sensd process; skipped with -short")
+	}
+
+	tmp := t.TempDir()
+	bin := filepath.Join(tmp, "sensd")
+	build := exec.Command("go", "build", "-o", bin, "autosens/cmd/sensd")
+	build.Dir = "../.."
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building sensd: %v\n%s", err, out)
+	}
+
+	walDir := filepath.Join(tmp, "wal")
+	daemon := exec.Command(bin,
+		"-addr", "127.0.0.1:0",
+		"-wal-dir", walDir,
+		"-fsync", "batch",
+		"-admin-addr", "")
+	stderr, err := daemon.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := daemon.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		daemon.Process.Kill()
+		daemon.Wait()
+	}()
+
+	// The daemon logs `msg=listening addr=http://127.0.0.1:PORT` once the
+	// listener is bound; scrape the address from its stderr.
+	addrCh := make(chan string, 1)
+	go func() {
+		sc := bufio.NewScanner(stderr)
+		for sc.Scan() {
+			line := sc.Text()
+			if !strings.Contains(line, "msg=listening") {
+				continue
+			}
+			for _, field := range strings.Fields(line) {
+				if v, ok := strings.CutPrefix(field, "addr="); ok {
+					addrCh <- strings.Trim(v, `"`)
+					return
+				}
+			}
+		}
+		close(addrCh)
+	}()
+	var base string
+	select {
+	case addr, ok := <-addrCh:
+		if !ok {
+			t.Fatal("sensd exited before logging its listen address")
+		}
+		base = addr
+	case <-time.After(10 * time.Second):
+		t.Fatal("timed out waiting for sensd to report its listen address")
+	}
+
+	// Stream batches from a single goroutine until the kill severs the
+	// connection, counting only records the daemon acked with 202.
+	const batchSize = 25
+	var acked atomic.Int64
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		client := &http.Client{Timeout: 5 * time.Second}
+		for i := 0; ; i++ {
+			batch := make([]telemetry.Record, batchSize)
+			for j := range batch {
+				batch[j] = crashRecord(i*batchSize + j)
+			}
+			body, err := json.Marshal(batch)
+			if err != nil {
+				return
+			}
+			resp, err := client.Post(base+"/v1/beacons", "application/json", bytes.NewReader(body))
+			if err != nil {
+				return // the kill landed mid-request
+			}
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusAccepted {
+				acked.Add(batchSize)
+			}
+		}
+	}()
+
+	// Let some batches land, then SIGKILL — no shutdown hooks, no final
+	// fsync, exactly the failure the WAL exists for.
+	deadline := time.Now().Add(5 * time.Second)
+	for acked.Load() < 10*batchSize && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if acked.Load() == 0 {
+		t.Fatal("no batch was ever acked; nothing to crash")
+	}
+	if err := daemon.Process.Signal(syscall.SIGKILL); err != nil {
+		t.Fatal(err)
+	}
+	daemon.Wait()
+	<-done
+	ackedRecords := acked.Load()
+
+	// Recover the WAL the dead process left behind.
+	w, rec, err := wal.Open(wal.Options{Dir: walDir})
+	if err != nil {
+		t.Fatalf("recovering WAL after SIGKILL: %v", err)
+	}
+	defer w.Close()
+	if len(rec.TruncatedSegments) > 1 {
+		t.Fatalf("recovery truncated %d segments, contract allows at most one torn tail: %v",
+			len(rec.TruncatedSegments), rec.TruncatedSegments)
+	}
+	recovered, err := wal.Load(walDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int64(len(recovered)) < ackedRecords {
+		t.Fatalf("acked %d records but only %d survived recovery: fsync-before-ack is broken",
+			ackedRecords, len(recovered))
+	}
+	if int64(len(recovered)) > ackedRecords+batchSize {
+		t.Fatalf("recovered %d records for %d acked; more than one unacked batch leaked in",
+			len(recovered), ackedRecords)
+	}
+	// The acked prefix must round-trip intact, not merely be counted.
+	for i := int64(0); i < ackedRecords; i++ {
+		if want := crashRecord(int(i)); recovered[i] != want {
+			t.Fatalf("recovered record %d = %+v, want %+v", i, recovered[i], want)
+		}
+	}
+	t.Logf("acked %d, recovered %d, truncated segments %v",
+		ackedRecords, len(recovered), rec.TruncatedSegments)
+}
+
+func crashRecord(i int) telemetry.Record {
+	return telemetry.Record{
+		Time:      timeutil.Millis(1700000000000 + i*100),
+		Action:    telemetry.SelectMail,
+		LatencyMS: float64(100 + i%400),
+		UserID:    uint64(i%10 + 1),
+		UserType:  telemetry.Business,
+	}
+}

@@ -203,7 +203,10 @@ func TestClientRejectsCSVWireFormat(t *testing.T) {
 // benchmarkIngest drives the beacon handler directly (no network) with a
 // pre-encoded batch.
 func benchmarkIngest(b *testing.B, contentType string, body []byte, records int) {
-	srv := NewServer(telemetry.NewWriter(io.Discard, telemetry.JSONL))
+	srv, err := NewServer(ServerConfig{Sink: NewWriterSink(telemetry.NewWriter(io.Discard, telemetry.JSONL))})
+	if err != nil {
+		b.Fatal(err)
+	}
 	handler := srv.Handler()
 	b.SetBytes(int64(len(body)))
 	b.ReportAllocs()

@@ -1,0 +1,125 @@
+package collector
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"autosens/internal/telemetry"
+)
+
+// TestOverloadShedsButLosesNothing is the backpressure acceptance test:
+// a sink too slow for the offered load forces 429 shedding, and the
+// client-side retry/overflow machinery still delivers every record — to
+// the sink or, at worst, to the local overflow file. Nothing is dropped.
+func TestOverloadShedsButLosesNothing(t *testing.T) {
+	sink := newGatedSink()
+	srv, err := NewServer(ServerConfig{
+		Sink:       sink,
+		QueueDepth: 1,
+		RetryAfter: 5 * time.Millisecond,
+		Logger:     slog.New(slog.NewTextHandler(io.Discard, nil)),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	// Hold the sink shut until shedding has been observed, then open it so
+	// the retries can drain.
+	go func() {
+		deadline := time.Now().Add(10 * time.Second)
+		for time.Now().Before(deadline) {
+			if _, _, shed := srv.QueueStats(); shed > 0 {
+				break
+			}
+			time.Sleep(time.Millisecond)
+		}
+		close(sink.gate)
+	}()
+
+	const senders, perSender = 4, 100
+	overflowDir := t.TempDir()
+	var wg sync.WaitGroup
+	clients := make([]*Client, senders)
+	for s := 0; s < senders; s++ {
+		cfg := DefaultClientConfig(ts.URL + "/v1/beacons")
+		cfg.BatchSize = 10
+		cfg.FlushInterval = 0
+		cfg.MaxRetries = 50
+		cfg.RetryBackoff = time.Millisecond
+		cfg.OverflowPath = filepath.Join(overflowDir, fmt.Sprintf("overflow-%d.jsonl", s))
+		c, err := NewClient(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		clients[s] = c
+		wg.Add(1)
+		go func(s int, c *Client) {
+			defer wg.Done()
+			for i := 0; i < perSender; i++ {
+				if err := c.Enqueue(testRecord(s*perSender + i)); err != nil {
+					t.Errorf("sender %d: %v", s, err)
+					return
+				}
+			}
+		}(s, clients[s])
+	}
+	wg.Wait()
+	var sent, dropped, spilled uint64
+	for _, c := range clients {
+		if err := c.Close(); err != nil {
+			t.Fatal(err)
+		}
+		s, d := c.Stats()
+		sent += s
+		dropped += d
+		spilled += c.Spilled()
+	}
+	if err := srv.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, _, shed := srv.QueueStats(); shed == 0 {
+		t.Fatal("overload never shed a batch; the test exercised nothing")
+	}
+	if dropped != 0 {
+		t.Fatalf("%d records dropped end-to-end", dropped)
+	}
+	spilledOnDisk := 0
+	if spilled > 0 {
+		for s := 0; s < senders; s++ {
+			f, err := os.Open(filepath.Join(overflowDir, fmt.Sprintf("overflow-%d.jsonl", s)))
+			if os.IsNotExist(err) {
+				continue
+			}
+			if err != nil {
+				t.Fatalf("spill counted but overflow file unreadable: %v", err)
+			}
+			recs, err := telemetry.NewReader(f, telemetry.JSONL).ReadAll()
+			f.Close()
+			if err != nil {
+				t.Fatal(err)
+			}
+			spilledOnDisk += len(recs)
+		}
+		if uint64(spilledOnDisk) != spilled {
+			t.Fatalf("overflow files hold %d records, spill counter says %d", spilledOnDisk, spilled)
+		}
+	}
+	total := senders * perSender
+	if got := len(sink.records()) + spilledOnDisk; got != total {
+		t.Fatalf("sink %d + overflow %d != %d records offered", len(sink.records()), spilledOnDisk, total)
+	}
+	if sent+spilled != uint64(total) {
+		t.Fatalf("client accounting: sent %d + spilled %d != %d", sent, spilled, total)
+	}
+}

@@ -3,12 +3,16 @@
 // to the service, which logs it server-side (Section 2.1 — "such telemetry
 // is available almost universally in the context of online services").
 //
-// The Server accepts batched JSON beacons over HTTP and appends them to a
-// telemetry sink (typically a JSONL file); the Client batches records,
-// flushes them on a timer or when full, and retries transient failures with
-// exponential backoff. Both ends are instrumented through an obs.Registry,
-// so the ingest path of the collector can itself be scraped and analyzed —
-// including with AutoSens.
+// The Server speaks the versioned contract in internal/collector/api: it
+// accepts batched beacons (JSON array or TBIN) on POST /v1/beacons,
+// decodes them into a bounded in-memory queue drained by a dedicated
+// writer goroutine, and acknowledges a batch only after the Sink has
+// accepted it — so a 202 means the data reached the durable layer, and a
+// full queue sheds load with 429 + Retry-After instead of growing without
+// bound. The Client batches records, retries transient failures with
+// jittered exponential backoff honoring the server's Retry-After advice,
+// and spills undeliverable batches to a local overflow file rather than
+// dropping them. Both ends are instrumented through an obs.Registry.
 package collector
 
 import (
@@ -23,19 +27,62 @@ import (
 	"sync"
 	"time"
 
+	"autosens/internal/collector/api"
 	"autosens/internal/obs"
 	"autosens/internal/telemetry"
 )
 
-// MaxBatchBytes bounds the accepted request body size.
-const MaxBatchBytes = 8 << 20
+// DefaultMaxBatchBytes bounds the accepted request body size.
+const DefaultMaxBatchBytes = 8 << 20
 
-// MaxBatchRecords bounds the number of records per beacon request.
-const MaxBatchRecords = 10000
+// DefaultMaxBatchRecords bounds the number of records per beacon request.
+const DefaultMaxBatchRecords = 10000
+
+// DefaultQueueDepth is the default bound on batches queued for the sink
+// writer. Handlers wait for their batch's result, so this is also the
+// maximum number of in-flight beacon requests before the server sheds.
+const DefaultQueueDepth = 64
+
+// DefaultRetryAfter is the default retry advice attached to shed-load
+// responses.
+const DefaultRetryAfter = 500 * time.Millisecond
 
 // ContentTypeTBIN selects the compact binary beacon encoding. Bodies with
 // any other content type are decoded as a JSON array of records.
 const ContentTypeTBIN = "application/x-autosens-tbin"
+
+// Sink is the durable layer batches land in. WriteBatch reports how many
+// records were persisted before any error — for an atomic sink (the WAL)
+// that is all-or-nothing, for a plain file sink it may be a mid-batch
+// prefix. Implementations need not be concurrency-safe: the server calls
+// them from a single writer goroutine.
+type Sink interface {
+	WriteBatch(recs []telemetry.Record) (written int, err error)
+	// Sync makes previously written records durable (flush/fsync).
+	Sync() error
+	// Close syncs and releases the sink. Called once, by Server.Shutdown.
+	Close() error
+}
+
+// writerSink adapts a telemetry.Writer — the degenerate single-file case.
+type writerSink struct{ w *telemetry.Writer }
+
+// NewWriterSink wraps a telemetry.Writer as a Sink. The writer must not
+// be used by anyone else afterwards; Server.Shutdown closes it.
+func NewWriterSink(w *telemetry.Writer) Sink { return writerSink{w} }
+
+func (s writerSink) WriteBatch(recs []telemetry.Record) (int, error) {
+	for i, rec := range recs {
+		if err := s.w.Write(rec); err != nil {
+			return i, err
+		}
+	}
+	return len(recs), nil
+}
+
+func (s writerSink) Sync() error { return s.w.Flush() }
+
+func (s writerSink) Close() error { return s.w.Close() }
 
 // batchPool recycles the per-request record scratch so steady-state ingest
 // does not allocate a fresh batch slice per beacon.
@@ -50,10 +97,12 @@ type serverMetrics struct {
 	accepted     *obs.Counter
 	rejected     *obs.Counter
 	badRequests  *obs.Counter
+	shedBatches  *obs.Counter
 	sinkFailures *obs.Counter
 	serveErrors  *obs.Counter
 	ingestDur    *obs.Histogram
 	batchRecords *obs.Histogram
+	queueWait    *obs.Histogram
 	sinkWriteDur *obs.Histogram
 }
 
@@ -63,26 +112,80 @@ func newServerMetrics(reg *obs.Registry) serverMetrics {
 		accepted:     reg.Counter("autosens_collector_records_accepted_total", "records validated and written to the sink"),
 		rejected:     reg.Counter("autosens_collector_records_rejected_total", "records that failed validation"),
 		badRequests:  reg.Counter("autosens_collector_bad_requests_total", "structurally invalid beacon requests"),
+		shedBatches:  reg.Counter("autosens_collector_batches_shed_total", "batches rejected with 429 because the ingest queue was full"),
 		sinkFailures: reg.Counter("autosens_collector_sink_failures_total", "batches aborted by a sink write error"),
 		serveErrors:  reg.Counter("autosens_collector_serve_errors_total", "fatal errors from the HTTP accept loop"),
 		ingestDur: reg.Histogram("autosens_collector_ingest_duration_seconds",
 			"wall-clock time spent handling one beacon batch", obs.DefLatencyBuckets()),
 		batchRecords: reg.Histogram("autosens_collector_batch_records",
 			"records per beacon batch", obs.DefSizeBuckets()),
+		queueWait: reg.Histogram("autosens_collector_queue_wait_seconds",
+			"time a batch spent queued before the sink writer picked it up", obs.DefLatencyBuckets()),
 		sinkWriteDur: reg.Histogram("autosens_collector_sink_write_duration_seconds",
 			"time spent appending one batch to the sink", obs.DefLatencyBuckets()),
 	}
 }
 
-// Server ingests beacons and appends them to a telemetry.Writer.
+// ServerConfig parameterizes a Server. Only Sink is required; every other
+// zero value selects a production-shaped default.
+type ServerConfig struct {
+	// Sink receives every accepted batch. The server owns it after
+	// NewServer: Shutdown closes it. Required.
+	Sink Sink
+	// SinkName labels the sink in /v1/status ("file", "wal"). Default
+	// "file".
+	SinkName string
+	// QueueDepth bounds batches queued for the writer goroutine; a full
+	// queue sheds with 429. Default DefaultQueueDepth. Negative is an
+	// error.
+	QueueDepth int
+	// RetryAfter is the retry advice on 429/503 responses. Default
+	// DefaultRetryAfter. Negative is an error.
+	RetryAfter time.Duration
+	// MaxBatchBytes bounds the request body. Default DefaultMaxBatchBytes.
+	MaxBatchBytes int64
+	// MaxBatchRecords bounds records per batch. Default
+	// DefaultMaxBatchRecords.
+	MaxBatchRecords int
+	// Recovery, when the sink is a recovered WAL, is surfaced verbatim on
+	// /v1/status.
+	Recovery *api.RecoveryReport
+	// Registry exports the server's metrics; nil uses a private registry.
+	Registry *obs.Registry
+	// Logger routes structured logs; nil uses slog.Default().
+	Logger *slog.Logger
+}
+
+// writeReq is one decoded, validated batch waiting for the sink writer.
+type writeReq struct {
+	batch    []telemetry.Record
+	enqueued time.Time
+	done     chan writeRes
+}
+
+// writeRes is the writer's answer: how much was persisted, and the error
+// if the sink gave one.
+type writeRes struct {
+	written int
+	err     error
+}
+
+// Server ingests beacons and hands them to a Sink through a bounded
+// queue.
 type Server struct {
-	mu      sync.Mutex // guards sink and lastSinkErr
-	sink    *telemetry.Writer
+	cfg     ServerConfig
+	sink    Sink
 	reg     *obs.Registry
 	m       serverMetrics
 	log     *slog.Logger
 	started time.Time
 
+	queue    chan writeReq
+	qmu      sync.RWMutex // guards stopping vs. enqueue
+	stopping bool
+	writerWG sync.WaitGroup
+
+	mu          sync.Mutex // guards lastSinkErr
 	lastSinkErr error
 
 	httpSrv *http.Server
@@ -92,63 +195,107 @@ type Server struct {
 	serveErr error
 }
 
-// ServerOption customizes a Server.
-type ServerOption func(*Server)
-
-// WithRegistry exports the server's metrics through reg instead of a
-// private registry — pass the registry backing an admin /metrics endpoint.
-func WithRegistry(reg *obs.Registry) ServerOption {
-	return func(s *Server) { s.reg = reg }
-}
-
-// WithLogger routes the server's structured logs to l.
-func WithLogger(l *slog.Logger) ServerOption {
-	return func(s *Server) { s.log = l }
-}
-
-// NewServer wraps a telemetry sink. The sink must not be used concurrently
-// by other writers.
-func NewServer(sink *telemetry.Writer, opts ...ServerOption) *Server {
-	s := &Server{sink: sink, started: time.Now()}
-	for _, o := range opts {
-		o(s)
+// NewServer validates cfg, starts the sink writer goroutine, and returns
+// the server. The sink must not be used concurrently by other writers.
+func NewServer(cfg ServerConfig) (*Server, error) {
+	if cfg.Sink == nil {
+		return nil, errors.New("collector: nil sink")
 	}
-	if s.reg == nil {
-		s.reg = obs.NewRegistry()
+	if cfg.QueueDepth < 0 {
+		return nil, fmt.Errorf("collector: negative queue depth %d", cfg.QueueDepth)
 	}
-	if s.log == nil {
-		s.log = slog.Default()
+	if cfg.QueueDepth == 0 {
+		cfg.QueueDepth = DefaultQueueDepth
+	}
+	if cfg.RetryAfter < 0 {
+		return nil, fmt.Errorf("collector: negative retry-after %v", cfg.RetryAfter)
+	}
+	if cfg.RetryAfter == 0 {
+		cfg.RetryAfter = DefaultRetryAfter
+	}
+	if cfg.MaxBatchBytes < 0 || cfg.MaxBatchRecords < 0 {
+		return nil, errors.New("collector: negative batch limit")
+	}
+	if cfg.MaxBatchBytes == 0 {
+		cfg.MaxBatchBytes = DefaultMaxBatchBytes
+	}
+	if cfg.MaxBatchRecords == 0 {
+		cfg.MaxBatchRecords = DefaultMaxBatchRecords
+	}
+	if cfg.SinkName == "" {
+		cfg.SinkName = "file"
+	}
+	if cfg.Registry == nil {
+		cfg.Registry = obs.NewRegistry()
+	}
+	if cfg.Logger == nil {
+		cfg.Logger = slog.Default()
+	}
+	s := &Server{
+		cfg:     cfg,
+		sink:    cfg.Sink,
+		reg:     cfg.Registry,
+		log:     cfg.Logger,
+		started: time.Now(),
+		queue:   make(chan writeReq, cfg.QueueDepth),
 	}
 	s.m = newServerMetrics(s.reg)
 	s.reg.GaugeFunc("autosens_collector_uptime_seconds", "seconds since the server was constructed",
 		func() float64 { return time.Since(s.started).Seconds() })
-	return s
+	s.reg.GaugeFunc("autosens_collector_queue_length", "batches waiting in the ingest queue",
+		func() float64 { return float64(len(s.queue)) })
+	s.writerWG.Add(1)
+	go s.writerLoop()
+	return s, nil
+}
+
+// writerLoop is the single sink writer: it serializes every batch into
+// the sink and answers the waiting handler.
+func (s *Server) writerLoop() {
+	defer s.writerWG.Done()
+	for req := range s.queue {
+		s.m.queueWait.ObserveSince(req.enqueued)
+		start := time.Now()
+		written, err := s.sink.WriteBatch(req.batch)
+		s.m.sinkWriteDur.ObserveSince(start)
+		if err != nil {
+			s.mu.Lock()
+			s.lastSinkErr = err
+			s.mu.Unlock()
+		}
+		req.done <- writeRes{written: written, err: err}
+	}
 }
 
 // Registry returns the registry holding the server's metrics.
 func (s *Server) Registry() *obs.Registry { return s.reg }
 
-// Handler returns the server's HTTP routes.
+// Handler returns the server's HTTP routes: the /v1 contract plus the
+// unversioned operational endpoints.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("/v1/beacons", s.handleBeacons)
+	mux.HandleFunc(api.PathBeacons, s.handleBeacons)
+	mux.HandleFunc(api.PathStatus, s.handleStatus)
+	mux.HandleFunc(api.PathFormats, s.handleFormats)
+	mux.HandleFunc("/v1/", func(w http.ResponseWriter, r *http.Request) {
+		api.WriteError(w, http.StatusNotFound, api.CodeNotFound,
+			fmt.Sprintf("no such endpoint %s", r.URL.Path), 0)
+	})
 	mux.HandleFunc("/healthz", s.handleHealth)
 	mux.Handle("/metrics", s.reg.Handler())
 	return mux
 }
 
-// BatchResponse is the body returned for an accepted beacon batch.
-type BatchResponse struct {
-	Accepted int `json:"accepted"`
-	Rejected int `json:"rejected"`
-}
+// BatchResponse aliases the v1 contract type for compatibility.
+type BatchResponse = api.BatchResponse
 
 func (s *Server) handleBeacons(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 	defer s.m.ingestDur.ObserveSince(start)
 
 	if r.Method != http.MethodPost {
-		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		api.WriteError(w, http.StatusMethodNotAllowed, api.CodeMethodNotAllowed,
+			"POST beacon batches to this endpoint", 0)
 		return
 	}
 	scratch := batchPool.Get().(*[]telemetry.Record)
@@ -156,47 +303,55 @@ func (s *Server) handleBeacons(w http.ResponseWriter, r *http.Request) {
 		*scratch = (*scratch)[:0]
 		batchPool.Put(scratch)
 	}()
-	batch, status, msg := s.readBatch(w, r, (*scratch)[:0])
+	batch, status, code, msg := s.readBatch(w, r, (*scratch)[:0])
 	*scratch = batch[:0] // keep any capacity the decode grew
 	if status != 0 {
 		s.m.badRequests.Inc()
-		http.Error(w, msg, status)
+		api.WriteError(w, status, code, msg, 0)
 		return
 	}
 	s.m.batchRecords.Observe(float64(len(batch)))
 
-	resp := BatchResponse{}
-	var sinkErr error
-	s.mu.Lock()
-	sinkStart := time.Now()
+	// Validate up front: the writer goroutine only ever sees clean
+	// records, and rejects are counted whether or not the sink survives.
+	valid := batch[:0]
+	rejected := 0
 	for _, rec := range batch {
 		if rec.Validate() != nil {
-			resp.Rejected++
+			rejected++
 			continue
 		}
-		if err := s.sink.Write(rec); err != nil {
-			sinkErr = err
-			s.lastSinkErr = err
-			break
-		}
-		resp.Accepted++
+		valid = append(valid, rec)
 	}
-	s.mu.Unlock()
-	s.m.sinkWriteDur.ObserveSince(sinkStart)
 
-	// Account for the batch whether or not the sink survived it: on a
-	// mid-batch sink failure the records already written ARE in the sink,
-	// so /metrics must count them or it permanently undercounts relative
-	// to the sink's contents.
-	s.m.batches.Inc()
-	s.m.accepted.Add(uint64(resp.Accepted))
-	s.m.rejected.Add(uint64(resp.Rejected))
-	if sinkErr != nil {
-		s.m.sinkFailures.Inc()
-		s.log.Error("collector: sink write failed mid-batch",
-			"err", sinkErr, "written", resp.Accepted, "rejected", resp.Rejected, "batch", len(batch))
-		http.Error(w, "sink failure", http.StatusInternalServerError)
-		return
+	resp := api.BatchResponse{Rejected: rejected}
+	if len(valid) > 0 {
+		res, ok := s.submit(valid)
+		if !ok {
+			s.m.shedBatches.Inc()
+			api.WriteError(w, http.StatusTooManyRequests, api.CodeQueueFull,
+				"ingest queue full; retry with backoff", s.cfg.RetryAfter)
+			return
+		}
+		resp.Accepted = res.written
+		// Account for the batch whether or not the sink survived it: on a
+		// mid-batch sink failure the records already written ARE in the
+		// sink, so /metrics must count them or it permanently undercounts
+		// relative to the sink's contents.
+		s.m.batches.Inc()
+		s.m.accepted.Add(uint64(resp.Accepted))
+		s.m.rejected.Add(uint64(resp.Rejected))
+		if res.err != nil {
+			s.m.sinkFailures.Inc()
+			s.log.Error("collector: sink write failed",
+				"err", res.err, "written", res.written, "rejected", rejected, "batch", len(valid))
+			api.WriteError(w, http.StatusServiceUnavailable, api.CodeSinkUnavailable,
+				"sink write failed; retry the batch", s.cfg.RetryAfter)
+			return
+		}
+	} else {
+		s.m.batches.Inc()
+		s.m.rejected.Add(uint64(resp.Rejected))
 	}
 
 	w.Header().Set("Content-Type", "application/json")
@@ -206,89 +361,159 @@ func (s *Server) handleBeacons(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
-// readBatch decodes the request body into dst, choosing the decoder from
-// the Content-Type header. A zero status means success; otherwise status
-// and msg describe the HTTP error to return.
-func (s *Server) readBatch(w http.ResponseWriter, r *http.Request, dst []telemetry.Record) (batch []telemetry.Record, status int, msg string) {
-	body := http.MaxBytesReader(w, r.Body, MaxBatchBytes)
-	if r.Header.Get("Content-Type") == ContentTypeTBIN {
-		return readBatchTBIN(body, dst)
+// submit enqueues a batch for the writer and waits for its result. A
+// false ok means the queue was full (or the server is shutting down) and
+// nothing was enqueued.
+func (s *Server) submit(batch []telemetry.Record) (writeRes, bool) {
+	req := writeReq{batch: batch, enqueued: time.Now(), done: make(chan writeRes, 1)}
+	s.qmu.RLock()
+	if s.stopping {
+		s.qmu.RUnlock()
+		return writeRes{}, false
 	}
-	return readBatchJSON(body, dst)
+	select {
+	case s.queue <- req:
+		s.qmu.RUnlock()
+	default:
+		s.qmu.RUnlock()
+		return writeRes{}, false
+	}
+	return <-req.done, true
 }
 
-// decodeErrStatus maps a body-decode error to an HTTP status: the
+// readBatch decodes the request body into dst, choosing the decoder from
+// the Content-Type header. A zero status means success; otherwise status,
+// code and msg describe the v1 error to return.
+func (s *Server) readBatch(w http.ResponseWriter, r *http.Request, dst []telemetry.Record) (batch []telemetry.Record, status int, code, msg string) {
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBatchBytes)
+	if r.Header.Get("Content-Type") == ContentTypeTBIN {
+		return s.readBatchTBIN(body, dst)
+	}
+	return s.readBatchJSON(body, dst)
+}
+
+// decodeErr maps a body-decode error to the v1 error triple: the
 // MaxBytesReader limit is "too large", anything else is a bad request.
-func decodeErrStatus(err error) (int, string) {
+func decodeErr(err error) (int, string, string) {
 	var tooLarge *http.MaxBytesError
 	if errors.As(err, &tooLarge) {
-		return http.StatusRequestEntityTooLarge, "body too large"
+		return http.StatusRequestEntityTooLarge, api.CodeTooLarge, "body too large"
 	}
-	return http.StatusBadRequest, "malformed batch"
+	return http.StatusBadRequest, api.CodeBadRequest, "malformed batch"
 }
 
 // readBatchJSON streams a JSON array of records into dst without buffering
 // the request body: each record is decoded as it arrives, so an 8 MB batch
 // costs one record of decoder state instead of an 8 MB copy.
-func readBatchJSON(body io.Reader, dst []telemetry.Record) ([]telemetry.Record, int, string) {
+func (s *Server) readBatchJSON(body io.Reader, dst []telemetry.Record) ([]telemetry.Record, int, string, string) {
 	dec := json.NewDecoder(body)
 	tok, err := dec.Token()
 	if err != nil {
-		st, msg := decodeErrStatus(err)
-		return dst, st, msg
+		st, code, msg := decodeErr(err)
+		return dst, st, code, msg
 	}
 	if tok == nil {
 		// A JSON null batch is an empty batch, as with json.Unmarshal.
 		if _, err := dec.Token(); err != io.EOF {
-			return dst, http.StatusBadRequest, "malformed batch"
+			return dst, http.StatusBadRequest, api.CodeBadRequest, "malformed batch"
 		}
-		return dst, 0, ""
+		return dst, 0, "", ""
 	}
 	if d, ok := tok.(json.Delim); !ok || d != '[' {
-		return dst, http.StatusBadRequest, "malformed batch"
+		return dst, http.StatusBadRequest, api.CodeBadRequest, "malformed batch"
 	}
 	// rec lives outside the loop so handing its address to Decode heap-
 	// allocates once per request, not once per record.
 	var rec telemetry.Record
 	for dec.More() {
-		if len(dst) >= MaxBatchRecords {
-			return dst, http.StatusRequestEntityTooLarge, fmt.Sprintf("batch exceeds %d records", MaxBatchRecords)
+		if len(dst) >= s.cfg.MaxBatchRecords {
+			return dst, http.StatusRequestEntityTooLarge, api.CodeTooLarge,
+				fmt.Sprintf("batch exceeds %d records", s.cfg.MaxBatchRecords)
 		}
 		rec = telemetry.Record{}
 		if err := dec.Decode(&rec); err != nil {
-			st, msg := decodeErrStatus(err)
-			return dst, st, msg
+			st, code, msg := decodeErr(err)
+			return dst, st, code, msg
 		}
 		dst = append(dst, rec)
 	}
 	if _, err := dec.Token(); err != nil { // closing ']'
-		st, msg := decodeErrStatus(err)
-		return dst, st, msg
+		st, code, msg := decodeErr(err)
+		return dst, st, code, msg
 	}
 	if _, err := dec.Token(); err != io.EOF {
-		return dst, http.StatusBadRequest, "trailing data after batch"
+		return dst, http.StatusBadRequest, api.CodeBadRequest, "trailing data after batch"
 	}
-	return dst, 0, ""
+	return dst, 0, "", ""
 }
 
 // readBatchTBIN streams a TBIN beacon body into dst.
-func readBatchTBIN(body io.Reader, dst []telemetry.Record) ([]telemetry.Record, int, string) {
+func (s *Server) readBatchTBIN(body io.Reader, dst []telemetry.Record) ([]telemetry.Record, int, string, string) {
 	tr := telemetry.NewReader(body, telemetry.TBIN)
 	defer tr.Close()
 	for {
 		rec, err := tr.Read()
 		if err == io.EOF {
-			return dst, 0, ""
+			return dst, 0, "", ""
 		}
 		if err != nil {
-			st, msg := decodeErrStatus(err)
-			return dst, st, msg
+			st, code, msg := decodeErr(err)
+			return dst, st, code, msg
 		}
-		if len(dst) >= MaxBatchRecords {
-			return dst, http.StatusRequestEntityTooLarge, fmt.Sprintf("batch exceeds %d records", MaxBatchRecords)
+		if len(dst) >= s.cfg.MaxBatchRecords {
+			return dst, http.StatusRequestEntityTooLarge, api.CodeTooLarge,
+				fmt.Sprintf("batch exceeds %d records", s.cfg.MaxBatchRecords)
 		}
 		dst = append(dst, rec)
 	}
+}
+
+// Status builds the /v1/status snapshot.
+func (s *Server) Status() api.StatusResponse {
+	s.mu.Lock()
+	lastErr := s.lastSinkErr
+	s.mu.Unlock()
+	st := api.StatusResponse{
+		Status:          "ok",
+		UptimeSeconds:   time.Since(s.started).Seconds(),
+		Sink:            s.cfg.SinkName,
+		QueueDepth:      s.cfg.QueueDepth,
+		QueueLength:     len(s.queue),
+		Batches:         s.m.batches.Value(),
+		RecordsAccepted: s.m.accepted.Value(),
+		RecordsRejected: s.m.rejected.Value(),
+		BatchesShed:     s.m.shedBatches.Value(),
+		SinkFailures:    s.m.sinkFailures.Value(),
+		Recovery:        s.cfg.Recovery,
+	}
+	if lastErr != nil {
+		st.Status = "degraded"
+		st.LastSinkError = lastErr.Error()
+	}
+	return st
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		api.WriteError(w, http.StatusMethodNotAllowed, api.CodeMethodNotAllowed,
+			"GET this endpoint", 0)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(s.Status())
+}
+
+func (s *Server) handleFormats(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		api.WriteError(w, http.StatusMethodNotAllowed, api.CodeMethodNotAllowed,
+			"GET this endpoint", 0)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(api.FormatsResponse{Formats: []api.FormatInfo{
+		{Name: "json", ContentType: "application/json"},
+		{Name: "tbin", ContentType: ContentTypeTBIN},
+	}})
 }
 
 // Health reports uptime and sink status for the admin surface.
@@ -302,6 +527,9 @@ func (s *Server) Health() obs.Health {
 		Details: map[string]any{
 			"sink_records_accepted": s.m.accepted.Value(),
 			"sink_failures":         s.m.sinkFailures.Value(),
+			"queue_length":          len(s.queue),
+			"queue_depth":           s.cfg.QueueDepth,
+			"batches_shed":          s.m.shedBatches.Value(),
 		},
 	}
 	if lastErr != nil {
@@ -353,18 +581,26 @@ func (s *Server) ServeError() error {
 	return s.serveErr
 }
 
-// Shutdown gracefully stops the server and flushes the sink. If the accept
-// loop had already failed, that error is returned.
+// Shutdown gracefully stops the server: the listener drains, the queue is
+// closed and the writer finishes every batch already accepted, and the
+// sink is closed (which flushes it). If the accept loop had already
+// failed, that error is returned.
 func (s *Server) Shutdown(ctx context.Context) error {
 	var err error
 	if s.httpSrv != nil {
 		err = s.httpSrv.Shutdown(ctx)
 	}
-	s.mu.Lock()
-	if ferr := s.sink.Flush(); ferr != nil && err == nil {
-		err = ferr
+	s.qmu.Lock()
+	stopping := s.stopping
+	s.stopping = true
+	s.qmu.Unlock()
+	if !stopping {
+		close(s.queue)
 	}
-	s.mu.Unlock()
+	s.writerWG.Wait()
+	if cerr := s.sink.Close(); cerr != nil && err == nil {
+		err = cerr
+	}
 	if serr := s.ServeError(); serr != nil && err == nil {
 		err = serr
 	}
@@ -374,4 +610,10 @@ func (s *Server) Shutdown(ctx context.Context) error {
 // Stats returns current counters.
 func (s *Server) Stats() (batches, accepted, rejectedRecords, badRequests uint64) {
 	return s.m.batches.Value(), s.m.accepted.Value(), s.m.rejected.Value(), s.m.badRequests.Value()
+}
+
+// QueueStats returns the queue bound, its current length, and how many
+// batches have been shed with 429.
+func (s *Server) QueueStats() (depth, length int, shed uint64) {
+	return s.cfg.QueueDepth, len(s.queue), s.m.shedBatches.Value()
 }

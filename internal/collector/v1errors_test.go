@@ -1,0 +1,278 @@
+package collector
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"autosens/internal/collector/api"
+	"autosens/internal/telemetry"
+)
+
+// decodeV1Error asserts resp carries the typed v1 error schema and
+// returns it.
+func decodeV1Error(t *testing.T, resp *http.Response) api.ErrorResponse {
+	t.Helper()
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("error response content type %q, want application/json", ct)
+	}
+	var er api.ErrorResponse
+	if err := json.NewDecoder(resp.Body).Decode(&er); err != nil {
+		t.Fatalf("error body is not the v1 schema: %v", err)
+	}
+	if er.Err.Code == "" || er.Err.Message == "" {
+		t.Fatalf("error body missing code or message: %+v", er.Err)
+	}
+	return er
+}
+
+// TestV1ErrorSchemaOnEveryErrorPath walks every 4xx/5xx the beacon
+// endpoint can produce and asserts each one speaks the single typed
+// schema: correct status, correct stable code, JSON envelope, and retry
+// advice exactly where the contract promises it.
+func TestV1ErrorSchemaOnEveryErrorPath(t *testing.T) {
+	cases := []struct {
+		name        string
+		method      string
+		path        string
+		contentType string
+		body        string
+		status      int
+		code        string
+	}{
+		{"wrong method on beacons", http.MethodGet, "/v1/beacons", "", "", http.StatusMethodNotAllowed, api.CodeMethodNotAllowed},
+		{"wrong method on status", http.MethodPost, "/v1/status", "application/json", "{}", http.StatusMethodNotAllowed, api.CodeMethodNotAllowed},
+		{"wrong method on formats", http.MethodPost, "/v1/formats", "application/json", "{}", http.StatusMethodNotAllowed, api.CodeMethodNotAllowed},
+		{"unknown v1 path", http.MethodGet, "/v1/nope", "", "", http.StatusNotFound, api.CodeNotFound},
+		{"malformed json", http.MethodPost, "/v1/beacons", "application/json", "{not json", http.StatusBadRequest, api.CodeBadRequest},
+		{"object not array", http.MethodPost, "/v1/beacons", "application/json", `{"t":1}`, http.StatusBadRequest, api.CodeBadRequest},
+		{"trailing garbage", http.MethodPost, "/v1/beacons", "application/json", "[]x", http.StatusBadRequest, api.CodeBadRequest},
+		{"corrupt tbin", http.MethodPost, "/v1/beacons", ContentTypeTBIN, "garbage", http.StatusBadRequest, api.CodeBadRequest},
+		{"too many records", http.MethodPost, "/v1/beacons", "application/json", batchJSON(t, 4), http.StatusRequestEntityTooLarge, api.CodeTooLarge},
+	}
+	_, _, ts := newTestServerCfg(t, ServerConfig{MaxBatchRecords: 3})
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			req, err := http.NewRequest(tc.method, ts.URL+tc.path, strings.NewReader(tc.body))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if tc.contentType != "" {
+				req.Header.Set("Content-Type", tc.contentType)
+			}
+			resp, err := http.DefaultClient.Do(req)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode != tc.status {
+				t.Fatalf("status %d, want %d", resp.StatusCode, tc.status)
+			}
+			er := decodeV1Error(t, resp)
+			if er.Err.Code != tc.code {
+				t.Fatalf("code %q, want %q", er.Err.Code, tc.code)
+			}
+			if er.Err.RetryAfterMS != 0 || resp.Header.Get("Retry-After") != "" {
+				t.Fatalf("retry advice on a permanent error: %+v", er.Err)
+			}
+		})
+	}
+}
+
+func batchJSON(t *testing.T, n int) string {
+	t.Helper()
+	batch := make([]telemetry.Record, n)
+	for i := range batch {
+		batch[i] = testRecord(i)
+	}
+	body, err := json.Marshal(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(body)
+}
+
+func TestV1ErrorOnOversizedBody(t *testing.T) {
+	_, _, ts := newTestServerCfg(t, ServerConfig{MaxBatchBytes: 64})
+	resp := postBatch(t, ts.URL, []telemetry.Record{testRecord(1), testRecord(2), testRecord(3)})
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("status %d, want 413", resp.StatusCode)
+	}
+	if er := decodeV1Error(t, resp); er.Err.Code != api.CodeTooLarge {
+		t.Fatalf("code %q, want %q", er.Err.Code, api.CodeTooLarge)
+	}
+}
+
+// gatedSink blocks every WriteBatch until its gate is released, modelling
+// a sink too slow for the offered load. entered counts writer goroutines
+// that have reached WriteBatch, so tests can sequence queue fills.
+type gatedSink struct {
+	gate    chan struct{}
+	entered atomic.Int64
+	mu      sync.Mutex
+	recs    []telemetry.Record
+}
+
+func newGatedSink() *gatedSink { return &gatedSink{gate: make(chan struct{})} }
+
+func (g *gatedSink) WriteBatch(recs []telemetry.Record) (int, error) {
+	g.entered.Add(1)
+	<-g.gate
+	g.mu.Lock()
+	g.recs = append(g.recs, recs...)
+	g.mu.Unlock()
+	return len(recs), nil
+}
+
+func (g *gatedSink) Sync() error  { return nil }
+func (g *gatedSink) Close() error { return nil }
+
+func (g *gatedSink) records() []telemetry.Record {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return append([]telemetry.Record(nil), g.recs...)
+}
+
+// TestQueueFullSheds429WithRetryAfter fills the one-deep ingest queue and
+// asserts the next batch is shed with the full v1 contract: 429, code
+// queue_full, retry_after_ms in the body, Retry-After header, and the
+// shed counter ticking — while the queued batches are NOT lost.
+func TestQueueFullSheds429WithRetryAfter(t *testing.T) {
+	sink := newGatedSink()
+	srv, err := NewServer(ServerConfig{
+		Sink:       sink,
+		QueueDepth: 1,
+		RetryAfter: 2 * time.Second,
+		Logger:     slog.New(slog.NewTextHandler(io.Discard, nil)),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	results := make(chan int, 2)
+	post := func(i int) {
+		body, _ := json.Marshal([]telemetry.Record{testRecord(i)})
+		resp, err := http.Post(ts.URL+"/v1/beacons", "application/json", bytes.NewReader(body))
+		if err != nil {
+			results <- -1
+			return
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		results <- resp.StatusCode
+	}
+	waitFor := func(what string, cond func() bool) {
+		t.Helper()
+		deadline := time.Now().Add(5 * time.Second)
+		for !cond() {
+			if time.Now().After(deadline) {
+				t.Fatalf("timed out waiting for %s", what)
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+	}
+	// First batch: picked up by the writer, which parks inside WriteBatch.
+	go post(1)
+	waitFor("writer to enter the sink", func() bool { return sink.entered.Load() == 1 })
+	// Second batch: occupies the single queue slot.
+	go post(2)
+	waitFor("queue to fill", func() bool { _, length, _ := srv.QueueStats(); return length == 1 })
+
+	// Third batch must be shed.
+	resp := postBatch(t, ts.URL, []telemetry.Record{testRecord(3)})
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status %d, want 429", resp.StatusCode)
+	}
+	if got := resp.Header.Get("Retry-After"); got != "2" {
+		t.Fatalf("Retry-After %q, want 2", got)
+	}
+	er := decodeV1Error(t, resp)
+	if er.Err.Code != api.CodeQueueFull || er.Err.RetryAfterMS != 2000 {
+		t.Fatalf("shed error %+v", er.Err)
+	}
+	if _, _, shed := srv.QueueStats(); shed != 1 {
+		t.Fatalf("shed counter %d, want 1", shed)
+	}
+
+	// Release the sink: both parked batches must complete with 202.
+	close(sink.gate)
+	for i := 0; i < 2; i++ {
+		select {
+		case code := <-results:
+			if code != http.StatusAccepted {
+				t.Fatalf("parked batch finished with %d", code)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatal("parked batch never completed")
+		}
+	}
+	if got := len(sink.records()); got != 2 {
+		t.Fatalf("sink holds %d records, want the 2 parked ones", got)
+	}
+}
+
+// TestStatusEndpointReportsQueueAndRecovery exercises GET /v1/status with
+// a configured recovery report.
+func TestStatusEndpointReportsQueueAndRecovery(t *testing.T) {
+	recovery := &api.RecoveryReport{Segments: 2, RecordsRecovered: 100, RecordsLost: 7, TornBytes: 64,
+		TruncatedSegments: []string{"seg-00000001.wal"}, ActiveSegment: "seg-00000002.wal"}
+	_, _, ts := newTestServerCfg(t, ServerConfig{SinkName: "wal", Recovery: recovery})
+	postBatch(t, ts.URL, []telemetry.Record{testRecord(1), testRecord(2)})
+
+	resp, err := http.Get(ts.URL + "/v1/status")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st api.StatusResponse
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Status != "ok" || st.Sink != "wal" || st.RecordsAccepted != 2 {
+		t.Fatalf("status %+v", st)
+	}
+	if st.Recovery == nil || st.Recovery.RecordsLost != 7 || st.Recovery.ActiveSegment != "seg-00000002.wal" {
+		t.Fatalf("recovery report %+v", st.Recovery)
+	}
+}
+
+func TestFormatsEndpoint(t *testing.T) {
+	_, _, ts := newTestServer(t)
+	resp, err := http.Get(ts.URL + "/v1/formats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var fr api.FormatsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&fr); err != nil {
+		t.Fatal(err)
+	}
+	if len(fr.Formats) != 2 || fr.Formats[0].Name != "json" || fr.Formats[1].ContentType != ContentTypeTBIN {
+		t.Fatalf("formats %+v", fr.Formats)
+	}
+}
+
+func TestServerValidatesConfig(t *testing.T) {
+	sink := newGatedSink()
+	for i, cfg := range []ServerConfig{
+		{},                                // nil sink
+		{Sink: sink, QueueDepth: -1},      // negative queue
+		{Sink: sink, RetryAfter: -1},      // negative advice
+		{Sink: sink, MaxBatchBytes: -1},   // negative body bound
+		{Sink: sink, MaxBatchRecords: -1}, // negative record bound
+	} {
+		if _, err := NewServer(cfg); err == nil {
+			t.Fatalf("case %d: nonsense config accepted", i)
+		}
+	}
+}

@@ -131,6 +131,11 @@ func DefSizeBuckets() []float64 {
 	return []float64{1, 2, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000, 10000}
 }
 
+// DefBytesBuckets covers payload/frame sizes from 256 B to 16 MiB.
+func DefBytesBuckets() []float64 {
+	return []float64{256, 1024, 4096, 16384, 65536, 262144, 1048576, 4194304, 16777216}
+}
+
 // LinearBuckets returns n bounds start, start+width, ….
 func LinearBuckets(start, width float64, n int) []float64 {
 	out := make([]float64, n)

@@ -45,10 +45,11 @@ func (f Format) String() string {
 	}
 }
 
-// ParseFormat converts a -format flag value into a Format.
+// ParseFormat converts a -format flag value into a Format. "json" is an
+// alias for jsonl, matching the wire encoding's name.
 func ParseFormat(s string) (Format, error) {
 	switch s {
-	case "jsonl":
+	case "jsonl", "json":
 		return JSONL, nil
 	case "csv":
 		return CSV, nil

@@ -1,0 +1,72 @@
+package telemetry
+
+import "fmt"
+
+// FormatFlag is a flag.Value for -format flags, deduplicating the parsing
+// that owagen, autosens, sensd and loadgen each hand-rolled. Register it
+// with flag.Var:
+//
+//	format := telemetry.NewFormatFlag(telemetry.JSONL)
+//	flag.Var(format, "format", "telemetry format: "+format.Choices())
+//
+// Allowed restricts the accepted formats (nil allows all); wire-protocol
+// flags pass {JSONL, TBIN} since CSV has no wire encoding.
+type FormatFlag struct {
+	f       Format
+	Allowed []Format
+}
+
+// NewFormatFlag returns a FormatFlag defaulting to def.
+func NewFormatFlag(def Format, allowed ...Format) *FormatFlag {
+	return &FormatFlag{f: def, Allowed: allowed}
+}
+
+// Format returns the selected format.
+func (ff *FormatFlag) Format() Format { return ff.f }
+
+// String implements flag.Value.
+func (ff *FormatFlag) String() string {
+	if ff == nil {
+		return ""
+	}
+	return ff.f.String()
+}
+
+// Set implements flag.Value, accepting the ParseFormat names plus "json"
+// as an alias for jsonl (the wire encoding is a JSON array).
+func (ff *FormatFlag) Set(s string) error {
+	f, err := ParseFormat(s)
+	if err != nil {
+		return err
+	}
+	if len(ff.Allowed) > 0 {
+		ok := false
+		for _, a := range ff.Allowed {
+			if f == a {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return fmt.Errorf("telemetry: format %q not supported here (want %s)", s, ff.Choices())
+		}
+	}
+	ff.f = f
+	return nil
+}
+
+// Choices renders the accepted format names for flag usage strings.
+func (ff *FormatFlag) Choices() string {
+	formats := ff.Allowed
+	if len(formats) == 0 {
+		formats = []Format{JSONL, CSV, TBIN}
+	}
+	out := ""
+	for i, f := range formats {
+		if i > 0 {
+			out += ", "
+		}
+		out += f.String()
+	}
+	return out
+}

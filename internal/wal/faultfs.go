@@ -1,0 +1,174 @@
+package wal
+
+import (
+	"errors"
+	"sync"
+	"syscall"
+)
+
+// ErrInjected is the default error a FaultFS failure returns.
+var ErrInjected = errors.New("wal: injected fault")
+
+// FaultFS wraps another FS and injects write-path failures on demand: a
+// hard error after N bytes, short writes, ENOSPC, and fsync failures.
+// It is the fault-injection harness the durability tests (here and in the
+// collector) drive; production code never constructs one.
+//
+// The zero counters mean "no fault armed". All methods are safe for
+// concurrent use.
+type FaultFS struct {
+	Inner FS
+
+	mu sync.Mutex
+	// failAfter: once this many more bytes have been written across all
+	// files, writes fail with failErr. -1 means disarmed.
+	failAfter int64
+	failErr   error
+	// shortWrite: the next write persists only half its bytes and returns
+	// an error, modelling a torn write.
+	shortWrite bool
+	// failSync makes every subsequent Sync fail.
+	failSync bool
+	// failCreate makes every subsequent Create fail.
+	failCreate bool
+
+	bytesWritten int64
+	syncs        int
+}
+
+// NewFaultFS wraps inner (OSFS if nil) with all faults disarmed.
+func NewFaultFS(inner FS) *FaultFS {
+	if inner == nil {
+		inner = OSFS()
+	}
+	return &FaultFS{Inner: inner, failAfter: -1}
+}
+
+// FailWritesAfter arms a hard write failure once n more bytes have been
+// written; err defaults to ErrInjected. Pass syscall.ENOSPC to model a
+// full disk.
+func (f *FaultFS) FailWritesAfter(n int64, err error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if err == nil {
+		err = ErrInjected
+	}
+	f.failAfter = f.bytesWritten + n
+	f.failErr = err
+}
+
+// ENOSPCAfter is FailWritesAfter with syscall.ENOSPC.
+func (f *FaultFS) ENOSPCAfter(n int64) { f.FailWritesAfter(n, syscall.ENOSPC) }
+
+// ShortWriteNext makes the next write persist only half its bytes before
+// failing — the torn-write case recovery must truncate.
+func (f *FaultFS) ShortWriteNext() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.shortWrite = true
+}
+
+// FailSync makes Sync fail until Heal.
+func (f *FaultFS) FailSync(on bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.failSync = on
+}
+
+// FailCreate makes Create fail until Heal.
+func (f *FaultFS) FailCreate(on bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.failCreate = on
+}
+
+// Heal disarms every fault.
+func (f *FaultFS) Heal() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.failAfter = -1
+	f.shortWrite = false
+	f.failSync = false
+	f.failCreate = false
+}
+
+// Stats returns total bytes written and syncs issued through this FS.
+func (f *FaultFS) Stats() (bytesWritten int64, syncs int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.bytesWritten, f.syncs
+}
+
+func (f *FaultFS) MkdirAll(dir string) error { return f.Inner.MkdirAll(dir) }
+
+func (f *FaultFS) Create(name string) (File, error) {
+	f.mu.Lock()
+	fail := f.failCreate
+	f.mu.Unlock()
+	if fail {
+		return nil, ErrInjected
+	}
+	inner, err := f.Inner.Create(name)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{fs: f, File: inner}, nil
+}
+
+func (f *FaultFS) Open(name string) (File, error) { return f.Inner.Open(name) }
+
+func (f *FaultFS) ReadDir(dir string) ([]string, error) { return f.Inner.ReadDir(dir) }
+
+func (f *FaultFS) Truncate(name string, size int64) error { return f.Inner.Truncate(name, size) }
+
+func (f *FaultFS) Remove(name string) error { return f.Inner.Remove(name) }
+
+// faultFile applies the parent FS's armed faults to one file's writes.
+type faultFile struct {
+	fs *FaultFS
+	File
+}
+
+func (ff *faultFile) Write(p []byte) (int, error) {
+	ff.fs.mu.Lock()
+	if ff.fs.shortWrite {
+		ff.fs.shortWrite = false
+		half := len(p) / 2
+		ff.fs.bytesWritten += int64(half)
+		ff.fs.mu.Unlock()
+		n, err := ff.File.Write(p[:half])
+		if err != nil {
+			return n, err
+		}
+		return n, ErrInjected
+	}
+	if ff.fs.failAfter >= 0 && ff.fs.bytesWritten+int64(len(p)) > ff.fs.failAfter {
+		// Persist only what fits under the limit, like a filling disk.
+		room := ff.fs.failAfter - ff.fs.bytesWritten
+		if room < 0 {
+			room = 0
+		}
+		err := ff.fs.failErr
+		ff.fs.bytesWritten += room
+		ff.fs.mu.Unlock()
+		n, werr := ff.File.Write(p[:room])
+		if werr != nil {
+			return n, werr
+		}
+		return n, err
+	}
+	ff.fs.bytesWritten += int64(len(p))
+	ff.fs.mu.Unlock()
+	return ff.File.Write(p)
+}
+
+func (ff *faultFile) Sync() error {
+	ff.fs.mu.Lock()
+	ff.fs.syncs++
+	fail := ff.fs.failSync
+	ff.fs.mu.Unlock()
+	if fail {
+		return ErrInjected
+	}
+	return ff.File.Sync()
+}

@@ -1,0 +1,102 @@
+package wal
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"autosens/internal/core"
+	"autosens/internal/owasim"
+	"autosens/internal/telemetry"
+	"autosens/internal/timeutil"
+)
+
+// TestRecoveredCurveIsByteIdentical is the end-to-end durability check the
+// WAL exists for: analyzing a crash-recovered log must produce the exact
+// same preference curve — byte for byte in its JSON form — as analyzing
+// the records that were durably acked. A tolerance here would hide
+// systematic loss of the overload tail.
+func TestRecoveredCurveIsByteIdentical(t *testing.T) {
+	cfg := owasim.DefaultConfig(3*timeutil.MillisPerDay, 40, 40)
+	cfg.Seed = 23
+	res, err := owasim.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	records := res.Records
+
+	// Ship everything but the final batch intact, then tear the final
+	// batch's frame the way a crash mid-write would.
+	const tornBatch = 40
+	acked := records[:len(records)-tornBatch]
+	dir := t.TempDir()
+	w, _, err := Open(Options{Dir: dir, SegmentMaxBytes: 256 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for off := 0; off < len(acked); off += 500 {
+		end := min(off+500, len(acked))
+		if err := w.Append(acked[off:end]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	last := w.ActiveSegment()
+	if err := w.Append(records[len(records)-tornBatch:]); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	seg := filepath.Join(dir, last)
+	raw, err := os.ReadFile(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(seg, raw[:len(raw)-11], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// Recover, replay, estimate.
+	w2, rec, err := Open(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w2.Close()
+	if rec.RecordsLost != tornBatch {
+		t.Fatalf("recovery lost %d records, want the torn batch of %d", rec.RecordsLost, tornBatch)
+	}
+	recovered, err := Load(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recovered) != len(acked) {
+		t.Fatalf("recovered %d records, want %d", len(recovered), len(acked))
+	}
+
+	curveJSON := func(recs []telemetry.Record) []byte {
+		t.Helper()
+		opts := core.DefaultOptions()
+		opts.MinSlotActions = 10
+		est, err := core.NewEstimator(opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		slice := telemetry.ByAction(telemetry.Successful(recs), telemetry.SelectMail)
+		curve, err := est.EstimateTimeNormalized(slice)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := curve.WriteJSON(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+
+	got := curveJSON(recovered)
+	want := curveJSON(acked)
+	if !bytes.Equal(got, want) {
+		t.Fatalf("curve from the recovered WAL differs from the curve over acked records:\ngot  %d bytes\nwant %d bytes", len(got), len(want))
+	}
+}

@@ -1,0 +1,572 @@
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"syscall"
+	"testing"
+	"time"
+
+	"autosens/internal/telemetry"
+	"autosens/internal/timeutil"
+)
+
+// putFrameHeader fills a frame header for a hand-built payload.
+func putFrameHeader(frame, payload []byte) {
+	binary.LittleEndian.PutUint32(frame[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(frame[4:8], 1)
+	binary.LittleEndian.PutUint32(frame[8:12], crc32.Checksum(payload, castagnoli))
+}
+
+func walRecord(i int) telemetry.Record {
+	return telemetry.Record{
+		Time:      timeutil.Millis(i * 100),
+		Action:    telemetry.SelectMail,
+		LatencyMS: 300 + float64(i),
+		UserID:    uint64(i%10 + 1),
+		UserType:  telemetry.Business,
+	}
+}
+
+func walBatch(start, n int) []telemetry.Record {
+	batch := make([]telemetry.Record, n)
+	for i := range batch {
+		batch[i] = walRecord(start + i)
+	}
+	return batch
+}
+
+func TestParseSyncPolicy(t *testing.T) {
+	cases := []struct {
+		in     string
+		policy SyncPolicy
+		every  time.Duration
+		ok     bool
+	}{
+		{"batch", SyncBatch, 0, true},
+		{"off", SyncOff, 0, true},
+		{"250ms", SyncInterval, 250 * time.Millisecond, true},
+		{"2s", SyncInterval, 2 * time.Second, true},
+		{"", 0, 0, false},
+		{"always", 0, 0, false},
+		{"-5ms", 0, 0, false},
+		{"0s", 0, 0, false},
+	}
+	for _, tc := range cases {
+		p, every, err := ParseSyncPolicy(tc.in)
+		if tc.ok != (err == nil) {
+			t.Fatalf("ParseSyncPolicy(%q) err = %v, want ok=%v", tc.in, err, tc.ok)
+		}
+		if tc.ok && (p != tc.policy || every != tc.every) {
+			t.Fatalf("ParseSyncPolicy(%q) = %v, %v", tc.in, p, every)
+		}
+	}
+}
+
+func TestOpenValidatesOptions(t *testing.T) {
+	cases := []Options{
+		{},                                      // missing Dir
+		{Dir: "x", Format: telemetry.CSV},       // CSV has no framed payload encoding
+		{Dir: "x", SegmentMaxBytes: 4},          // smaller than one header+frame
+		{Dir: "x", SegmentMaxAge: -time.Second}, // negative age
+		{Dir: "x", Sync: SyncInterval, SyncEvery: -1}, // negative interval
+	}
+	for i, opts := range cases {
+		if opts.Dir == "x" {
+			opts.Dir = t.TempDir()
+		}
+		if _, _, err := Open(opts); err == nil {
+			t.Fatalf("case %d: nonsense options accepted: %+v", i, opts)
+		}
+	}
+}
+
+func TestAppendReplayRoundTrip(t *testing.T) {
+	for _, format := range []telemetry.Format{telemetry.JSONL, telemetry.TBIN} {
+		t.Run(format.String(), func(t *testing.T) {
+			dir := t.TempDir()
+			w, rec, err := Open(Options{Dir: dir, Format: format})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rec.Segments != 0 || rec.RecordsRecovered != 0 {
+				t.Fatalf("fresh dir recovery %+v", rec)
+			}
+			var want []telemetry.Record
+			for b := 0; b < 5; b++ {
+				batch := walBatch(b*20, 20)
+				if err := w.Append(batch); err != nil {
+					t.Fatal(err)
+				}
+				want = append(want, batch...)
+			}
+			if err := w.Close(); err != nil {
+				t.Fatal(err)
+			}
+
+			got, err := Load(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(got) != len(want) {
+				t.Fatalf("replayed %d records, want %d", len(got), len(want))
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("record %d mismatch: %+v != %+v", i, got[i], want[i])
+				}
+			}
+
+			// Reopen: the scan must count every record as recovered, lose
+			// nothing, and hand out a fresh active segment.
+			w2, rec2, err := Open(Options{Dir: dir, Format: format})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer w2.Close()
+			if rec2.RecordsRecovered != uint64(len(want)) || rec2.RecordsLost != 0 || rec2.TornBytes != 0 {
+				t.Fatalf("recovery %+v, want %d recovered and nothing lost", rec2, len(want))
+			}
+			if len(rec2.TruncatedSegments) != 0 {
+				t.Fatalf("clean log reported truncations: %v", rec2.TruncatedSegments)
+			}
+			if rec2.ActiveSegment == "" || rec2.ActiveSegment == segName(0) {
+				t.Fatalf("active segment %q should be fresh", rec2.ActiveSegment)
+			}
+		})
+	}
+}
+
+func TestSegmentRotationBySize(t *testing.T) {
+	dir := t.TempDir()
+	w, _, err := Open(Options{Dir: dir, SegmentMaxBytes: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want []telemetry.Record
+	for b := 0; b < 30; b++ {
+		batch := walBatch(b*5, 5)
+		if err := w.Append(batch); err != nil {
+			t.Fatal(err)
+		}
+		want = append(want, batch...)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	names, err := OSFS().ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) < 3 {
+		t.Fatalf("expected rotation to produce several segments, got %v", names)
+	}
+	got, err := Load(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("replayed %d records across segments, want %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("record %d out of order after rotation", i)
+		}
+	}
+}
+
+func TestRotateForcesNewSegment(t *testing.T) {
+	dir := t.TempDir()
+	w, _, err := Open(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	first := w.ActiveSegment()
+	if err := w.Append(walBatch(0, 3)); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Rotate(); err != nil {
+		t.Fatal(err)
+	}
+	if w.ActiveSegment() == first {
+		t.Fatal("Rotate did not switch segments")
+	}
+	if err := w.Append(walBatch(3, 3)); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 6 {
+		t.Fatalf("replayed %d records, want 6", len(got))
+	}
+}
+
+// tornVariant describes one way a crash can mangle the last segment.
+type tornVariant struct {
+	name string
+	// mangle edits the raw bytes of the last segment file.
+	mangle func([]byte) []byte
+	// recovered is how many records must survive the scan.
+	recovered uint64
+	// lost is how many of the torn batch's records the report must count
+	// as lost (only when the frame header survived intact).
+	lost uint64
+}
+
+func TestRecoveryTruncatesTornTails(t *testing.T) {
+	const batchSize = 10
+	variants := []tornVariant{
+		{name: "torn mid-payload", mangle: func(b []byte) []byte {
+			return b[:len(b)-7] // drop the payload's tail, keep the header
+		}, recovered: batchSize, lost: batchSize},
+		{name: "torn mid-header", mangle: func(b []byte) []byte {
+			// Find the last frame's start and keep 5 of its 12 header bytes.
+			return b[:lastFrameOffset(b)+5]
+		}, recovered: batchSize},
+		{name: "corrupt payload", mangle: func(b []byte) []byte {
+			b[len(b)-3] ^= 0xff // CRC mismatch
+			return b
+		}, recovered: batchSize, lost: batchSize},
+		{name: "garbage appended", mangle: func(b []byte) []byte {
+			// Both frames stay intact; only the trailing junk is torn off.
+			return append(b, "not a frame"...)
+		}, recovered: 2 * batchSize},
+	}
+	for _, v := range variants {
+		t.Run(v.name, func(t *testing.T) {
+			dir := t.TempDir()
+			w, _, err := Open(Options{Dir: dir})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := w.Append(walBatch(0, batchSize)); err != nil {
+				t.Fatal(err)
+			}
+			if err := w.Append(walBatch(batchSize, batchSize)); err != nil {
+				t.Fatal(err)
+			}
+			if err := w.Close(); err != nil {
+				t.Fatal(err)
+			}
+			intact := walBatch(0, int(v.recovered))
+
+			seg := filepath.Join(dir, segName(0))
+			raw, err := os.ReadFile(seg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(seg, v.mangle(append([]byte(nil), raw...)), 0o644); err != nil {
+				t.Fatal(err)
+			}
+
+			w2, rec, err := Open(Options{Dir: dir})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer w2.Close()
+			if rec.RecordsRecovered != v.recovered {
+				t.Fatalf("recovered %d records, want %d", rec.RecordsRecovered, v.recovered)
+			}
+			if rec.RecordsLost != v.lost {
+				t.Fatalf("lost %d records, want %d", rec.RecordsLost, v.lost)
+			}
+			if rec.TornBytes == 0 {
+				t.Fatal("torn tail not counted")
+			}
+			if len(rec.TruncatedSegments) != 1 || rec.TruncatedSegments[0] != segName(0) {
+				t.Fatalf("truncated segments %v", rec.TruncatedSegments)
+			}
+			got, err := Load(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(got) != len(intact) {
+				t.Fatalf("replayed %d records after truncation, want %d", len(got), len(intact))
+			}
+			for i := range got {
+				if got[i] != intact[i] {
+					t.Fatalf("record %d mismatch after recovery", i)
+				}
+			}
+			// The truncation is idempotent: a second scan finds a clean log.
+			w2.Close()
+			_, rec2, err := Open(Options{Dir: dir})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rec2.TornBytes != 0 || len(rec2.TruncatedSegments) != 0 {
+				t.Fatalf("second recovery still found tears: %+v", rec2)
+			}
+		})
+	}
+}
+
+// lastFrameOffset walks the frames of a well-formed segment and returns
+// the offset where the last frame starts.
+func lastFrameOffset(b []byte) int {
+	off := segHeaderLen
+	for {
+		plen := int(uint32(b[off]) | uint32(b[off+1])<<8 | uint32(b[off+2])<<16 | uint32(b[off+3])<<24)
+		next := off + frameHdrLen + plen
+		if next >= len(b) {
+			return off
+		}
+		off = next
+	}
+}
+
+func TestRecoveryRemovesHeaderTornSegment(t *testing.T) {
+	dir := t.TempDir()
+	w, _, err := Open(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append(walBatch(0, 4)); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// A crash between Create and the header write leaves a runt file.
+	runt := filepath.Join(dir, segName(1))
+	if err := os.WriteFile(runt, []byte("ASW"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	w2, rec, err := Open(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w2.Close()
+	if rec.Segments != 2 || rec.RecordsRecovered != 4 || rec.TornBytes != 3 {
+		t.Fatalf("recovery %+v", rec)
+	}
+	if _, err := os.Stat(runt); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("header-torn segment still on disk: %v", err)
+	}
+	// New appends must not collide with the removed segment's sequence
+	// number: the next active segment is numbered past it.
+	if w2.ActiveSegment() != segName(2) {
+		t.Fatalf("active segment %s, want %s", w2.ActiveSegment(), segName(2))
+	}
+}
+
+func TestAppendAfterWriteFailureLandsOnFreshSegment(t *testing.T) {
+	ffs := NewFaultFS(nil)
+	dir := t.TempDir()
+	w, _, err := Open(Options{Dir: dir, FS: ffs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append(walBatch(0, 8)); err != nil {
+		t.Fatal(err)
+	}
+
+	ffs.FailWritesAfter(10, nil) // tear the next frame a few bytes in
+	if err := w.Append(walBatch(8, 8)); !errors.Is(err, ErrInjected) {
+		t.Fatalf("append error = %v, want injected fault", err)
+	}
+	if got, _ := w.WriteBatch(walBatch(8, 8)); got != 0 {
+		t.Fatalf("WriteBatch on broken segment reported %d written", got)
+	}
+
+	ffs.Heal()
+	retry := walBatch(8, 8)
+	if err := w.Append(retry); err != nil {
+		t.Fatalf("append after heal: %v", err)
+	}
+	if w.ActiveSegment() == segName(0) {
+		t.Fatal("retry landed on the abandoned segment")
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The abandoned segment carries a torn frame; recovery must truncate
+	// it and keep exactly the 16 acked records.
+	_, rec, err := Open(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.RecordsRecovered != 16 {
+		t.Fatalf("recovered %d records, want 16", rec.RecordsRecovered)
+	}
+	if len(rec.TruncatedSegments) != 1 {
+		t.Fatalf("truncated segments %v, want the abandoned one", rec.TruncatedSegments)
+	}
+	got, err := Load(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 16 {
+		t.Fatalf("replayed %d records, want 16", len(got))
+	}
+}
+
+func TestAppendENOSPC(t *testing.T) {
+	ffs := NewFaultFS(nil)
+	dir := t.TempDir()
+	w, _, err := Open(Options{Dir: dir, FS: ffs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	if err := w.Append(walBatch(0, 4)); err != nil {
+		t.Fatal(err)
+	}
+	ffs.ENOSPCAfter(0)
+	if err := w.Append(walBatch(4, 4)); !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("append error = %v, want ENOSPC", err)
+	}
+	// Disk stays full: the rotation attempt inside the next append fails
+	// too (the fresh segment's header cannot be written), and the error
+	// still surfaces instead of a silent ack.
+	if err := w.Append(walBatch(4, 4)); err == nil {
+		t.Fatal("append succeeded on a full disk")
+	}
+	ffs.Heal()
+	if err := w.Append(walBatch(4, 4)); err != nil {
+		t.Fatalf("append after space freed: %v", err)
+	}
+}
+
+func TestShortWriteIsTruncatedOnRecovery(t *testing.T) {
+	ffs := NewFaultFS(nil)
+	dir := t.TempDir()
+	w, _, err := Open(Options{Dir: dir, FS: ffs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append(walBatch(0, 6)); err != nil {
+		t.Fatal(err)
+	}
+	ffs.ShortWriteNext()
+	if err := w.Append(walBatch(6, 6)); err == nil {
+		t.Fatal("short write not surfaced")
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	_, rec, err := Open(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.RecordsRecovered != 6 || rec.TornBytes == 0 {
+		t.Fatalf("recovery %+v, want 6 recovered and a torn tail", rec)
+	}
+	got, err := Load(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 6 {
+		t.Fatalf("replayed %d records, want 6", len(got))
+	}
+}
+
+func TestSyncBatchFsyncFailureSurfaces(t *testing.T) {
+	ffs := NewFaultFS(nil)
+	dir := t.TempDir()
+	w, _, err := Open(Options{Dir: dir, FS: ffs, Sync: SyncBatch})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	ffs.FailSync(true)
+	if err := w.Append(walBatch(0, 4)); !errors.Is(err, ErrInjected) {
+		t.Fatalf("append error = %v, want the fsync fault", err)
+	}
+	ffs.FailSync(false)
+	if err := w.Append(walBatch(0, 4)); err != nil {
+		t.Fatalf("append after fsync heal: %v", err)
+	}
+}
+
+func TestSyncIntervalFlushesInBackground(t *testing.T) {
+	ffs := NewFaultFS(nil)
+	dir := t.TempDir()
+	w, _, err := Open(Options{Dir: dir, FS: ffs, Sync: SyncInterval, SyncEvery: 5 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, before := ffs.Stats()
+	if err := w.Append(walBatch(0, 4)); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if _, syncs := ffs.Stats(); syncs > before {
+			w.Close()
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatal("background syncer never fsynced the dirty segment")
+}
+
+func TestOpenFailsWhenSegmentCannotBeCreated(t *testing.T) {
+	ffs := NewFaultFS(nil)
+	ffs.FailCreate(true)
+	if _, _, err := Open(Options{Dir: t.TempDir(), FS: ffs}); err == nil {
+		t.Fatal("Open succeeded with an uncreatable segment")
+	}
+}
+
+func TestReplaySurfacesCorruptionInsideValidFrame(t *testing.T) {
+	// A CRC-valid frame whose payload does not decode is real corruption
+	// (or a writer bug), not a torn tail — Replay must return it.
+	dir := t.TempDir()
+	w, _, err := Open(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append(walBatch(0, 2)); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	seg := filepath.Join(dir, segName(0))
+	raw, err := os.ReadFile(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rewrite the frame with a garbage payload and a MATCHING CRC.
+	payload := []byte("definitely not a record\n")
+	frame := make([]byte, frameHdrLen+len(payload))
+	putFrameHeader(frame, payload)
+	copy(frame[frameHdrLen:], payload)
+	if err := os.WriteFile(seg, append(raw[:segHeaderLen], frame...), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := Replay(nil, dir, func(telemetry.Record) error { return nil }); err == nil {
+		t.Fatal("corrupt-but-CRC-valid frame replayed silently")
+	}
+}
+
+func TestWALEmptyAppendIsNoop(t *testing.T) {
+	dir := t.TempDir()
+	w, _, err := Open(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	if err := w.Append(nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append([]telemetry.Record{{LatencyMS: -1}}); err == nil {
+		t.Fatal("invalid record accepted")
+	}
+	got, err := Load(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("empty WAL replayed %d records", len(got))
+	}
+}
