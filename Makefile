@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race bench bench-json bench-ingest-json fuzz check fmt vet clean crash-test race-ingest
+.PHONY: build test race bench bench-json bench-ingest-json bench-live fuzz check fmt vet clean crash-test race-ingest race-live
 
 # Label recorded in BENCH_core.json for a bench-json run; override like
 #   make bench-json BENCH_LABEL="after: shared key plan"
@@ -19,6 +19,11 @@ race:
 # (mirrors the CI job): collector server/client + WAL under -race.
 race-ingest:
 	$(GO) test -race -count=1 ./internal/collector/... ./internal/wal/
+
+# race-live is the focused race gate for the live query engine: concurrent
+# ingest + queries + epoch rollover under -race, plus the collector fan-in.
+race-live:
+	$(GO) test -race -count=1 ./internal/live/ ./internal/collector/
 
 # crash-test runs the kill-and-recover acceptance test: build a real
 # sensd, stream beacons at it, SIGKILL it mid-write, recover the WAL and
@@ -44,6 +49,17 @@ bench-ingest-json:
 		-benchmem -run=^$$ ./internal/telemetry/ ./internal/collector/ ./internal/pipeline/ | \
 		$(GO) run ./cmd/benchjson -label "$(BENCH_LABEL)" -prev BENCH_ingest.json > BENCH_ingest.json.tmp
 	mv BENCH_ingest.json.tmp BENCH_ingest.json
+
+# bench-live appends a labelled live query-engine benchmark run to
+# BENCH_live.json: cached vs dirty vs full-batch recompute, engine append
+# with and without concurrent query load, and collector-level ingest with
+# the live fan-in attached (BenchmarkIngestTBIN rides along as the
+# same-machine PR 4 baseline the acceptance bound compares against).
+bench-live:
+	$(GO) test -bench='BenchmarkLive|BenchmarkIngestTBIN$$' -benchmem -run=^$$ \
+		./internal/live/ ./internal/collector/ | \
+		$(GO) run ./cmd/benchjson -label "$(BENCH_LABEL)" -prev BENCH_live.json > BENCH_live.json.tmp
+	mv BENCH_live.json.tmp BENCH_live.json
 
 # fuzz runs each telemetry fuzz target for a short bounded burst.
 FUZZTIME ?= 30s

@@ -1,20 +1,31 @@
 // Command loadgen drives a sensd collector the way a fleet of browsers
 // would: it runs the OWA workload simulation and ships every generated
 // beacon to the collector endpoint through the batching client, using a
-// configurable number of concurrent senders.
+// configurable number of concurrent senders. With -query N it also runs N
+// workers hammering GET /v1/curves for the whole ingest run (the server
+// must be started with -live), reporting query latency p50/p99 at the end
+// — the read-side tax on a loaded collector.
 //
 // Example:
 //
-//	loadgen -url http://127.0.0.1:8787/v1/beacons -days 2 -business 40 -consumer 40
+//	loadgen -url http://127.0.0.1:8787/v1/beacons -days 2 -business 40 -consumer 40 -query 4
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
+	"net/http"
+	neturl "net/url"
 	"os"
+	"sort"
+	"strings"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"autosens/internal/collector"
+	"autosens/internal/collector/api"
 	"autosens/internal/owasim"
 	"autosens/internal/telemetry"
 	"autosens/internal/timeutil"
@@ -41,6 +52,8 @@ func run() error {
 		"spill batches that exhaust their retries to this JSONL file instead of dropping them")
 	budget := flag.Duration("retry-budget", 0,
 		"cap the total time one flush may spend retrying (0 = attempts bounded by retries only)")
+	queryWorkers := flag.Int("query", 0,
+		"concurrent workers hammering GET /v1/curves for the whole ingest run (0 disables; server needs -live)")
 	flag.Parse()
 
 	if *senders <= 0 {
@@ -78,6 +91,8 @@ func run() error {
 		}(i)
 	}
 
+	queries := startQueryPool(*url, *queryWorkers)
+
 	cfg := owasim.DefaultConfig(timeutil.Millis(*days)*timeutil.MillisPerDay, *business, *consumer)
 	cfg.Seed = *seed
 	n := 0
@@ -90,6 +105,7 @@ func run() error {
 		close(f)
 	}
 	wg.Wait()
+	queries.stop()
 	if simErr != nil {
 		return simErr
 	}
@@ -111,8 +127,114 @@ func run() error {
 	}
 	fmt.Fprintf(os.Stderr, "loadgen: generated %d records, shipped %d, spilled %d, dropped %d\n",
 		n, sent, spilled, dropped)
+	queries.report(os.Stderr)
 	if dropped > 0 {
 		return fmt.Errorf("%d records dropped", dropped)
 	}
 	return nil
+}
+
+// querySlices are the /v1/curves slice parameters the query workers cycle
+// through — the overall curve plus one slice per dimension and a
+// two-dimension combination, mirroring the paper's reported breakdowns.
+var querySlices = []string{
+	"",
+	"action:SelectMail",
+	"usertype:consumer",
+	"period:8pm-2am",
+	"action:Search,usertype:business",
+}
+
+// queryPool hammers GET /v1/curves from several workers while ingest runs,
+// recording per-request latency for the final p50/p99 report.
+type queryPool struct {
+	workers int
+	done    chan struct{}
+	wg      sync.WaitGroup
+	lats    [][]time.Duration // one slice per worker; merged after stop
+	ok      atomic.Uint64
+	notYet  atomic.Uint64 // 404s: slice empty this early in the run
+	failed  atomic.Uint64
+}
+
+// startQueryPool derives the curves endpoint from the beacons URL and
+// launches the workers. A zero worker count returns an inert pool.
+func startQueryPool(beaconsURL string, workers int) *queryPool {
+	p := &queryPool{
+		workers: workers,
+		done:    make(chan struct{}),
+		lats:    make([][]time.Duration, workers),
+	}
+	curvesURL := strings.TrimSuffix(beaconsURL, api.PathBeacons) + api.PathCurves
+	for i := 0; i < workers; i++ {
+		p.wg.Add(1)
+		go p.worker(i, curvesURL)
+	}
+	return p
+}
+
+func (p *queryPool) worker(i int, curvesURL string) {
+	defer p.wg.Done()
+	client := &http.Client{Timeout: 30 * time.Second}
+	for j := 0; ; j++ {
+		select {
+		case <-p.done:
+			return
+		default:
+		}
+		u := curvesURL
+		if s := querySlices[(i+j)%len(querySlices)]; s != "" {
+			u += "?slice=" + neturl.QueryEscape(s)
+		}
+		start := time.Now()
+		resp, err := client.Get(u)
+		if err != nil {
+			p.failed.Add(1)
+			continue
+		}
+		_, _ = io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		elapsed := time.Since(start)
+		switch resp.StatusCode {
+		case http.StatusOK:
+			p.ok.Add(1)
+			p.lats[i] = append(p.lats[i], elapsed)
+		case http.StatusNotFound:
+			p.notYet.Add(1)
+		default:
+			p.failed.Add(1)
+		}
+	}
+}
+
+func (p *queryPool) stop() {
+	if p.workers == 0 {
+		return
+	}
+	close(p.done)
+	p.wg.Wait()
+}
+
+// report prints query counts and latency percentiles; a no-op when -query
+// was 0 or no query ever succeeded.
+func (p *queryPool) report(w io.Writer) {
+	if p.workers == 0 {
+		return
+	}
+	var all []time.Duration
+	for _, l := range p.lats {
+		all = append(all, l...)
+	}
+	fmt.Fprintf(w, "loadgen: queries: %d ok, %d empty-slice 404s, %d failed\n",
+		p.ok.Load(), p.notYet.Load(), p.failed.Load())
+	if len(all) == 0 {
+		return
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	pct := func(q float64) time.Duration {
+		i := int(q * float64(len(all)-1))
+		return all[i]
+	}
+	fmt.Fprintf(w, "loadgen: query latency: p50=%v p90=%v p99=%v max=%v (n=%d)\n",
+		pct(0.50), pct(0.90), pct(0.99), all[len(all)-1], len(all))
 }

@@ -4,6 +4,9 @@
 // -wal-dir — to a segmented, CRC-framed write-ahead log with crash
 // recovery, so beacons acked during overload or before a crash survive to
 // analysis. GET /v1/status reports the queue and the startup recovery.
+// With -live, acked beacons additionally feed an in-memory sharded query
+// engine serving epoch-cached sensitivity curves at GET /v1/curves,
+// warmed from the WAL on startup so restarts don't lose query coverage.
 //
 // A second listener (-admin-addr) exposes the operational surface:
 // Prometheus metrics at /metrics, a liveness probe at /healthz, and the Go
@@ -31,6 +34,7 @@ import (
 	"autosens/internal/collector"
 	"autosens/internal/collector/api"
 	"autosens/internal/core"
+	"autosens/internal/live"
 	"autosens/internal/obs"
 	"autosens/internal/telemetry"
 	"autosens/internal/wal"
@@ -57,6 +61,11 @@ func run() error {
 		"bound on beacon batches queued for the sink writer; a full queue sheds with 429")
 	adminAddr := flag.String("admin-addr", "127.0.0.1:8788",
 		"admin listen address serving /metrics, /healthz and /debug/pprof/ (empty disables)")
+	liveOn := flag.Bool("live", false,
+		"keep an in-memory live query engine fed from acked beacons and serve GET /v1/curves")
+	liveShards := flag.Int("live-shards", live.DefaultShards, "live engine shard count")
+	liveWorkers := flag.Int("live-workers", 0,
+		"live engine recompute parallelism (0 = GOMAXPROCS); results are bit-identical at any setting")
 	maxProcs := flag.Int("max-procs", 0,
 		"cap GOMAXPROCS, bounding estimator worker parallelism (0 leaves the runtime default)")
 	logLevel := flag.String("log-level", "info", "log level: debug, info, warn, error")
@@ -121,6 +130,33 @@ func run() error {
 		defer file.Close()
 		srvCfg.Sink = collector.NewWriterSink(telemetry.NewWriter(file, format.Format()))
 		sinkDesc = *out
+	}
+
+	if *liveOn {
+		engine, err := live.New(live.Config{
+			Shards:   *liveShards,
+			Workers:  *liveWorkers,
+			Registry: reg,
+		})
+		if err != nil {
+			return err
+		}
+		if *walDir != "" {
+			// The WAL is open but nothing appends until the server starts,
+			// so replaying here sees a quiescent log. Replay order is append
+			// order — the previous incarnation's ack order — so warmed
+			// curves are byte-identical to ones served before the restart.
+			replayed, err := engine.Warm(*walDir)
+			if err != nil {
+				return err
+			}
+			log.Info("live engine warmed", "records_replayed", replayed,
+				"records_stored", engine.Records(), "store_bytes", engine.StoreBytes())
+		}
+		srvCfg.Live = engine
+		srvCfg.CurvesHandler = engine.CurvesHandler()
+		log.Info("live queries enabled",
+			"shards", *liveShards, "endpoint", api.PathCurves)
 	}
 
 	srv, err := collector.NewServer(srvCfg)

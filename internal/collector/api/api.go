@@ -38,6 +38,10 @@ const (
 	PathBeacons = "/v1/beacons"
 	PathStatus  = "/v1/status"
 	PathFormats = "/v1/formats"
+	// PathCurves serves live NLP curves (GET, query params slice=, mode=,
+	// ci=). Mounted only when the server runs a live query engine; servers
+	// without one answer 404 CodeNotFound here.
+	PathCurves = "/v1/curves"
 )
 
 // Error codes. These are the stable, programmatic half of the error
@@ -58,6 +62,10 @@ const (
 	CodeMethodNotAllowed = "method_not_allowed"
 	// CodeNotFound: unknown /v1 path.
 	CodeNotFound = "not_found"
+	// CodeEstimateFailed: the live engine could not estimate a curve for
+	// the slice (degenerate data, e.g. a window shorter than the bootstrap
+	// block length). Not retryable until more data arrives.
+	CodeEstimateFailed = "estimate_failed"
 )
 
 // Error is the typed error payload. It implements error so the client can
@@ -106,6 +114,31 @@ type FormatInfo struct {
 // FormatsResponse is the body of GET /v1/formats.
 type FormatsResponse struct {
 	Formats []FormatInfo `json:"formats"`
+}
+
+// CurvesResponse is the body of a 200 from GET /v1/curves. Curve and CI
+// are raw JSON so this contract package does not depend on the estimator:
+// Curve is a core.Curve (bin_centers/nlp/valid/…) and CI, present only
+// when ci=1 was requested, carries {lower, upper, replicates} with null
+// for unsupported bins.
+type CurvesResponse struct {
+	// Slice is the canonical slice key the server answered for.
+	Slice string `json:"slice"`
+	// Mode is the estimator used: "plain" or "normalized".
+	Mode string `json:"mode"`
+	// Epoch is the recompute that produced the curve; unchanged epoch
+	// across two responses means the same cached curve answered both.
+	Epoch uint64 `json:"epoch"`
+	// Version is the slice's ingest version the curve reflects.
+	Version uint64 `json:"version"`
+	// Records is the number of usable records behind the curve.
+	Records int `json:"records"`
+	// Cached reports whether the response was served from the epoch cache.
+	Cached bool `json:"cached"`
+	// Curve is the point estimate (core.Curve JSON).
+	Curve json.RawMessage `json:"curve"`
+	// CI is the bootstrap bounds payload, when requested.
+	CI json.RawMessage `json:"ci,omitempty"`
 }
 
 // RecoveryReport mirrors the WAL's startup scan for GET /v1/status: what

@@ -1,0 +1,213 @@
+package collector
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"autosens/internal/collector/api"
+	"autosens/internal/live"
+	"autosens/internal/telemetry"
+)
+
+// recordingLive is a LiveSink that snapshots every batch it receives
+// (copying, per the interface contract).
+type recordingLive struct {
+	mu      sync.Mutex
+	batches [][]telemetry.Record
+}
+
+func (l *recordingLive) Append(recs []telemetry.Record) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.batches = append(l.batches, append([]telemetry.Record(nil), recs...))
+}
+
+func (l *recordingLive) all() []telemetry.Record {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	var out []telemetry.Record
+	for _, b := range l.batches {
+		out = append(out, b...)
+	}
+	return out
+}
+
+// TestLiveFanInReceivesAckedBatches pins the durability-before-visibility
+// contract: the live sink sees exactly the records the durable sink
+// accepted, in ack order, and has seen them by the time the client's 202
+// arrives (read-your-writes).
+func TestLiveFanInReceivesAckedBatches(t *testing.T) {
+	live := &recordingLive{}
+	srv, _, ts := newTestServerCfg(t, ServerConfig{Live: live})
+	var want []telemetry.Record
+	for b := 0; b < 3; b++ {
+		batch := []telemetry.Record{testRecord(3*b + 1), testRecord(3*b + 2), testRecord(3*b + 3)}
+		want = append(want, batch...)
+		resp := postBatch(t, ts.URL, batch)
+		if resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("status %d", resp.StatusCode)
+		}
+		// The ack has arrived, so the live sink must already hold the
+		// batch — no flush, no wait.
+		got := live.all()
+		if len(got) != len(want) {
+			t.Fatalf("after batch %d: live holds %d records, want %d", b, len(got), len(want))
+		}
+	}
+	got := live.all()
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("live record %d mismatch", i)
+		}
+	}
+	if err := srv.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// prefixFailSink persists at most n records of a batch, then reports a
+// write error — a disk dying mid-batch.
+type prefixFailSink struct{ n int }
+
+func (s prefixFailSink) WriteBatch(recs []telemetry.Record) (int, error) {
+	if len(recs) <= s.n {
+		return len(recs), nil
+	}
+	return s.n, errSinkGone
+}
+func (prefixFailSink) Sync() error  { return nil }
+func (prefixFailSink) Close() error { return nil }
+
+var errSinkGone = errors.New("disk gone")
+
+// TestLiveFanInSkipsUnwrittenRecords pins that a failed sink write keeps
+// the unpersisted records invisible: the live sink receives only the
+// written prefix, preserving durable ⊇ visible.
+func TestLiveFanInSkipsUnwrittenRecords(t *testing.T) {
+	live := &recordingLive{}
+	srv, err := NewServer(ServerConfig{Sink: prefixFailSink{n: 2}, Live: live})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Shutdown(context.Background())
+	res, ok := srv.submit([]telemetry.Record{testRecord(1), testRecord(2), testRecord(3)})
+	if !ok {
+		t.Fatal("submit refused")
+	}
+	if res.err == nil || res.written != 2 {
+		t.Fatalf("sink result %+v, want written=2 with error", res)
+	}
+	got := live.all()
+	if len(got) != 2 || got[0] != testRecord(1) || got[1] != testRecord(2) {
+		t.Fatalf("live holds %d records, want exactly the persisted prefix of 2", len(got))
+	}
+}
+
+// TestCurvesHandlerMounted pins that an injected curves handler serves
+// api.PathCurves, and that without one the path stays a v1 404.
+func TestCurvesHandlerMounted(t *testing.T) {
+	marker := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusTeapot)
+	})
+	_, _, ts := newTestServerCfg(t, ServerConfig{CurvesHandler: marker})
+	resp, err := http.Get(ts.URL + api.PathCurves)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTeapot {
+		t.Fatalf("mounted handler: status %d", resp.StatusCode)
+	}
+
+	_, _, bare := newTestServerCfg(t, ServerConfig{})
+	resp, err = http.Get(bare.URL + api.PathCurves)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unmounted path: status %d, want 404", resp.StatusCode)
+	}
+}
+
+// benchmarkIngestLive mirrors benchmarkIngest (the PR 4 ingest baseline)
+// with a live engine attached to the server and an optional set of paced
+// background queriers — the read-side tax on ingest the /v1/curves
+// acceptance bound cares about. Queriers poll like dashboards (one query
+// per tick, ticks dropped while a recompute is in flight) rather than
+// spinning: appends never block on query-side locks, so the only cost a
+// querier can impose is the CPU its recomputes burn, and a spin loop
+// would measure nothing but CPU time-slicing on small machines.
+func benchmarkIngestLive(b *testing.B, queriers int) {
+	eng, err := live.New(live.Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	srv, err := NewServer(ServerConfig{
+		Sink: NewWriterSink(telemetry.NewWriter(io.Discard, telemetry.JSONL)),
+		Live: eng,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	handler := srv.Handler()
+	batch := benchBatch(b, 1000)
+	body := encodeTBIN(b, batch)
+	stop := make(chan struct{})
+	var qwg sync.WaitGroup
+	var queries atomic.Uint64
+	for q := 0; q < queriers; q++ {
+		qwg.Add(1)
+		go func() {
+			defer qwg.Done()
+			tick := time.NewTicker(50 * time.Millisecond)
+			defer tick.Stop()
+			for {
+				select {
+				case <-stop:
+					return
+				case <-tick.C:
+				}
+				_, _ = eng.Query(live.AllSlices, live.ModePlain, false)
+				queries.Add(1)
+			}
+		}()
+	}
+	b.SetBytes(int64(len(body)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		req := httptest.NewRequest(http.MethodPost, "/v1/beacons", bytes.NewReader(body))
+		req.Header.Set("Content-Type", ContentTypeTBIN)
+		rw := httptest.NewRecorder()
+		handler.ServeHTTP(rw, req)
+		if rw.Code != http.StatusAccepted {
+			b.Fatalf("status %d: %s", rw.Code, rw.Body.Bytes())
+		}
+	}
+	b.StopTimer()
+	close(stop)
+	qwg.Wait()
+	if queriers > 0 {
+		b.ReportMetric(float64(queries.Load()), "queries")
+	}
+	if got := eng.Records(); got != 1000*b.N {
+		b.Fatalf("live engine holds %d records, want %d", got, 1000*b.N)
+	}
+}
+
+// BenchmarkLiveIngestTBIN is BenchmarkIngestTBIN plus the live engine
+// fan-in — the cost of making every acked beacon queryable.
+func BenchmarkLiveIngestTBIN(b *testing.B) { benchmarkIngestLive(b, 0) }
+
+// BenchmarkLiveIngestTBINQueried adds two 50ms-paced queriers, so the
+// dirtied all-slice curve is recomputed continually while batches land.
+func BenchmarkLiveIngestTBINQueried(b *testing.B) { benchmarkIngestLive(b, 2) }

@@ -64,6 +64,15 @@ type Sink interface {
 	Close() error
 }
 
+// LiveSink receives every batch the durable sink has accepted, from the
+// writer goroutine, after the sink write succeeds and before the client's
+// ack — so anything it makes queryable is durable, and an acked batch is
+// already visible (read-your-writes). Append must not retain the slice:
+// it aliases per-request scratch that is recycled after the ack.
+type LiveSink interface {
+	Append(recs []telemetry.Record)
+}
+
 // writerSink adapts a telemetry.Writer — the degenerate single-file case.
 type writerSink struct{ w *telemetry.Writer }
 
@@ -150,6 +159,13 @@ type ServerConfig struct {
 	// Recovery, when the sink is a recovered WAL, is surfaced verbatim on
 	// /v1/status.
 	Recovery *api.RecoveryReport
+	// Live, when non-nil, receives every durably accepted batch on the
+	// writer goroutine (see LiveSink for the ordering contract).
+	Live LiveSink
+	// CurvesHandler, when non-nil, is mounted at api.PathCurves. The
+	// collector stays decoupled from the query engine: the handler is
+	// injected, typically live.Engine.CurvesHandler().
+	CurvesHandler http.Handler
 	// Registry exports the server's metrics; nil uses a private registry.
 	Registry *obs.Registry
 	// Logger routes structured logs; nil uses slog.Default().
@@ -263,6 +279,12 @@ func (s *Server) writerLoop() {
 			s.lastSinkErr = err
 			s.mu.Unlock()
 		}
+		// Durability before visibility: the live engine sees exactly the
+		// records the sink persisted, and sees them before the handler
+		// acks, so a client's own follow-up query reads its writes.
+		if s.cfg.Live != nil && written > 0 {
+			s.cfg.Live.Append(req.batch[:written])
+		}
 		req.done <- writeRes{written: written, err: err}
 	}
 }
@@ -277,6 +299,9 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc(api.PathBeacons, s.handleBeacons)
 	mux.HandleFunc(api.PathStatus, s.handleStatus)
 	mux.HandleFunc(api.PathFormats, s.handleFormats)
+	if s.cfg.CurvesHandler != nil {
+		mux.Handle(api.PathCurves, s.cfg.CurvesHandler)
+	}
 	mux.HandleFunc("/v1/", func(w http.ResponseWriter, r *http.Request) {
 		api.WriteError(w, http.StatusNotFound, api.CodeNotFound,
 			fmt.Sprintf("no such endpoint %s", r.URL.Path), 0)

@@ -16,14 +16,15 @@ import (
 )
 
 // slotData holds the per-time-slot state needed by the α normalization.
-// The batch path fills records directly; the streaming path fills the
-// histograms incrementally and synthesizes the unbiased draws from a
-// reservoir, setting count explicitly.
+// The batch path fills the time/latency columns directly; the streaming
+// path fills the histograms incrementally and synthesizes the unbiased
+// draws from a reservoir, setting count explicitly.
 type slotData struct {
 	slot    int
-	count   int                // number of actions in the slot
-	records []telemetry.Record // time-sorted slice of the slot's records (batch path)
-	lo, hi  timeutil.Millis    // slot bounds clipped to the window
+	count   int               // number of actions in the slot
+	times   []timeutil.Millis // time-sorted slice of the slot's instants (batch path)
+	lats    []float64         // latencies aligned with times (batch path)
+	lo, hi  timeutil.Millis   // slot bounds clipped to the window
 	fine    *histogram.Histogram
 	fineU   *histogram.Histogram
 	coarse  *histogram.Histogram
@@ -53,17 +54,19 @@ func (e *Estimator) EstimateTimeNormalized(records []telemetry.Record) (*Curve, 
 	}
 	sp.SetAttr("records", len(records))
 	telemetry.SortByTime(records)
-	return e.estimateTimeNormalizedSorted(sp, records)
+	times, lats := columnsOf(records)
+	return e.estimateTimeNormalizedColumns(sp, times, lats)
 }
 
-// estimateTimeNormalizedSorted is EstimateTimeNormalized minus the
-// usable-filter and sort, for callers whose records are already filtered
-// and time-sorted (the bootstrap's resampled replicates are sorted by
-// construction, so re-sorting them every replicate would be pure waste).
-func (e *Estimator) estimateTimeNormalizedSorted(sp *obs.Span, sorted []telemetry.Record) (*Curve, error) {
+// estimateTimeNormalizedColumns is EstimateTimeNormalized minus the
+// usable-filter and sort, for callers who already hold the filtered,
+// time-sorted columns (the bootstrap's resampled replicates are sorted by
+// construction, so re-sorting them every replicate would be pure waste;
+// the live engine's shard merge yields sorted columns directly).
+func (e *Estimator) estimateTimeNormalizedColumns(sp *obs.Span, times []timeutil.Millis, lats []float64) (*Curve, error) {
 	src := rng.New(e.opts.Seed)
-	slots := e.buildSlots(sp, sorted, src)
-	return e.poolNormalized(sp, slots, len(sorted))
+	slots := e.buildSlots(sp, times, lats, src)
+	return e.poolNormalized(sp, slots, len(times))
 }
 
 // poolNormalized runs the per-reference α pooling over prepared slots and
@@ -164,24 +167,25 @@ func (e *Estimator) poolOneReference(sp *obs.Span, slots []*slotData, ref *slotD
 // after α normalization the pooled biased counts weight every slot's time
 // equally, so the pooled unbiased distribution must too — otherwise busy
 // (and typically slow) slots would dominate U and skew the ratio.
-func (e *Estimator) buildSlots(sp *obs.Span, sorted []telemetry.Record, src *rng.Source) []*slotData {
+func (e *Estimator) buildSlots(sp *obs.Span, times []timeutil.Millis, lats []float64, src *rng.Source) []*slotData {
 	partSp := sp.StartChild("partition_slots")
-	windowLo := sorted[0].Time
-	windowHi := sorted[len(sorted)-1].Time + 1
+	windowLo := times[0]
+	windowHi := times[len(times)-1] + 1
 	var slots []*slotData
-	for i := 0; i < len(sorted); {
-		slot := int(sorted[i].Time / e.opts.SlotDuration)
+	for i := 0; i < len(times); {
+		slot := int(times[i] / e.opts.SlotDuration)
 		j := i
-		for j < len(sorted) && int(sorted[j].Time/e.opts.SlotDuration) == slot {
+		for j < len(times) && int(times[j]/e.opts.SlotDuration) == slot {
 			j++
 		}
 		if j-i >= e.opts.MinSlotActions {
 			sd := &slotData{
-				slot:    slot,
-				count:   j - i,
-				records: sorted[i:j],
-				lo:      maxMillis(timeutil.Millis(slot)*e.opts.SlotDuration, windowLo),
-				hi:      minMillis(timeutil.Millis(slot+1)*e.opts.SlotDuration, windowHi),
+				slot:  slot,
+				count: j - i,
+				times: times[i:j],
+				lats:  lats[i:j],
+				lo:    maxMillis(timeutil.Millis(slot)*e.opts.SlotDuration, windowLo),
+				hi:    minMillis(timeutil.Millis(slot+1)*e.opts.SlotDuration, windowHi),
 			}
 			slots = append(slots, sd)
 		}
@@ -201,7 +205,7 @@ func (e *Estimator) buildSlots(sp *obs.Span, sorted []telemetry.Record, src *rng
 	bSp.End()
 
 	uSp := sp.StartChild("sample_unbiased")
-	totalDraws := math.Ceil(float64(len(sorted)) * e.opts.UnbiasedPerSample)
+	totalDraws := math.Ceil(float64(len(times)) * e.opts.UnbiasedPerSample)
 	var totalDur timeutil.Millis
 	for _, sd := range slots {
 		totalDur += sd.hi - sd.lo
@@ -229,9 +233,9 @@ func (e *Estimator) buildSlots(sp *obs.Span, sorted []telemetry.Record, src *rng
 func (e *Estimator) fillSlotBiased(sd *slotData) {
 	sd.fine = e.newHist()
 	sd.coarse = histogram.MustNew(0, e.opts.MaxLatencyMS, e.opts.AlphaBinWidthMS)
-	for _, r := range sd.records {
-		sd.fine.Add(r.LatencyMS)
-		sd.coarse.Add(r.LatencyMS)
+	for _, v := range sd.lats {
+		sd.fine.Add(v)
+		sd.coarse.Add(v)
 	}
 }
 
@@ -241,8 +245,7 @@ func (e *Estimator) fillSlotBiased(sd *slotData) {
 func (e *Estimator) fillSlotUnbiased(sd *slotData, draws int, src *rng.Source) {
 	sd.fineU = e.newHist()
 	sd.coarseU = histogram.MustNew(0, e.opts.MaxLatencyMS, e.opts.AlphaBinWidthMS)
-	sampler := newUnbiasedSampler(sd.records)
-	sampler.fillSweep(sd.lo, sd.hi, draws, src, nil, sd.fineU, sd.coarseU)
+	fillUnbiasedSweep(sd.times, sd.lats, sd.lo, sd.hi, draws, src, nil, sd.fineU, sd.coarseU)
 }
 
 // alphaAgainst estimates each slot's α relative to the reference slot,

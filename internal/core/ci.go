@@ -111,10 +111,9 @@ func (c *CurveCI) Bounds(ms float64) (lo, hi float64, ok bool) {
 type bootBlocks struct {
 	blockLen timeutil.Millis
 	windowLo timeutil.Millis
-	records  []telemetry.Record // usable, time-sorted
-	times    []timeutil.Millis  // times[i] == records[i].Time (plain path)
-	lats     []float64          // lats[i] == records[i].LatencyMS (plain path)
-	ranges   [][2]int           // half-open [i, j) record range per block
+	times    []timeutil.Millis // usable, ascending sample instants
+	lats     []float64         // latencies aligned with times
+	ranges   [][2]int          // half-open [i, j) record range per block
 	// hists[b] is block b's biased latency histogram (plain path). A
 	// replicate's biased histogram is the sum of its picked blocks'
 	// histograms — time shifts never change latencies — which turns n
@@ -129,37 +128,32 @@ type bootBlocks struct {
 	auxSeed   uint64
 }
 
-// buildBootBlocks partitions time-sorted records into BlockLen blocks.
-// Records are time-sorted, so each block is a contiguous index range — no
-// per-block copies. The plain (non-α) path additionally gets flat
-// time/latency arrays and per-block biased histograms.
-func (e *Estimator) buildBootBlocks(records []telemetry.Record, blockLen timeutil.Millis, plain bool) (*bootBlocks, error) {
-	windowLo := records[0].Time
-	numBlocks := int((records[len(records)-1].Time-windowLo)/blockLen) + 1
+// buildBootBlocks partitions time-sorted columns into BlockLen blocks.
+// The columns are time-sorted, so each block is a contiguous index range —
+// no per-block copies. The plain (non-α) path additionally gets per-block
+// biased histograms and the shared sweep-key plan.
+func (e *Estimator) buildBootBlocks(times []timeutil.Millis, lats []float64, blockLen timeutil.Millis, plain bool) (*bootBlocks, error) {
+	windowLo := times[0]
+	numBlocks := int((times[len(times)-1]-windowLo)/blockLen) + 1
 	if numBlocks < 2 {
 		return nil, fmt.Errorf("core: window shorter than two %v-ms blocks", blockLen)
 	}
 	bb := &bootBlocks{
 		blockLen: blockLen,
 		windowLo: windowLo,
-		records:  records,
+		times:    times,
+		lats:     lats,
 		ranges:   make([][2]int, numBlocks),
 	}
 	idx := 0
 	for b := 0; b < numBlocks; b++ {
 		start := idx
-		for idx < len(records) && int((records[idx].Time-windowLo)/blockLen) == b {
+		for idx < len(times) && int((times[idx]-windowLo)/blockLen) == b {
 			idx++
 		}
 		bb.ranges[b] = [2]int{start, idx}
 	}
 	if plain {
-		bb.times = make([]timeutil.Millis, len(records))
-		bb.lats = make([]float64, len(records))
-		for i, r := range records {
-			bb.times[i] = r.Time
-			bb.lats[i] = r.LatencyMS
-		}
 		bb.hists = make([]*histogram.Histogram, numBlocks)
 		for b, r := range bb.ranges {
 			h := e.newHist()
@@ -170,7 +164,7 @@ func (e *Estimator) buildBootBlocks(records []telemetry.Record, blockLen timeuti
 		}
 		// Draw instants are uniform over the block-partition span (every
 		// replicate's resampled series occupies exactly this window).
-		draws := int(math.Ceil(float64(len(records)) * e.opts.UnbiasedPerSample))
+		draws := int(math.Ceil(float64(len(times)) * e.opts.UnbiasedPerSample))
 		span := uint64(timeutil.Millis(numBlocks) * blockLen)
 		src := rng.New(e.opts.Seed)
 		bb.sweepKeys = make([]uint64, draws)
@@ -187,11 +181,10 @@ func (e *Estimator) buildBootBlocks(records []telemetry.Record, blockLen timeuti
 // buffers, histograms, and the sweep sampler's key buffer all survive
 // across the replicates the worker processes.
 type ciScratch struct {
-	times   []timeutil.Millis
-	lats    []float64
-	records []telemetry.Record
-	b, u    *histogram.Histogram
-	sweep   sweepScratch
+	times []timeutil.Millis
+	lats  []float64
+	b, u  *histogram.Histogram
+	sweep sweepScratch
 }
 
 // runPlainReplicate estimates one bootstrap replicate with the pooled
@@ -231,25 +224,26 @@ func (e *Estimator) runPlainReplicate(bb *bootBlocks, src *rng.Source, sc *ciScr
 }
 
 // runNormalizedReplicate estimates one bootstrap replicate with the full
-// time-normalized estimator over a reused resampled-record buffer.
+// time-normalized estimator over reused resampled-column buffers.
 func (e *Estimator) runNormalizedReplicate(bb *bootBlocks, src *rng.Source, sc *ciScratch) (*Curve, error) {
 	numBlocks := len(bb.ranges)
-	sc.records = sc.records[:0]
+	sc.times = sc.times[:0]
+	sc.lats = sc.lats[:0]
 	for pos := 0; pos < numBlocks; pos++ {
 		pick := src.Intn(numBlocks)
 		shift := timeutil.Millis(pos-pick) * bb.blockLen
 		r := bb.ranges[pick]
-		for _, rec := range bb.records[r[0]:r[1]] {
-			rec.Time += shift
-			sc.records = append(sc.records, rec)
+		for _, t := range bb.times[r[0]:r[1]] {
+			sc.times = append(sc.times, t+shift)
 		}
+		sc.lats = append(sc.lats, bb.lats[r[0]:r[1]]...)
 	}
-	if len(sc.records) == 0 {
+	if len(sc.times) == 0 {
 		return nil, errEmptyRecords
 	}
-	// Sorted by construction; the slot partition consumes the records
-	// before this replicate's buffer is reused.
-	return e.estimateTimeNormalizedSorted(nil, sc.records)
+	// Sorted by construction; the slot partition consumes the columns
+	// before this replicate's buffers are reused.
+	return e.estimateTimeNormalizedColumns(nil, sc.times, sc.lats)
 }
 
 // EstimateCI computes the NLP curve together with moving-block bootstrap
@@ -265,18 +259,37 @@ func (e *Estimator) EstimateCI(records []telemetry.Record, opts CIOptions) (*Cur
 	if err := opts.Validate(); err != nil {
 		return nil, err
 	}
+	records = usable(records)
+	if len(records) == 0 {
+		return nil, errors.New("core: no usable records")
+	}
+	telemetry.SortByTime(records)
+	times, lats := columnsOf(records)
+	return e.estimateCI(times, lats, opts)
+}
+
+// EstimateCIColumns is EstimateCI directly over time-sorted columns of
+// usable records, bit-identical to EstimateCI over records with the same
+// times and latencies.
+func (e *Estimator) EstimateCIColumns(times []timeutil.Millis, lats []float64, opts CIOptions) (*CurveCI, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	if err := checkColumns(times, lats); err != nil {
+		return nil, err
+	}
+	return e.estimateCI(times, lats, opts)
+}
+
+// estimateCI is the shared bootstrap core over validated sorted columns.
+func (e *Estimator) estimateCI(times []timeutil.Millis, lats []float64, opts CIOptions) (*CurveCI, error) {
 	if opts.MinSupport == 0 {
 		opts.MinSupport = 0.5
 	}
 	defer observeEstimate(time.Now())
 	sp := e.trace.StartChild("estimate_ci")
 	defer sp.End()
-	records = usable(records)
-	if len(records) == 0 {
-		return nil, errors.New("core: no usable records")
-	}
-	sp.SetAttr("records", len(records))
-	telemetry.SortByTime(records)
+	sp.SetAttr("records", len(times))
 
 	// The point estimate's stage spans nest under estimate_ci; the
 	// bootstrap replicates run untraced (40 replicates × 6 stages of
@@ -284,16 +297,18 @@ func (e *Estimator) EstimateCI(records []telemetry.Record, opts CIOptions) (*Cur
 	// bootstrap span instead.
 	traced := *e
 	traced.trace = sp
-	pointEstimate := traced.Estimate
+	var point *Curve
+	var err error
 	if opts.TimeNormalized {
-		pointEstimate = traced.EstimateTimeNormalized
+		point, err = traced.EstimateTimeNormalizedColumns(times, lats)
+	} else {
+		point, err = traced.EstimateColumns(times, lats, nil)
 	}
-	point, err := pointEstimate(records)
 	if err != nil {
 		return nil, err
 	}
 
-	bb, err := e.buildBootBlocks(records, opts.BlockLen, !opts.TimeNormalized)
+	bb, err := e.buildBootBlocks(times, lats, opts.BlockLen, !opts.TimeNormalized)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,161 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"time"
+
+	"autosens/internal/histogram"
+	"autosens/internal/obs"
+	"autosens/internal/rng"
+	"autosens/internal/telemetry"
+	"autosens/internal/timeutil"
+)
+
+// The column-based entry points below are the estimator's incremental-
+// friendly surface: callers that already hold the usable (non-failed)
+// records as time-sorted flat columns — the live query engine's sharded
+// store, the bootstrap's resampled replicates — estimate directly from
+// (times, lats) without materializing []telemetry.Record. Every column
+// path is bit-identical to its record-based counterpart: the record paths
+// are thin wrappers that extract the columns and delegate.
+
+var (
+	errColumnLengths   = errors.New("core: times and lats differ in length")
+	errColumnsUnsorted = errors.New("core: times are not ascending")
+)
+
+// columnsOf extracts the flat time/latency columns of time-sorted records.
+func columnsOf(sorted []telemetry.Record) ([]timeutil.Millis, []float64) {
+	times := make([]timeutil.Millis, len(sorted))
+	lats := make([]float64, len(sorted))
+	for i := range sorted {
+		times[i] = sorted[i].Time
+		lats[i] = sorted[i].LatencyMS
+	}
+	return times, lats
+}
+
+// checkColumns validates the shared column preconditions.
+func checkColumns(times []timeutil.Millis, lats []float64) error {
+	if len(times) != len(lats) {
+		return errColumnLengths
+	}
+	if len(times) == 0 {
+		return errEmptyRecords
+	}
+	for i := 1; i < len(times); i++ {
+		if times[i] < times[i-1] {
+			return errColumnsUnsorted
+		}
+	}
+	return nil
+}
+
+// Scratch holds reusable estimator buffers — histograms and the unbiased
+// draw-key plan — so repeated column-based estimations (live-engine epoch
+// recomputes, benchmark loops) allocate only their output curve. The zero
+// value is ready to use; a Scratch must not be shared across concurrent
+// estimations.
+type Scratch struct {
+	b, u  *histogram.Histogram
+	sweep sweepScratch
+}
+
+// biased returns the scratch biased histogram, reset, allocating it on
+// first use against e's binning.
+func (sc *Scratch) biased(e *Estimator) *histogram.Histogram {
+	if sc.b == nil {
+		sc.b = e.newHist()
+	} else {
+		sc.b.Reset()
+	}
+	return sc.b
+}
+
+// unbiased returns the scratch unbiased histogram, reset.
+func (sc *Scratch) unbiased(e *Estimator) *histogram.Histogram {
+	if sc.u == nil {
+		sc.u = e.newHist()
+	} else {
+		sc.u.Reset()
+	}
+	return sc.u
+}
+
+// EstimateColumns computes the plain pooled NLP curve (Sections 2.2–2.3)
+// directly from time-sorted columns of usable records. It is bit-identical
+// to Estimate over records with the same times and latencies. sc may be
+// nil; a non-nil scratch is reused across calls.
+func (e *Estimator) EstimateColumns(times []timeutil.Millis, lats []float64, sc *Scratch) (*Curve, error) {
+	return e.EstimateFromParts(nil, times, lats, sc)
+}
+
+// EstimateFromParts is EstimateColumns for callers that additionally
+// maintain the biased histogram incrementally: b, when non-nil, must hold
+// exactly the counts of lats under e's binning (the biased histogram is a
+// pure append, so an incrementally maintained copy is exact) and is used
+// read-only in place of a fresh build. The unbiased distribution depends
+// on the whole timeline and draw count, so it is always resampled here.
+func (e *Estimator) EstimateFromParts(b *histogram.Histogram, times []timeutil.Millis, lats []float64, sc *Scratch) (*Curve, error) {
+	defer observeEstimate(time.Now())
+	sp := e.trace.StartChild("estimate")
+	defer sp.End()
+	if err := checkColumns(times, lats); err != nil {
+		return nil, err
+	}
+	sp.SetAttr("records", len(times))
+	return e.estimateColumns(sp, b, times, lats, sc)
+}
+
+// estimateColumns is the shared plain-estimator core over sorted columns.
+// A nil b builds the biased histogram here; a nil sc allocates privately.
+func (e *Estimator) estimateColumns(sp *obs.Span, b *histogram.Histogram, times []timeutil.Millis, lats []float64, sc *Scratch) (*Curve, error) {
+	src := rng.New(e.opts.Seed)
+	if b == nil {
+		bSp := sp.StartChild("build_biased_histogram")
+		if sc != nil {
+			b = sc.biased(e)
+		} else {
+			b = e.newHist()
+		}
+		for _, v := range lats {
+			b.Add(v)
+		}
+		bSp.SetAttr("samples", len(lats))
+		bSp.End()
+	}
+
+	uSp := sp.StartChild("sample_unbiased")
+	draws := int(math.Ceil(float64(len(times)) * e.opts.UnbiasedPerSample))
+	var u *histogram.Histogram
+	var sweep *sweepScratch
+	if sc != nil {
+		u = sc.unbiased(e)
+		sweep = &sc.sweep
+	} else {
+		u = e.newHist()
+	}
+	lo := times[0]
+	hi := times[len(times)-1] + 1
+	fillUnbiasedSweep(times, lats, lo, hi, draws, src, sweep, u)
+	uSp.SetAttr("draws", draws)
+	uSp.End()
+
+	return e.finishCurve(sp, b, u, len(times), draws)
+}
+
+// EstimateTimeNormalizedColumns computes the full time-normalized NLP
+// curve (Section 2.4.1) directly from time-sorted columns of usable
+// records, bit-identical to EstimateTimeNormalized over records with the
+// same times and latencies.
+func (e *Estimator) EstimateTimeNormalizedColumns(times []timeutil.Millis, lats []float64) (*Curve, error) {
+	defer observeEstimate(time.Now())
+	sp := e.trace.StartChild("estimate_time_normalized")
+	defer sp.End()
+	if err := checkColumns(times, lats); err != nil {
+		return nil, err
+	}
+	sp.SetAttr("records", len(times))
+	return e.estimateTimeNormalizedColumns(sp, times, lats)
+}

@@ -37,7 +37,6 @@ import (
 	"autosens/internal/histogram"
 	"autosens/internal/obs"
 	"autosens/internal/prefcurve"
-	"autosens/internal/rng"
 	"autosens/internal/sgolay"
 	"autosens/internal/telemetry"
 	"autosens/internal/timeutil"
@@ -395,27 +394,8 @@ func (e *Estimator) Estimate(records []telemetry.Record) (*Curve, error) {
 	}
 	sp.SetAttr("records", len(records))
 	telemetry.SortByTime(records)
-	src := rng.New(e.opts.Seed)
-
-	bSp := sp.StartChild("build_biased_histogram")
-	b := e.newHist()
-	for _, r := range records {
-		b.Add(r.LatencyMS)
-	}
-	bSp.SetAttr("samples", len(records))
-	bSp.End()
-
-	uSp := sp.StartChild("sample_unbiased")
-	draws := int(math.Ceil(float64(len(records)) * e.opts.UnbiasedPerSample))
-	u := e.newHist()
-	lo := records[0].Time
-	hi := records[len(records)-1].Time + 1
-	sampler := newUnbiasedSampler(records)
-	sampler.fillSweep(lo, hi, draws, src, nil, u)
-	uSp.SetAttr("draws", draws)
-	uSp.End()
-
-	return e.finishCurve(sp, b, u, len(records), draws)
+	times, lats := columnsOf(records)
+	return e.estimateColumns(sp, nil, times, lats, nil)
 }
 
 // usable filters out failed records (the paper analyzes successful actions

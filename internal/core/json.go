@@ -91,6 +91,27 @@ func (c *Curve) UnmarshalJSON(data []byte) error {
 	return nil
 }
 
+// ciBoundsJSON is the wire form of a CurveCI's bootstrap bounds (the point
+// estimate travels separately as a Curve). Unsupported bins are NaN and
+// travel as null.
+type ciBoundsJSON struct {
+	Lower      []*float64 `json:"lower"`
+	Upper      []*float64 `json:"upper"`
+	Replicates int        `json:"replicates"`
+}
+
+// MarshalBoundsJSON encodes just the confidence bounds (lower, upper,
+// replicates) with null in place of NaN. The embedded point estimate is
+// intentionally excluded so callers can place curve and bounds as separate
+// JSON fields.
+func (c *CurveCI) MarshalBoundsJSON() ([]byte, error) {
+	return json.Marshal(ciBoundsJSON{
+		Lower:      toNullable(c.Lower),
+		Upper:      toNullable(c.Upper),
+		Replicates: c.Replicates,
+	})
+}
+
 // WriteJSON streams the curve as indented JSON.
 func (c *Curve) WriteJSON(w io.Writer) error {
 	enc := json.NewEncoder(w)

@@ -27,7 +27,17 @@ func workerCount(workers, n int) int {
 // randomness up front (rng.Source.Split with the index as key), so the
 // output is bit-identical at any worker count.
 func (e *Estimator) forEachIndex(n int, fn func(int)) {
-	workers := workerCount(e.opts.Workers, n)
+	ForEachIndex(e.opts.Workers, n, fn)
+}
+
+// ForEachIndex runs fn(i) for every i in [0, n) on a pool of workers
+// goroutines (0 means GOMAXPROCS; the pool never exceeds n). fn must be
+// safe to call concurrently for distinct indices and must not depend on
+// invocation order. This is the same pool the estimator's internal stages
+// run on; other packages (the live query engine's dirty-shard recompute)
+// reuse it so per-index work is scheduled identically everywhere.
+func ForEachIndex(workers, n int, fn func(int)) {
+	workers = workerCount(workers, n)
 	if workers == 1 {
 		for i := 0; i < n; i++ {
 			fn(i)

@@ -1,0 +1,145 @@
+package live
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"autosens/internal/core"
+	"autosens/internal/telemetry"
+	"autosens/internal/timeutil"
+)
+
+// benchStream is the shared benchmark workload: two days of out-of-order
+// beacons.
+func benchStream(n int) []telemetry.Record {
+	return genStream(42, n, 2*timeutil.MillisPerDay)
+}
+
+func benchEngine(b *testing.B, stream []telemetry.Record) *Engine {
+	b.Helper()
+	e, err := New(Config{Options: testOptions()})
+	if err != nil {
+		b.Fatal(err)
+	}
+	e.Append(stream)
+	return e
+}
+
+// BenchmarkLiveQueryCached is the clean-path query: a cache lookup plus
+// one version load. The ≥100x acceptance margin is against
+// BenchmarkLiveBatchRecompute below.
+func BenchmarkLiveQueryCached(b *testing.B) {
+	e := benchEngine(b, benchStream(50000))
+	if _, err := e.Query(AllSlices, ModePlain, false); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := e.Query(AllSlices, ModePlain, false)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.Cached {
+			b.Fatal("query missed the cache")
+		}
+	}
+}
+
+// BenchmarkLiveQueryDirty measures the incremental path: a small batch
+// lands (dirtying one or a few shards), then the curve is recomputed from
+// cached clean-shard views plus the rebuilt dirty ones.
+func BenchmarkLiveQueryDirty(b *testing.B) {
+	stream := benchStream(50000)
+	e := benchEngine(b, stream[:49000])
+	// Only successful records dirty the store — a skipped Failed record
+	// would let the query hit the cache and fail the assertion below.
+	tail := telemetry.Successful(stream[49000:])
+	if _, err := e.Query(AllSlices, ModePlain, false); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Append(tail[i%len(tail) : i%len(tail)+1])
+		res, err := e.Query(AllSlices, ModePlain, false)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Cached {
+			b.Fatal("dirty query served from cache")
+		}
+	}
+}
+
+// BenchmarkLiveBatchRecompute is what answering the same question cost
+// before the live engine: a full batch estimate over the acked records
+// (sort + biased histogram build + unbiased sweep + finishing), exactly
+// as the autosens CLI runs it. Input loading/decoding is excluded, which
+// only understates the live engine's advantage.
+func BenchmarkLiveBatchRecompute(b *testing.B) {
+	stream := benchStream(50000)
+	est, err := core.NewEstimator(testOptions())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := est.Estimate(stream); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkLiveIngestAppend measures raw store append throughput.
+func BenchmarkLiveIngestAppend(b *testing.B) {
+	stream := benchStream(50000)
+	e, err := New(Config{Options: testOptions()})
+	if err != nil {
+		b.Fatal(err)
+	}
+	const batch = 512
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		lo := (i * batch) % (len(stream) - batch)
+		e.Append(stream[lo : lo+batch])
+	}
+	b.ReportMetric(float64(batch), "records/op")
+}
+
+// BenchmarkLiveIngestConcurrentQuery measures append throughput while a
+// background querier hammers the engine (forcing continual recomputes,
+// since every batch dirties the cache). Compare records/op against
+// BenchmarkLiveIngestAppend to see the query tax on ingest.
+func BenchmarkLiveIngestConcurrentQuery(b *testing.B) {
+	stream := benchStream(50000)
+	e, err := New(Config{Options: testOptions()})
+	if err != nil {
+		b.Fatal(err)
+	}
+	e.Append(stream[:10000])
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	var queries atomic.Uint64
+	go func() {
+		defer close(done)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			_, _ = e.Query(AllSlices, ModePlain, false)
+			queries.Add(1)
+		}
+	}()
+	const batch = 512
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		lo := (i * batch) % (len(stream) - batch)
+		e.Append(stream[lo : lo+batch])
+	}
+	b.StopTimer()
+	close(stop)
+	<-done
+	b.ReportMetric(float64(batch), "records/op")
+	b.ReportMetric(float64(queries.Load())/float64(b.N), "queries/op")
+}

@@ -1,0 +1,74 @@
+package live
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+
+	"autosens/internal/collector/api"
+)
+
+// CurvesHandler serves GET /v1/curves per the v1 contract:
+//
+//	GET /v1/curves?slice=action:SelectMail,period:8am-2pm&mode=normalized&ci=1
+//
+// slice defaults to "all", mode to "plain". The X-Autosens-Cache header
+// reports "hit" or "miss".
+func (e *Engine) CurvesHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			api.WriteError(w, http.StatusMethodNotAllowed, api.CodeMethodNotAllowed,
+				"GET this endpoint", 0)
+			return
+		}
+		q := r.URL.Query()
+		key, err := ParseSliceKey(q.Get("slice"))
+		if err != nil {
+			api.WriteError(w, http.StatusBadRequest, api.CodeBadRequest, err.Error(), 0)
+			return
+		}
+		mode, err := ParseMode(q.Get("mode"))
+		if err != nil {
+			api.WriteError(w, http.StatusBadRequest, api.CodeBadRequest, err.Error(), 0)
+			return
+		}
+		ci := false
+		switch v := q.Get("ci"); v {
+		case "", "0", "false":
+		case "1", "true":
+			ci = true
+		default:
+			api.WriteError(w, http.StatusBadRequest, api.CodeBadRequest,
+				"ci must be 0 or 1", 0)
+			return
+		}
+
+		res, err := e.Query(key, mode, ci)
+		if err != nil {
+			if errors.Is(err, ErrNoRecords) {
+				api.WriteError(w, http.StatusNotFound, api.CodeNotFound,
+					"no records in slice "+key.String(), 0)
+				return
+			}
+			api.WriteError(w, http.StatusInternalServerError, api.CodeEstimateFailed,
+				err.Error(), 0)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		if res.Cached {
+			w.Header().Set("X-Autosens-Cache", "hit")
+		} else {
+			w.Header().Set("X-Autosens-Cache", "miss")
+		}
+		_ = json.NewEncoder(w).Encode(api.CurvesResponse{
+			Slice:   res.Slice,
+			Mode:    res.Mode,
+			Epoch:   res.Epoch,
+			Version: res.Version,
+			Records: res.Records,
+			Cached:  res.Cached,
+			Curve:   res.Curve,
+			CI:      res.CI,
+		})
+	})
+}

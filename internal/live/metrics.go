@@ -1,0 +1,42 @@
+package live
+
+import "autosens/internal/obs"
+
+// metrics bundles the autosens_live_* instruments on the admin surface.
+type metrics struct {
+	appended     *obs.Counter
+	queries      *obs.Counter
+	cacheHits    *obs.Counter
+	cacheMisses  *obs.Counter
+	queryDur     *obs.Histogram
+	recomputeDur *obs.Histogram
+	dirtyShards  *obs.Histogram
+}
+
+func newMetrics(reg *obs.Registry, e *Engine) *metrics {
+	m := &metrics{
+		appended:    reg.Counter("autosens_live_records_total", "records appended to the live store"),
+		queries:     reg.Counter("autosens_live_queries_total", "curve queries answered (hits and misses)"),
+		cacheHits:   reg.Counter("autosens_live_cache_hits_total", "queries served from the epoch cache"),
+		cacheMisses: reg.Counter("autosens_live_cache_misses_total", "queries that recomputed the curve"),
+		queryDur: reg.Histogram("autosens_live_query_duration_seconds",
+			"wall-clock time answering one curve query", obs.DefLatencyBuckets()),
+		recomputeDur: reg.Histogram("autosens_live_recompute_duration_seconds",
+			"wall-clock time of one curve recompute (dirty query)", obs.DefLatencyBuckets()),
+		dirtyShards: reg.Histogram("autosens_live_recompute_dirty_shards",
+			"shard views rebuilt per recompute", obs.DefSizeBuckets()),
+	}
+	reg.GaugeFunc("autosens_live_shards", "store shards",
+		func() float64 { return float64(len(e.shards)) })
+	reg.GaugeFunc("autosens_live_store_records", "records held in the live store",
+		func() float64 { return float64(e.Records()) })
+	reg.GaugeFunc("autosens_live_store_bytes", "approximate live store footprint in bytes",
+		func() float64 { return float64(e.StoreBytes()) })
+	reg.GaugeFunc("autosens_live_records_skipped", "failed or invalid records not stored",
+		func() float64 { return float64(e.skipped.Load()) })
+	reg.GaugeFunc("autosens_live_cached_curves", "curve results currently cached",
+		func() float64 { return float64(e.cachedCurves()) })
+	reg.GaugeFunc("autosens_live_epoch", "curve recomputes performed",
+		func() float64 { return float64(e.Epoch()) })
+	return m
+}

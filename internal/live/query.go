@@ -1,0 +1,362 @@
+package live
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"runtime/pprof"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"autosens/internal/core"
+	"autosens/internal/telemetry"
+	"autosens/internal/timeutil"
+)
+
+// Mode selects the estimator a query runs.
+type Mode uint8
+
+const (
+	// ModePlain is the pooled estimator (no α time-normalization).
+	ModePlain Mode = iota
+	// ModeNormalized is the full time-normalized method.
+	ModeNormalized
+)
+
+// String implements fmt.Stringer.
+func (m Mode) String() string {
+	if m == ModeNormalized {
+		return "normalized"
+	}
+	return "plain"
+}
+
+// ParseMode converts a query-string mode value.
+func ParseMode(s string) (Mode, error) {
+	switch s {
+	case "", "plain":
+		return ModePlain, nil
+	case "normalized":
+		return ModeNormalized, nil
+	}
+	return 0, fmt.Errorf("live: unknown mode %q", s)
+}
+
+// SliceKey names a record subset along the three slice dimensions; -1 on
+// an axis means "any".
+type SliceKey struct {
+	Action   telemetry.ActionType
+	UserType telemetry.UserType
+	Period   timeutil.Period
+}
+
+// AllSlices matches every record.
+var AllSlices = SliceKey{Action: -1, UserType: -1, Period: -1}
+
+// ParseSliceKey parses the /v1/curves slice syntax: a comma-separated
+// list of dim:value terms ("action:SelectMail,usertype:Business,
+// period:8am-2pm"); omitted dimensions match anything, and "" or "all"
+// match everything.
+func ParseSliceKey(s string) (SliceKey, error) {
+	key := AllSlices
+	if s == "" || s == "all" {
+		return key, nil
+	}
+	for _, term := range strings.Split(s, ",") {
+		dim, val, ok := strings.Cut(term, ":")
+		if !ok {
+			return key, fmt.Errorf("live: slice term %q is not dim:value", term)
+		}
+		switch dim {
+		case "action":
+			a, err := telemetry.ParseActionType(val)
+			if err != nil {
+				return key, err
+			}
+			key.Action = a
+		case "usertype":
+			u, err := telemetry.ParseUserType(val)
+			if err != nil {
+				return key, err
+			}
+			key.UserType = u
+		case "period":
+			p, err := parsePeriod(val)
+			if err != nil {
+				return key, err
+			}
+			key.Period = p
+		default:
+			return key, fmt.Errorf("live: unknown slice dimension %q", dim)
+		}
+	}
+	return key, nil
+}
+
+func parsePeriod(s string) (timeutil.Period, error) {
+	for p := 0; p < timeutil.NumPeriods; p++ {
+		if timeutil.Period(p).String() == s {
+			return timeutil.Period(p), nil
+		}
+	}
+	return 0, fmt.Errorf("live: unknown period %q", s)
+}
+
+// String renders the key in the parseable syntax.
+func (k SliceKey) String() string {
+	var terms []string
+	if k.Action >= 0 {
+		terms = append(terms, "action:"+k.Action.String())
+	}
+	if k.UserType >= 0 {
+		terms = append(terms, "usertype:"+k.UserType.String())
+	}
+	if k.Period >= 0 {
+		terms = append(terms, "period:"+k.Period.String())
+	}
+	if len(terms) == 0 {
+		return "all"
+	}
+	return strings.Join(terms, ",")
+}
+
+// combo returns the key's combo index.
+func (k SliceKey) combo() int {
+	return comboIndex(int(k.Action), int(k.UserType), int(k.Period))
+}
+
+// matchesTag reports whether a stored record's dictionary byte falls in
+// this slice.
+func (k SliceKey) matchesTag(tag uint8) bool {
+	return (k.Action < 0 || int(k.Action) == tagAction(tag)) &&
+		(k.UserType < 0 || int(k.UserType) == tagUser(tag)) &&
+		(k.Period < 0 || int(k.Period) == tagPeriod(tag))
+}
+
+// ErrNoRecords is returned when a slice holds no usable records.
+var ErrNoRecords = errors.New("live: no records in slice")
+
+// queryKey identifies one cache entry.
+type queryKey struct {
+	combo int
+	mode  Mode
+	ci    bool
+}
+
+// comboCache is one (combo, mode, ci) cache slot: val holds the last
+// published result, mu serializes recomputes (single-flight — concurrent
+// dirty queries for the same slot wait for one recompute instead of each
+// running their own).
+type comboCache struct {
+	mu  sync.Mutex
+	val atomic.Pointer[Result]
+}
+
+// Result is one answered curve query.
+type Result struct {
+	// Slice is the canonical slice key string.
+	Slice string
+	// Mode names the estimator used.
+	Mode string
+	// Version is the combo version the result reflects (stamped before
+	// the recompute gathered its inputs, so it can only understate).
+	Version uint64
+	// Epoch is the recompute that produced this result.
+	Epoch uint64
+	// Records is the number of usable records the curve is built on.
+	Records int
+	// Cached reports whether this query was served from cache.
+	Cached bool
+	// Curve is the point estimate, in core.Curve JSON form.
+	Curve json.RawMessage
+	// CI holds bootstrap bounds (lower/upper/replicates), if requested.
+	CI json.RawMessage
+}
+
+// cacheFor returns (creating if needed) the cache slot for a query.
+func (e *Engine) cacheFor(qk queryKey) *comboCache {
+	e.cmu.Lock()
+	defer e.cmu.Unlock()
+	cc, ok := e.cache[qk]
+	if !ok {
+		cc = &comboCache{}
+		e.cache[qk] = cc
+	}
+	return cc
+}
+
+// Query answers one curve query. Clean slices are a cache lookup; dirty
+// slices rebuild only the shard views whose combo version moved, merge,
+// and re-finish the curve on the engine's worker pool.
+func (e *Engine) Query(key SliceKey, mode Mode, ci bool) (*Result, error) {
+	start := time.Now()
+	combo := key.combo()
+	qk := queryKey{combo: combo, mode: mode, ci: ci}
+	cc := e.cacheFor(qk)
+
+	res, err := e.queryCached(cc, combo, key, mode, ci)
+	if e.m != nil {
+		e.m.queries.Inc()
+		e.m.queryDur.ObserveSince(start)
+		if err == nil {
+			if res.Cached {
+				e.m.cacheHits.Inc()
+			} else {
+				e.m.cacheMisses.Inc()
+			}
+		}
+	}
+	return res, err
+}
+
+func (e *Engine) queryCached(cc *comboCache, combo int, key SliceKey, mode Mode, ci bool) (*Result, error) {
+	if r := cc.val.Load(); r != nil && r.Version == e.comboVersion(combo) {
+		hit := *r
+		hit.Cached = true
+		return &hit, nil
+	}
+	cc.mu.Lock()
+	defer cc.mu.Unlock()
+	// Another query may have recomputed while this one waited.
+	if r := cc.val.Load(); r != nil && r.Version == e.comboVersion(combo) {
+		hit := *r
+		hit.Cached = true
+		return &hit, nil
+	}
+	// Stamp the version before gathering: appends racing with the
+	// recompute below may or may not be included, and the understated
+	// stamp guarantees the next query notices and recomputes.
+	v0 := e.comboVersion(combo)
+	res, err := e.recompute(combo, key, mode, ci)
+	if err != nil {
+		return nil, err
+	}
+	res.Version = v0
+	cc.val.Store(res)
+	return res, nil
+}
+
+// recompute rebuilds dirty shard views, merges, and finishes the curve.
+func (e *Engine) recompute(combo int, key SliceKey, mode Mode, ci bool) (res *Result, err error) {
+	start := time.Now()
+	views := make([]*shardView, len(e.shards))
+	var dirty atomic.Uint64
+	// Shard rebuilds run tagged so profiles attribute recompute CPU to
+	// the slice being answered.
+	pprof.Do(context.Background(), pprof.Labels(
+		"live", "shard_recompute", "slice", key.String(), "mode", mode.String(),
+	), func(context.Context) {
+		core.ForEachIndex(e.cfg.Workers, len(e.shards), func(i int) {
+			v, rebuilt := e.shards[i].viewFor(combo, key, e.newHist)
+			views[i] = v
+			if rebuilt {
+				dirty.Add(1)
+			}
+		})
+		res, err = e.finish(key, mode, ci, views)
+	})
+	if e.m != nil {
+		e.m.dirtyShards.Observe(float64(dirty.Load()))
+		e.m.recomputeDur.ObserveSince(start)
+	}
+	if err != nil {
+		return nil, err
+	}
+	res.Epoch = e.epoch.Add(1)
+	return res, nil
+}
+
+// finish merges shard views into global sorted columns and runs the
+// estimator over them.
+func (e *Engine) finish(key SliceKey, mode Mode, ci bool, views []*shardView) (*Result, error) {
+	n := 0
+	for _, v := range views {
+		n += len(v.times)
+	}
+	if n == 0 {
+		return nil, ErrNoRecords
+	}
+	times := make([]timeutil.Millis, 0, n)
+	lats := make([]float64, 0, n)
+	mergeViews(views, &times, &lats)
+
+	res := &Result{Slice: key.String(), Mode: mode.String(), Records: n}
+	switch {
+	case ci:
+		opts := e.cfg.CI
+		opts.TimeNormalized = mode == ModeNormalized
+		band, err := e.est.EstimateCIColumns(times, lats, opts)
+		if err != nil {
+			return nil, err
+		}
+		if res.Curve, err = band.Curve.MarshalJSON(); err != nil {
+			return nil, err
+		}
+		if res.CI, err = band.MarshalBoundsJSON(); err != nil {
+			return nil, err
+		}
+	case mode == ModeNormalized:
+		curve, err := e.est.EstimateTimeNormalizedColumns(times, lats)
+		if err != nil {
+			return nil, err
+		}
+		if res.Curve, err = curve.MarshalJSON(); err != nil {
+			return nil, err
+		}
+	default:
+		// The biased histogram is the sum of the per-shard view
+		// histograms — incremental maintenance in place of the batch
+		// path's O(n) rebuild.
+		b := e.newHist()
+		for _, v := range views {
+			if err := b.AddHistogram(v.b); err != nil {
+				return nil, err
+			}
+		}
+		curve, err := e.est.EstimateFromParts(b, times, lats, nil)
+		if err != nil {
+			return nil, err
+		}
+		if res.Curve, err = curve.MarshalJSON(); err != nil {
+			return nil, err
+		}
+	}
+	return res, nil
+}
+
+// mergeViews k-way merges per-shard (time, seq)-sorted columns into one
+// global (time, seq)-sorted column pair — exactly the stable by-time sort
+// of the ack-ordered stream. Shard counts are small, so a linear scan
+// over the cursors beats a heap.
+func mergeViews(views []*shardView, times *[]timeutil.Millis, lats *[]float64) {
+	cursors := make([]int, len(views))
+	for {
+		best := -1
+		for i, v := range views {
+			c := cursors[i]
+			if c >= len(v.times) {
+				continue
+			}
+			if best < 0 {
+				best = i
+				continue
+			}
+			b := views[best]
+			bc := cursors[best]
+			if v.times[c] < b.times[bc] ||
+				(v.times[c] == b.times[bc] && v.seqs[c] < b.seqs[bc]) {
+				best = i
+			}
+		}
+		if best < 0 {
+			return
+		}
+		c := cursors[best]
+		*times = append(*times, views[best].times[c])
+		*lats = append(*lats, views[best].lats[c])
+		cursors[best]++
+	}
+}

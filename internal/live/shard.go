@@ -1,0 +1,363 @@
+package live
+
+import (
+	"encoding/binary"
+	"sort"
+	"sync"
+
+	"autosens/internal/histogram"
+	"autosens/internal/telemetry"
+	"autosens/internal/timeutil"
+)
+
+// Slice-dimension combo space: every record belongs to one (action,
+// usertype, period) cell, and a query names a cell or "any" along each
+// axis. Combos are indexed with each axis shifted by one so that -1 (any)
+// maps to 0.
+const (
+	actionAxis   = telemetry.NumActionTypes + 1
+	userTypeAxis = telemetry.NumUserTypes + 1
+	periodAxis   = timeutil.NumPeriods + 1
+	numCombos    = actionAxis * userTypeAxis * periodAxis
+)
+
+// comboIndex maps a slice key (−1 meaning any on an axis) to its combo.
+func comboIndex(action, userType, period int) int {
+	return ((action+1)*userTypeAxis+(userType+1))*periodAxis + (period + 1)
+}
+
+// numCells is the size of the tag space: the dictionary byte packs action
+// (2 bits), user type (1 bit) and period (2 bits) densely, so tags are
+// exact cell indices in [0, 32).
+const numCells = 1 << 5
+
+// comboTags[c] lists the cells whose records fall in combo c. Version
+// counters are kept per cell — one bump per stored record — and a combo's
+// version is the sum over its cells; sums of monotone counters are
+// monotone, so "version unchanged" still means "no matching append".
+var comboTags = func() [numCombos][]uint8 {
+	var m [numCombos][]uint8
+	var combos [8]int
+	for tag := 0; tag < numCells; tag++ {
+		for _, c := range combosOf(uint8(tag), combos[:]) {
+			m[c] = append(m[c], uint8(tag))
+		}
+	}
+	return m
+}()
+
+// tagOf packs a record's slice-dimension cell into one dictionary byte:
+// bits 0-1 action, bit 2 user type, bits 3-4 local period. The period is
+// derived once here, at ingest, exactly as the batch slicers derive it.
+func tagOf(r telemetry.Record) uint8 {
+	per := uint8(timeutil.PeriodOf(r.Time, r.TZOffset))
+	return uint8(r.Action) | uint8(r.UserType)<<2 | per<<3
+}
+
+func tagAction(tag uint8) int { return int(tag & 0b11) }
+func tagUser(tag uint8) int   { return int(tag >> 2 & 0b1) }
+func tagPeriod(tag uint8) int { return int(tag >> 3 & 0b11) }
+
+// combosOf lists the 8 combos a tag belongs to (each axis: its own value
+// or any) into dst, which must have room for 8 entries.
+func combosOf(tag uint8, dst []int) []int {
+	dst = dst[:0]
+	for _, a := range [2]int{tagAction(tag), -1} {
+		for _, u := range [2]int{tagUser(tag), -1} {
+			for _, p := range [2]int{tagPeriod(tag), -1} {
+				dst = append(dst, comboIndex(a, u, p))
+			}
+		}
+	}
+	return dst
+}
+
+// blockRecs is the record capacity of one store block. Blocks keep append
+// cost flat: a full block is sealed and a fresh one started, so the hot
+// path never pays the O(n) copy of growing one contiguous buffer.
+const blockRecs = 4096
+
+// block is one fixed-capacity chunk of a shard's columnar store. Delta
+// chains (time, seq) run across block boundaries — a block is purely a
+// storage unit, not a decode restart point.
+type block struct {
+	n    int
+	tbuf []byte // zigzag-varint time deltas, ack order
+	sbuf []byte // uvarint seq deltas (seqs strictly increase per shard)
+	lats []float64
+	tags []uint8
+}
+
+func newBlock() *block {
+	return &block{
+		// Typical deltas are small (ack order is near time order): ~3
+		// bytes of time delta and ~2 of seq delta per record. Outliers
+		// just grow the byte slices past the hint.
+		tbuf: make([]byte, 0, 3*blockRecs),
+		sbuf: make([]byte, 0, 2*blockRecs),
+		lats: make([]float64, 0, blockRecs),
+		tags: make([]uint8, 0, blockRecs),
+	}
+}
+
+// shard is one slice of the engine's columnar record store, owning the
+// records whose user hashes to it. Storage is TBIN-style compact columns
+// in ack order: times and ack sequence numbers as varint deltas (ack order
+// is near time order, so time deltas are small), the slice-dimension cell
+// as one dictionary byte, and latencies as raw float64.
+type shard struct {
+	mu sync.Mutex
+
+	n      int
+	blocks []*block
+	lastT  timeutil.Millis
+	lastS  uint64
+
+	// cells[tag] counts stored records in that cell; the version of combo
+	// c is the sum over comboTags[c]. A view built at version v is exact
+	// iff the sum still equals v (cell counters are monotone, so equality
+	// ⟺ nothing matching arrived since).
+	cells [numCells]uint64
+
+	// views caches, per queried combo, the shard's matching records as
+	// (time, seq)-sorted flat columns plus their biased histogram — the
+	// per-shard half of a curve recompute. A clean shard answers the next
+	// recompute from here without touching the record store.
+	views map[int]*shardView
+}
+
+// shardView is one combo's materialized sorted columns within one shard.
+// Views are immutable once installed: an incremental update builds a fresh
+// view, so concurrent readers of the old one are never disturbed.
+type shardView struct {
+	ver   uint64
+	times []timeutil.Millis
+	lats  []float64
+	seqs  []uint64
+	b     *histogram.Histogram
+
+	// cp is the store position this view's decode ended at; the next
+	// rebuild resumes there and touches only records appended since.
+	cp checkpoint
+}
+
+// checkpoint is a resumable position in a shard's block chain: the next
+// record to decode lives in blocks[blk] at record index rec (byte offsets
+// toff/soff), with t and seq the running delta-decode accumulators.
+type checkpoint struct {
+	blk  int
+	rec  int
+	toff int
+	soff int
+	t    int64
+	seq  uint64
+}
+
+// blockSnap is an immutable prefix of one block, captured under the shard
+// lock. The slice headers are bounded by the record count at capture time;
+// concurrent appends only write past those bounds (or into a fresh backing
+// array after growth), so decoding a snapshot outside the lock is safe.
+type blockSnap struct {
+	n    int
+	tbuf []byte
+	sbuf []byte
+	lats []float64
+	tags []uint8
+}
+
+// appendRun stores one chunk's run of records for this shard under a
+// single lock acquisition. The run is a linked list over chunk indices
+// (values are index+1, zero terminates), built front to back, so records
+// land in chunk order; the caller guarantees base+index is strictly
+// greater than every seq already in this shard.
+func (s *shard) appendRun(recs []telemetry.Record, base uint64, first int16, next *[appendChunk]int16, tags *[appendChunk]uint8) {
+	s.mu.Lock()
+	var blk *block
+	if k := len(s.blocks); k > 0 && s.blocks[k-1].n < blockRecs {
+		blk = s.blocks[k-1]
+	} else {
+		blk = newBlock()
+		s.blocks = append(s.blocks, blk)
+	}
+	for i := first; i != 0; i = next[i-1] {
+		r := &recs[i-1]
+		if blk.n == blockRecs {
+			blk = newBlock()
+			s.blocks = append(s.blocks, blk)
+		}
+		seq := base + uint64(i-1)
+		blk.tbuf = binary.AppendVarint(blk.tbuf, int64(r.Time-s.lastT))
+		blk.sbuf = binary.AppendUvarint(blk.sbuf, seq-s.lastS)
+		s.lastT = r.Time
+		s.lastS = seq
+		blk.lats = append(blk.lats, r.LatencyMS)
+		blk.tags = append(blk.tags, tags[i-1])
+		blk.n++
+		s.n++
+		s.cells[tags[i-1]]++
+	}
+	s.mu.Unlock()
+}
+
+// comboVerLocked sums the cell counters of one combo. Caller holds s.mu.
+func (s *shard) comboVerLocked(combo int) uint64 {
+	var sum uint64
+	for _, tag := range comboTags[combo] {
+		sum += s.cells[tag]
+	}
+	return sum
+}
+
+// viewFor returns the shard's sorted column view for a combo, rebuilding
+// it only when appends dirtied the combo since the last build. newHist
+// allocates a biased histogram with the engine's binning. The returned
+// view is immutable (a rebuild installs a fresh one). rebuilt reports
+// whether this call had to rebuild.
+//
+// A rebuild is incremental and runs outside the shard lock: the lock is
+// held only to snapshot the block chain (slice headers + record counts)
+// and to install the result. The decode resumes from the previous view's
+// checkpoint, so its cost is proportional to the records appended since
+// the last build — not the store size — and appends never stall behind it.
+func (s *shard) viewFor(combo int, key SliceKey, newHist func() *histogram.Histogram) (v *shardView, rebuilt bool) {
+	s.mu.Lock()
+	cur := s.comboVerLocked(combo)
+	old := s.views[combo]
+	if old != nil && old.ver == cur {
+		s.mu.Unlock()
+		return old, false
+	}
+	snap := make([]blockSnap, len(s.blocks))
+	for i, blk := range s.blocks {
+		snap[i] = blockSnap{n: blk.n, tbuf: blk.tbuf, sbuf: blk.sbuf, lats: blk.lats, tags: blk.tags}
+	}
+	s.mu.Unlock()
+
+	v = buildView(old, snap, cur, key, newHist)
+
+	s.mu.Lock()
+	if s.views == nil {
+		s.views = make(map[int]*shardView)
+	}
+	// A concurrent rebuild may have installed a newer view; keep the
+	// newest. Ours is still an exact snapshot at cur, which is what this
+	// recompute stamped, so it is returned either way.
+	if exist := s.views[combo]; exist == nil || exist.ver < v.ver {
+		s.views[combo] = v
+	}
+	s.mu.Unlock()
+	return v, true
+}
+
+// buildView extends old (which may be nil) with every snapshot record past
+// its checkpoint, returning a fresh sorted view at version cur.
+func buildView(old *shardView, snap []blockSnap, cur uint64, key SliceKey, newHist func() *histogram.Histogram) *shardView {
+	cp := checkpoint{}
+	if old != nil {
+		cp = old.cp
+	}
+	// Decode only the suffix since the checkpoint, gathering matches. The
+	// suffix arrives in ack (seq) order; new records interleave with old
+	// ones by time, so the delta is sorted and merged below.
+	delta := &shardView{}
+	for bi := cp.blk; bi < len(snap); bi++ {
+		blk := &snap[bi]
+		rec, toff, soff := 0, 0, 0
+		if bi == cp.blk {
+			rec, toff, soff = cp.rec, cp.toff, cp.soff
+		}
+		for ; rec < blk.n; rec++ {
+			dt, nt := binary.Varint(blk.tbuf[toff:])
+			ds, ns := binary.Uvarint(blk.sbuf[soff:])
+			toff += nt
+			soff += ns
+			cp.t += dt
+			cp.seq += ds
+			if !key.matchesTag(blk.tags[rec]) {
+				continue
+			}
+			delta.times = append(delta.times, timeutil.Millis(cp.t))
+			delta.lats = append(delta.lats, blk.lats[rec])
+			delta.seqs = append(delta.seqs, cp.seq)
+		}
+		cp.blk, cp.rec, cp.toff, cp.soff = bi, blk.n, toff, soff
+	}
+	// Ack order already breaks time ties by seq (seqs increase in ack
+	// order), so sorting by (time, seq) reproduces exactly the stable
+	// by-time sort the batch estimator applies to the ack-ordered stream.
+	sort.Sort(viewSorter{delta})
+
+	v := &shardView{ver: cur, b: newHist(), cp: cp}
+	if old == nil || len(old.times) == 0 {
+		v.times, v.lats, v.seqs = delta.times, delta.lats, delta.seqs
+	} else {
+		v.times = make([]timeutil.Millis, 0, len(old.times)+len(delta.times))
+		v.lats = make([]float64, 0, len(old.lats)+len(delta.lats))
+		v.seqs = make([]uint64, 0, len(old.seqs)+len(delta.seqs))
+		mergeColumns(v, old, delta)
+	}
+	// The biased histogram is pure weight-1 adds (exact integer arithmetic
+	// in float64), so summing the old view's histogram with the delta's
+	// records is bit-identical to rebuilding from scratch in any order.
+	if old != nil {
+		if err := v.b.AddHistogram(old.b); err != nil {
+			// Histograms share the engine's binning by construction.
+			panic("live: view histogram binning mismatch: " + err.Error())
+		}
+	}
+	for _, lat := range delta.lats {
+		v.b.Add(lat)
+	}
+	return v
+}
+
+// mergeColumns merges two (time, seq)-sorted views into dst.
+func mergeColumns(dst, a, b *shardView) {
+	i, j := 0, 0
+	for i < len(a.times) && j < len(b.times) {
+		if a.times[i] < b.times[j] ||
+			(a.times[i] == b.times[j] && a.seqs[i] < b.seqs[j]) {
+			dst.times = append(dst.times, a.times[i])
+			dst.lats = append(dst.lats, a.lats[i])
+			dst.seqs = append(dst.seqs, a.seqs[i])
+			i++
+		} else {
+			dst.times = append(dst.times, b.times[j])
+			dst.lats = append(dst.lats, b.lats[j])
+			dst.seqs = append(dst.seqs, b.seqs[j])
+			j++
+		}
+	}
+	dst.times = append(append(dst.times, a.times[i:]...), b.times[j:]...)
+	dst.lats = append(append(dst.lats, a.lats[i:]...), b.lats[j:]...)
+	dst.seqs = append(append(dst.seqs, a.seqs[i:]...), b.seqs[j:]...)
+}
+
+// viewSorter sorts a view's parallel columns by (time, seq).
+type viewSorter struct{ v *shardView }
+
+func (o viewSorter) Len() int { return len(o.v.times) }
+func (o viewSorter) Less(i, j int) bool {
+	v := o.v
+	if v.times[i] != v.times[j] {
+		return v.times[i] < v.times[j]
+	}
+	return v.seqs[i] < v.seqs[j]
+}
+func (o viewSorter) Swap(i, j int) {
+	v := o.v
+	v.times[i], v.times[j] = v.times[j], v.times[i]
+	v.lats[i], v.lats[j] = v.lats[j], v.lats[i]
+	v.seqs[i], v.seqs[j] = v.seqs[j], v.seqs[i]
+}
+
+// bytes reports the shard's approximate store footprint.
+func (s *shard) bytes() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	total := 0
+	for _, blk := range s.blocks {
+		total += len(blk.tbuf) + len(blk.sbuf) + 8*len(blk.lats) + len(blk.tags)
+	}
+	return total
+}

@@ -50,6 +50,13 @@ type Request struct {
 
 // Run estimates every slice. Results are returned in slice order; per-slice
 // failures are reported in Result.Err rather than failing the batch.
+//
+// The worker budget is split across the two levels of parallelism: with W
+// total workers and S slices running concurrently, each slice's estimator
+// gets W/S internal workers (at least 1), so the batch never runs more
+// than ~W estimator goroutines instead of W per slice. The core estimator
+// produces bit-identical curves at any worker count, so budgeting changes
+// scheduling only, never results.
 func Run(req Request) ([]Result, error) {
 	if len(req.Slices) == 0 {
 		return nil, errors.New("pipeline: no slices")
@@ -60,6 +67,17 @@ func Run(req Request) ([]Result, error) {
 	}
 	if workers > len(req.Slices) {
 		workers = len(req.Slices)
+	}
+	pool := req.Workers
+	if pool <= 0 {
+		pool = runtime.GOMAXPROCS(0)
+	}
+	budget := pool / workers
+	if budget < 1 {
+		budget = 1
+	}
+	if req.Options.Workers <= 0 || req.Options.Workers > budget {
+		req.Options.Workers = budget
 	}
 
 	results := make([]Result, len(req.Slices))
@@ -79,6 +97,7 @@ func Run(req Request) ([]Result, error) {
 				sp.SetAttr("worker", worker)
 				sp.SetAttr("queue_wait_ms", float64(time.Since(enqueuedAt[i]))/float64(time.Millisecond))
 				sp.SetAttr("records", len(s.Records))
+				sp.SetAttr("estimator_workers", req.Options.Workers)
 				results[i] = estimateOne(req, s, sp)
 				sp.End()
 			}

@@ -1,10 +1,12 @@
 package pipeline
 
 import (
+	"bytes"
 	"strings"
 	"testing"
 
 	"autosens/internal/core"
+	"autosens/internal/obs"
 	"autosens/internal/owasim"
 	"autosens/internal/telemetry"
 	"autosens/internal/timeutil"
@@ -193,4 +195,91 @@ func min(a, b int) int {
 		return a
 	}
 	return b
+}
+
+// TestRunDeterministicAcrossWorkers pins that the two-level worker budget
+// is a scheduling decision only: every (pipeline workers × estimator
+// workers) combination must produce byte-identical curves in slice order.
+func TestRunDeterministicAcrossWorkers(t *testing.T) {
+	slices := ByActionType(records(t))
+	curveBytes := func(workers, optWorkers int) [][]byte {
+		t.Helper()
+		opts := testOptions()
+		opts.Workers = optWorkers
+		results, err := Run(Request{Options: opts, TimeNormalized: true, Slices: slices, Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := make([][]byte, len(results))
+		for i, r := range results {
+			if r.Err != nil {
+				t.Fatalf("slice %s: %v", r.Name, r.Err)
+			}
+			b, err := r.Curve.MarshalJSON()
+			if err != nil {
+				t.Fatal(err)
+			}
+			out[i] = b
+		}
+		return out
+	}
+	want := curveBytes(1, 1)
+	for _, cfg := range [][2]int{{0, 0}, {2, 0}, {8, 0}, {3, 5}, {16, 1}} {
+		got := curveBytes(cfg[0], cfg[1])
+		for i := range want {
+			if !bytes.Equal(want[i], got[i]) {
+				t.Fatalf("workers=%d options.workers=%d: slice %s differs from serial run",
+					cfg[0], cfg[1], slices[i].Name)
+			}
+		}
+	}
+}
+
+// TestRunWorkerBudget pins the two-level worker split through the slice
+// spans' estimator_workers attribute: with S slices, a pool of W runs
+// min(W,S) slices concurrently and hands each estimator W/min(W,S)
+// workers — unless the caller pinned a smaller explicit count, which is
+// respected.
+func TestRunWorkerBudget(t *testing.T) {
+	slices := ByActionType(records(t))
+	budgetOf := func(pool, optWorkers int) int {
+		t.Helper()
+		opts := testOptions()
+		opts.Workers = optWorkers
+		tr := obs.NewTracer("pipeline")
+		if _, err := Run(Request{Options: opts, Slices: slices, Workers: pool, Trace: tr.Root()}); err != nil {
+			t.Fatal(err)
+		}
+		root := tr.Finish()
+		got := -1
+		for _, sp := range root.Children() {
+			v, ok := sp.Attr("estimator_workers")
+			if !ok {
+				t.Fatalf("span %s lacks estimator_workers attr", sp.Name())
+			}
+			if got == -1 {
+				got = v.(int)
+			} else if got != v.(int) {
+				t.Fatalf("uneven budget: %d vs %d", got, v.(int))
+			}
+		}
+		return got
+	}
+	// 4 action-type slices: pool 8 → 4 concurrent slices × 2 estimator
+	// workers; pool 2 → 2 concurrent × 1; an explicit small count wins,
+	// an oversized one is clamped.
+	if len(slices) != telemetry.NumActionTypes {
+		t.Fatalf("expected %d action slices, got %d", telemetry.NumActionTypes, len(slices))
+	}
+	for _, c := range []struct{ pool, opt, want int }{
+		{8, 0, 2},
+		{2, 0, 1},
+		{8, 1, 1},
+		{8, 99, 2},
+	} {
+		if got := budgetOf(c.pool, c.opt); got != c.want {
+			t.Fatalf("pool=%d options.workers=%d: estimator workers %d, want %d",
+				c.pool, c.opt, got, c.want)
+		}
+	}
 }
