@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race bench bench-json bench-ingest-json bench-live fuzz check fmt vet clean crash-test race-ingest race-live
+.PHONY: build test race bench bench-json bench-ingest-json bench-live bench-watch fuzz check fmt vet clean crash-test race-ingest race-live race-watch alert-quality
 
 # Label recorded in BENCH_core.json for a bench-json run; override like
 #   make bench-json BENCH_LABEL="after: shared key plan"
@@ -24,6 +24,17 @@ race-ingest:
 # ingest + queries + epoch rollover under -race, plus the collector fan-in.
 race-live:
 	$(GO) test -race -count=1 ./internal/live/ ./internal/collector/
+
+# race-watch is the focused race gate for the sensitivity-ops watcher:
+# concurrent ingest, ticks and /v1/alerts + /v1/report polling under -race.
+race-watch:
+	$(GO) test -race -count=1 ./internal/watch/
+
+# alert-quality runs the ground-truth precision/recall gate: owasim runs
+# with scheduled incident regimes, the watcher scores against the schedule,
+# and precision and recall must both reach 0.9.
+alert-quality:
+	$(GO) test -count=1 -run 'TestAlertQualityOnGroundTruth' -v ./internal/watch/
 
 # crash-test runs the kill-and-recover acceptance test: build a real
 # sensd, stream beacons at it, SIGKILL it mid-write, recover the WAL and
@@ -60,6 +71,14 @@ bench-live:
 		./internal/live/ ./internal/collector/ | \
 		$(GO) run ./cmd/benchjson -label "$(BENCH_LABEL)" -prev BENCH_live.json > BENCH_live.json.tmp
 	mv BENCH_live.json.tmp BENCH_live.json
+
+# bench-watch appends a labelled watcher benchmark run to BENCH_watch.json:
+# the clean (cached, zero-alloc) tick vs a full re-evaluation tick — the
+# committed record of the incremental machinery's win.
+bench-watch:
+	$(GO) test -bench='BenchmarkWatchTick' -benchmem -run=^$$ ./internal/watch/ | \
+		$(GO) run ./cmd/benchjson -label "$(BENCH_LABEL)" -prev BENCH_watch.json > BENCH_watch.json.tmp
+	mv BENCH_watch.json.tmp BENCH_watch.json
 
 # fuzz runs each telemetry fuzz target for a short bounded burst.
 FUZZTIME ?= 30s

@@ -54,6 +54,12 @@ func run() error {
 		"cap the total time one flush may spend retrying (0 = attempts bounded by retries only)")
 	queryWorkers := flag.Int("query", 0,
 		"concurrent workers hammering GET /v1/curves for the whole ingest run (0 disables; server needs -live)")
+	incident := flag.Bool("incident", false,
+		"replay a scheduled latency incident: a step regression over a user fraction for a window, for exercising the sensd watcher")
+	incidentAt := flag.Duration("incident-at", 12*time.Hour, "incident start, as an offset into the simulated window")
+	incidentFor := flag.Duration("incident-for", 3*time.Hour, "incident duration")
+	incidentSeverity := flag.Float64("incident-severity", 3.0, "latency multiplier during the incident (> 1)")
+	incidentFraction := flag.Float64("incident-fraction", 1.0, "fraction of users affected, in (0,1]")
 	flag.Parse()
 
 	if *senders <= 0 {
@@ -95,6 +101,17 @@ func run() error {
 
 	cfg := owasim.DefaultConfig(timeutil.Millis(*days)*timeutil.MillisPerDay, *business, *consumer)
 	cfg.Seed = *seed
+	if *incident {
+		start := timeutil.Millis((*incidentAt).Milliseconds())
+		cfg.Regimes = &owasim.RegimeSchedule{LatencyIncidents: []owasim.LatencyIncident{{
+			Start:        start,
+			End:          start + timeutil.Millis((*incidentFor).Milliseconds()),
+			Severity:     *incidentSeverity,
+			UserFraction: *incidentFraction,
+		}}}
+		fmt.Fprintf(os.Stderr, "loadgen: incident scheduled: %.1fx latency for %.0f%% of users, %v..%v into the run\n",
+			*incidentSeverity, *incidentFraction*100, *incidentAt, *incidentAt+*incidentFor)
+	}
 	n := 0
 	simErr := owasim.RunTo(cfg, func(rec telemetry.Record) error {
 		feeds[n%*senders] <- rec

@@ -28,6 +28,7 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"strings"
 	"syscall"
 	"time"
 
@@ -38,6 +39,7 @@ import (
 	"autosens/internal/obs"
 	"autosens/internal/telemetry"
 	"autosens/internal/wal"
+	"autosens/internal/watch"
 )
 
 func main() {
@@ -66,6 +68,17 @@ func run() error {
 	liveShards := flag.Int("live-shards", live.DefaultShards, "live engine shard count")
 	liveWorkers := flag.Int("live-workers", 0,
 		"live engine recompute parallelism (0 = GOMAXPROCS); results are bit-identical at any setting")
+	watchOn := flag.Bool("watch", false,
+		"run the sensitivity-ops watcher over the live store and serve GET /v1/alerts and /v1/report (requires -live)")
+	watchInterval := flag.Duration("watch-interval", 30*time.Second, "watcher tick period")
+	watchSlices := flag.String("watch-slices", "all",
+		"semicolon-separated slice keys to watch for NLP drift (the all slice is always watched for incidents)")
+	watchMinDelta := flag.Float64("watch-drift-min-delta", 0, "NLP drift floor (0 = default 0.05)")
+	watchZ := flag.Float64("watch-drift-z", 0, "CI multiplier on the finite-window error (0 = default 2)")
+	watchFactor := flag.Float64("watch-incident-factor", 0,
+		"recent/baseline shard latency ratio flagging a regression (0 = default 1.6)")
+	watchArtifacts := flag.String("watch-artifacts", "",
+		"directory receiving alerts.json, report.json and report.html after every tick (empty disables)")
 	maxProcs := flag.Int("max-procs", 0,
 		"cap GOMAXPROCS, bounding estimator worker parallelism (0 leaves the runtime default)")
 	logLevel := flag.String("log-level", "info", "log level: debug, info, warn, error")
@@ -132,6 +145,12 @@ func run() error {
 		sinkDesc = *out
 	}
 
+	if *watchOn && !*liveOn {
+		return fmt.Errorf("-watch requires -live")
+	}
+	var watcher *watch.Watcher
+	watchCtx, watchCancel := context.WithCancel(context.Background())
+	defer watchCancel()
 	if *liveOn {
 		engine, err := live.New(live.Config{
 			Shards:   *liveShards,
@@ -157,6 +176,40 @@ func run() error {
 		srvCfg.CurvesHandler = engine.CurvesHandler()
 		log.Info("live queries enabled",
 			"shards", *liveShards, "endpoint", api.PathCurves)
+
+		if *watchOn {
+			var keys []live.SliceKey
+			for _, term := range strings.Split(*watchSlices, ";") {
+				if term = strings.TrimSpace(term); term == "" {
+					continue
+				}
+				key, err := live.ParseSliceKey(term)
+				if err != nil {
+					return fmt.Errorf("-watch-slices: %w", err)
+				}
+				keys = append(keys, key)
+			}
+			watcher, err = watch.New(watch.Config{
+				Engine:       engine,
+				Slices:       keys,
+				Interval:     *watchInterval,
+				Drift:        watch.DriftConfig{MinDelta: *watchMinDelta, Z: *watchZ},
+				Incident:     watch.IncidentConfig{Factor: *watchFactor},
+				ArtifactsDir: *watchArtifacts,
+				Registry:     reg,
+				Logger:       log,
+			})
+			if err != nil {
+				return err
+			}
+			srvCfg.AlertsHandler = watcher.AlertsHandler()
+			srvCfg.ReportHandler = watcher.ReportHandler()
+			srvCfg.WatchStats = watcher.Stats
+			go watcher.Run(watchCtx)
+			log.Info("sensitivity watcher enabled",
+				"interval", *watchInterval, "slices", *watchSlices,
+				"endpoints", api.PathAlerts+" "+api.PathReport)
+		}
 	}
 
 	srv, err := collector.NewServer(srvCfg)
@@ -194,6 +247,13 @@ func run() error {
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
 	log.Info("shutting down")
+	watchCancel()
+	if watcher != nil {
+		ws := watcher.Stats()
+		log.Info("watcher stats", "ticks", ws.Ticks,
+			"recomputes", ws.Recomputes, "skips", ws.Skips,
+			"alerts_raised", ws.AlertsRaised, "firing", ws.Firing)
+	}
 
 	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()

@@ -42,6 +42,13 @@ const (
 	// ci=). Mounted only when the server runs a live query engine; servers
 	// without one answer 404 CodeNotFound here.
 	PathCurves = "/v1/curves"
+	// PathAlerts serves the sensitivity-ops alert set (GET, optional
+	// state= filter). Mounted only when the server runs a watcher; servers
+	// without one answer 404 CodeNotFound here.
+	PathAlerts = "/v1/alerts"
+	// PathReport serves the per-slice sensitivity report (GET, format=
+	// json or html). Mounted only when the server runs a watcher.
+	PathReport = "/v1/report"
 )
 
 // Error codes. These are the stable, programmatic half of the error
@@ -141,6 +148,111 @@ type CurvesResponse struct {
 	CI json.RawMessage `json:"ci,omitempty"`
 }
 
+// Alert states, in lifecycle order. A condition first observed is
+// pending; observed for enough consecutive watcher ticks it becomes
+// firing; once the condition clears for enough ticks the alert resolves
+// and is retained for a while so operators see what just happened.
+const (
+	AlertPending  = "pending"
+	AlertFiring   = "firing"
+	AlertResolved = "resolved"
+)
+
+// Alert types.
+const (
+	// AlertNLPDrift: a slice's rolling-window NLP series moved away from
+	// its own baseline by more than the CI-aware threshold — the planted
+	// sensitivity of the population changed, not just the latency.
+	AlertNLPDrift = "nlp_drift"
+	// AlertLatencyIncident: a correlated latency regression — many user
+	// shards slowed together, which is one service incident rather than
+	// many independent user anomalies.
+	AlertLatencyIncident = "latency_incident"
+	// AlertShardLatency: an isolated shard-level latency regression that
+	// did NOT clear the correlation bar — a localized anomaly (one user
+	// cohort, one network) rather than a service incident.
+	AlertShardLatency = "shard_latency"
+)
+
+// Alert severities.
+const (
+	SeverityWarning  = "warning"
+	SeverityCritical = "critical"
+)
+
+// Alert is one sensitivity-ops alert in the typed v1 schema. ID is the
+// dedupe key: the same condition observed across many ticks is one alert
+// whose state advances, never a new alert per tick.
+type Alert struct {
+	// ID is the stable dedupe key, e.g. "nlp_drift:all:p1000".
+	ID string `json:"id"`
+	// Type is one of the Alert* type constants.
+	Type string `json:"type"`
+	// Slice is the canonical slice key the alert is about.
+	Slice string `json:"slice"`
+	// Severity is "warning" or "critical".
+	Severity string `json:"severity"`
+	// State is "pending", "firing" or "resolved".
+	State string `json:"state"`
+	// Value is the detector's observed statistic (NLP deviation, latency
+	// ratio) at the last tick that saw the condition.
+	Value float64 `json:"value"`
+	// Threshold is the bar Value cleared when the alert was raised.
+	Threshold float64 `json:"threshold"`
+	// Message is a human-readable description; not stable, do not parse.
+	Message string `json:"message"`
+	// DataTime is the record-stream timestamp (telemetry clock, ms) the
+	// detection was made at — the max record time the detector saw.
+	DataTime int64 `json:"data_time_ms"`
+	// FirstSeenTick/LastSeenTick/FiringTick/ResolvedTick are watcher tick
+	// numbers: detection is driven by data arrival, so lifecycle history
+	// is recorded in ticks (deterministic), not wall clock.
+	FirstSeenTick uint64 `json:"first_seen_tick"`
+	LastSeenTick  uint64 `json:"last_seen_tick"`
+	FiringTick    uint64 `json:"firing_tick,omitempty"`
+	ResolvedTick  uint64 `json:"resolved_tick,omitempty"`
+}
+
+// AlertsResponse is the body of GET /v1/alerts.
+type AlertsResponse struct {
+	// Tick is the watcher tick the response reflects.
+	Tick uint64 `json:"tick"`
+	// Pending/Firing/Resolved count alerts by state (before any filter).
+	Pending  int `json:"pending"`
+	Firing   int `json:"firing"`
+	Resolved int `json:"resolved"`
+	// Alerts is the retained alert set, firing first, then pending, then
+	// resolved, newest first within a state. With ?state= only matching
+	// alerts are listed (the counts above stay global).
+	Alerts []Alert `json:"alerts"`
+}
+
+// LiveStats is the live query engine's operational snapshot, embedded in
+// GET /v1/status when the server runs one.
+type LiveStats struct {
+	Shards       int    `json:"shards"`
+	Records      int    `json:"records"`
+	StoreBytes   int    `json:"store_bytes"`
+	Epoch        uint64 `json:"epoch"`
+	Queries      uint64 `json:"queries_total"`
+	CacheHits    uint64 `json:"cache_hits_total"`
+	CacheMisses  uint64 `json:"cache_misses_total"`
+	CachedCurves int    `json:"cached_curves"`
+}
+
+// WatchStats is the watcher's operational snapshot, embedded in GET
+// /v1/status when the server runs one.
+type WatchStats struct {
+	Ticks        uint64 `json:"ticks"`
+	Slices       int    `json:"slices"`
+	Recomputes   uint64 `json:"slice_recomputes_total"`
+	Skips        uint64 `json:"slice_skips_total"`
+	AlertsRaised uint64 `json:"alerts_raised_total"`
+	Pending      int    `json:"alerts_pending"`
+	Firing       int    `json:"alerts_firing"`
+	Resolved     int    `json:"alerts_resolved"`
+}
+
 // RecoveryReport mirrors the WAL's startup scan for GET /v1/status: what
 // survived the previous incarnation and what a crash tore off.
 type RecoveryReport struct {
@@ -173,6 +285,11 @@ type StatusResponse struct {
 	SinkFailures    uint64          `json:"sink_failures_total"`
 	LastSinkError   string          `json:"last_sink_error,omitempty"`
 	Recovery        *RecoveryReport `json:"recovery,omitempty"`
+	// Live is the query engine's snapshot, when the server runs one.
+	Live *LiveStats `json:"live,omitempty"`
+	// Watch is the sensitivity watcher's snapshot, when the server runs
+	// one.
+	Watch *WatchStats `json:"watch,omitempty"`
 }
 
 // WriteError renders err as the typed schema with the given HTTP status.

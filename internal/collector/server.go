@@ -166,6 +166,14 @@ type ServerConfig struct {
 	// collector stays decoupled from the query engine: the handler is
 	// injected, typically live.Engine.CurvesHandler().
 	CurvesHandler http.Handler
+	// AlertsHandler, when non-nil, is mounted at api.PathAlerts — injected,
+	// typically watch.Watcher.AlertsHandler().
+	AlertsHandler http.Handler
+	// ReportHandler, when non-nil, is mounted at api.PathReport.
+	ReportHandler http.Handler
+	// WatchStats, when non-nil, embeds the watcher's snapshot in
+	// /v1/status.
+	WatchStats func() api.WatchStats
 	// Registry exports the server's metrics; nil uses a private registry.
 	Registry *obs.Registry
 	// Logger routes structured logs; nil uses slog.Default().
@@ -301,6 +309,12 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc(api.PathFormats, s.handleFormats)
 	if s.cfg.CurvesHandler != nil {
 		mux.Handle(api.PathCurves, s.cfg.CurvesHandler)
+	}
+	if s.cfg.AlertsHandler != nil {
+		mux.Handle(api.PathAlerts, s.cfg.AlertsHandler)
+	}
+	if s.cfg.ReportHandler != nil {
+		mux.Handle(api.PathReport, s.cfg.ReportHandler)
 	}
 	mux.HandleFunc("/v1/", func(w http.ResponseWriter, r *http.Request) {
 		api.WriteError(w, http.StatusNotFound, api.CodeNotFound,
@@ -510,6 +524,16 @@ func (s *Server) Status() api.StatusResponse {
 		BatchesShed:     s.m.shedBatches.Value(),
 		SinkFailures:    s.m.sinkFailures.Value(),
 		Recovery:        s.cfg.Recovery,
+	}
+	// The live engine exposes its stats through an optional interface so
+	// the collector keeps depending only on LiveSink.
+	if ls, ok := s.cfg.Live.(interface{ LiveStats() api.LiveStats }); ok {
+		stats := ls.LiveStats()
+		st.Live = &stats
+	}
+	if s.cfg.WatchStats != nil {
+		stats := s.cfg.WatchStats()
+		st.Watch = &stats
 	}
 	if lastErr != nil {
 		st.Status = "degraded"

@@ -1,0 +1,129 @@
+package collector
+
+import (
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+
+	"autosens/internal/collector/api"
+	"autosens/internal/live"
+	"autosens/internal/telemetry"
+	"autosens/internal/watch"
+)
+
+// newWatchedServer assembles the full sensd shape: collector ingest with a
+// live-engine fan-in, a watcher over the engine, and the watch surfaces
+// mounted on the collector mux — the wiring cmd/sensd does.
+func newWatchedServer(t *testing.T) (*live.Engine, *watch.Watcher, string) {
+	t.Helper()
+	eng, err := live.New(live.Config{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := watch.New(watch.Config{Engine: eng})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _, ts := newTestServerCfg(t, ServerConfig{
+		Live:          eng,
+		AlertsHandler: w.AlertsHandler(),
+		ReportHandler: w.ReportHandler(),
+		WatchStats:    w.Stats,
+	})
+	return eng, w, ts.URL
+}
+
+// TestAlertsEndToEndThroughCollector pins the production path: beacons
+// POSTed to the collector reach the watcher via the live fan-in, and
+// /v1/alerts, /v1/report and /v1/status on the collector mux reflect its
+// state.
+func TestAlertsEndToEndThroughCollector(t *testing.T) {
+	_, w, url := newWatchedServer(t)
+
+	var batch []telemetry.Record
+	for i := 1; i <= 50; i++ {
+		batch = append(batch, testRecord(i))
+	}
+	if resp := postBatch(t, url, batch); resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("ingest status %d", resp.StatusCode)
+	}
+	// The 202 means the live engine has the batch (read-your-writes), so
+	// this tick sees it: the slice version moved and a recompute runs.
+	if res := w.Tick(); res.Recomputed == 0 {
+		t.Fatal("tick after ingest recomputed nothing")
+	}
+
+	resp, err := http.Get(url + api.PathAlerts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("alerts status %d", resp.StatusCode)
+	}
+	var alerts api.AlertsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&alerts); err != nil {
+		t.Fatal(err)
+	}
+	if alerts.Tick != 1 {
+		t.Fatalf("alerts tick %d, want 1", alerts.Tick)
+	}
+
+	resp, err = http.Get(url + api.PathStatus)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st api.StatusResponse
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Watch == nil {
+		t.Fatal("/v1/status has no watch block")
+	}
+	if st.Watch.Ticks != 1 || st.Watch.Recomputes == 0 {
+		t.Fatalf("watch stats %+v, want ticks=1 with a recompute", st.Watch)
+	}
+	if st.Live == nil {
+		t.Fatal("/v1/status has no live block alongside watch")
+	}
+
+	resp, err = http.Get(url + api.PathReport + "?format=text")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK ||
+		!strings.HasPrefix(resp.Header.Get("Content-Type"), "text/plain") {
+		t.Fatalf("report: status %d content-type %q", resp.StatusCode, resp.Header.Get("Content-Type"))
+	}
+}
+
+// TestWatchSurfacesUnmounted pins that a collector without a watcher keeps
+// the watch paths as v1 404s and /v1/status without a watch block.
+func TestWatchSurfacesUnmounted(t *testing.T) {
+	_, _, ts := newTestServerCfg(t, ServerConfig{})
+	for _, p := range []string{api.PathAlerts, api.PathReport} {
+		resp, err := http.Get(ts.URL + p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Fatalf("%s: status %d, want 404", p, resp.StatusCode)
+		}
+	}
+	resp, err := http.Get(ts.URL + api.PathStatus)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st api.StatusResponse
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Watch != nil {
+		t.Fatalf("watch block present without a watcher: %+v", st.Watch)
+	}
+}

@@ -225,6 +225,36 @@ func (c *Curve) At(ms float64) (float64, bool) {
 	return c.NLP[i], c.Valid[i]
 }
 
+// EffectiveN returns the effective sample size behind the NLP estimate at
+// the bin containing ms: the harmonic combination of the biased and
+// unbiased counts that landed in that bin. The NLP value is a B/U ratio,
+// so its sampling error is governed by the thinner of the two bin counts,
+// not the window's total volume — a probe out on the latency tail can sit
+// in a window of 100k records and still rest on a few dozen observations.
+// Returns 0 when either distribution has no mass at the bin.
+func (c *Curve) EffectiveN(ms float64) float64 {
+	if len(c.BinCenters) == 0 {
+		return 0
+	}
+	i := 0
+	if len(c.BinCenters) > 1 {
+		w := c.BinCenters[1] - c.BinCenters[0]
+		i = int((ms - (c.BinCenters[0] - w/2)) / w)
+		if i < 0 {
+			i = 0
+		}
+		if i >= len(c.BinCenters) {
+			i = len(c.BinCenters) - 1
+		}
+	}
+	nB := c.Biased[i] * float64(c.BiasedN)
+	nU := c.Unbiased[i] * float64(c.UnbiasedN)
+	if nB <= 0 || nU <= 0 {
+		return 0
+	}
+	return 1 / (1/nB + 1/nU)
+}
+
 // PrefCurve adapts the estimate into a prefcurve.Curve interpolating
 // through the valid bins, for direct comparison against planted ground
 // truth.

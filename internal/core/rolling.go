@@ -67,6 +67,10 @@ type RollingSeries struct {
 	// NLP[i][j] is the NLP at Probes[j] for window i (NaN when that
 	// probe's bin was invalid).
 	NLP [][]float64
+	// ProbeN[i][j] is the effective sample size behind NLP[i][j] — see
+	// Curve.EffectiveN. Consumers sizing confidence intervals should use
+	// this, not Records: the probe bin's count is what bounds the error.
+	ProbeN [][]float64
 	// Records[i] is the number of usable records in window i.
 	Records []int
 	// Skipped counts windows dropped for thin data or estimation
@@ -104,18 +108,38 @@ func (e *Estimator) Rolling(records []telemetry.Record, opts RollingOptions) (*R
 		return nil, errors.New("core: no usable records")
 	}
 	telemetry.SortByTime(records)
-	lo := records[0].Time
-	hi := records[len(records)-1].Time
+	times, lats := columnsOf(records)
+	return e.rollingColumns(times, lats, opts)
+}
 
-	estimate := e.Estimate
-	if opts.TimeNormalized {
-		estimate = e.EstimateTimeNormalized
+// RollingColumns estimates NLP over sliding windows of time-sorted columns
+// of usable records — the incremental-friendly form of Rolling used by the
+// live watcher, bit-identical to Rolling over records with the same times
+// and latencies. A shared Scratch is reused across windows, so a series
+// over w windows allocates w output curves, not w estimator states.
+func (e *Estimator) RollingColumns(times []timeutil.Millis, lats []float64, opts RollingOptions) (*RollingSeries, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	if err := checkColumns(times, lats); err != nil {
+		return nil, err
+	}
+	return e.rollingColumns(times, lats, opts)
+}
+
+// rollingColumns is the shared sliding-window core over sorted columns.
+func (e *Estimator) rollingColumns(times []timeutil.Millis, lats []float64, opts RollingOptions) (*RollingSeries, error) {
+	lo := times[0]
+	hi := times[len(times)-1]
+
+	var sc Scratch
+	estimate := func(t []timeutil.Millis, l []float64) (*Curve, error) {
+		if opts.TimeNormalized {
+			return e.EstimateTimeNormalizedColumns(t, l)
+		}
+		return e.EstimateColumns(t, l, &sc)
 	}
 	out := &RollingSeries{Probes: opts.Probes}
-	times := make([]timeutil.Millis, len(records))
-	for i, r := range records {
-		times[i] = r.Time
-	}
 	for start := lo; start+opts.Window <= hi+1; start += opts.Step {
 		end := start + opts.Window
 		i := sort.Search(len(times), func(k int) bool { return times[k] >= start })
@@ -124,21 +148,24 @@ func (e *Estimator) Rolling(records []telemetry.Record, opts RollingOptions) (*R
 			out.Skipped++
 			continue
 		}
-		curve, err := estimate(records[i:j])
+		curve, err := estimate(times[i:j], lats[i:j])
 		if err != nil {
 			out.Skipped++
 			continue
 		}
 		row := make([]float64, len(opts.Probes))
+		ns := make([]float64, len(opts.Probes))
 		for p, probe := range opts.Probes {
 			v, ok := curve.At(probe)
 			if !ok {
 				v = math.NaN()
 			}
 			row[p] = v
+			ns[p] = curve.EffectiveN(probe)
 		}
 		out.WindowStart = append(out.WindowStart, start)
 		out.NLP = append(out.NLP, row)
+		out.ProbeN = append(out.ProbeN, ns)
 		out.Records = append(out.Records, j-i)
 	}
 	if len(out.WindowStart) == 0 {

@@ -120,6 +120,196 @@ func TestRollingStableSeries(t *testing.T) {
 	}
 }
 
+// TestRollingColumnsMatchesRolling pins the incremental-friendly entry
+// point to the record-slice one: same times and latencies, bit-identical
+// series — including ProbeN, which the watcher's drift thresholds consume.
+func TestRollingColumnsMatchesRolling(t *testing.T) {
+	records := driftRecords(64, 6)
+	e := testEstimator(t, func(o *Options) { o.ReferenceMS = 300 })
+	want, err := e.Rolling(records, rollingOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sorted := usable(records)
+	telemetry.SortByTime(sorted)
+	times, lats := columnsOf(sorted)
+	got, err := e.RollingColumns(times, lats, rollingOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.WindowStart) != len(want.WindowStart) || got.Skipped != want.Skipped {
+		t.Fatalf("shape mismatch: %d/%d windows, %d/%d skipped",
+			len(got.WindowStart), len(want.WindowStart), got.Skipped, want.Skipped)
+	}
+	for i := range want.WindowStart {
+		if got.WindowStart[i] != want.WindowStart[i] || got.Records[i] != want.Records[i] {
+			t.Fatalf("window %d differs: start %d/%d records %d/%d",
+				i, got.WindowStart[i], want.WindowStart[i], got.Records[i], want.Records[i])
+		}
+		for j := range want.Probes {
+			gv, wv := got.NLP[i][j], want.NLP[i][j]
+			if gv != wv && !(math.IsNaN(gv) && math.IsNaN(wv)) {
+				t.Fatalf("window %d probe %d NLP %v != %v", i, j, gv, wv)
+			}
+			if got.ProbeN[i][j] != want.ProbeN[i][j] {
+				t.Fatalf("window %d probe %d ProbeN %v != %v",
+					i, j, got.ProbeN[i][j], want.ProbeN[i][j])
+			}
+		}
+	}
+	// Unsorted columns must be rejected, not silently mis-windowed.
+	if len(times) > 1 {
+		times[0], times[1] = times[1], times[0]
+		if _, err := e.RollingColumns(times, lats, rollingOpts()); err == nil {
+			t.Fatal("unsorted columns accepted")
+		}
+	}
+}
+
+// TestRollingProbeNTracksBinThinness: the effective sample size behind a
+// rarely-hit probe bin must be far below the window's record count, and a
+// commonly-hit bin's must be larger — Records is NOT a CI denominator.
+func TestRollingProbeNTracksBinThinness(t *testing.T) {
+	records := driftRecords(65, 6)
+	e := testEstimator(t, func(o *Options) { o.ReferenceMS = 300 })
+	opts := rollingOpts()
+	opts.Probes = []float64{300, 800}
+	series, err := e.Rolling(records, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range series.WindowStart {
+		nCommon, nRare := series.ProbeN[i][0], series.ProbeN[i][1]
+		if nRare <= 0 || nCommon <= 0 {
+			continue // probe bin empty in this window
+		}
+		if nRare >= float64(series.Records[i]) {
+			t.Fatalf("window %d: rare-probe ProbeN %v not below Records %d",
+				i, nRare, series.Records[i])
+		}
+		if nCommon <= nRare {
+			t.Fatalf("window %d: common probe ProbeN %v <= rare probe %v",
+				i, nCommon, nRare)
+		}
+	}
+}
+
+// TestRollingSingleWindow: a stream exactly one window long yields exactly
+// one row, anchored at the first record.
+func TestRollingSingleWindow(t *testing.T) {
+	src := rng.New(66)
+	opts := rollingOpts()
+	// Slightly over one window long: the stream's actual span (first to
+	// last record) must cover Window, but stay short of Window+Step.
+	records := genRecords(src, opts.Window+2*timeutil.MillisPerHour,
+		func(tm timeutil.Millis) float64 { return 400 },
+		0.25, func(tm timeutil.Millis) float64 { return 2 })
+	e := testEstimator(t, nil)
+	series, err := e.Rolling(records, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series.WindowStart) != 1 {
+		t.Fatalf("%d windows, want 1", len(series.WindowStart))
+	}
+	sorted := usable(records)
+	telemetry.SortByTime(sorted)
+	if series.WindowStart[0] != sorted[0].Time {
+		t.Fatalf("window anchored at %d, want first record time %d",
+			series.WindowStart[0], sorted[0].Time)
+	}
+}
+
+// TestRollingStepLargerThanWindow: gappy (non-overlapping, spaced) windows
+// are legal; each record lands in at most one.
+func TestRollingStepLargerThanWindow(t *testing.T) {
+	src := rng.New(67)
+	opts := rollingOpts()
+	opts.Window = timeutil.MillisPerDay
+	opts.Step = 2 * timeutil.MillisPerDay
+	records := genRecords(src, 6*timeutil.MillisPerDay,
+		func(tm timeutil.Millis) float64 { return 400 },
+		0.25, func(tm timeutil.Millis) float64 { return 2 })
+	e := testEstimator(t, nil)
+	series, err := e.Rolling(records, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series.WindowStart)+series.Skipped != 3 {
+		t.Fatalf("%d windows + %d skipped, want 3 total",
+			len(series.WindowStart), series.Skipped)
+	}
+	total := 0
+	for _, n := range series.Records {
+		total += n
+	}
+	if total >= len(records) {
+		t.Fatalf("windows consumed %d of %d records; gaps missing", total, len(records))
+	}
+}
+
+// TestRollingAllWindowsThin: when MinRecords filters every window the call
+// errors rather than returning an empty series.
+func TestRollingAllWindowsThin(t *testing.T) {
+	var records []telemetry.Record
+	for i := 0; i < 200; i++ {
+		records = append(records,
+			mkRec(timeutil.Millis(i)*timeutil.MillisPerHour/4, 300+float64(i%7)))
+	}
+	e := testEstimator(t, nil)
+	if _, err := e.Rolling(records, rollingOpts()); err == nil {
+		t.Fatal("all-thin series accepted")
+	}
+}
+
+// TestRollingBoundaryRegimeChange: a preference flip on an exact window
+// boundary keeps both adjoining windows pure — the before window reads
+// pre-change, the after window post-change, with the step between them.
+func TestRollingBoundaryRegimeChange(t *testing.T) {
+	src := rng.New(68)
+	opts := rollingOpts() // 2d windows, 1d step
+	boundary := 4 * timeutil.MillisPerDay
+	slow := func(tm timeutil.Millis) bool {
+		return (tm/(2*timeutil.MillisPerHour))%2 == 1
+	}
+	records := genRecords(src, 8*timeutil.MillisPerDay,
+		func(tm timeutil.Millis) float64 {
+			if slow(tm) {
+				return 800
+			}
+			return 300
+		}, 0.25,
+		func(tm timeutil.Millis) float64 {
+			if slow(tm) && tm >= boundary {
+				return 4
+			}
+			return 10
+		})
+	e := testEstimator(t, func(o *Options) { o.ReferenceMS = 300 })
+	series, err := e.Rolling(records, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var before, after float64 = math.NaN(), math.NaN()
+	for i, start := range series.WindowStart {
+		if start+opts.Window <= boundary {
+			before = series.NLP[i][0] // last fully pre-change window
+		}
+		if start >= boundary && math.IsNaN(after) {
+			after = series.NLP[i][0] // first fully post-change window
+		}
+	}
+	if math.IsNaN(before) || math.IsNaN(after) {
+		t.Fatalf("boundary windows missing: before=%v after=%v", before, after)
+	}
+	if before < 0.85 {
+		t.Fatalf("pre-boundary window NLP %v contaminated by the change", before)
+	}
+	if after > 0.65 {
+		t.Fatalf("post-boundary window NLP %v does not reflect the change", after)
+	}
+}
+
 func TestRollingSkipsThinWindows(t *testing.T) {
 	// A burst of records followed by silence: later windows are skipped.
 	var records []telemetry.Record

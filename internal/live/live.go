@@ -91,7 +91,14 @@ type Engine struct {
 	cache map[queryKey]*comboCache
 
 	skipped atomic.Uint64 // failed/out-of-range records not stored
-	m       *metrics
+
+	// Query counters, kept on the engine (not only in optional metrics) so
+	// /v1/status can report them without a registry.
+	nQueries atomic.Uint64
+	nHits    atomic.Uint64
+	nMisses  atomic.Uint64
+
+	m *metrics
 }
 
 // New builds an engine. The zero Config is valid.

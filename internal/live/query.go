@@ -198,6 +198,14 @@ func (e *Engine) Query(key SliceKey, mode Mode, ci bool) (*Result, error) {
 	cc := e.cacheFor(qk)
 
 	res, err := e.queryCached(cc, combo, key, mode, ci)
+	e.nQueries.Add(1)
+	if err == nil {
+		if res.Cached {
+			e.nHits.Add(1)
+		} else {
+			e.nMisses.Add(1)
+		}
+	}
 	if e.m != nil {
 		e.m.queries.Inc()
 		e.m.queryDur.ObserveSince(start)

@@ -1,0 +1,103 @@
+package live
+
+import (
+	"context"
+	"runtime/pprof"
+
+	"autosens/internal/collector/api"
+	"autosens/internal/core"
+	"autosens/internal/timeutil"
+)
+
+// ShardColumns is one shard's contribution to a slice snapshot: that
+// shard's matching records as (time, seq)-sorted parallel columns. The
+// slices alias the engine's immutable shard views and must be treated as
+// read-only.
+type ShardColumns struct {
+	Times []timeutil.Millis
+	Lats  []float64
+	Seqs  []uint64
+}
+
+// SliceSnapshot is the watcher-facing read surface of one slice: the
+// merged time-sorted columns the batch estimator would see, the per-shard
+// columns behind them (for cross-shard correlation analysis), and the
+// slice version the snapshot reflects.
+type SliceSnapshot struct {
+	// Version is the slice's ingest version, stamped before the shard
+	// views were gathered — like a query's version it can only understate,
+	// so a later SliceVersion comparison never misses new data.
+	Version uint64
+	// Times and Lats are the merged (time, seq)-sorted columns across all
+	// shards — exactly the stable by-time sort of the acked stream, the
+	// same columns a curve recompute estimates over.
+	Times []timeutil.Millis
+	Lats  []float64
+	// Shards holds the per-shard sorted columns (empty shards included,
+	// with nil columns). Index matches the engine's shard index.
+	Shards []ShardColumns
+}
+
+// Options returns the estimator options the engine runs with, so derived
+// computations (the watcher's rolling series) estimate under identical
+// binning and smoothing.
+func (e *Engine) Options() core.Options { return e.cfg.Options }
+
+// SliceVersion returns the slice's current ingest version: a monotone
+// counter of matching appends. It is a handful of atomic loads, so pollers
+// (the watcher's per-tick staleness check) can call it at any rate.
+func (e *Engine) SliceVersion(key SliceKey) uint64 {
+	return e.comboVersion(key.combo())
+}
+
+// SnapshotSlice materializes the slice's columns, rebuilding only shard
+// views whose combo version moved since the last build (queries and
+// snapshots share the per-shard view cache). On an unchanged slice no
+// decode work happens — every shard serves its cached view — so callers
+// that skip on SliceVersion equality pay nothing and callers that don't
+// still pay only the merge.
+func (e *Engine) SnapshotSlice(key SliceKey) (*SliceSnapshot, error) {
+	combo := key.combo()
+	// Stamp before gathering, as Query does: racing appends may or may not
+	// be included, and the understated stamp keeps staleness detectable.
+	v0 := e.comboVersion(combo)
+	views := make([]*shardView, len(e.shards))
+	pprof.Do(context.Background(), pprof.Labels(
+		"live", "slice_snapshot", "slice", key.String(),
+	), func(context.Context) {
+		core.ForEachIndex(e.cfg.Workers, len(e.shards), func(i int) {
+			views[i], _ = e.shards[i].viewFor(combo, key, e.newHist)
+		})
+	})
+
+	snap := &SliceSnapshot{Version: v0, Shards: make([]ShardColumns, len(views))}
+	n := 0
+	for i, v := range views {
+		snap.Shards[i] = ShardColumns{Times: v.times, Lats: v.lats, Seqs: v.seqs}
+		n += len(v.times)
+	}
+	if n == 0 {
+		return nil, ErrNoRecords
+	}
+	snap.Times = make([]timeutil.Millis, 0, n)
+	snap.Lats = make([]float64, 0, n)
+	mergeViews(views, &snap.Times, &snap.Lats)
+	return snap, nil
+}
+
+// LiveStats snapshots the engine's operational counters for /v1/status —
+// one JSON read for operators instead of scraping /metrics. Counters are
+// maintained by the engine itself, so they are present with or without a
+// metrics registry.
+func (e *Engine) LiveStats() api.LiveStats {
+	return api.LiveStats{
+		Shards:       len(e.shards),
+		Records:      e.Records(),
+		StoreBytes:   e.StoreBytes(),
+		Epoch:        e.Epoch(),
+		Queries:      e.nQueries.Load(),
+		CacheHits:    e.nHits.Load(),
+		CacheMisses:  e.nMisses.Load(),
+		CachedCurves: e.cachedCurves(),
+	}
+}

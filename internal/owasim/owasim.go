@@ -58,6 +58,11 @@ type Config struct {
 	// StalenessReset is the gap after which a returning user re-senses
 	// the true current condition instead of trusting stale history.
 	StalenessReset timeutil.Millis
+	// Regimes, when non-nil, schedules deterministic incident regimes —
+	// shared latency regressions and preference shifts with exact,
+	// configured boundaries — the labelled ground truth that alerting
+	// precision/recall is scored against.
+	Regimes *RegimeSchedule
 	// ABTest, when non-nil, runs an active experiment alongside the
 	// natural one: a fixed fraction of users (chosen by a deterministic
 	// hash of their ID) receive AddMS of injected latency on every
@@ -143,6 +148,11 @@ func (c Config) Validate() error {
 			return err
 		}
 	}
+	if c.Regimes != nil {
+		if err := c.Regimes.Validate(); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 
@@ -156,13 +166,29 @@ type Result struct {
 
 // userState is the per-user simulation state.
 type userState struct {
-	user      userpop.User
-	src       *rng.Source
-	perceived float64         // EWMA of observed service condition factor
-	lastObs   timeutil.Millis // time of last accepted action
-	hasObs    bool
-	maxRate   float64 // candidate (thinning envelope) rate per ms
-	injectMS  float64 // A/B treatment delay added to every action
+	user       userpop.User
+	src        *rng.Source
+	perceived  float64         // EWMA of observed service condition factor
+	lastObs    timeutil.Millis // time of last accepted action
+	hasObs     bool
+	maxRate    float64 // candidate (thinning envelope) rate per ms
+	injectMS   float64 // A/B treatment delay added to every action
+	incidentIn []bool  // per-incident membership, precomputed
+}
+
+// incidentFactor is the combined scheduled-incident severity this user's
+// actions experience at time now.
+func (st *userState) incidentFactor(cfg Config, now timeutil.Millis) float64 {
+	if cfg.Regimes == nil {
+		return 1
+	}
+	f := 1.0
+	for i, inc := range cfg.Regimes.LatencyIncidents {
+		if now >= inc.Start && now < inc.End && st.incidentIn[i] {
+			f *= inc.Severity
+		}
+	}
+	return f
 }
 
 // Run executes the simulation and collects all records in memory.
@@ -213,6 +239,12 @@ func RunTo(cfg Config, sink func(telemetry.Record) error, out *Result) error {
 		if cfg.ABTest != nil && InTreatment(cfg.Seed, u.ID, cfg.ABTest.Fraction) {
 			st.injectMS = cfg.ABTest.AddMS
 		}
+		if cfg.Regimes != nil {
+			st.incidentIn = make([]bool, len(cfg.Regimes.LatencyIncidents))
+			for k, inc := range cfg.Regimes.LatencyIncidents {
+				st.incidentIn[k] = InIncident(cfg.Seed, k, u.ID, inc.UserFraction)
+			}
+		}
 		states[i] = st
 		first := timeutil.Millis(st.src.Exp(st.maxRate))
 		if err := sim.At(first, makeCandidate(sim, st, cfg, model, sink, &sinkErr)); err != nil {
@@ -256,8 +288,12 @@ func step(now timeutil.Millis, st *userState, cfg Config, model *latencymodel.Mo
 	u := st.user
 	truth := cfg.Truth
 
-	// The condition factor the user currently perceives.
-	trueFactor := model.PathFactor(now)
+	// The condition factor the user currently perceives. A scheduled
+	// incident is part of the service condition: it inflates the true
+	// factor (an oracle perceiver senses it instantly) and the logged
+	// latency below; EWMA perceivers learn it from their observations.
+	sev := st.incidentFactor(cfg, now)
+	trueFactor := model.PathFactor(now) * sev
 	perceived := trueFactor
 	if cfg.EWMABeta > 0 && st.hasObs && now-st.lastObs <= cfg.StalenessReset {
 		perceived = st.perceived
@@ -265,6 +301,9 @@ func step(now timeutil.Millis, st *userState, cfg Config, model *latencymodel.Mo
 
 	period := timeutil.PeriodOf(now, u.TZOffset)
 	gamma := truth.Gamma(u.Type, u.NetMult, period)
+	if cfg.Regimes != nil {
+		gamma *= cfg.Regimes.gammaScale(now)
+	}
 	diurnal := u.Diurnal.AtTime(now, u.TZOffset)
 	if timeutil.IsWeekend(now, u.TZOffset) {
 		diurnal *= u.WeekendFactor
@@ -290,7 +329,7 @@ func step(now timeutil.Millis, st *userState, cfg Config, model *latencymodel.Mo
 
 	// Accepted: choose the action type and realize its latency.
 	a := telemetry.ActionType(st.src.Categorical(weights[:]))
-	latency := model.SampleMS(now, a, u.NetMult, st.src) + st.injectMS
+	latency := model.SampleMS(now, a, u.NetMult, st.src)*sev + st.injectMS
 
 	// Update the user's perception with what they just experienced; the
 	// perceived condition factor excludes the injected constant, which

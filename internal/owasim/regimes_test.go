@@ -1,0 +1,197 @@
+package owasim
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"autosens/internal/timeutil"
+)
+
+func TestRegimeScheduleValidation(t *testing.T) {
+	day := timeutil.MillisPerDay
+	good := &RegimeSchedule{
+		LatencyIncidents: []LatencyIncident{{Start: day, End: 2 * day, Severity: 3, UserFraction: 0.5}},
+		PrefShifts:       []PrefShift{{Start: day, End: 2 * day, GammaScale: 2}},
+	}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []*RegimeSchedule{
+		{LatencyIncidents: []LatencyIncident{{Start: 2 * day, End: day, Severity: 3, UserFraction: 1}}},
+		{LatencyIncidents: []LatencyIncident{{Start: day, End: 2 * day, Severity: 1, UserFraction: 1}}},
+		{LatencyIncidents: []LatencyIncident{{Start: day, End: 2 * day, Severity: 3, UserFraction: 0}}},
+		{LatencyIncidents: []LatencyIncident{{Start: day, End: 2 * day, Severity: 3, UserFraction: 1.5}}},
+		{PrefShifts: []PrefShift{{Start: day, End: day, GammaScale: 2}}},
+		{PrefShifts: []PrefShift{{Start: day, End: 2 * day, GammaScale: 0}}},
+	}
+	for i, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Errorf("bad schedule %d accepted", i)
+		}
+	}
+	// Run must reject an invalid schedule up front.
+	cfg := DefaultConfig(2*day, 5, 5)
+	cfg.Regimes = bad[0]
+	if _, err := Run(cfg); err == nil {
+		t.Fatal("Run accepted invalid schedule")
+	}
+}
+
+func TestInIncidentDeterministicFraction(t *testing.T) {
+	const users = 4000
+	hits := 0
+	for id := uint64(1); id <= users; id++ {
+		in := InIncident(99, 0, id, 0.3)
+		if in != InIncident(99, 0, id, 0.3) {
+			t.Fatalf("user %d membership not deterministic", id)
+		}
+		if in {
+			hits++
+		}
+	}
+	frac := float64(hits) / users
+	if math.Abs(frac-0.3) > 0.03 {
+		t.Fatalf("fraction 0.3 realized as %.3f", frac)
+	}
+	// Different incident indexes select different subsets.
+	same := 0
+	for id := uint64(1); id <= users; id++ {
+		if InIncident(99, 0, id, 0.3) && InIncident(99, 1, id, 0.3) {
+			same++
+		}
+	}
+	if same == hits {
+		t.Fatal("incident 1 selected the same users as incident 0")
+	}
+	if !InIncident(99, 0, 7, 1) {
+		t.Fatal("fraction 1 must cover every user")
+	}
+}
+
+func medianLatencyIn(recs []struct {
+	t timeutil.Millis
+	l float64
+}, lo, hi timeutil.Millis) float64 {
+	var v []float64
+	for _, r := range recs {
+		if r.t >= lo && r.t < hi {
+			v = append(v, r.l)
+		}
+	}
+	if len(v) == 0 {
+		return math.NaN()
+	}
+	sort.Float64s(v)
+	return v[len(v)/2]
+}
+
+// TestScheduledIncidentRaisesObservedLatency: during a severity-3 fleet
+// incident the observed median latency must sit well above the same run's
+// pre-incident median — the signal the watcher's incident detector keys on.
+func TestScheduledIncidentRaisesObservedLatency(t *testing.T) {
+	day := timeutil.MillisPerDay
+	cfg := DefaultConfig(3*day, 40, 40)
+	cfg.Seed = 3030
+	cfg.Regimes = &RegimeSchedule{LatencyIncidents: []LatencyIncident{{
+		Start: 2 * day, End: 3 * day, Severity: 3, UserFraction: 1,
+	}}}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var recs []struct {
+		t timeutil.Millis
+		l float64
+	}
+	for _, r := range res.Records {
+		recs = append(recs, struct {
+			t timeutil.Millis
+			l float64
+		}{r.Time, r.LatencyMS})
+	}
+	before := medianLatencyIn(recs, 0, 2*day)
+	during := medianLatencyIn(recs, 2*day, 3*day)
+	if math.IsNaN(before) || math.IsNaN(during) {
+		t.Fatal("median windows empty")
+	}
+	ratio := during / before
+	// Selection works against the incident (sensitive users act less when
+	// slow), so the observed ratio undershoots severity 3 — but it must
+	// still clearly exceed the watcher's default 1.6x factor.
+	if ratio < 1.8 {
+		t.Fatalf("incident window median only %.2fx baseline", ratio)
+	}
+}
+
+// TestPrefShiftSuppressesActivityWhenSlow: scaling γ up makes users more
+// latency-averse, so activity during the shift drops relative to the same
+// seed without a shift — while observed latency stays un-regressed (the
+// latency process is untouched).
+func TestPrefShiftSuppressesActivityWhenSlow(t *testing.T) {
+	day := timeutil.MillisPerDay
+	base := DefaultConfig(2*day, 40, 40)
+	base.Seed = 4040
+	plain, err := Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shifted := base
+	shifted.Regimes = &RegimeSchedule{PrefShifts: []PrefShift{{
+		Start: day, End: 2 * day, GammaScale: 5,
+	}}}
+	shift, err := Run(shifted)
+	if err != nil {
+		t.Fatal(err)
+	}
+	count := func(recs []struct {
+		t timeutil.Millis
+		l float64
+	}, lo, hi timeutil.Millis) int {
+		n := 0
+		for _, r := range recs {
+			if r.t >= lo && r.t < hi {
+				n++
+			}
+		}
+		return n
+	}
+	cols := func(r *Result) []struct {
+		t timeutil.Millis
+		l float64
+	} {
+		var out []struct {
+			t timeutil.Millis
+			l float64
+		}
+		for _, rec := range r.Records {
+			out = append(out, struct {
+				t timeutil.Millis
+				l float64
+			}{rec.Time, rec.LatencyMS})
+		}
+		return out
+	}
+	pc, sc := cols(plain), cols(shift)
+	// Day 0 precedes the shift: both runs share seed and schedule-free
+	// dynamics, so volumes agree closely.
+	d0p, d0s := count(pc, 0, day), count(sc, 0, day)
+	if d0p == 0 || math.Abs(float64(d0s-d0p))/float64(d0p) > 0.05 {
+		t.Fatalf("pre-shift volumes diverged: %d vs %d", d0p, d0s)
+	}
+	// Day 1 is in-shift: the γ×5 population acts measurably less.
+	d1p, d1s := count(pc, day, 2*day), count(sc, day, 2*day)
+	if d1s >= d1p {
+		t.Fatalf("shifted run did not suppress activity: %d vs %d", d1s, d1p)
+	}
+	if float64(d1s) > 0.9*float64(d1p) {
+		t.Fatalf("shift suppressed only %d -> %d records (<10%%)", d1p, d1s)
+	}
+	// And the latency process is untouched: in-shift median must not read
+	// as a latency regression.
+	mlp := medianLatencyIn(pc, day, 2*day)
+	mls := medianLatencyIn(sc, day, 2*day)
+	if mls > 1.3*mlp {
+		t.Fatalf("pref shift moved observed latency %.1f -> %.1f", mlp, mls)
+	}
+}

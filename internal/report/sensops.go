@@ -1,0 +1,216 @@
+// Sensitivity-ops report: the watcher's per-slice rolling NLP series plus
+// the current alert set, rendered as JSON (machines) or a single
+// self-contained HTML page (humans). The types here are plain data — the
+// watcher populates them — so this package stays free of the live engine
+// and the wire contract.
+package report
+
+import (
+	"encoding/json"
+	"fmt"
+	"html/template"
+	"io"
+	"math"
+	"strings"
+)
+
+// AlertRow is one alert as the sensitivity report shows it.
+type AlertRow struct {
+	ID        string  `json:"id"`
+	Type      string  `json:"type"`
+	Slice     string  `json:"slice"`
+	Severity  string  `json:"severity"`
+	State     string  `json:"state"`
+	Value     float64 `json:"value"`
+	Threshold float64 `json:"threshold"`
+	Message   string  `json:"message"`
+}
+
+// SensSlice is one watched slice's sensitivity series.
+type SensSlice struct {
+	// Slice is the canonical slice key.
+	Slice string `json:"slice"`
+	// Records is the number of stored records behind the series.
+	Records int `json:"records"`
+	// Version is the slice's ingest version the series reflects.
+	Version uint64 `json:"version"`
+	// Probes are the tracked probe latencies (ms).
+	Probes []float64 `json:"probes_ms"`
+	// WindowStartHours are window start times in hours since the stream
+	// origin; NLP[i][j] is the NLP at Probes[j] for window i (NaN renders
+	// as null in JSON and a gap in charts).
+	WindowStartHours []float64   `json:"window_start_hours"`
+	NLP              [][]float64 `json:"nlp"`
+	// WindowRecords[i] is the record count of window i.
+	WindowRecords []int `json:"window_records"`
+	// Skipped counts windows dropped for thin data.
+	Skipped int `json:"skipped_windows"`
+}
+
+// SensOpsReport is the full sensitivity-ops report.
+type SensOpsReport struct {
+	// Tick is the watcher tick the report reflects.
+	Tick uint64 `json:"tick"`
+	// Slices holds one entry per watched slice that has produced a series.
+	Slices []SensSlice `json:"slices"`
+	// Alerts is the retained alert set, firing first.
+	Alerts []AlertRow `json:"alerts"`
+}
+
+// jsonSafe maps NaN/Inf (invalid in JSON) to nil.
+func jsonSafe(v float64) any {
+	if !finite(v) {
+		return nil
+	}
+	return v
+}
+
+// MarshalJSON renders the report with NaN NLP values as null, so the
+// artifact is always valid JSON.
+func (r *SensOpsReport) MarshalJSON() ([]byte, error) {
+	type sliceJSON struct {
+		Slice            string    `json:"slice"`
+		Records          int       `json:"records"`
+		Version          uint64    `json:"version"`
+		Probes           []float64 `json:"probes_ms"`
+		WindowStartHours []float64 `json:"window_start_hours"`
+		NLP              [][]any   `json:"nlp"`
+		WindowRecords    []int     `json:"window_records"`
+		Skipped          int       `json:"skipped_windows"`
+	}
+	out := struct {
+		Tick   uint64      `json:"tick"`
+		Slices []sliceJSON `json:"slices"`
+		Alerts []AlertRow  `json:"alerts"`
+	}{Tick: r.Tick, Slices: make([]sliceJSON, len(r.Slices)), Alerts: r.Alerts}
+	for i, s := range r.Slices {
+		nlp := make([][]any, len(s.NLP))
+		for w, row := range s.NLP {
+			nlp[w] = make([]any, len(row))
+			for j, v := range row {
+				nlp[w][j] = jsonSafe(v)
+			}
+		}
+		out.Slices[i] = sliceJSON{
+			Slice: s.Slice, Records: s.Records, Version: s.Version,
+			Probes: s.Probes, WindowStartHours: s.WindowStartHours,
+			NLP: nlp, WindowRecords: s.WindowRecords, Skipped: s.Skipped,
+		}
+	}
+	return json.Marshal(out)
+}
+
+// chart renders the slice's per-probe NLP series as an ASCII line chart,
+// reused verbatim inside the HTML page (in a <pre>) and by RenderText.
+func (s *SensSlice) chart() string {
+	var series []Series
+	for j, probe := range s.Probes {
+		y := make([]float64, len(s.NLP))
+		for i, row := range s.NLP {
+			y[i] = row[j]
+		}
+		series = append(series, Series{Name: fmt.Sprintf("NLP@%gms", probe), X: s.WindowStartHours, Y: y})
+	}
+	var b strings.Builder
+	c := LineChart{XLabel: "window start (hours)", YLabel: "NLP", Width: 72, Height: 14}
+	if err := c.Render(&b, series...); err != nil {
+		return "(no estimable windows)\n"
+	}
+	return b.String()
+}
+
+// latest returns the newest non-NaN NLP value at probe index j.
+func (s *SensSlice) latest(j int) float64 {
+	for i := len(s.NLP) - 1; i >= 0; i-- {
+		if v := s.NLP[i][j]; !math.IsNaN(v) {
+			return v
+		}
+	}
+	return math.NaN()
+}
+
+// RenderText writes the report as terminal-friendly plain text.
+func (r *SensOpsReport) RenderText(w io.Writer) error {
+	fmt.Fprintf(w, "sensitivity ops report (tick %d)\n\n", r.Tick)
+	fmt.Fprintf(w, "alerts: %d\n", len(r.Alerts))
+	for _, a := range r.Alerts {
+		fmt.Fprintf(w, "  [%s/%s] %s: %s\n", a.State, a.Severity, a.ID, a.Message)
+	}
+	for i := range r.Slices {
+		s := &r.Slices[i]
+		fmt.Fprintf(w, "\nslice %s (%d records, version %d, %d windows, %d skipped)\n",
+			s.Slice, s.Records, s.Version, len(s.NLP), s.Skipped)
+		if _, err := io.WriteString(w, s.chart()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// sensopsTmpl is the single-page HTML report. Styling is inline so the
+// artifact is self-contained (openable from disk, attachable to an
+// incident ticket).
+var sensopsTmpl = template.Must(template.New("sensops").Parse(`<!DOCTYPE html>
+<html><head><meta charset="utf-8"><title>AutoSens sensitivity ops</title>
+<style>
+body { font-family: system-ui, sans-serif; margin: 2em; color: #222; }
+h1 { font-size: 1.3em; } h2 { font-size: 1.1em; margin-top: 1.5em; }
+table { border-collapse: collapse; margin: 0.5em 0; }
+th, td { border: 1px solid #bbb; padding: 0.25em 0.6em; text-align: left; font-size: 0.9em; }
+th { background: #f0f0f0; }
+pre { background: #f7f7f7; padding: 0.8em; overflow-x: auto; font-size: 0.8em; }
+.firing { color: #b00020; font-weight: bold; }
+.pending { color: #b36b00; }
+.resolved { color: #4a4a4a; }
+.critical { background: #ffe5e5; }
+.muted { color: #777; }
+</style></head><body>
+<h1>AutoSens sensitivity ops &mdash; tick {{.Tick}}</h1>
+<h2>Alerts ({{len .Alerts}})</h2>
+{{if .Alerts}}<table>
+<tr><th>state</th><th>severity</th><th>type</th><th>slice</th><th>value</th><th>threshold</th><th>message</th></tr>
+{{range .Alerts}}<tr class="{{.Severity}}"><td class="{{.State}}">{{.State}}</td><td>{{.Severity}}</td><td>{{.Type}}</td><td>{{.Slice}}</td><td>{{printf "%.3f" .Value}}</td><td>{{printf "%.3f" .Threshold}}</td><td>{{.Message}}</td></tr>
+{{end}}</table>{{else}}<p class="muted">No alerts.</p>{{end}}
+{{range .SliceViews}}
+<h2>Slice {{.Slice}}</h2>
+<p class="muted">{{.Records}} records &middot; version {{.Version}} &middot; {{.Windows}} windows ({{.Skipped}} skipped)</p>
+<table><tr><th>probe (ms)</th><th>latest NLP</th></tr>
+{{range .Latest}}<tr><td>{{.Probe}}</td><td>{{.NLP}}</td></tr>{{end}}</table>
+<pre>{{.Chart}}</pre>
+{{end}}
+</body></html>
+`))
+
+// RenderHTML writes the report as one self-contained HTML page.
+func (r *SensOpsReport) RenderHTML(w io.Writer) error {
+	type latestRow struct{ Probe, NLP string }
+	type sliceView struct {
+		Slice            string
+		Records          int
+		Version          uint64
+		Windows, Skipped int
+		Latest           []latestRow
+		Chart            string
+	}
+	views := make([]sliceView, 0, len(r.Slices))
+	for i := range r.Slices {
+		s := &r.Slices[i]
+		v := sliceView{
+			Slice: s.Slice, Records: s.Records, Version: s.Version,
+			Windows: len(s.NLP), Skipped: s.Skipped, Chart: s.chart(),
+		}
+		for j, probe := range s.Probes {
+			nlp := "n/a"
+			if x := s.latest(j); !math.IsNaN(x) {
+				nlp = fmt.Sprintf("%.3f", x)
+			}
+			v.Latest = append(v.Latest, latestRow{Probe: fmt.Sprintf("%g", probe), NLP: nlp})
+		}
+		views = append(views, v)
+	}
+	return sensopsTmpl.Execute(w, struct {
+		Tick       uint64
+		Alerts     []AlertRow
+		SliceViews []sliceView
+	}{Tick: r.Tick, Alerts: r.Alerts, SliceViews: views})
+}

@@ -1,0 +1,193 @@
+package watch
+
+import (
+	"sort"
+	"sync"
+
+	"autosens/internal/collector/api"
+	"autosens/internal/timeutil"
+)
+
+// condition is one detector observation at one tick: "this slice's data
+// currently shows this anomaly". Conditions are stateless — the store
+// turns the per-tick stream of conditions into stateful alerts.
+type condition struct {
+	id        string // dedupe key; one alert per id however many ticks observe it
+	typ       string // api.Alert* type constant
+	slice     string
+	severity  string
+	message   string
+	value     float64
+	threshold float64
+	dataTime  timeutil.Millis
+}
+
+// alert is one tracked alert plus its lifecycle bookkeeping.
+type alert struct {
+	api.Alert
+	seenTicks   int // consecutive ticks the condition was observed
+	missedTicks int // consecutive ticks it was not
+}
+
+// alertStore owns the alert set and the pending→firing→resolved
+// lifecycle. All transitions happen in apply, once per watcher tick, so
+// lifecycle history is deterministic in ticks regardless of wall clock.
+type alertStore struct {
+	// firingTicks is how many consecutive observed ticks promote pending
+	// to firing (1 fires on first observation); resolveTicks how many
+	// consecutive unobserved ticks resolve a pending or firing alert;
+	// retentionTicks how long a resolved alert is retained before GC.
+	firingTicks    int
+	resolveTicks   int
+	retentionTicks int
+
+	mu     sync.Mutex
+	alerts map[string]*alert
+
+	// Monotone transition counters (read by stats with mu held elsewhere,
+	// so plain ints under mu suffice).
+	raised   uint64
+	fired    uint64
+	resolved uint64
+}
+
+func newAlertStore(firingTicks, resolveTicks, retentionTicks int) *alertStore {
+	return &alertStore{
+		firingTicks:    firingTicks,
+		resolveTicks:   resolveTicks,
+		retentionTicks: retentionTicks,
+		alerts:         make(map[string]*alert),
+	}
+}
+
+// severityRank orders severities for escalation.
+func severityRank(s string) int {
+	if s == api.SeverityCritical {
+		return 1
+	}
+	return 0
+}
+
+// apply advances the lifecycle with one tick's worth of conditions.
+// Returns how many alerts newly transitioned to firing this tick.
+func (st *alertStore) apply(tick uint64, conds []condition) (newlyFiring int) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+
+	seen := make(map[string]bool, len(conds))
+	for _, c := range conds {
+		seen[c.id] = true
+		a, ok := st.alerts[c.id]
+		if !ok || a.State == api.AlertResolved {
+			if !ok {
+				a = &alert{Alert: api.Alert{ID: c.id, FirstSeenTick: tick}}
+				st.alerts[c.id] = a
+			}
+			// Fresh raise, or the same condition returning after a
+			// resolve: either way a new pending cycle starts.
+			a.State = api.AlertPending
+			a.Severity = c.severity
+			a.FiringTick, a.ResolvedTick = 0, 0
+			a.seenTicks, a.missedTicks = 0, 0
+			st.raised++
+		}
+		a.Type, a.Slice = c.typ, c.slice
+		a.Value, a.Threshold = c.value, c.threshold
+		a.Message = c.message
+		a.DataTime = int64(c.dataTime)
+		a.LastSeenTick = tick
+		a.seenTicks++
+		a.missedTicks = 0
+		if severityRank(c.severity) > severityRank(a.Severity) {
+			a.Severity = c.severity // escalate, never downgrade mid-cycle
+		}
+		if a.State == api.AlertPending && a.seenTicks >= st.firingTicks {
+			a.State = api.AlertFiring
+			a.FiringTick = tick
+			st.fired++
+			newlyFiring++
+		}
+	}
+
+	for id, a := range st.alerts {
+		if seen[id] {
+			continue
+		}
+		switch a.State {
+		case api.AlertPending, api.AlertFiring:
+			a.seenTicks = 0
+			a.missedTicks++
+			if a.missedTicks >= st.resolveTicks {
+				a.State = api.AlertResolved
+				a.ResolvedTick = tick
+				st.resolved++
+			}
+		case api.AlertResolved:
+			if tick-a.ResolvedTick > uint64(st.retentionTicks) {
+				delete(st.alerts, id)
+			}
+		}
+	}
+	return newlyFiring
+}
+
+// counts returns the per-state alert counts.
+func (st *alertStore) counts() (pending, firing, resolved int) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	for _, a := range st.alerts {
+		switch a.State {
+		case api.AlertPending:
+			pending++
+		case api.AlertFiring:
+			firing++
+		case api.AlertResolved:
+			resolved++
+		}
+	}
+	return
+}
+
+// stateOrder sorts firing before pending before resolved.
+func stateOrder(s string) int {
+	switch s {
+	case api.AlertFiring:
+		return 0
+	case api.AlertPending:
+		return 1
+	default:
+		return 2
+	}
+}
+
+// list snapshots the retained alerts: every alert when state is empty,
+// else only those in that state. Sorted firing→pending→resolved, newest
+// activity first within a state, ID as the final tiebreak so output is
+// deterministic.
+func (st *alertStore) list(state string) []api.Alert {
+	st.mu.Lock()
+	out := make([]api.Alert, 0, len(st.alerts))
+	for _, a := range st.alerts {
+		if state == "" || a.State == state {
+			out = append(out, a.Alert)
+		}
+	}
+	st.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		if so := stateOrder(out[i].State) - stateOrder(out[j].State); so != 0 {
+			return so < 0
+		}
+		if out[i].LastSeenTick != out[j].LastSeenTick {
+			return out[i].LastSeenTick > out[j].LastSeenTick
+		}
+		return out[i].ID < out[j].ID
+	})
+	return out
+}
+
+// transitions returns the monotone lifecycle counters.
+func (st *alertStore) transitions() (raised, fired, resolved uint64) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.raised, st.fired, st.resolved
+}

@@ -1,0 +1,72 @@
+package watch
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// writeArtifactsLocked refreshes the on-disk ops artifacts after a tick:
+// alerts.json (the /v1/alerts body), report.json and report.html (the
+// /v1/report bodies). Each file is written to a temp name and renamed, so
+// a reader never sees a torn artifact. Caller holds w.mu.
+func (w *Watcher) writeArtifactsLocked() error {
+	dir := w.cfg.ArtifactsDir
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	alerts, err := json.MarshalIndent(w.Alerts(""), "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := writeAtomic(filepath.Join(dir, "alerts.json"), alerts); err != nil {
+		return err
+	}
+	rep := w.reportLocked()
+	body, err := rep.MarshalJSON()
+	if err != nil {
+		return err
+	}
+	if err := writeAtomic(filepath.Join(dir, "report.json"), body); err != nil {
+		return err
+	}
+	return writeAtomicFunc(filepath.Join(dir, "report.html"), rep.RenderHTML)
+}
+
+// writeAtomic writes data via a temp file + rename.
+func writeAtomic(path string, data []byte) error {
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("watch: publish %s: %w", path, err)
+	}
+	return nil
+}
+
+// writeAtomicFunc streams render output through a temp file + rename.
+func writeAtomicFunc(path string, render func(io.Writer) error) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if err := render(f); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("watch: publish %s: %w", path, err)
+	}
+	return nil
+}

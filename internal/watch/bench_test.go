@@ -1,0 +1,87 @@
+package watch
+
+import (
+	"testing"
+
+	"autosens/internal/core"
+	"autosens/internal/live"
+	"autosens/internal/timeutil"
+)
+
+// benchEngine loads a 4-day, multi-shard stream once per benchmark.
+func benchEngine(b *testing.B) *live.Engine {
+	b.Helper()
+	e, err := live.New(live.Config{Workers: 2})
+	if err != nil {
+		b.Fatal(err)
+	}
+	users := distinctShardUsers(12, 16)
+	recs := synthStream(7, users, 4*timeutil.MillisPerDay,
+		func(u uint64, tm timeutil.Millis) float64 { return 300 },
+		func(u uint64, tm timeutil.Millis) float64 { return 0.5 })
+	e.Append(recs)
+	return e
+}
+
+func benchWatcherConfig(e *live.Engine) Config {
+	return Config{
+		Engine: e,
+		Drift: DriftConfig{Rolling: core.RollingOptions{
+			Window:     timeutil.MillisPerDay,
+			Step:       6 * timeutil.MillisPerHour,
+			Probes:     []float64{800},
+			MinRecords: 300,
+		}},
+		Incident: testIncidentConfigB(),
+	}
+}
+
+func testIncidentConfigB() IncidentConfig {
+	return IncidentConfig{
+		Window:          2 * timeutil.MillisPerHour,
+		Baseline:        12 * timeutil.MillisPerHour,
+		Factor:          1.6,
+		MinShardRecords: 30,
+	}
+}
+
+// BenchmarkWatchTickClean measures the steady-state tick over an unchanged
+// store: a version poll per slice and a lifecycle freeze — the cost that
+// makes a short watch interval affordable. Compare against
+// BenchmarkWatchTickDirty: the gap is the incremental machinery's win.
+func BenchmarkWatchTickClean(b *testing.B) {
+	e := benchEngine(b)
+	w, err := New(benchWatcherConfig(e))
+	if err != nil {
+		b.Fatal(err)
+	}
+	w.Tick() // warm: first tick recomputes and caches
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if res := w.Tick(); res.Recomputed != 0 {
+			b.Fatalf("clean tick recomputed %d slices", res.Recomputed)
+		}
+	}
+}
+
+// BenchmarkWatchTickDirty measures a full re-evaluation tick: rolling
+// NLP series plus drift and incident detection over the whole store, as
+// after an append invalidated the slice.
+func BenchmarkWatchTickDirty(b *testing.B) {
+	e := benchEngine(b)
+	cfg := benchWatcherConfig(e)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// A fresh watcher's first tick always recomputes; construction cost
+		// is a few small allocations, dwarfed by the estimation work.
+		w, err := New(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res := w.Tick(); res.Recomputed == 0 {
+			b.Fatal("dirty tick recomputed nothing")
+		}
+	}
+}

@@ -1,0 +1,70 @@
+package watch
+
+import (
+	"encoding/json"
+	"net/http"
+
+	"autosens/internal/collector/api"
+)
+
+// AlertsHandler serves GET /v1/alerts per the v1 contract:
+//
+//	GET /v1/alerts?state=firing
+//
+// state filters to one lifecycle state; omitted, every retained alert is
+// listed. Errors use the collector's typed schema.
+func (w *Watcher) AlertsHandler() http.Handler {
+	return http.HandlerFunc(func(rw http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			api.WriteError(rw, http.StatusMethodNotAllowed, api.CodeMethodNotAllowed,
+				"GET this endpoint", 0)
+			return
+		}
+		state := r.URL.Query().Get("state")
+		switch state {
+		case "", api.AlertPending, api.AlertFiring, api.AlertResolved:
+		default:
+			api.WriteError(rw, http.StatusBadRequest, api.CodeBadRequest,
+				"state must be pending, firing or resolved", 0)
+			return
+		}
+		rw.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(rw).Encode(w.Alerts(state))
+	})
+}
+
+// ReportHandler serves GET /v1/report:
+//
+//	GET /v1/report?format=html
+//
+// format is json (default), html, or text.
+func (w *Watcher) ReportHandler() http.Handler {
+	return http.HandlerFunc(func(rw http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			api.WriteError(rw, http.StatusMethodNotAllowed, api.CodeMethodNotAllowed,
+				"GET this endpoint", 0)
+			return
+		}
+		rep := w.Report()
+		switch r.URL.Query().Get("format") {
+		case "", "json":
+			body, err := rep.MarshalJSON()
+			if err != nil {
+				api.WriteError(rw, http.StatusInternalServerError, api.CodeEstimateFailed,
+					err.Error(), 0)
+				return
+			}
+			rw.Header().Set("Content-Type", "application/json")
+			_, _ = rw.Write(body)
+		case "html":
+			rw.Header().Set("Content-Type", "text/html; charset=utf-8")
+			_ = rep.RenderHTML(rw)
+		case "text":
+			rw.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			_ = rep.RenderText(rw)
+		default:
+			api.WriteError(rw, http.StatusBadRequest, api.CodeBadRequest,
+				"format must be json, html or text", 0)
+		}
+	})
+}

@@ -1,0 +1,42 @@
+package watch
+
+import "autosens/internal/obs"
+
+// metrics bundles the autosens_watch_* and autosens_alert_* instruments.
+type metrics struct {
+	ticks     *obs.Counter
+	tickDur   *obs.Histogram
+	raised    *obs.Counter
+	fired     *obs.Counter
+	resolvedC *obs.Counter
+}
+
+func newMetrics(reg *obs.Registry, w *Watcher) *metrics {
+	m := &metrics{
+		ticks: reg.Counter("autosens_watch_ticks_total", "watcher evaluation ticks"),
+		tickDur: reg.Histogram("autosens_watch_tick_duration_seconds",
+			"wall-clock time of one watcher tick", obs.DefLatencyBuckets()),
+		raised: reg.Counter("autosens_alert_raised_total",
+			"alerts raised (pending cycles started, including reopens)"),
+		fired: reg.Counter("autosens_alert_fired_total",
+			"alert transitions to firing"),
+		resolvedC: reg.Counter("autosens_alert_resolved_total",
+			"alert transitions to resolved"),
+	}
+	// Recompute/skip counters live on the watcher (atomics) so tests can pin
+	// "a tick over an unchanged store recomputes nothing" without a registry;
+	// the gauges mirror them for scraping.
+	reg.GaugeFunc("autosens_watch_slice_recomputes_total", "slices re-evaluated by a tick",
+		func() float64 { return float64(w.recomputes.Load()) })
+	reg.GaugeFunc("autosens_watch_slice_skips_total", "slices skipped on unchanged version",
+		func() float64 { return float64(w.skips.Load()) })
+	reg.GaugeFunc("autosens_watch_slices", "slices watched",
+		func() float64 { return float64(len(w.slices)) })
+	reg.GaugeFunc("autosens_alerts_pending", "alerts currently pending",
+		func() float64 { p, _, _ := w.store.counts(); return float64(p) })
+	reg.GaugeFunc("autosens_alerts_firing", "alerts currently firing",
+		func() float64 { _, f, _ := w.store.counts(); return float64(f) })
+	reg.GaugeFunc("autosens_alerts_resolved", "resolved alerts retained",
+		func() float64 { _, _, r := w.store.counts(); return float64(r) })
+	return m
+}

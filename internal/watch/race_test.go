@@ -1,0 +1,100 @@
+package watch
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	"autosens/internal/timeutil"
+)
+
+// TestConcurrentIngestTickAndServe exercises the watcher's full concurrent
+// surface under -race: beacons streaming into the engine, ticks running on
+// their own goroutine, and HTTP clients polling /v1/alerts, /v1/report and
+// Stats the whole time. Correctness here is "no race, no panic, and every
+// response decodes" — the deterministic behavior is pinned elsewhere.
+func TestConcurrentIngestTickAndServe(t *testing.T) {
+	e := newTestEngine(t)
+	w := newTestWatcher(t, e, nil)
+
+	users := distinctShardUsers(8, 16)
+	recs := synthStream(11, users, 2*timeutil.MillisPerDay,
+		func(u uint64, tm timeutil.Millis) float64 { return 300 },
+		func(u uint64, tm timeutil.Millis) float64 { return 0.5 })
+
+	mux := http.NewServeMux()
+	mux.Handle("/v1/alerts", w.AlertsHandler())
+	mux.Handle("/v1/report", w.ReportHandler())
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+
+	const chunks = 20
+	var wg sync.WaitGroup
+
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < chunks; i++ {
+			lo := i * len(recs) / chunks
+			hi := (i + 1) * len(recs) / chunks
+			if hi > lo {
+				e.Append(recs[lo:hi])
+			}
+		}
+	}()
+
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < chunks; i++ {
+			w.Tick()
+		}
+	}()
+
+	for _, url := range []string{
+		srv.URL + "/v1/alerts",
+		srv.URL + "/v1/alerts?state=firing",
+		srv.URL + "/v1/report",
+		srv.URL + "/v1/report?format=html",
+	} {
+		url := url
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 15; i++ {
+				resp, err := http.Get(url)
+				if err != nil {
+					t.Errorf("GET %s: %v", url, err)
+					return
+				}
+				body, err := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				if err != nil || resp.StatusCode != http.StatusOK || len(body) == 0 {
+					t.Errorf("GET %s: status %d err %v len %d", url, resp.StatusCode, err, len(body))
+					return
+				}
+			}
+		}()
+	}
+
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 50; i++ {
+			_ = w.Stats()
+			_ = w.Report()
+		}
+	}()
+
+	wg.Wait()
+
+	// One final tick over the now-quiescent store must settle into the
+	// cached path regardless of how the races interleaved.
+	w.Tick()
+	res := w.Tick()
+	if res.Recomputed != 0 {
+		t.Errorf("tick after quiescence recomputed %d slices, want 0", res.Recomputed)
+	}
+}

@@ -1,0 +1,593 @@
+package watch
+
+import (
+	"encoding/json"
+	"io"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"autosens/internal/collector/api"
+	"autosens/internal/core"
+	"autosens/internal/live"
+	"autosens/internal/rng"
+	"autosens/internal/telemetry"
+	"autosens/internal/timeutil"
+)
+
+// synthStream generates a deterministic multi-user beacon stream: each
+// user emits records on a Poisson clock whose rate and latency are
+// functions of time, so tests plant regressions and preference changes
+// with exact boundaries. Records come out time-sorted.
+func synthStream(seed uint64, users []uint64, horizon timeutil.Millis,
+	lat func(user uint64, t timeutil.Millis) float64,
+	ratePerMin func(user uint64, t timeutil.Millis) float64) []telemetry.Record {
+	var out []telemetry.Record
+	for _, u := range users {
+		src := rng.NewStream(seed, u)
+		for m := timeutil.Millis(0); m < horizon; m += timeutil.MillisPerMinute {
+			n := src.Poisson(ratePerMin(u, m))
+			for i := 0; i < n; i++ {
+				tm := m + timeutil.Millis(src.Intn(int(timeutil.MillisPerMinute)))
+				out = append(out, telemetry.Record{
+					Time:      tm,
+					Action:    telemetry.SelectMail,
+					LatencyMS: lat(u, tm) * src.LogNormal(0, 0.05),
+					UserID:    u,
+					UserType:  telemetry.Business,
+				})
+			}
+		}
+	}
+	telemetry.SortByTime(out)
+	return out
+}
+
+// distinctShardUsers picks user IDs mapping to distinct engine shards
+// (the engine shards by rng.Mix64(id) % shards), so per-shard assertions
+// are exact.
+func distinctShardUsers(n, shards int) []uint64 {
+	seen := make(map[uint64]bool)
+	var out []uint64
+	for id := uint64(1); len(out) < n; id++ {
+		s := rng.Mix64(id) % uint64(shards)
+		if !seen[s] {
+			seen[s] = true
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+func newTestEngine(t *testing.T) *live.Engine {
+	t.Helper()
+	e, err := live.New(live.Config{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+// testIncidentConfig judges 2h recents against a 12h baseline so the
+// synthetic streams stay small.
+func testIncidentConfig() IncidentConfig {
+	return IncidentConfig{
+		Window:          2 * timeutil.MillisPerHour,
+		Baseline:        12 * timeutil.MillisPerHour,
+		Factor:          1.6,
+		MinShardRecords: 30,
+	}
+}
+
+func newTestWatcher(t *testing.T, e *live.Engine, mut func(*Config)) *Watcher {
+	t.Helper()
+	cfg := Config{
+		Engine: e,
+		Drift: DriftConfig{Rolling: core.RollingOptions{
+			Window:     timeutil.MillisPerDay,
+			Step:       6 * timeutil.MillisPerHour,
+			Probes:     []float64{800},
+			MinRecords: 300,
+		}},
+		Incident:     testIncidentConfig(),
+		FiringTicks:  2,
+		ResolveTicks: 3,
+	}
+	if mut != nil {
+		mut(&cfg)
+	}
+	w, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func alertsOfType(w *Watcher, typ string) []api.Alert {
+	var out []api.Alert
+	for _, a := range w.Alerts("").Alerts {
+		if a.Type == typ {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+func TestAlertLifecycle(t *testing.T) {
+	st := newAlertStore(2, 2, 3)
+	c := condition{id: "x", typ: api.AlertNLPDrift, slice: "all",
+		severity: api.SeverityWarning, value: 0.3, threshold: 0.1, dataTime: 1000}
+
+	if n := st.apply(1, []condition{c}); n != 0 {
+		t.Fatalf("fired on first observation with firingTicks=2: %d", n)
+	}
+	if p, f, _ := st.counts(); p != 1 || f != 0 {
+		t.Fatalf("after tick 1: pending=%d firing=%d", p, f)
+	}
+	if n := st.apply(2, []condition{c}); n != 1 {
+		t.Fatalf("second consecutive observation should fire: %d", n)
+	}
+	a := st.list("")[0]
+	if a.State != api.AlertFiring || a.FirstSeenTick != 1 || a.FiringTick != 2 {
+		t.Fatalf("firing alert: %+v", a)
+	}
+
+	// Severity escalates, never downgrades mid-cycle.
+	crit := c
+	crit.severity = api.SeverityCritical
+	st.apply(3, []condition{crit})
+	st.apply(4, []condition{c})
+	if a := st.list("")[0]; a.Severity != api.SeverityCritical {
+		t.Fatalf("severity downgraded: %+v", a)
+	}
+
+	// One condition-free tick is not enough to resolve (resolveTicks=2)...
+	st.apply(5, nil)
+	if _, f, _ := st.counts(); f != 1 {
+		t.Fatal("resolved after one missed tick")
+	}
+	// ...two are.
+	st.apply(6, nil)
+	if _, f, r := st.counts(); f != 0 || r != 1 {
+		t.Fatalf("not resolved after two missed ticks: firing=%d resolved=%d", f, r)
+	}
+	if a := st.list("")[0]; a.ResolvedTick != 6 {
+		t.Fatalf("resolved tick: %+v", a)
+	}
+
+	// The condition returning reopens the SAME alert (one dedupe key).
+	st.apply(7, []condition{c})
+	all := st.list("")
+	if len(all) != 1 || all[0].State != api.AlertPending {
+		t.Fatalf("reopen: %+v", all)
+	}
+	raised, fired, resolved := st.transitions()
+	if raised != 2 || fired != 1 || resolved != 1 {
+		t.Fatalf("transitions: raised=%d fired=%d resolved=%d", raised, fired, resolved)
+	}
+
+	// Resolved alerts are retained for retentionTicks, then GC'd.
+	st.apply(8, nil)
+	st.apply(9, nil) // resolves at 9
+	for tick := uint64(10); tick <= 13; tick++ {
+		st.apply(tick, nil)
+	}
+	if n := len(st.list("")); n != 0 {
+		t.Fatalf("resolved alert survived retention: %d", n)
+	}
+}
+
+// A fleet-wide latency regression must collapse into exactly ONE firing
+// correlated-incident alert — not one per shard, not one per tick.
+func TestFleetIncidentCollapsesToOneAlert(t *testing.T) {
+	users := distinctShardUsers(12, live.DefaultShards)
+	horizon := 24 * timeutil.MillisPerHour
+	incidentStart := horizon - 2*timeutil.MillisPerHour
+	lat := func(_ uint64, tm timeutil.Millis) float64 {
+		if tm >= incidentStart {
+			return 900 // 3x regression, all users
+		}
+		return 300
+	}
+	rate := func(uint64, timeutil.Millis) float64 { return 1.5 }
+
+	e := newTestEngine(t)
+	w := newTestWatcher(t, e, nil)
+	e.Append(synthStream(81, users, horizon, lat, rate))
+
+	w.Tick()
+	e.Append(synthStream(82, users, horizon, lat, rate)) // more incident data
+	w.Tick()
+
+	fleet := alertsOfType(w, api.AlertLatencyIncident)
+	if len(fleet) != 1 {
+		t.Fatalf("%d correlated incident alerts, want exactly 1: %+v", len(fleet), fleet)
+	}
+	if fleet[0].State != api.AlertFiring {
+		t.Fatalf("incident alert not firing: %+v", fleet[0])
+	}
+	if shard := alertsOfType(w, api.AlertShardLatency); len(shard) != 0 {
+		t.Fatalf("fleet regression also raised %d per-shard alerts: %+v", len(shard), shard)
+	}
+
+	// More ticks with the condition still present: still one alert.
+	w.Tick()
+	w.Tick()
+	if fleet := alertsOfType(w, api.AlertLatencyIncident); len(fleet) != 1 {
+		t.Fatalf("alert count grew across ticks: %d", len(fleet))
+	}
+}
+
+// An isolated single-shard regression must stay shard-scoped.
+func TestIsolatedShardRegressionStaysShardScoped(t *testing.T) {
+	users := distinctShardUsers(10, live.DefaultShards)
+	slow := users[3]
+	horizon := 24 * timeutil.MillisPerHour
+	incidentStart := horizon - 2*timeutil.MillisPerHour
+	lat := func(u uint64, tm timeutil.Millis) float64 {
+		if u == slow && tm >= incidentStart {
+			return 1200
+		}
+		return 300
+	}
+	rate := func(uint64, timeutil.Millis) float64 { return 1.5 }
+
+	e := newTestEngine(t)
+	w := newTestWatcher(t, e, nil)
+	e.Append(synthStream(83, users, horizon, lat, rate))
+	w.Tick()
+	w.Tick()
+
+	if fleet := alertsOfType(w, api.AlertLatencyIncident); len(fleet) != 0 {
+		t.Fatalf("isolated regression promoted to fleet incident: %+v", fleet)
+	}
+	shard := alertsOfType(w, api.AlertShardLatency)
+	if len(shard) != 1 {
+		t.Fatalf("%d shard alerts, want 1: %+v", len(shard), shard)
+	}
+	if shard[0].Value < 2 {
+		t.Fatalf("shard ratio %v, want ~4x", shard[0].Value)
+	}
+}
+
+// A planted sensitivity change must raise an NLP drift alert whose
+// deviation clears the CI-aware threshold.
+func TestDriftDetection(t *testing.T) {
+	users := distinctShardUsers(8, live.DefaultShards)
+	horizon := 8 * timeutil.MillisPerDay
+	change := 6 * timeutil.MillisPerDay
+	slowPeriod := func(tm timeutil.Millis) bool {
+		return (tm/(2*timeutil.MillisPerHour))%2 == 1
+	}
+	lat := func(_ uint64, tm timeutil.Millis) float64 {
+		if slowPeriod(tm) {
+			return 800
+		}
+		return 300
+	}
+	// Before the change point users ignore latency; after it they act at
+	// half rate in slow periods — measured NLP(800) steps from ~1 to ~0.5.
+	rate := func(_ uint64, tm timeutil.Millis) float64 {
+		if slowPeriod(tm) && tm >= change {
+			return 0.6
+		}
+		return 1.2
+	}
+
+	e := newTestEngine(t)
+	w := newTestWatcher(t, e, nil)
+	// Two appends: the lifecycle only advances on ticks that saw new data.
+	stream := synthStream(84, users, horizon, lat, rate)
+	split := len(stream) - len(stream)/50
+	e.Append(stream[:split])
+	w.Tick()
+	e.Append(stream[split:])
+	w.Tick()
+
+	drift := alertsOfType(w, api.AlertNLPDrift)
+	if len(drift) != 1 {
+		t.Fatalf("%d drift alerts, want 1: %+v", len(drift), drift)
+	}
+	a := drift[0]
+	if a.State != api.AlertFiring {
+		t.Fatalf("drift alert not firing: %+v", a)
+	}
+	if a.ID != "nlp_drift:all:p800" {
+		t.Fatalf("dedupe key: %q", a.ID)
+	}
+	if a.Value > -0.2 {
+		t.Fatalf("deviation %v, want strongly negative", a.Value)
+	}
+	if math.Abs(a.Value) <= a.Threshold {
+		t.Fatalf("alert below its own threshold: %+v", a)
+	}
+	if a.Severity != api.SeverityCritical {
+		t.Fatalf("a 0.5 NLP step should be critical: %+v", a)
+	}
+}
+
+// A stable stream must stay silent. The fast/slow alternation is finer
+// than the incident detector's recent window, so recent and baseline see
+// the same latency mix — periodic structure is not a regression.
+func TestStableStreamRaisesNothing(t *testing.T) {
+	users := distinctShardUsers(8, live.DefaultShards)
+	horizon := 8 * timeutil.MillisPerDay
+	slowPeriod := func(tm timeutil.Millis) bool {
+		return (tm/(30*timeutil.MillisPerMinute))%2 == 1
+	}
+	lat := func(_ uint64, tm timeutil.Millis) float64 {
+		if slowPeriod(tm) {
+			return 800
+		}
+		return 300
+	}
+	rate := func(_ uint64, tm timeutil.Millis) float64 {
+		if slowPeriod(tm) {
+			return 0.6 // constant preference from the start: no drift
+		}
+		return 1.2
+	}
+	e := newTestEngine(t)
+	w := newTestWatcher(t, e, nil)
+	e.Append(synthStream(85, users, horizon, lat, rate))
+	for i := 0; i < 4; i++ {
+		w.Tick()
+	}
+	if st := w.Stats(); st.AlertsRaised != 0 {
+		t.Fatalf("stable stream raised %d alerts: %+v", st.AlertsRaised, w.Alerts("").Alerts)
+	}
+}
+
+// A tick over an unchanged store must do no curve recomputation — pinned
+// by the watcher's own counters and the engine's epoch.
+func TestCleanTickRecomputesNothing(t *testing.T) {
+	users := distinctShardUsers(6, live.DefaultShards)
+	e := newTestEngine(t)
+	w := newTestWatcher(t, e, nil)
+	e.Append(synthStream(86, users, 26*timeutil.MillisPerHour,
+		func(uint64, timeutil.Millis) float64 { return 300 },
+		func(uint64, timeutil.Millis) float64 { return 1 }))
+
+	first := w.Tick()
+	if first.Recomputed == 0 {
+		t.Fatal("first tick recomputed nothing")
+	}
+	recomputes := w.Stats().Recomputes
+	epoch := e.Epoch()
+
+	for i := 0; i < 3; i++ {
+		res := w.Tick()
+		if res.Recomputed != 0 {
+			t.Fatalf("clean tick recomputed %d slices", res.Recomputed)
+		}
+		if res.Skipped == 0 {
+			t.Fatal("clean tick skipped nothing")
+		}
+	}
+	st := w.Stats()
+	if st.Recomputes != recomputes {
+		t.Fatalf("recompute counter moved on clean ticks: %d -> %d", recomputes, st.Recomputes)
+	}
+	if st.Skips < 3 {
+		t.Fatalf("skip counter %d, want >= 3", st.Skips)
+	}
+	if e.Epoch() != epoch {
+		t.Fatalf("engine epoch moved: %d -> %d", epoch, e.Epoch())
+	}
+
+	// New data re-arms the recompute.
+	e.Append(synthStream(87, users, 26*timeutil.MillisPerHour,
+		func(uint64, timeutil.Millis) float64 { return 300 },
+		func(uint64, timeutil.Millis) float64 { return 1 }))
+	if res := w.Tick(); res.Recomputed == 0 {
+		t.Fatal("dirty tick did not recompute")
+	}
+}
+
+func TestAlertsHandler(t *testing.T) {
+	users := distinctShardUsers(12, live.DefaultShards)
+	horizon := 24 * timeutil.MillisPerHour
+	lat := func(_ uint64, tm timeutil.Millis) float64 {
+		if tm >= horizon-2*timeutil.MillisPerHour {
+			return 900
+		}
+		return 300
+	}
+	e := newTestEngine(t)
+	w := newTestWatcher(t, e, nil)
+	stream := synthStream(88, users, horizon, lat,
+		func(uint64, timeutil.Millis) float64 { return 1.5 })
+	split := len(stream) - len(stream)/50
+	e.Append(stream[:split])
+	w.Tick()
+	e.Append(stream[split:])
+	w.Tick()
+
+	srv := httptest.NewServer(w.AlertsHandler())
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("content type %q", ct)
+	}
+	var body api.AlertsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	if body.Tick != 2 || body.Firing != 1 || len(body.Alerts) != 1 {
+		t.Fatalf("body: %+v", body)
+	}
+	a := body.Alerts[0]
+	if a.Type != api.AlertLatencyIncident || a.State != api.AlertFiring || a.ID == "" {
+		t.Fatalf("alert: %+v", a)
+	}
+	if a.DataTime == 0 || a.FiringTick != 2 {
+		t.Fatalf("alert lifecycle fields: %+v", a)
+	}
+
+	// state filter: no resolved alerts yet.
+	resp2, err := http.Get(srv.URL + "?state=resolved")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	var filtered api.AlertsResponse
+	if err := json.NewDecoder(resp2.Body).Decode(&filtered); err != nil {
+		t.Fatal(err)
+	}
+	if len(filtered.Alerts) != 0 || filtered.Firing != 1 {
+		t.Fatalf("filtered body: %+v", filtered)
+	}
+
+	// Errors use the typed v1 schema.
+	for _, tc := range []struct {
+		method, query string
+		status        int
+		code          string
+	}{
+		{http.MethodPost, "", http.StatusMethodNotAllowed, api.CodeMethodNotAllowed},
+		{http.MethodGet, "?state=bogus", http.StatusBadRequest, api.CodeBadRequest},
+	} {
+		req, _ := http.NewRequest(tc.method, srv.URL+tc.query, nil)
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != tc.status {
+			t.Fatalf("%s %s: status %d, want %d", tc.method, tc.query, resp.StatusCode, tc.status)
+		}
+		apiErr := api.ReadError(resp)
+		resp.Body.Close()
+		if apiErr.Code != tc.code {
+			t.Fatalf("%s %s: code %q, want %q", tc.method, tc.query, apiErr.Code, tc.code)
+		}
+	}
+}
+
+func TestReportHandlerAndArtifacts(t *testing.T) {
+	dir := t.TempDir()
+	users := distinctShardUsers(8, live.DefaultShards)
+	e := newTestEngine(t)
+	w := newTestWatcher(t, e, func(c *Config) { c.ArtifactsDir = dir })
+	// Bimodal latency so NLP at the 800ms probe is estimable.
+	slowPeriod := func(tm timeutil.Millis) bool {
+		return (tm/(30*timeutil.MillisPerMinute))%2 == 1
+	}
+	e.Append(synthStream(89, users, 3*timeutil.MillisPerDay,
+		func(_ uint64, tm timeutil.Millis) float64 {
+			if slowPeriod(tm) {
+				return 800
+			}
+			return 300
+		},
+		func(_ uint64, tm timeutil.Millis) float64 {
+			if slowPeriod(tm) {
+				return 0.7
+			}
+			return 1.2
+		}))
+	w.Tick()
+
+	srv := httptest.NewServer(w.ReportHandler())
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "?format=json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep struct {
+		Tick   uint64 `json:"tick"`
+		Slices []struct {
+			Slice string      `json:"slice"`
+			NLP   [][]float64 `json:"nlp"`
+		} `json:"slices"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&rep)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Tick != 1 || len(rep.Slices) != 1 || rep.Slices[0].Slice != "all" {
+		t.Fatalf("report: %+v", rep)
+	}
+	if len(rep.Slices[0].NLP) == 0 {
+		t.Fatal("report has no rolling windows")
+	}
+
+	htmlResp, err := http.Get(srv.URL + "?format=html")
+	if err != nil {
+		t.Fatal(err)
+	}
+	page, _ := io.ReadAll(htmlResp.Body)
+	htmlResp.Body.Close()
+	if htmlResp.Header.Get("Content-Type") != "text/html; charset=utf-8" {
+		t.Fatalf("html content type %q", htmlResp.Header.Get("Content-Type"))
+	}
+	if !strings.Contains(string(page), "Slice all") || !strings.Contains(string(page), "<td>800</td>") {
+		t.Fatalf("html page missing slice section:\n%s", page)
+	}
+
+	badResp, err := http.Get(srv.URL + "?format=pdf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	apiErr := api.ReadError(badResp)
+	badResp.Body.Close()
+	if badResp.StatusCode != http.StatusBadRequest || apiErr.Code != api.CodeBadRequest {
+		t.Fatalf("bad format: %d %v", badResp.StatusCode, apiErr)
+	}
+
+	// Artifacts landed on disk and are valid.
+	for _, name := range []string{"alerts.json", "report.json", "report.html"} {
+		b, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			t.Fatalf("artifact %s: %v", name, err)
+		}
+		if strings.HasSuffix(name, ".json") && !json.Valid(b) {
+			t.Fatalf("artifact %s is not valid JSON", name)
+		}
+	}
+}
+
+func TestWatcherConfigValidation(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Fatal("nil engine accepted")
+	}
+	e := newTestEngine(t)
+	bad := []func(*Config){
+		func(c *Config) { c.Interval = -1 },
+		func(c *Config) { c.FiringTicks = -1 },
+		func(c *Config) { c.Drift.MinDelta = -1 },
+		func(c *Config) { c.Incident.Factor = 0.5 },
+		func(c *Config) { c.Incident.CorrelatedFraction = 1.5 },
+	}
+	for i, mut := range bad {
+		cfg := Config{Engine: e}
+		mut(&cfg)
+		if _, err := New(cfg); err == nil {
+			t.Fatalf("bad config %d accepted", i)
+		}
+	}
+	// The all-records slice is always watched for incidents even when the
+	// configured slice set omits it.
+	w, err := New(Config{Engine: e, Slices: []live.SliceKey{
+		{Action: telemetry.Search, UserType: -1, Period: -1},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := w.Stats(); st.Slices != 2 {
+		t.Fatalf("watched slices %d, want 2 (configured + all)", st.Slices)
+	}
+}
