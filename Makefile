@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race bench bench-json bench-ingest-json bench-live bench-watch fuzz check fmt vet clean crash-test race-ingest race-live race-watch alert-quality
+.PHONY: build test race bench bench-json bench-ingest-json bench-live bench-live-gate bench-soak bench-watch fuzz check fmt vet clean crash-test race-ingest race-live race-watch alert-quality
 
 # Label recorded in BENCH_core.json for a bench-json run; override like
 #   make bench-json BENCH_LABEL="after: shared key plan"
@@ -71,6 +71,25 @@ bench-live:
 		./internal/live/ ./internal/collector/ | \
 		$(GO) run ./cmd/benchjson -label "$(BENCH_LABEL)" -prev BENCH_live.json > BENCH_live.json.tmp
 	mv BENCH_live.json.tmp BENCH_live.json
+
+# bench-live-gate is the regression gate on the committed live trajectory:
+# rerun the dirty-query benchmark and fail if its ns/op regressed more than
+# 25% against the last run recorded in BENCH_live.json. CI runs this.
+bench-live-gate:
+	$(GO) test -bench='BenchmarkLiveQuery' -benchmem -run=^$$ ./internal/live/ | \
+		$(GO) run ./cmd/benchjson -against BENCH_live.json -names BenchmarkLiveQueryDirty
+
+# bench-soak runs the sustained-load SLO harness: a real sensd with the
+# live engine on a loopback port, loadgen soak mode driving 1M simulated
+# users of batched ingest plus concurrent curve queries, report committed
+# as BENCH_soak.json. Shorten for a smoke run with
+#   make bench-soak SOAK_DURATION=3s SOAK_USERS=10000
+SOAK_DURATION ?= 30s
+SOAK_USERS ?= 1000000
+SOAK_OUT ?= BENCH_soak.json
+bench-soak:
+	SOAK_DURATION=$(SOAK_DURATION) SOAK_USERS=$(SOAK_USERS) SOAK_OUT=$(SOAK_OUT) \
+		GO=$(GO) ./scripts/bench_soak.sh
 
 # bench-watch appends a labelled watcher benchmark run to BENCH_watch.json:
 # the clean (cached, zero-alloc) tick vs a full re-evaluation tick — the

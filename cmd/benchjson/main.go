@@ -7,6 +7,14 @@
 //
 //	go test -bench=. -benchmem -run='^$' ./internal/core/ |
 //	    benchjson -label "PR 2 (shared key plan)" -prev BENCH_core.json > out.json
+//
+// With -against it becomes a regression gate instead: the incoming run is
+// compared to the LAST run in the committed document, a delta table is
+// printed, and the exit status is nonzero if any compared benchmark's
+// ns/op regressed by more than -max-regress (25% by default):
+//
+//	go test -bench='BenchmarkLiveQuery' -run='^$' ./internal/live/ |
+//	    benchjson -against BENCH_live.json -names BenchmarkLiveQueryDirty
 package main
 
 import (
@@ -64,7 +72,21 @@ func main() {
 func run() error {
 	label := flag.String("label", "run", "label recorded for this benchmark run")
 	prev := flag.String("prev", "", "existing benchjson document to append to (ignored if missing)")
+	against := flag.String("against", "",
+		"committed benchjson document to diff the incoming run against (regression-gate mode: prints a delta table, no JSON output)")
+	maxRegress := flag.Float64("max-regress", 0.25,
+		"with -against, fail when a compared benchmark's ns/op regresses by more than this fraction")
+	names := flag.String("names", "",
+		"with -against, comma-separated benchmark names to compare (empty compares every name present in both runs)")
 	flag.Parse()
+
+	if *against != "" {
+		cur, err := parse(os.Stdin, *label)
+		if err != nil {
+			return err
+		}
+		return diff(*against, cur, *names, *maxRegress)
+	}
 
 	doc := Document{}
 	if *prev != "" {
@@ -93,6 +115,70 @@ func run() error {
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
 	return enc.Encode(doc)
+}
+
+// diff compares the incoming run against the last run committed in path,
+// printing a delta table and returning an error (nonzero exit) when any
+// compared benchmark's ns/op regressed past maxRegress. Improvements and
+// regressions within the bound pass; benchmarks present on only one side
+// are skipped (the committed history may span suite growth).
+func diff(path string, cur Run, names string, maxRegress float64) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var doc Document
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return fmt.Errorf("parse %s: %w", path, err)
+	}
+	if len(doc.Runs) == 0 {
+		return fmt.Errorf("%s holds no runs to compare against", path)
+	}
+	base := doc.Runs[len(doc.Runs)-1]
+	baseNs := make(map[string]float64, len(base.Results))
+	for _, r := range base.Results {
+		baseNs[r.Name] = r.NsPerOp
+	}
+	want := map[string]bool{}
+	for _, n := range strings.Split(names, ",") {
+		if n = strings.TrimSpace(n); n != "" {
+			want[n] = true
+		}
+	}
+
+	compared, failed := 0, 0
+	seen := map[string]bool{}
+	fmt.Printf("against %s (run %q):\n", path, base.Label)
+	for _, r := range cur.Results {
+		b, ok := baseNs[r.Name]
+		if !ok || b <= 0 || (len(want) > 0 && !want[r.Name]) {
+			continue
+		}
+		compared++
+		seen[r.Name] = true
+		delta := (r.NsPerOp - b) / b
+		status := "ok"
+		if delta > maxRegress {
+			status = "REGRESSION"
+			failed++
+		}
+		fmt.Printf("  %-36s %14.1f -> %14.1f ns/op  %+7.1f%%  %s\n",
+			r.Name, b, r.NsPerOp, 100*delta, status)
+	}
+	if compared == 0 {
+		return fmt.Errorf("no comparable benchmarks between stdin and %s", path)
+	}
+	for n := range want {
+		if !seen[n] {
+			return fmt.Errorf("named benchmark %s missing from stdin or %s", n, path)
+		}
+	}
+	if failed > 0 {
+		return fmt.Errorf("%d of %d benchmarks regressed more than %.0f%% ns/op",
+			failed, compared, 100*maxRegress)
+	}
+	fmt.Printf("  %d benchmarks within the %.0f%% bound\n", compared, 100*maxRegress)
+	return nil
 }
 
 // parse scans `go test -bench` output. Benchmark lines look like:

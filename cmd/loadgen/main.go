@@ -60,7 +60,26 @@ func run() error {
 	incidentFor := flag.Duration("incident-for", 3*time.Hour, "incident duration")
 	incidentSeverity := flag.Float64("incident-severity", 3.0, "latency multiplier during the incident (> 1)")
 	incidentFraction := flag.Float64("incident-fraction", 1.0, "fraction of users affected, in (0,1]")
+	soak := flag.Bool("soak", false,
+		"run the sustained ingest+query soak harness instead of the OWA replay, writing an SLO report (see -soak-*)")
+	soakUsers := flag.Uint64("soak-users", 1_000_000, "distinct simulated users in the soak stream")
+	soakDuration := flag.Duration("soak-duration", 30*time.Second, "soak wall-clock duration")
+	soakOut := flag.String("soak-out", "BENCH_soak.json", "soak report output path")
 	flag.Parse()
+
+	if *soak {
+		return runSoak(soakConfig{
+			url:          *url,
+			users:        *soakUsers,
+			duration:     *soakDuration,
+			senders:      *senders,
+			batch:        *batch,
+			queryWorkers: *queryWorkers,
+			format:       format.Format(),
+			seed:         *seed,
+			out:          *soakOut,
+		})
+	}
 
 	if *senders <= 0 {
 		return fmt.Errorf("senders must be positive")
@@ -127,7 +146,7 @@ func run() error {
 		return simErr
 	}
 
-	var sent, dropped, spilled uint64
+	var sent, dropped, spilled, throttled, exhausted, flushes, retries uint64
 	for i, c := range clients {
 		if err := c.Close(); err != nil && errs[i] == nil {
 			errs[i] = err
@@ -136,6 +155,12 @@ func run() error {
 		sent += s
 		dropped += d
 		spilled += c.Spilled()
+		t, x := c.ShedStats()
+		throttled += t
+		exhausted += x
+		f, r := c.RetryStats()
+		flushes += f
+		retries += r
 	}
 	for _, err := range errs {
 		if err != nil {
@@ -144,6 +169,8 @@ func run() error {
 	}
 	fmt.Fprintf(os.Stderr, "loadgen: generated %d records, shipped %d, spilled %d, dropped %d\n",
 		n, sent, spilled, dropped)
+	fmt.Fprintf(os.Stderr, "loadgen: shed: %d 429s over %d posts, %d flushes exhausted retries\n",
+		throttled, flushes+retries, exhausted)
 	queries.report(os.Stderr)
 	if dropped > 0 {
 		return fmt.Errorf("%d records dropped", dropped)
@@ -232,18 +259,24 @@ func (p *queryPool) stop() {
 	p.wg.Wait()
 }
 
+// snapshot returns the pool's counters and the merged per-request
+// latencies. Call after stop.
+func (p *queryPool) snapshot() (ok, notYet, failed uint64, all []time.Duration) {
+	for _, l := range p.lats {
+		all = append(all, l...)
+	}
+	return p.ok.Load(), p.notYet.Load(), p.failed.Load(), all
+}
+
 // report prints query counts and latency percentiles; a no-op when -query
 // was 0 or no query ever succeeded.
 func (p *queryPool) report(w io.Writer) {
 	if p.workers == 0 {
 		return
 	}
-	var all []time.Duration
-	for _, l := range p.lats {
-		all = append(all, l...)
-	}
+	ok, notYet, failed, all := p.snapshot()
 	fmt.Fprintf(w, "loadgen: queries: %d ok, %d empty-slice 404s, %d failed\n",
-		p.ok.Load(), p.notYet.Load(), p.failed.Load())
+		ok, notYet, failed)
 	if len(all) == 0 {
 		return
 	}

@@ -1,0 +1,228 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"autosens/internal/collector"
+	"autosens/internal/rng"
+	"autosens/internal/telemetry"
+	"autosens/internal/timeutil"
+)
+
+// Soak mode is the sustained-load SLO harness: instead of replaying the
+// OWA simulation once, it drives batched ingest and concurrent curve
+// queries against a live sensd for a fixed wall-clock duration, drawing
+// beacons from a large simulated user population (1M users by default),
+// and emits ingest/query latency percentiles plus the loss side — 429
+// sheds, retry exhaustion, drops — as JSON. Workload fidelity doesn't
+// matter here (the OWA replay covers that); sustained rate, user
+// cardinality and tail latency under contention do.
+type soakConfig struct {
+	url          string
+	users        uint64
+	duration     time.Duration
+	senders      int
+	batch        int
+	queryWorkers int
+	format       telemetry.Format
+	seed         uint64
+	out          string
+}
+
+// pctMS is a latency percentile block, in milliseconds.
+type pctMS struct {
+	P50 float64 `json:"p50_ms"`
+	P90 float64 `json:"p90_ms"`
+	P99 float64 `json:"p99_ms"`
+	Max float64 `json:"max_ms"`
+	N   int     `json:"n"`
+}
+
+func percentilesMS(all []time.Duration) pctMS {
+	if len(all) == 0 {
+		return pctMS{}
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	at := func(q float64) float64 {
+		return float64(all[int(q*float64(len(all)-1))]) / float64(time.Millisecond)
+	}
+	return pctMS{
+		P50: at(0.50), P90: at(0.90), P99: at(0.99),
+		Max: float64(all[len(all)-1]) / float64(time.Millisecond),
+		N:   len(all),
+	}
+}
+
+// soakReport is the committed BENCH_soak.json schema.
+type soakReport struct {
+	GeneratedUnix int64 `json:"generated_unix"`
+	Config        struct {
+		Users        uint64  `json:"users"`
+		DurationSec  float64 `json:"duration_sec"`
+		Senders      int     `json:"senders"`
+		Batch        int     `json:"batch"`
+		QueryWorkers int     `json:"query_workers"`
+	} `json:"config"`
+	Ingest struct {
+		Records       uint64  `json:"records"`
+		Batches       uint64  `json:"batches"`
+		RecordsPerSec float64 `json:"records_per_sec"`
+		pctMS
+	} `json:"ingest"`
+	Query struct {
+		OK       uint64 `json:"ok"`
+		NotFound uint64 `json:"not_found"`
+		Failed   uint64 `json:"failed"`
+		pctMS
+	} `json:"query"`
+	Shed struct {
+		Throttled429    uint64  `json:"throttled_429"`
+		RetryExhausted  uint64  `json:"retry_exhausted_flushes"`
+		DroppedRecords  uint64  `json:"dropped_records"`
+		SpilledRecords  uint64  `json:"spilled_records"`
+		Posts           uint64  `json:"posts"`
+		ShedRate        float64 `json:"shed_rate"`
+		SendErrorsLocal uint64  `json:"send_errors_local"`
+	} `json:"shed"`
+}
+
+// soakHorizon is the simulated time window beacons land in. Two days keeps
+// the live engine's curve finishing (and the watcher's periods) realistic.
+const soakHorizon = 2 * timeutil.MillisPerDay
+
+func runSoak(cfg soakConfig) error {
+	if cfg.senders <= 0 {
+		return fmt.Errorf("senders must be positive")
+	}
+	if cfg.users == 0 {
+		return fmt.Errorf("soak-users must be positive")
+	}
+	clients := make([]*collector.Client, cfg.senders)
+	for i := range clients {
+		ccfg := collector.DefaultClientConfig(cfg.url)
+		ccfg.BatchSize = cfg.batch
+		ccfg.Format = cfg.format
+		c, err := collector.NewClient(ccfg)
+		if err != nil {
+			return err
+		}
+		clients[i] = c
+	}
+
+	queries := startQueryPool(cfg.url, cfg.queryWorkers)
+
+	type senderResult struct {
+		records, batches, sendErrs uint64
+		lats                       []time.Duration
+	}
+	results := make([]senderResult, cfg.senders)
+	deadline := time.Now().Add(cfg.duration)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for i := range clients {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			src := rng.New(cfg.seed + uint64(i)*0x9e3779b97f4a7c15)
+			tzs := []timeutil.Millis{-5 * timeutil.MillisPerHour, 0, 2 * timeutil.MillisPerHour}
+			r := &results[i]
+			for time.Now().Before(deadline) {
+				// One iteration enqueues exactly one client batch; the
+				// final Enqueue triggers the synchronous flush, so the
+				// iteration's elapsed time is the batch's ingest latency
+				// (encode + POST + retries) as a browser fleet would see it.
+				t0 := time.Now()
+				for k := 0; k < cfg.batch; k++ {
+					rec := telemetry.Record{
+						Time:      timeutil.Millis(src.Uint64n(uint64(soakHorizon))),
+						Action:    telemetry.ActionType(src.Intn(telemetry.NumActionTypes)),
+						LatencyMS: 50 + 400*src.LogNormal(0, 0.5),
+						UserID:    src.Uint64n(cfg.users) + 1,
+						UserType:  telemetry.UserType(src.Intn(telemetry.NumUserTypes)),
+						TZOffset:  tzs[src.Intn(len(tzs))],
+						Failed:    src.Bool(0.03),
+					}
+					if err := clients[i].Enqueue(rec); err != nil {
+						r.sendErrs++
+					}
+				}
+				r.lats = append(r.lats, time.Since(t0))
+				r.batches++
+				r.records += uint64(cfg.batch)
+			}
+		}(i)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	queries.stop()
+
+	var rep soakReport
+	rep.GeneratedUnix = time.Now().Unix()
+	rep.Config.Users = cfg.users
+	rep.Config.DurationSec = cfg.duration.Seconds()
+	rep.Config.Senders = cfg.senders
+	rep.Config.Batch = cfg.batch
+	rep.Config.QueryWorkers = cfg.queryWorkers
+
+	var ingestLats []time.Duration
+	for i := range results {
+		rep.Ingest.Records += results[i].records
+		rep.Ingest.Batches += results[i].batches
+		rep.Shed.SendErrorsLocal += results[i].sendErrs
+		ingestLats = append(ingestLats, results[i].lats...)
+	}
+	rep.Ingest.RecordsPerSec = float64(rep.Ingest.Records) / elapsed.Seconds()
+	rep.Ingest.pctMS = percentilesMS(ingestLats)
+
+	var dropped, spilled, throttled, exhausted, flushes, retries uint64
+	for _, c := range clients {
+		if err := c.Close(); err != nil {
+			rep.Shed.SendErrorsLocal++
+		}
+		_, d := c.Stats()
+		dropped += d
+		spilled += c.Spilled()
+		t, x := c.ShedStats()
+		throttled += t
+		exhausted += x
+		f, r := c.RetryStats()
+		flushes += f
+		retries += r
+	}
+	rep.Shed.Throttled429 = throttled
+	rep.Shed.RetryExhausted = exhausted
+	rep.Shed.DroppedRecords = dropped
+	rep.Shed.SpilledRecords = spilled
+	rep.Shed.Posts = flushes + retries
+	if rep.Shed.Posts > 0 {
+		rep.Shed.ShedRate = float64(throttled) / float64(rep.Shed.Posts)
+	}
+
+	ok, notFound, failed, queryLats := queries.snapshot()
+	rep.Query.OK = ok
+	rep.Query.NotFound = notFound
+	rep.Query.Failed = failed
+	rep.Query.pctMS = percentilesMS(queryLats)
+
+	out, err := json.MarshalIndent(&rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	out = append(out, '\n')
+	if err := os.WriteFile(cfg.out, out, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr,
+		"loadgen: soak: %d records in %v (%.0f rec/s), ingest p50=%.2fms p99=%.2fms; "+
+			"queries %d ok p50=%.2fms p99=%.2fms; shed %d/%d posts (%.4f), %d exhausted → %s\n",
+		rep.Ingest.Records, elapsed.Round(time.Millisecond), rep.Ingest.RecordsPerSec,
+		rep.Ingest.P50, rep.Ingest.P99,
+		rep.Query.OK, rep.Query.P50, rep.Query.P99,
+		rep.Shed.Throttled429, rep.Shed.Posts, rep.Shed.ShedRate, rep.Shed.RetryExhausted, cfg.out)
+	return nil
+}

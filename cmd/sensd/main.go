@@ -68,6 +68,10 @@ func run() error {
 	liveShards := flag.Int("live-shards", live.DefaultShards, "live engine shard count")
 	liveWorkers := flag.Int("live-workers", 0,
 		"live engine recompute parallelism (0 = GOMAXPROCS); results are bit-identical at any setting")
+	livePrewarm := flag.Bool("live-prewarm", false,
+		"after WAL warm, precompute every slice's plain curve in parallel so first queries hit the cache")
+	liveSketchCI := flag.Bool("live-sketch-ci", false,
+		"serve ci=1 bounds from the mergeable bootstrap sketch where it passes a per-combo KS equivalence gate against the exact bootstrap (failing combos stay exact)")
 	watchOn := flag.Bool("watch", false,
 		"run the sensitivity-ops watcher over the live store and serve GET /v1/alerts and /v1/report (requires -live)")
 	watchInterval := flag.Duration("watch-interval", 30*time.Second, "watcher tick period")
@@ -155,6 +159,7 @@ func run() error {
 		engine, err := live.New(live.Config{
 			Shards:   *liveShards,
 			Workers:  *liveWorkers,
+			SketchCI: *liveSketchCI,
 			Registry: reg,
 		})
 		if err != nil {
@@ -175,7 +180,20 @@ func run() error {
 		srvCfg.Live = engine
 		srvCfg.CurvesHandler = engine.CurvesHandler()
 		log.Info("live queries enabled",
-			"shards", *liveShards, "endpoint", api.PathCurves)
+			"shards", *liveShards, "endpoint", api.PathCurves,
+			"sketch_ci", *liveSketchCI)
+		if *livePrewarm {
+			warmStart := time.Now()
+			_, errs := engine.QueryMany(live.AllSliceKeys(), live.ModePlain, false)
+			warmed := 0
+			for _, err := range errs {
+				if err == nil {
+					warmed++
+				}
+			}
+			log.Info("live curves prewarmed", "slices", warmed,
+				"elapsed", time.Since(warmStart).Round(time.Millisecond))
+		}
 
 		if *watchOn {
 			var keys []live.SliceKey

@@ -238,6 +238,17 @@ type LiveStats struct {
 	CacheHits    uint64 `json:"cache_hits_total"`
 	CacheMisses  uint64 `json:"cache_misses_total"`
 	CachedCurves int    `json:"cached_curves"`
+	// DirtyCombos counts combo recomputes run by dirty queries;
+	// DeltaRecords counts the store records they delta-folded into combo
+	// estimation state (a recompute's cost scales with its share of these,
+	// not with the store size).
+	DirtyCombos  uint64 `json:"recompute_dirty_combos"`
+	DeltaRecords uint64 `json:"delta_records"`
+	// SketchAccepted / SketchPinned count per-combo sketch-CI gate
+	// outcomes (only populated when the engine runs with the sketch
+	// enabled).
+	SketchAccepted uint64 `json:"sketch_accepted,omitempty"`
+	SketchPinned   uint64 `json:"sketch_pinned,omitempty"`
 }
 
 // WatchStats is the watcher's operational snapshot, embedded in GET

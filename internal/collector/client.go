@@ -396,3 +396,10 @@ func (c *Client) Spilled() uint64 { return c.m.spilled.Value() }
 func (c *Client) RetryStats() (flushes, retries uint64) {
 	return c.m.flushes.Value(), c.m.retries.Value()
 }
+
+// ShedStats returns how many 429 shed responses the collector returned and
+// how many flushes exhausted their retries or retry budget — the loss side
+// of an SLO report, complementing the latency side.
+func (c *Client) ShedStats() (throttled, exhausted uint64) {
+	return c.m.throttled.Value(), c.m.flushFailures.Value()
+}

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"autosens/internal/histogram"
+	"autosens/internal/obs"
 	"autosens/internal/rng"
 	"autosens/internal/telemetry"
 	"autosens/internal/timeutil"
@@ -40,6 +41,10 @@ type CIOptions struct {
 	// derived up front with Source.Split(rep), and replicate results are
 	// aggregated in replicate order after all workers finish.
 	Workers int
+	// KeepSamples retains the per-bin replicate NLP samples on the result
+	// (CurveCI.BinSamples) for distribution-level comparisons such as the
+	// sketch-vs-exact KS gate.
+	KeepSamples bool
 }
 
 // DefaultCIOptions returns a moderate-cost configuration: 40 replicates of
@@ -83,6 +88,9 @@ type CurveCI struct {
 	// Replicates is the number of bootstrap curves actually estimated
 	// (replicates whose estimation failed are skipped and counted out).
 	Replicates int
+	// BinSamples, populated only under CIOptions.KeepSamples, holds each
+	// bin's replicate NLP values (sorted where bounds were reported).
+	BinSamples [][]float64
 }
 
 // Bounds returns the interval at the bin containing ms and whether it is
@@ -283,9 +291,6 @@ func (e *Estimator) EstimateCIColumns(times []timeutil.Millis, lats []float64, o
 
 // estimateCI is the shared bootstrap core over validated sorted columns.
 func (e *Estimator) estimateCI(times []timeutil.Millis, lats []float64, opts CIOptions) (*CurveCI, error) {
-	if opts.MinSupport == 0 {
-		opts.MinSupport = 0.5
-	}
 	defer observeEstimate(time.Now())
 	sp := e.trace.StartChild("estimate_ci")
 	defer sp.End()
@@ -312,7 +317,19 @@ func (e *Estimator) estimateCI(times []timeutil.Millis, lats []float64, opts CIO
 	if err != nil {
 		return nil, err
 	}
+	return e.bootstrapCI(sp, point, bb, opts, nil)
+}
 
+// bootstrapCI runs the replicate pool over a prepared block partition and
+// aggregates per-bin bounds. It is shared verbatim by the batch path
+// (estimateCI) and the delta-maintained path (EstimateCIIncremental), which
+// is what keeps the two bit-identical: replicate randomness, scheduling and
+// aggregation order are all decided here. st, when non-nil, donates retained
+// per-worker replicate scratch so repeated estimations stop allocating.
+func (e *Estimator) bootstrapCI(sp *obs.Span, point *Curve, bb *bootBlocks, opts CIOptions, st *CIState) (*CurveCI, error) {
+	if opts.MinSupport == 0 {
+		opts.MinSupport = 0.5
+	}
 	workers := workerCount(opts.Workers, opts.Resamples)
 	bootSp := sp.StartChild("bootstrap")
 	bootSp.SetAttr("resamples", opts.Resamples)
@@ -344,6 +361,15 @@ func (e *Estimator) estimateCI(times []timeutil.Millis, lats []float64, opts CIO
 		ok    bool
 	}
 	outs := make([]repOut, opts.Resamples)
+	// Per-worker scratch comes from the retained pool when a CIState is
+	// present; the pool is sized serially here so workers never mutate it.
+	var pool []*ciScratch
+	if st != nil {
+		for len(st.scs) < workers {
+			st.scs = append(st.scs, nil)
+		}
+		pool = st.scs
+	}
 	var next atomic.Int64
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -351,7 +377,14 @@ func (e *Estimator) estimateCI(times []timeutil.Millis, lats []float64, opts CIO
 		go func() {
 			defer wg.Done()
 			sc := &ciScratch{}
-			if !opts.TimeNormalized {
+			if pool != nil {
+				if pool[w] == nil {
+					pool[w] = sc
+				} else {
+					sc = pool[w]
+				}
+			}
+			if !opts.TimeNormalized && sc.b == nil {
 				sc.b = untraced.newHist()
 				sc.u = untraced.newHist()
 			}
@@ -428,6 +461,9 @@ func (e *Estimator) estimateCI(times []timeutil.Millis, lats []float64, opts CIO
 		sort.Float64s(vs)
 		out.Lower[i] = quantileSorted(vs, alpha)
 		out.Upper[i] = quantileSorted(vs, 1-alpha)
+	}
+	if opts.KeepSamples {
+		out.BinSamples = samples
 	}
 	return out, nil
 }

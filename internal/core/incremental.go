@@ -1,0 +1,459 @@
+package core
+
+import (
+	"math"
+	"sort"
+	"time"
+
+	"autosens/internal/histogram"
+	"autosens/internal/rng"
+	"autosens/internal/timeutil"
+)
+
+// Incremental is a fully delta-maintained plain NLP estimation: columns,
+// biased histogram, unbiased draw schedule AND the unbiased histogram
+// itself are all folded forward, so re-estimating after a fold of d records
+// costs O(d·log n) maintenance plus curve finishing — not the O(n + draws)
+// rescan-and-resweep of the batch path. The produced curve is bit-identical
+// to EstimateColumns over the same columns.
+//
+// The unbiased histogram decomposes into a maintained "stable" part and a
+// small volatile remainder:
+//
+//   - Every draw whose adopted latency is a deterministic function of the
+//     columns (a unique nearest sample, no exact-midpoint tie) contributes
+//     to the stable histogram. Folding a record at time t can only change
+//     draws whose instants fall between t's old distinct-time neighbours —
+//     anything farther already has a strictly closer sample — so the fold
+//     subtracts the affected draws' old values and re-adds their new ones.
+//     Weight-1 adds and subtracts are exact, so the stable histogram stays
+//     bit-identical to a full resweep.
+//   - Draws that consume tie-break randomness (exact midpoint, or an
+//     equal-timestamp run of samples) depend on the plan's auxSeed, which
+//     moves whenever the draw count grows. Their sorted ranks are tracked
+//     in auxDep and the draws are re-evaluated per estimate against the
+//     current auxSeed — typically a handful on millisecond-resolution data.
+//
+// When the data is tie-heavy (coarse timestamps put a large fraction of
+// draws in auxDep) the per-estimate re-evaluation would approach full-sweep
+// cost with worse constants, so the state degrades — permanently, per
+// instance — to the batch sweep over the retained key plan. Results are
+// identical either way.
+//
+// An Incremental is single-goroutine state; callers serialize access (the
+// live engine pins one behind each combo's single-flight slot).
+type Incremental struct {
+	e    *Estimator
+	sum  Summary
+	plan UnbiasedPlan
+	sc   Scratch
+
+	stValid   bool // u/auxDep reflect (sum, plan)
+	fullSweep bool // degenerate tie-heavy data: batch sweep per estimate
+	u         *histogram.Histogram
+	auxDep    []int32 // sorted ranks whose draws need per-estimate aux
+
+	// Fold/estimate scratch, retained across calls.
+	intervals [][2]uint64
+	survivors []int32
+	uOut      *histogram.Histogram
+
+	// Sketch, when non-nil, is a mergeable Poisson-bootstrap CI sketch
+	// maintained in lockstep with the stable sweep state (see BootSketch).
+	Sketch *BootSketch
+	// CI, when non-nil, retains exact block-bootstrap inputs across folds
+	// (see CIState).
+	CI *CIState
+}
+
+// NewIncremental returns an empty delta-maintained estimation.
+func (e *Estimator) NewIncremental() *Incremental {
+	return &Incremental{
+		e:    e,
+		sum:  Summary{B: e.newHist()},
+		u:    e.newHist(),
+		uOut: e.newHist(),
+	}
+}
+
+// Len returns the number of records folded in.
+func (inc *Incremental) Len() int { return inc.sum.Len() }
+
+// Columns exposes the maintained (time, seq)-sorted columns read-only, for
+// estimator paths that are not delta-maintained (time-normalized mode).
+func (inc *Incremental) Columns() ([]timeutil.Millis, []float64) {
+	return inc.sum.Times, inc.sum.Lats
+}
+
+// Summary exposes the maintained summary read-only.
+func (inc *Incremental) Summary() *Summary { return &inc.sum }
+
+// Fold merges a (time, seq)-sorted delta of usable records. Deltas that
+// keep the observation window unchanged are folded into the sweep state in
+// O(d·log n); deltas that move the window (or the first fold) invalidate it
+// for lazy rebuild at the next estimate.
+func (inc *Incremental) Fold(dTimes []timeutil.Millis, dLats []float64, dSeqs []uint64) error {
+	if len(dTimes) == 0 {
+		return nil
+	}
+	n := inc.sum.Len()
+	windowKept := n > 0 &&
+		dTimes[0] >= inc.sum.Times[0] &&
+		dTimes[len(dTimes)-1] <= inc.sum.Times[n-1]
+	if inc.CI != nil {
+		inc.CI.foldRecords(dTimes, dLats, windowKept)
+	}
+	if !inc.stValid || inc.fullSweep || !windowKept {
+		if err := inc.sum.Fold(dTimes, dLats, dSeqs); err != nil {
+			return err
+		}
+		inc.stValid = false
+		if inc.Sketch != nil {
+			inc.Sketch.invalidate()
+		}
+		return nil
+	}
+	return inc.foldIncremental(dTimes, dLats, dSeqs)
+}
+
+// foldIncremental updates the stable sweep state for a window-preserving
+// delta. Order matters: old draw values are retracted against the OLD
+// columns and OLD key schedule, then columns fold and the key schedule
+// extends, then affected draws are re-evaluated against the new state.
+func (inc *Incremental) foldIncremental(dTimes []timeutil.Millis, dLats []float64, dSeqs []uint64) error {
+	lo := inc.sum.Times[0]
+	span := inc.plan.span
+
+	// 1. Affected key intervals [a, b] (inclusive, in offset space): for a
+	// delta record at t, only draws between t's old distinct-time
+	// neighbours can change assignment, midpoint status, or adopted-run
+	// size. Delta times ascend, so intervals merge in one pass.
+	inc.intervals = inc.intervals[:0]
+	for _, t := range dTimes {
+		a, b := neighborInterval(inc.sum.Times, lo, span, t)
+		if k := len(inc.intervals); k > 0 && a <= inc.intervals[k-1][1] {
+			if b > inc.intervals[k-1][1] {
+				inc.intervals[k-1][1] = b
+			}
+			continue
+		}
+		inc.intervals = append(inc.intervals, [2]uint64{a, b})
+	}
+
+	// 2. OLD PASS: retract affected draws. Aux-independent draws subtract
+	// their old adopted value from the stable histogram; aux-dependent
+	// ranks inside an interval are consumed (re-classified in the new
+	// pass), ranks outside survive with their dependence status intact.
+	inc.survivors = inc.survivors[:0]
+	dep := 0 // cursor into auxDep
+	for _, iv := range inc.intervals {
+		i1, i2 := keyRange(inc.plan.sorted, iv[0], iv[1])
+		for ; dep < len(inc.auxDep) && int(inc.auxDep[dep]) < i1; dep++ {
+			inc.survivors = append(inc.survivors, inc.auxDep[dep])
+		}
+		for ; dep < len(inc.auxDep) && int(inc.auxDep[dep]) < i2; dep++ {
+		}
+		classifyKeys(inc.sum.Times, lo, inc.plan.sorted, i1, i2,
+			func(_, j int, isDep bool) {
+				if !isDep {
+					v := inc.sum.Lats[j]
+					inc.u.Sub(v)
+					if inc.Sketch != nil {
+						inc.Sketch.retractDraw(v, inc.sum.Seqs[j], 1)
+					}
+				}
+			})
+	}
+	inc.survivors = append(inc.survivors, inc.auxDep[dep:]...)
+
+	// 3. Stage the schedule extension for the grown draw count, then shift
+	// surviving ranks by the staged keys inserted below them. Survivor
+	// ranks ascend, hence so do their key values: one two-pointer pass.
+	newDraws := drawCount(inc.sum.Len()+len(dTimes), inc.e.opts.UnbiasedPerSample)
+	tail := inc.plan.stageExtend(newDraws)
+	tp := 0
+	for i, r := range inc.survivors {
+		v := inc.plan.sorted[r]
+		for tp < len(tail) && tail[tp] < v {
+			tp++
+		}
+		inc.survivors[i] = r + int32(tp)
+	}
+
+	// 4. Fold columns (+ biased histogram), commit the key merge.
+	if err := inc.sum.Fold(dTimes, dLats, dSeqs); err != nil {
+		return err
+	}
+	if inc.Sketch != nil {
+		inc.Sketch.foldRecords(dLats, dSeqs)
+	}
+	inc.plan.commitExtend()
+
+	// 5. NEW PASS: re-evaluate every key inside the affected intervals —
+	// old keys and freshly staged ones alike — against the new columns.
+	inc.auxDep = append(inc.auxDep[:0], inc.survivors...)
+	for _, iv := range inc.intervals {
+		i1, i2 := keyRange(inc.plan.sorted, iv[0], iv[1])
+		classifyKeys(inc.sum.Times, lo, inc.plan.sorted, i1, i2,
+			func(rank, j int, isDep bool) {
+				if isDep {
+					inc.auxDep = append(inc.auxDep, int32(rank))
+				} else {
+					v := inc.sum.Lats[j]
+					inc.u.Add(v)
+					if inc.Sketch != nil {
+						inc.Sketch.addDraw(v, inc.sum.Seqs[j], 1)
+					}
+				}
+			})
+	}
+
+	// 6. Staged keys OUTSIDE every interval land in unchanged
+	// neighbourhoods: classify each distinct value once (equal keys share
+	// assignment and dependence, and staged duplicates of a retained value
+	// rank after it).
+	ivp := 0
+	for i := 0; i < len(tail); {
+		v := tail[i]
+		m := 1
+		for i+m < len(tail) && tail[i+m] == v {
+			m++
+		}
+		i += m
+		for ivp < len(inc.intervals) && inc.intervals[ivp][1] < v {
+			ivp++
+		}
+		if ivp < len(inc.intervals) && inc.intervals[ivp][0] <= v {
+			continue // inside an interval: already handled by the new pass
+		}
+		first := sort.Search(len(inc.plan.sorted), func(j int) bool { return inc.plan.sorted[j] >= v })
+		eqAll := sort.Search(len(inc.plan.sorted)-first, func(j int) bool { return inc.plan.sorted[first+j] > v })
+		start := first + eqAll - m // staged duplicates sort last
+		classifyKeys(inc.sum.Times, lo, inc.plan.sorted, first, first+1,
+			func(_, j int, isDep bool) {
+				if isDep {
+					for r := 0; r < m; r++ {
+						inc.auxDep = append(inc.auxDep, int32(start+r))
+					}
+				} else {
+					val := inc.sum.Lats[j]
+					inc.u.AddWeighted(val, float64(m))
+					if inc.Sketch != nil {
+						inc.Sketch.addDraw(val, inc.sum.Seqs[j], m)
+					}
+				}
+			})
+	}
+	slices32Sort(inc.auxDep)
+	inc.checkDensity()
+	return nil
+}
+
+// checkDensity degrades to the batch sweep when per-estimate aux
+// re-evaluation would rival a full sweep.
+func (inc *Incremental) checkDensity() {
+	if len(inc.auxDep)*8 > len(inc.plan.sorted) {
+		inc.fullSweep = true
+		inc.stValid = false
+		if inc.Sketch != nil {
+			inc.Sketch.invalidate()
+		}
+	}
+}
+
+// EstimatePlain computes the plain pooled NLP curve over the folded
+// records, bit-identical to EstimateColumns over the same columns.
+func (inc *Incremental) EstimatePlain() (*Curve, error) {
+	defer observeEstimate(time.Now())
+	n := inc.sum.Len()
+	if n == 0 {
+		return nil, errEmptyRecords
+	}
+	e := inc.e
+	sp := e.trace.StartChild("estimate_incremental")
+	defer sp.End()
+	sp.SetAttr("records", n)
+
+	lo := inc.sum.Times[0]
+	hi := inc.sum.Times[n-1] + 1
+	draws := drawCount(n, e.opts.UnbiasedPerSample)
+	inc.plan.update(e.opts.Seed, uint64(hi-lo), draws)
+	if inc.stValid && inc.plan.reused == 0 && draws > 0 {
+		inc.stValid = false // plan regenerated under us: seed or span moved
+	}
+
+	if !inc.stValid && !inc.fullSweep {
+		inc.rebuildSweep()
+	}
+	if inc.fullSweep {
+		u := inc.sc.unbiased(e)
+		sweepSortedKeys(inc.sum.Times, inc.sum.Lats, lo, inc.plan.sorted, inc.plan.auxSeed, u)
+		sp.SetAttr("sweep", "full")
+		return e.finishCurve(sp, inc.sum.B, u, n, draws)
+	}
+
+	// Stable histogram + the volatile aux-dependent remainder.
+	if err := inc.uOut.CopyFrom(inc.u); err != nil {
+		return nil, err
+	}
+	for _, r := range inc.auxDep {
+		aux := rng.Mix64(inc.plan.auxSeed + uint64(r))
+		j := drawKeyIndex(inc.sum.Times, lo, inc.plan.sorted[r], aux)
+		inc.uOut.Add(inc.sum.Lats[j])
+	}
+	sp.SetAttr("aux_dep", len(inc.auxDep))
+	return e.finishCurve(sp, inc.sum.B, inc.uOut, n, draws)
+}
+
+// rebuildSweep classifies the full schedule from scratch (first estimate,
+// or a fold that moved the observation window).
+func (inc *Incremental) rebuildSweep() {
+	if len(inc.plan.sorted) > math.MaxInt32 {
+		inc.fullSweep = true
+		return
+	}
+	inc.u.Reset()
+	inc.auxDep = inc.auxDep[:0]
+	lo := inc.sum.Times[0]
+	classifyKeys(inc.sum.Times, lo, inc.plan.sorted, 0, len(inc.plan.sorted),
+		func(rank, j int, isDep bool) {
+			if isDep {
+				inc.auxDep = append(inc.auxDep, int32(rank))
+			} else {
+				inc.u.Add(inc.sum.Lats[j])
+			}
+		})
+	inc.stValid = true
+	inc.checkDensity()
+	if inc.Sketch != nil && inc.stValid {
+		inc.Sketch.rebuild(inc)
+	}
+}
+
+// neighborInterval returns the inclusive offset interval [a, b] bounded by
+// t's distinct-time neighbours in the sorted column (window edges clamp to
+// the full span). Every draw whose assignment the insertion of t can change
+// lies within it.
+func neighborInterval(times []timeutil.Millis, lo timeutil.Millis, span uint64, t timeutil.Millis) (a, b uint64) {
+	i := sort.Search(len(times), func(j int) bool { return times[j] >= t })
+	if i > 0 {
+		a = uint64(times[i-1] - lo)
+	}
+	j := sort.Search(len(times), func(k int) bool { return times[k] > t })
+	if j < len(times) {
+		b = uint64(times[j] - lo)
+	} else {
+		b = span - 1
+	}
+	return a, b
+}
+
+// keyRange returns the half-open index range of sorted keys within the
+// inclusive value interval [a, b].
+func keyRange(keys []uint64, a, b uint64) (int, int) {
+	i1 := sort.Search(len(keys), func(i int) bool { return keys[i] >= a })
+	i2 := sort.Search(len(keys), func(i int) bool { return keys[i] > b })
+	return i1, i2
+}
+
+// classifyKeys evaluates sorted draw keys[i1:i2) against time-sorted
+// columns, reporting each draw's adopted record index and whether its
+// adoption consumes tie-break randomness (exact midpoint, or an
+// equal-timestamp run longer than one). For dependent draws j is -1 — the
+// caller re-evaluates them with drawKeyIndex when the aux seed is known.
+func classifyKeys(times []timeutil.Millis, lo timeutil.Millis, keys []uint64, i1, i2 int, fn func(rank, j int, dep bool)) {
+	if i1 >= i2 || len(times) == 0 {
+		return
+	}
+	nRec := len(times)
+	t0 := lo + timeutil.Millis(keys[i1])
+	idx := sort.Search(nRec, func(i int) bool { return times[i] >= t0 })
+	for k := i1; k < i2; k++ {
+		t := lo + timeutil.Millis(keys[k])
+		for idx < nRec && times[idx] < t {
+			idx++
+		}
+		var j int
+		switch {
+		case idx == 0:
+			j = 0
+		case idx == nRec:
+			j = nRec - 1
+		default:
+			dLeft := t - times[idx-1]
+			dRight := times[idx] - t
+			switch {
+			case dLeft < dRight:
+				j = idx - 1
+			case dRight < dLeft:
+				j = idx
+			default:
+				fn(k, -1, true) // exact midpoint: side choice needs aux
+				continue
+			}
+		}
+		tj := times[j]
+		if (j > 0 && times[j-1] == tj) || (j+1 < nRec && times[j+1] == tj) {
+			fn(k, -1, true) // run pick needs aux
+			continue
+		}
+		fn(k, j, false)
+	}
+}
+
+// drawKeyIndex evaluates one draw key with an explicit aux word, reproducing
+// sweepSortedKeys' record choice bit for bit: the aux's top bit breaks exact
+// midpoints, and aux mod the run size picks within an equal-timestamp run.
+func drawKeyIndex(times []timeutil.Millis, lo timeutil.Millis, key uint64, aux uint64) int {
+	nRec := len(times)
+	t := lo + timeutil.Millis(key)
+	idx := sort.Search(nRec, func(i int) bool { return times[i] >= t })
+	var j int
+	switch {
+	case idx == 0:
+		j = 0
+	case idx == nRec:
+		j = nRec - 1
+	default:
+		dLeft := t - times[idx-1]
+		dRight := times[idx] - t
+		switch {
+		case dLeft < dRight:
+			j = idx - 1
+		case dRight < dLeft:
+			j = idx
+		default:
+			if aux>>63 == 0 {
+				j = idx - 1
+			} else {
+				j = idx
+			}
+		}
+	}
+	tj := times[j]
+	rLo, rHi := j, j
+	for rLo > 0 && times[rLo-1] == tj {
+		rLo--
+	}
+	for rHi+1 < nRec && times[rHi+1] == tj {
+		rHi++
+	}
+	if rHi == rLo {
+		return rLo
+	}
+	return rLo + int(aux%uint64(rHi-rLo+1))
+}
+
+// slices32Sort sorts ranks ascending (insertion sort: the slice is the
+// concatenation of a few sorted runs and is nearly ordered).
+func slices32Sort(a []int32) {
+	for i := 1; i < len(a); i++ {
+		v := a[i]
+		j := i - 1
+		for j >= 0 && a[j] > v {
+			a[j+1] = a[j]
+			j--
+		}
+		a[j+1] = v
+	}
+}

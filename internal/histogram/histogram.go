@@ -95,6 +95,34 @@ func (h *Histogram) AddWeighted(v, w float64) {
 	h.total += w
 }
 
+// Sub removes one previously added weight-1 observation. Weight-1 adds and
+// subtracts are exact integer arithmetic in float64, so delta-maintained
+// histograms that retract stale observations stay bit-identical to a
+// from-scratch rebuild. Subtracting a value that was never added corrupts
+// the histogram; callers own that invariant.
+func (h *Histogram) Sub(v float64) { h.SubWeighted(v, 1) }
+
+// SubWeighted removes a previously added weight-w observation.
+func (h *Histogram) SubWeighted(v, w float64) {
+	if w < 0 || math.IsNaN(w) {
+		panic(fmt.Sprintf("histogram: invalid weight %v", w))
+	}
+	h.counts[h.Index(v)] -= w
+	h.total -= w
+}
+
+// CopyFrom overwrites h's counts with o's. The histograms must have
+// identical binning. It is the allocation-free Clone for hot paths that
+// re-derive a scratch histogram from a maintained base every round.
+func (h *Histogram) CopyFrom(o *Histogram) error {
+	if err := h.compatible(o); err != nil {
+		return err
+	}
+	copy(h.counts, o.counts)
+	h.total = o.total
+	return nil
+}
+
 // Count returns the accumulated weight in bin i.
 func (h *Histogram) Count(i int) float64 { return h.counts[i] }
 

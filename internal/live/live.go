@@ -67,6 +67,13 @@ type Config struct {
 	// CI configures bootstrap confidence bounds for ci=1 queries. Zero
 	// value selects core.DefaultCIOptions().
 	CI core.CIOptions
+	// SketchCI enables the mergeable Poisson-bootstrap sketch for plain
+	// ci=1 queries: bounds are maintained incrementally instead of rerun
+	// per epoch. Each combo is gated at runtime — its first CI query
+	// compares the sketch's replicate distribution against the exact block
+	// bootstrap's with a per-bin KS test, and combos that fail stay pinned
+	// to the exact (bit-identical to batch) path.
+	SketchCI bool
 	// Registry exports autosens_live_* metrics; nil skips instrumentation.
 	Registry *obs.Registry
 }
@@ -90,6 +97,9 @@ type Engine struct {
 	cmu   sync.Mutex
 	cache map[queryKey]*comboCache
 
+	smu    sync.Mutex
+	states map[int]*comboState
+
 	skipped atomic.Uint64 // failed/out-of-range records not stored
 
 	// Query counters, kept on the engine (not only in optional metrics) so
@@ -97,6 +107,13 @@ type Engine struct {
 	nQueries atomic.Uint64
 	nHits    atomic.Uint64
 	nMisses  atomic.Uint64
+	// Dirty-recompute counters: recomputes run and store records
+	// delta-folded into combo estimation state by them.
+	nDirty        atomic.Uint64
+	nDeltaRecords atomic.Uint64
+	// Sketch-CI gate outcomes (combos accepted / pinned to exact).
+	nSketchOK     atomic.Uint64
+	nSketchPinned atomic.Uint64
 
 	m *metrics
 }
@@ -129,6 +146,7 @@ func New(cfg Config) (*Engine, error) {
 		est:    est,
 		shards: make([]*shard, cfg.Shards),
 		cache:  make(map[queryKey]*comboCache),
+		states: make(map[int]*comboState),
 	}
 	for i := range e.shards {
 		e.shards[i] = &shard{}

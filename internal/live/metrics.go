@@ -8,6 +8,8 @@ type metrics struct {
 	queries      *obs.Counter
 	cacheHits    *obs.Counter
 	cacheMisses  *obs.Counter
+	dirtyCombos  *obs.Counter
+	deltaRecords *obs.Counter
 	queryDur     *obs.Histogram
 	recomputeDur *obs.Histogram
 	dirtyShards  *obs.Histogram
@@ -19,6 +21,10 @@ func newMetrics(reg *obs.Registry, e *Engine) *metrics {
 		queries:     reg.Counter("autosens_live_queries_total", "curve queries answered (hits and misses)"),
 		cacheHits:   reg.Counter("autosens_live_cache_hits_total", "queries served from the epoch cache"),
 		cacheMisses: reg.Counter("autosens_live_cache_misses_total", "queries that recomputed the curve"),
+		dirtyCombos: reg.Counter("autosens_live_recompute_dirty_combos",
+			"combo recomputes run by dirty queries"),
+		deltaRecords: reg.Counter("autosens_live_delta_records",
+			"store records delta-folded into combo estimation state"),
 		queryDur: reg.Histogram("autosens_live_query_duration_seconds",
 			"wall-clock time answering one curve query", obs.DefLatencyBuckets()),
 		recomputeDur: reg.Histogram("autosens_live_recompute_duration_seconds",

@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"runtime/pprof"
+	"sort"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -247,27 +248,78 @@ func (e *Engine) queryCached(cc *comboCache, combo int, key SliceKey, mode Mode,
 	return res, nil
 }
 
-// recompute rebuilds dirty shard views, merges, and finishes the curve.
+// comboState is one combo's delta-maintained estimation state, shared by
+// every (mode, ci) query slot over that combo. A recompute decodes only
+// the store suffix each shard appended since the combo's last recompute,
+// folds it into a core.Incremental — which delta-maintains the columns,
+// the biased histogram AND the unbiased sweep — and re-finishes the curve,
+// so a dirty query costs O(records since the last epoch), not O(store).
+type comboState struct {
+	mu  sync.Mutex
+	inc *core.Incremental
+	cps []checkpoint // per-shard resumable decode positions
+
+	// Pooled recompute scratch: per-shard decoded delta columns and block
+	// snapshots, the merged delta, and the merge cursors. Retained across
+	// recomputes behind cc.mu's single flight, so the steady-state dirty
+	// path allocates nothing here.
+	sh    []deltaCols
+	snaps [][]blockSnap
+	all   deltaCols
+	cur   []int
+
+	// sketchGate is the combo's KS-gate decision for sketch-CI engines:
+	// 0 undecided, 1 sketch accepted, 2 pinned to the exact bootstrap.
+	sketchGate int
+}
+
+// stateFor returns (creating if needed) the combo's estimation state.
+func (e *Engine) stateFor(combo int) *comboState {
+	e.smu.Lock()
+	defer e.smu.Unlock()
+	cs, ok := e.states[combo]
+	if !ok {
+		cs = &comboState{
+			inc:   e.est.NewIncremental(),
+			cps:   make([]checkpoint, len(e.shards)),
+			sh:    make([]deltaCols, len(e.shards)),
+			snaps: make([][]blockSnap, len(e.shards)),
+			cur:   make([]int, len(e.shards)),
+		}
+		if e.cfg.SketchCI {
+			// Attached before the first fold so the sweep rebuild keeps the
+			// sketch in lockstep from the start.
+			cs.inc.Sketch = e.est.NewBootSketch(e.cfg.CI.Resamples, e.cfg.CI.Seed)
+		}
+		e.states[combo] = cs
+	}
+	return cs
+}
+
+// recompute folds the store delta since the combo's last recompute and
+// re-finishes the curve for one (mode, ci) slot.
 func (e *Engine) recompute(combo int, key SliceKey, mode Mode, ci bool) (res *Result, err error) {
 	start := time.Now()
-	views := make([]*shardView, len(e.shards))
-	var dirty atomic.Uint64
-	// Shard rebuilds run tagged so profiles attribute recompute CPU to
-	// the slice being answered.
+	cs := e.stateFor(combo)
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	var dirty, folded int
+	// The fold and estimate run tagged so profiles attribute recompute CPU
+	// to the slice being answered.
 	pprof.Do(context.Background(), pprof.Labels(
-		"live", "shard_recompute", "slice", key.String(), "mode", mode.String(),
+		"live", "combo_recompute", "slice", key.String(), "mode", mode.String(),
 	), func(context.Context) {
-		core.ForEachIndex(e.cfg.Workers, len(e.shards), func(i int) {
-			v, rebuilt := e.shards[i].viewFor(combo, key, e.newHist)
-			views[i] = v
-			if rebuilt {
-				dirty.Add(1)
-			}
-		})
-		res, err = e.finish(key, mode, ci, views)
+		dirty, folded, err = e.foldDelta(cs, key)
+		if err == nil {
+			res, err = e.finish(cs, key, mode, ci)
+		}
 	})
+	e.nDirty.Add(1)
+	e.nDeltaRecords.Add(uint64(folded))
 	if e.m != nil {
-		e.m.dirtyShards.Observe(float64(dirty.Load()))
+		e.m.dirtyCombos.Inc()
+		e.m.deltaRecords.Add(uint64(folded))
+		e.m.dirtyShards.Observe(float64(dirty))
 		e.m.recomputeDur.ObserveSince(start)
 	}
 	if err != nil {
@@ -277,26 +329,80 @@ func (e *Engine) recompute(combo int, key SliceKey, mode Mode, ci bool) (res *Re
 	return res, nil
 }
 
-// finish merges shard views into global sorted columns and runs the
-// estimator over them.
-func (e *Engine) finish(key SliceKey, mode Mode, ci bool, views []*shardView) (*Result, error) {
-	n := 0
-	for _, v := range views {
-		n += len(v.times)
+// foldDelta decodes each shard's store suffix since the combo's last
+// recompute (in parallel on the worker pool), merges the sorted per-shard
+// deltas into one (time, seq)-sorted delta, and folds it into the combo's
+// Incremental. Returns how many shards were dirty and how many records
+// were folded.
+func (e *Engine) foldDelta(cs *comboState, key SliceKey) (dirty, folded int, err error) {
+	core.ForEachIndex(e.cfg.Workers, len(e.shards), func(i int) {
+		cs.sh[i].reset()
+		if e.shards[i].deltaSince(&cs.cps[i], key, &cs.sh[i], &cs.snaps[i]) > 0 {
+			// Each shard's suffix arrives in ack (seq) order; sort it by
+			// (time, seq) so the k-way merge below yields exactly the
+			// stable by-time sort of the acked stream.
+			sort.Sort(&cs.sh[i])
+		}
+	})
+	for i := range cs.sh {
+		if n := cs.sh[i].Len(); n > 0 {
+			dirty++
+			folded += n
+		}
 	}
+	if folded == 0 {
+		return 0, 0, nil
+	}
+	mergeDeltas(cs.sh, cs.cur, &cs.all)
+	return dirty, folded, cs.inc.Fold(cs.all.times, cs.all.lats, cs.all.seqs)
+}
+
+// mergeDeltas k-way merges per-shard (time, seq)-sorted delta columns into
+// dst. Shard counts are small, so a linear scan over the cursors beats a
+// heap.
+func mergeDeltas(sh []deltaCols, cur []int, dst *deltaCols) {
+	dst.reset()
+	for i := range cur {
+		cur[i] = 0
+	}
+	for {
+		best := -1
+		for i := range sh {
+			c := cur[i]
+			if c >= sh[i].Len() {
+				continue
+			}
+			if best < 0 {
+				best = i
+				continue
+			}
+			b, bc := &sh[best], cur[best]
+			if sh[i].times[c] < b.times[bc] ||
+				(sh[i].times[c] == b.times[bc] && sh[i].seqs[c] < b.seqs[bc]) {
+				best = i
+			}
+		}
+		if best < 0 {
+			return
+		}
+		c := cur[best]
+		dst.times = append(dst.times, sh[best].times[c])
+		dst.lats = append(dst.lats, sh[best].lats[c])
+		dst.seqs = append(dst.seqs, sh[best].seqs[c])
+		cur[best]++
+	}
+}
+
+// finish estimates over the combo's folded state for one (mode, ci) slot.
+func (e *Engine) finish(cs *comboState, key SliceKey, mode Mode, ci bool) (*Result, error) {
+	n := cs.inc.Len()
 	if n == 0 {
 		return nil, ErrNoRecords
 	}
-	times := make([]timeutil.Millis, 0, n)
-	lats := make([]float64, 0, n)
-	mergeViews(views, &times, &lats)
-
 	res := &Result{Slice: key.String(), Mode: mode.String(), Records: n}
 	switch {
 	case ci:
-		opts := e.cfg.CI
-		opts.TimeNormalized = mode == ModeNormalized
-		band, err := e.est.EstimateCIColumns(times, lats, opts)
+		band, err := e.estimateCI(cs, mode)
 		if err != nil {
 			return nil, err
 		}
@@ -307,6 +413,10 @@ func (e *Engine) finish(key SliceKey, mode Mode, ci bool, views []*shardView) (*
 			return nil, err
 		}
 	case mode == ModeNormalized:
+		// The time-normalized estimator has no delta-maintained path; it
+		// re-estimates over the maintained columns (O(n) finishing, but
+		// still no store rescan or re-sort).
+		times, lats := cs.inc.Columns()
 		curve, err := e.est.EstimateTimeNormalizedColumns(times, lats)
 		if err != nil {
 			return nil, err
@@ -315,16 +425,7 @@ func (e *Engine) finish(key SliceKey, mode Mode, ci bool, views []*shardView) (*
 			return nil, err
 		}
 	default:
-		// The biased histogram is the sum of the per-shard view
-		// histograms — incremental maintenance in place of the batch
-		// path's O(n) rebuild.
-		b := e.newHist()
-		for _, v := range views {
-			if err := b.AddHistogram(v.b); err != nil {
-				return nil, err
-			}
-		}
-		curve, err := e.est.EstimateFromParts(b, times, lats, nil)
+		curve, err := cs.inc.EstimatePlain()
 		if err != nil {
 			return nil, err
 		}
@@ -333,6 +434,89 @@ func (e *Engine) finish(key SliceKey, mode Mode, ci bool, views []*shardView) (*
 		}
 	}
 	return res, nil
+}
+
+// estimateCI produces bootstrap bounds for a ci=1 slot. Plain-mode engines
+// with SketchCI enabled serve the mergeable Poisson-bootstrap sketch,
+// gated per combo: the first CI query runs both the exact block bootstrap
+// and the sketch with retained replicate samples and accepts the sketch
+// only if the mean per-bin two-sample KS statistic stays under the 5%
+// critical value; a combo that fails the gate stays pinned to the exact
+// path. The gating query itself always answers with the exact bounds.
+func (e *Engine) estimateCI(cs *comboState, mode Mode) (*core.CurveCI, error) {
+	opts := e.cfg.CI
+	opts.TimeNormalized = mode == ModeNormalized
+	if opts.TimeNormalized || !e.cfg.SketchCI || cs.sketchGate == 2 {
+		return e.est.EstimateCIIncremental(cs.inc, opts)
+	}
+	if cs.sketchGate == 1 {
+		point, err := cs.inc.EstimatePlain()
+		if err != nil {
+			return nil, err
+		}
+		band, err := cs.inc.Sketch.SketchBounds(cs.inc, point, opts)
+		if err == nil {
+			return band, nil
+		}
+		// Sketch unavailable (the combo's data degraded to the tie-heavy
+		// full-sweep path): serve exact for this query.
+		return e.est.EstimateCIIncremental(cs.inc, opts)
+	}
+	// Gate undecided: run both with retained per-bin replicate samples.
+	gateOpts := opts
+	gateOpts.KeepSamples = true
+	exact, err := e.est.EstimateCIIncremental(cs.inc, gateOpts)
+	if err != nil {
+		return nil, err
+	}
+	sk, skErr := cs.inc.Sketch.SketchBounds(cs.inc, exact.Curve, gateOpts)
+	accepted := false
+	if skErr == nil {
+		mean, _, _, ksErr := core.KSBinsStat(exact, sk)
+		accepted = ksErr == nil &&
+			mean <= core.KSCritical(exact.Replicates, sk.Replicates, 0.05)
+	}
+	if accepted {
+		cs.sketchGate = 1
+		e.nSketchOK.Add(1)
+	} else {
+		cs.sketchGate = 2
+		e.nSketchPinned.Add(1)
+	}
+	exact.BinSamples = nil // gate-only; not part of the response
+	return exact, nil
+}
+
+// AllSliceKeys enumerates every queryable slice — each of the three axes
+// at a concrete value or "any" — in a stable order.
+func AllSliceKeys() []SliceKey {
+	keys := make([]SliceKey, 0, numCombos)
+	for a := -1; a < telemetry.NumActionTypes; a++ {
+		for u := -1; u < telemetry.NumUserTypes; u++ {
+			for p := -1; p < timeutil.NumPeriods; p++ {
+				keys = append(keys, SliceKey{
+					Action:   telemetry.ActionType(a),
+					UserType: telemetry.UserType(u),
+					Period:   timeutil.Period(p),
+				})
+			}
+		}
+	}
+	return keys
+}
+
+// QueryMany answers one query per key, finishing curves for distinct
+// combos in parallel on the engine's worker pool (per-combo recomputes are
+// independent). Results align with keys; a slice with no records yields a
+// nil result and ErrNoRecords in errs. Use with AllSliceKeys to prewarm
+// every curve after a WAL replay.
+func (e *Engine) QueryMany(keys []SliceKey, mode Mode, ci bool) (results []*Result, errs []error) {
+	results = make([]*Result, len(keys))
+	errs = make([]error, len(keys))
+	core.ForEachIndex(e.cfg.Workers, len(keys), func(i int) {
+		results[i], errs[i] = e.Query(keys[i], mode, ci)
+	})
+	return results, errs
 }
 
 // mergeViews k-way merges per-shard (time, seq)-sorted columns into one

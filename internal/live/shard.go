@@ -311,6 +311,79 @@ func buildView(old *shardView, snap []blockSnap, cur uint64, key SliceKey, newHi
 	return v
 }
 
+// deltaCols is a resumable store decode's output: parallel (time, lat,
+// seq) columns, sortable by (time, seq). The per-combo recompute state
+// pools these so steady-state dirty queries decode without allocating.
+type deltaCols struct {
+	times []timeutil.Millis
+	lats  []float64
+	seqs  []uint64
+}
+
+func (d *deltaCols) reset() {
+	d.times, d.lats, d.seqs = d.times[:0], d.lats[:0], d.seqs[:0]
+}
+
+func (d *deltaCols) Len() int { return len(d.times) }
+func (d *deltaCols) Less(i, j int) bool {
+	if d.times[i] != d.times[j] {
+		return d.times[i] < d.times[j]
+	}
+	return d.seqs[i] < d.seqs[j]
+}
+func (d *deltaCols) Swap(i, j int) {
+	d.times[i], d.times[j] = d.times[j], d.times[i]
+	d.lats[i], d.lats[j] = d.lats[j], d.lats[i]
+	d.seqs[i], d.seqs[j] = d.seqs[j], d.seqs[i]
+}
+
+// deltaSince decodes every record appended past *cp that matches key,
+// appending it to dst and advancing the checkpoint. Like viewFor, the
+// shard lock is held only to snapshot the block chain (into *snap, a
+// pooled scratch slice); the varint decode runs on the immutable snapshot,
+// so appends never stall behind a recompute. Returns the number of
+// matching records decoded — zero on the clean fast path, which takes the
+// lock once and touches no block bytes.
+func (s *shard) deltaSince(cp *checkpoint, key SliceKey, dst *deltaCols, snap *[]blockSnap) int {
+	s.mu.Lock()
+	if len(s.blocks) == 0 ||
+		(cp.blk == len(s.blocks)-1 && cp.rec == s.blocks[cp.blk].n) {
+		s.mu.Unlock()
+		return 0
+	}
+	sn := (*snap)[:0]
+	for _, blk := range s.blocks {
+		sn = append(sn, blockSnap{n: blk.n, tbuf: blk.tbuf, sbuf: blk.sbuf, lats: blk.lats, tags: blk.tags})
+	}
+	*snap = sn
+	s.mu.Unlock()
+
+	before := len(dst.times)
+	for bi := cp.blk; bi < len(sn); bi++ {
+		blk := &sn[bi]
+		rec, toff, soff := 0, 0, 0
+		if bi == cp.blk {
+			rec, toff, soff = cp.rec, cp.toff, cp.soff
+		}
+		for ; rec < blk.n; rec++ {
+			dt, nt := binary.Varint(blk.tbuf[toff:])
+			ds, ns := binary.Uvarint(blk.sbuf[soff:])
+			toff += nt
+			soff += ns
+			cp.t += dt
+			cp.seq += ds
+			if !key.matchesTag(blk.tags[rec]) {
+				continue
+			}
+			dst.times = append(dst.times, timeutil.Millis(cp.t))
+			dst.lats = append(dst.lats, blk.lats[rec])
+			dst.seqs = append(dst.seqs, cp.seq)
+		}
+		cp.blk, cp.rec, cp.toff, cp.soff = bi, blk.n, toff, soff
+	}
+	return len(dst.times) - before
+}
+
 // mergeColumns merges two (time, seq)-sorted views into dst.
 func mergeColumns(dst, a, b *shardView) {
 	i, j := 0, 0

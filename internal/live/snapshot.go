@@ -91,13 +91,17 @@ func (e *Engine) SnapshotSlice(key SliceKey) (*SliceSnapshot, error) {
 // metrics registry.
 func (e *Engine) LiveStats() api.LiveStats {
 	return api.LiveStats{
-		Shards:       len(e.shards),
-		Records:      e.Records(),
-		StoreBytes:   e.StoreBytes(),
-		Epoch:        e.Epoch(),
-		Queries:      e.nQueries.Load(),
-		CacheHits:    e.nHits.Load(),
-		CacheMisses:  e.nMisses.Load(),
-		CachedCurves: e.cachedCurves(),
+		Shards:         len(e.shards),
+		Records:        e.Records(),
+		StoreBytes:     e.StoreBytes(),
+		Epoch:          e.Epoch(),
+		Queries:        e.nQueries.Load(),
+		CacheHits:      e.nHits.Load(),
+		CacheMisses:    e.nMisses.Load(),
+		CachedCurves:   e.cachedCurves(),
+		DirtyCombos:    e.nDirty.Load(),
+		DeltaRecords:   e.nDeltaRecords.Load(),
+		SketchAccepted: e.nSketchOK.Load(),
+		SketchPinned:   e.nSketchPinned.Load(),
 	}
 }

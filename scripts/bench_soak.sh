@@ -1,0 +1,49 @@
+#!/bin/sh
+# bench_soak.sh — sustained ingest+query soak against a real sensd.
+#
+# Builds sensd and loadgen, starts sensd with the live query engine on an
+# ephemeral port, drives the loadgen soak harness (1M simulated users of
+# batched ingest plus concurrent /v1/curves queries) for SOAK_DURATION,
+# and writes the SLO report (ingest/query p50/p90/p99 + shed rate) to
+# SOAK_OUT. Used by `make bench-soak` (full run, committed BENCH_soak.json)
+# and by the CI smoke (shortened via environment overrides).
+#
+#   SOAK_DURATION=30s SOAK_USERS=1000000 SOAK_OUT=BENCH_soak.json \
+#     ./scripts/bench_soak.sh
+set -eu
+
+SOAK_DURATION=${SOAK_DURATION:-30s}
+SOAK_USERS=${SOAK_USERS:-1000000}
+SOAK_SENDERS=${SOAK_SENDERS:-4}
+SOAK_BATCH=${SOAK_BATCH:-500}
+SOAK_QUERY=${SOAK_QUERY:-4}
+SOAK_OUT=${SOAK_OUT:-BENCH_soak.json}
+ADDR=${SOAK_ADDR:-127.0.0.1:18787}
+GO=${GO:-go}
+
+tmp=$(mktemp -d)
+trap 'kill "$sensd_pid" 2>/dev/null || true; wait "$sensd_pid" 2>/dev/null || true; rm -rf "$tmp"' EXIT INT TERM
+
+$GO build -o "$tmp/sensd" ./cmd/sensd
+$GO build -o "$tmp/loadgen" ./cmd/loadgen
+
+# TBIN WAL sink with interval fsync: the durable configuration a production
+# soak should measure, without paying a disk sync per batch.
+"$tmp/sensd" -addr "$ADDR" -admin-addr "" \
+  -wal-dir "$tmp/wal" -format tbin -fsync 250ms -live &
+sensd_pid=$!
+
+# Wait for the listener (the status endpoint answers once serving).
+i=0
+until curl -sf "http://$ADDR/v1/status" >/dev/null 2>&1; do
+  i=$((i + 1))
+  [ "$i" -ge 100 ] && { echo "bench_soak: sensd did not come up" >&2; exit 1; }
+  sleep 0.1
+done
+
+"$tmp/loadgen" -url "http://$ADDR/v1/beacons" -format tbin \
+  -soak -soak-users "$SOAK_USERS" -soak-duration "$SOAK_DURATION" \
+  -soak-out "$SOAK_OUT" \
+  -senders "$SOAK_SENDERS" -batch "$SOAK_BATCH" -query "$SOAK_QUERY"
+
+echo "bench_soak: report written to $SOAK_OUT" >&2
