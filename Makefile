@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race bench bench-json bench-ingest-json bench-live bench-live-gate bench-soak bench-watch fuzz check fmt vet clean crash-test race-ingest race-live race-watch alert-quality
+.PHONY: build test race bench bench-json bench-ingest-json bench-live bench-live-gate bench-soak bench-watch bench-cluster fuzz check fmt vet clean crash-test race-ingest race-live race-watch race-cluster alert-quality
 
 # Label recorded in BENCH_core.json for a bench-json run; override like
 #   make bench-json BENCH_LABEL="after: shared key plan"
@@ -29,6 +29,11 @@ race-live:
 # concurrent ingest, ticks and /v1/alerts + /v1/report polling under -race.
 race-watch:
 	$(GO) test -race -count=1 ./internal/watch/
+
+# race-cluster is the focused race gate for the scatter-gather cluster:
+# concurrent ingest + coordinator queries + node kill/re-warm under -race.
+race-cluster:
+	$(GO) test -race -count=1 ./internal/cluster/
 
 # alert-quality runs the ground-truth precision/recall gate: owasim runs
 # with scheduled incident regimes, the watcher scores against the schedule,
@@ -77,7 +82,7 @@ bench-live:
 # 25% against the last run recorded in BENCH_live.json. CI runs this.
 bench-live-gate:
 	$(GO) test -bench='BenchmarkLiveQuery' -benchmem -run=^$$ ./internal/live/ | \
-		$(GO) run ./cmd/benchjson -against BENCH_live.json -names BenchmarkLiveQueryDirty
+		$(GO) run ./cmd/benchjson -against BENCH_live.json -names BenchmarkLiveQueryDirty -require-baseline
 
 # bench-soak runs the sustained-load SLO harness: a real sensd with the
 # live engine on a loopback port, loadgen soak mode driving 1M simulated
@@ -99,11 +104,41 @@ bench-watch:
 		$(GO) run ./cmd/benchjson -label "$(BENCH_LABEL)" -prev BENCH_watch.json > BENCH_watch.json.tmp
 	mv BENCH_watch.json.tmp BENCH_watch.json
 
-# fuzz runs each telemetry fuzz target for a short bounded burst.
+# bench-cluster appends a labelled scale-out benchmark run to
+# BENCH_cluster.json (full-HTTP ingest at 1 vs 4 nodes on modeled block
+# devices, scatter-gather cached and dirty query paths with p99), then
+# gates the committed claims: >= 3x aggregate ingest at 4 nodes and a
+# cached scatter-gather p99 within 10x of the single-node cached query
+# (~169ns in BENCH_live.json).
+CLUSTER_BENCHTIME ?= 3x
+bench-cluster:
+	{ $(GO) test -bench='BenchmarkClusterIngest' -benchmem -run=^$$ \
+		-benchtime=$(CLUSTER_BENCHTIME) -timeout 20m ./internal/cluster/ && \
+	  $(GO) test -bench='BenchmarkClusterQuery' -benchmem -run=^$$ \
+		-timeout 20m ./internal/cluster/ ; } | tee bench_cluster.out | \
+		$(GO) run ./cmd/benchjson -label "$(BENCH_LABEL)" -prev BENCH_cluster.json > BENCH_cluster.json.tmp
+	mv BENCH_cluster.json.tmp BENCH_cluster.json
+	@awk ' \
+		/BenchmarkClusterIngest\/nodes=1/  { one = $$3 } \
+		/BenchmarkClusterIngest\/nodes=4/  { four = $$3 } \
+		/BenchmarkClusterQueryCached/ { for (i = 1; i < NF; i++) if ($$(i+1) == "p99-ns/op") p99 = $$i } \
+		END { \
+			if (one == "" || four == "" || p99 == "") { print "bench-cluster: missing benchmark lines"; exit 1 } \
+			ratio = one / four; \
+			printf "bench-cluster: ingest scaling 1->4 nodes: %.2fx, cached query p99: %.0f ns\n", ratio, p99; \
+			if (ratio < 3)    { print "bench-cluster: FAIL: ingest scaling below 3x"; exit 1 } \
+			if (p99 > 1690)   { print "bench-cluster: FAIL: cached p99 above 10x single-node (1690 ns)"; exit 1 } \
+		}' bench_cluster.out
+	@rm -f bench_cluster.out
+
+# fuzz runs each telemetry and cluster-partial fuzz target for a short
+# bounded burst.
 FUZZTIME ?= 30s
 fuzz:
 	$(GO) test -run=^$$ -fuzz='^FuzzRecordRoundTrip$$' -fuzztime=$(FUZZTIME) ./internal/telemetry/
 	$(GO) test -run=^$$ -fuzz='^FuzzReaderNoCrash$$' -fuzztime=$(FUZZTIME) ./internal/telemetry/
+	$(GO) test -run=^$$ -fuzz='^FuzzPartialRoundTrip$$' -fuzztime=$(FUZZTIME) ./internal/collector/api/
+	$(GO) test -run=^$$ -fuzz='^FuzzPartialMergeNoCrash$$' -fuzztime=$(FUZZTIME) ./internal/cluster/
 
 fmt:
 	@out=$$(gofmt -l .); \

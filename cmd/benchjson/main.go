@@ -45,6 +45,9 @@ type Result struct {
 	AllocsPerOp *float64 `json:"allocs_per_op,omitempty"`
 	// MBPerSec is present only for benchmarks that call b.SetBytes.
 	MBPerSec *float64 `json:"mb_per_sec,omitempty"`
+	// Extra holds custom b.ReportMetric units ("p99-ns/op", "recs/s", ...)
+	// keyed by unit, so committed documents keep the full benchmark line.
+	Extra map[string]float64 `json:"extra,omitempty"`
 }
 
 // Run is one labelled invocation of the benchmark suite.
@@ -78,6 +81,8 @@ func run() error {
 		"with -against, fail when a compared benchmark's ns/op regresses by more than this fraction")
 	names := flag.String("names", "",
 		"with -against, comma-separated benchmark names to compare (empty compares every name present in both runs)")
+	requireBaseline := flag.Bool("require-baseline", false,
+		"with -against, fail when an incoming benchmark has no baseline entry (default: report it and pass)")
 	flag.Parse()
 
 	if *against != "" {
@@ -85,7 +90,7 @@ func run() error {
 		if err != nil {
 			return err
 		}
-		return diff(*against, cur, *names, *maxRegress)
+		return diff(os.Stdout, *against, cur, *names, *maxRegress, *requireBaseline)
 	}
 
 	doc := Document{}
@@ -120,9 +125,11 @@ func run() error {
 // diff compares the incoming run against the last run committed in path,
 // printing a delta table and returning an error (nonzero exit) when any
 // compared benchmark's ns/op regressed past maxRegress. Improvements and
-// regressions within the bound pass; benchmarks present on only one side
-// are skipped (the committed history may span suite growth).
-func diff(path string, cur Run, names string, maxRegress float64) error {
+// regressions within the bound pass. An incoming benchmark with no
+// baseline entry used to be skipped silently — a renamed benchmark would
+// sail through the gate unguarded — so it is now reported as NO BASELINE
+// and, under requireBaseline, fails the gate.
+func diff(w io.Writer, path string, cur Run, names string, maxRegress float64, requireBaseline bool) error {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return err
@@ -146,38 +153,48 @@ func diff(path string, cur Run, names string, maxRegress float64) error {
 		}
 	}
 
-	compared, failed := 0, 0
-	seen := map[string]bool{}
-	fmt.Printf("against %s (run %q):\n", path, base.Label)
+	compared, failed, unbaselined := 0, 0, 0
+	inCur := map[string]bool{}
+	fmt.Fprintf(w, "against %s (run %q):\n", path, base.Label)
 	for _, r := range cur.Results {
+		inCur[r.Name] = true
+		if len(want) > 0 && !want[r.Name] {
+			continue
+		}
 		b, ok := baseNs[r.Name]
-		if !ok || b <= 0 || (len(want) > 0 && !want[r.Name]) {
+		if !ok || b <= 0 {
+			unbaselined++
+			fmt.Fprintf(w, "  %-36s %14s -> %14.1f ns/op           NO BASELINE\n",
+				r.Name, "-", r.NsPerOp)
 			continue
 		}
 		compared++
-		seen[r.Name] = true
 		delta := (r.NsPerOp - b) / b
 		status := "ok"
 		if delta > maxRegress {
 			status = "REGRESSION"
 			failed++
 		}
-		fmt.Printf("  %-36s %14.1f -> %14.1f ns/op  %+7.1f%%  %s\n",
+		fmt.Fprintf(w, "  %-36s %14.1f -> %14.1f ns/op  %+7.1f%%  %s\n",
 			r.Name, b, r.NsPerOp, 100*delta, status)
 	}
-	if compared == 0 {
+	for n := range want {
+		if !inCur[n] {
+			return fmt.Errorf("named benchmark %s missing from stdin", n)
+		}
+	}
+	if compared == 0 && unbaselined == 0 {
 		return fmt.Errorf("no comparable benchmarks between stdin and %s", path)
 	}
-	for n := range want {
-		if !seen[n] {
-			return fmt.Errorf("named benchmark %s missing from stdin or %s", n, path)
-		}
+	if requireBaseline && unbaselined > 0 {
+		return fmt.Errorf("%d benchmarks have no baseline in %s (rename or missing commit?)",
+			unbaselined, path)
 	}
 	if failed > 0 {
 		return fmt.Errorf("%d of %d benchmarks regressed more than %.0f%% ns/op",
 			failed, compared, 100*maxRegress)
 	}
-	fmt.Printf("  %d benchmarks within the %.0f%% bound\n", compared, 100*maxRegress)
+	fmt.Fprintf(w, "  %d benchmarks within the %.0f%% bound\n", compared, 100*maxRegress)
 	return nil
 }
 
@@ -259,6 +276,11 @@ func parseBenchLine(line string) (Result, bool) {
 		case "MB/s":
 			val := v
 			res.MBPerSec = &val
+		default:
+			if res.Extra == nil {
+				res.Extra = map[string]float64{}
+			}
+			res.Extra[fields[i+1]] = v
 		}
 	}
 	return res, res.NsPerOp > 0

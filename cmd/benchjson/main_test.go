@@ -1,6 +1,9 @@
 package main
 
 import (
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -73,6 +76,118 @@ ok   autosens/internal/collector  3.0s
 	}
 	if run.Results[0].MBPerSec == nil || *run.Results[0].MBPerSec != 227 {
 		t.Fatalf("MB/s not parsed: %+v", run.Results[0])
+	}
+}
+
+// writeBaseline commits a one-run document with the given name→ns/op map.
+func writeBaseline(t *testing.T, results map[string]float64) string {
+	t.Helper()
+	run := Run{Label: "baseline"}
+	for name, ns := range results {
+		run.Results = append(run.Results, Result{Name: name, Iterations: 1, NsPerOp: ns})
+	}
+	data, err := json.Marshal(Document{Runs: []Run{run}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "BENCH.json")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func parseRun(t *testing.T, text string) Run {
+	t.Helper()
+	run, err := parse(strings.NewReader(text), "incoming")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return run
+}
+
+const incoming = `
+goos: linux
+pkg: autosens/internal/live
+BenchmarkLiveQueryDirty-1    1000    120.0 ns/op
+BenchmarkLiveQueryRenamed-1  1000    999.0 ns/op
+`
+
+// TestDiffReportsMissingBaseline pins the gate hole this PR closes: a
+// benchmark present in the incoming run but absent from the committed
+// baseline used to be skipped without a word, so a renamed benchmark
+// escaped the regression gate. It must now be called out in the table —
+// and still pass, because committed histories legitimately trail suite
+// growth.
+func TestDiffReportsMissingBaseline(t *testing.T) {
+	path := writeBaseline(t, map[string]float64{"BenchmarkLiveQueryDirty": 100})
+	var out strings.Builder
+	err := diff(&out, path, parseRun(t, incoming), "", 0.25, false)
+	if err != nil {
+		t.Fatalf("without -require-baseline the run must pass: %v", err)
+	}
+	if !strings.Contains(out.String(), "BenchmarkLiveQueryRenamed") ||
+		!strings.Contains(out.String(), "NO BASELINE") {
+		t.Fatalf("baseline-missing benchmark not reported:\n%s", out.String())
+	}
+}
+
+// TestDiffRequireBaselineFails is the strict mode: the same run must fail
+// the gate when -require-baseline is set.
+func TestDiffRequireBaselineFails(t *testing.T) {
+	path := writeBaseline(t, map[string]float64{"BenchmarkLiveQueryDirty": 100})
+	var out strings.Builder
+	err := diff(&out, path, parseRun(t, incoming), "", 0.25, true)
+	if err == nil {
+		t.Fatalf("-require-baseline accepted a baseline-missing benchmark:\n%s", out.String())
+	}
+	if !strings.Contains(err.Error(), "no baseline") {
+		t.Fatalf("gate failed for the wrong reason: %v", err)
+	}
+}
+
+// TestDiffRegressionStillFails: the pre-existing contract is untouched —
+// a compared benchmark past the bound fails regardless of baseline mode.
+func TestDiffRegressionStillFails(t *testing.T) {
+	path := writeBaseline(t, map[string]float64{
+		"BenchmarkLiveQueryDirty":   50, // incoming 120 → +140%
+		"BenchmarkLiveQueryRenamed": 900,
+	})
+	var out strings.Builder
+	err := diff(&out, path, parseRun(t, incoming), "", 0.25, false)
+	if err == nil || !strings.Contains(err.Error(), "regressed") {
+		t.Fatalf("regression not caught: %v\n%s", err, out.String())
+	}
+}
+
+// TestDiffNamedMissingFromStdin: a -names benchmark that the incoming run
+// does not produce at all is an error even when the baseline lacks it too
+// — the gate must not silently pass on a typoed name.
+func TestDiffNamedMissingFromStdin(t *testing.T) {
+	path := writeBaseline(t, map[string]float64{"BenchmarkLiveQueryDirty": 100})
+	var out strings.Builder
+	err := diff(&out, path, parseRun(t, incoming), "BenchmarkNoSuch", 0.25, false)
+	if err == nil || !strings.Contains(err.Error(), "missing from stdin") {
+		t.Fatalf("typoed -names accepted: %v", err)
+	}
+}
+
+// TestParseExtraMetrics: custom b.ReportMetric units survive into the
+// document, so BENCH_cluster.json keeps p99 and throughput alongside
+// ns/op.
+func TestParseExtraMetrics(t *testing.T) {
+	run := parseRun(t, `
+BenchmarkClusterQueryCached-1   2000000   116.6 ns/op   243.0 p99-ns/op
+BenchmarkClusterIngest/nodes=4-1     3   97216246 ns/op   82291 recs/s
+`)
+	if len(run.Results) != 2 {
+		t.Fatalf("parsed %d results, want 2", len(run.Results))
+	}
+	if got := run.Results[0].Extra["p99-ns/op"]; got != 243.0 {
+		t.Fatalf("p99 extra metric = %v, want 243", got)
+	}
+	if got := run.Results[1].Extra["recs/s"]; got != 82291 {
+		t.Fatalf("recs/s extra metric = %v, want 82291", got)
 	}
 }
 

@@ -6,9 +6,15 @@
 // must be started with -live), reporting query latency p50/p99 at the end
 // — the read-side tax on a loaded collector.
 //
-// Example:
+// With -cluster it drives a sensd cluster instead: beacons are routed by
+// consistent-hash placement so each record lands on its owning node, and
+// curve queries go to the first peer (any node answers for the whole
+// cluster).
+//
+// Examples:
 //
 //	loadgen -url http://127.0.0.1:8787/v1/beacons -days 2 -business 40 -consumer 40 -query 4
+//	loadgen -cluster n1=http://127.0.0.1:8787,n2=http://127.0.0.1:8789 -days 2 -query 4
 package main
 
 import (
@@ -24,6 +30,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"autosens/internal/cluster"
 	"autosens/internal/collector"
 	"autosens/internal/collector/api"
 	"autosens/internal/owasim"
@@ -40,6 +47,8 @@ func main() {
 
 func run() error {
 	url := flag.String("url", "http://127.0.0.1:8787/v1/beacons", "collector endpoint")
+	clusterPeers := flag.String("cluster", "",
+		"cluster membership as id=url,id=url,...: route each beacon to its owning node by ring placement (replaces -url; the list must match the nodes' -cluster-peers)")
 	days := flag.Int("days", 2, "simulated window length in days")
 	business := flag.Int("business", 40, "business users")
 	consumer := flag.Int("consumer", 40, "consumer users")
@@ -85,20 +94,62 @@ func run() error {
 		return fmt.Errorf("senders must be positive")
 	}
 
-	// One batching client per sender goroutine, fed round-robin from the
-	// simulator's chronological record stream.
-	clients := make([]*collector.Client, *senders)
-	for i := range clients {
-		cfg := collector.DefaultClientConfig(*url)
-		cfg.BatchSize = *batch
-		cfg.Format = format.Format()
-		cfg.OverflowPath = *overflow
-		cfg.RetryBudget = *budget
-		c, err := collector.NewClient(cfg)
+	// One batching sender per goroutine, fed round-robin from the
+	// simulator's chronological record stream. In cluster mode each sender
+	// is a placement router (one client per node) instead of a single
+	// client, so every record still lands on exactly its owning node.
+	var (
+		clients []*collector.Client
+		routers []*cluster.Router
+		sinks   = make([]interface {
+			Enqueue(telemetry.Record) error
+		}, *senders)
+		queryBase = *url
+	)
+	if *clusterPeers != "" {
+		peers, err := cluster.ParsePeers(*clusterPeers)
 		if err != nil {
 			return err
 		}
-		clients[i] = c
+		ring, err := cluster.NewRing(peers, 0)
+		if err != nil {
+			return err
+		}
+		routers = make([]*cluster.Router, *senders)
+		for i := range routers {
+			r, err := cluster.NewRouter(cluster.RouterConfig{
+				Ring: ring,
+				Configure: func(n cluster.Node) collector.ClientConfig {
+					cfg := collector.DefaultClientConfig(n.URL + api.PathBeacons)
+					cfg.BatchSize = *batch
+					cfg.Format = format.Format()
+					cfg.OverflowPath = *overflow
+					cfg.RetryBudget = *budget
+					return cfg
+				},
+			})
+			if err != nil {
+				return err
+			}
+			routers[i] = r
+			sinks[i] = r
+		}
+		queryBase = peers[0].URL + api.PathBeacons
+	} else {
+		clients = make([]*collector.Client, *senders)
+		for i := range clients {
+			cfg := collector.DefaultClientConfig(*url)
+			cfg.BatchSize = *batch
+			cfg.Format = format.Format()
+			cfg.OverflowPath = *overflow
+			cfg.RetryBudget = *budget
+			c, err := collector.NewClient(cfg)
+			if err != nil {
+				return err
+			}
+			clients[i] = c
+			sinks[i] = c
+		}
 	}
 	feeds := make([]chan telemetry.Record, *senders)
 	errs := make([]error, *senders)
@@ -109,14 +160,14 @@ func run() error {
 		go func(i int) {
 			defer wg.Done()
 			for rec := range feeds[i] {
-				if err := clients[i].Enqueue(rec); err != nil && errs[i] == nil {
+				if err := sinks[i].Enqueue(rec); err != nil && errs[i] == nil {
 					errs[i] = err
 				}
 			}
 		}(i)
 	}
 
-	queries := startQueryPool(*url, *queryWorkers)
+	queries := startQueryPool(queryBase, *queryWorkers)
 
 	cfg := owasim.DefaultConfig(timeutil.Millis(*days)*timeutil.MillisPerDay, *business, *consumer)
 	cfg.Seed = *seed
@@ -162,6 +213,14 @@ func run() error {
 		flushes += f
 		retries += r
 	}
+	for i, r := range routers {
+		if err := r.Close(); err != nil && errs[i] == nil {
+			errs[i] = err
+		}
+		s, d := r.Stats()
+		sent += s
+		dropped += d
+	}
 	for _, err := range errs {
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "loadgen: sender error: %v\n", err)
@@ -169,8 +228,10 @@ func run() error {
 	}
 	fmt.Fprintf(os.Stderr, "loadgen: generated %d records, shipped %d, spilled %d, dropped %d\n",
 		n, sent, spilled, dropped)
-	fmt.Fprintf(os.Stderr, "loadgen: shed: %d 429s over %d posts, %d flushes exhausted retries\n",
-		throttled, flushes+retries, exhausted)
+	if clients != nil {
+		fmt.Fprintf(os.Stderr, "loadgen: shed: %d 429s over %d posts, %d flushes exhausted retries\n",
+			throttled, flushes+retries, exhausted)
+	}
 	queries.report(os.Stderr)
 	if dropped > 0 {
 		return fmt.Errorf("%d records dropped", dropped)

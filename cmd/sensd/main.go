@@ -8,6 +8,15 @@
 // engine serving epoch-cached sensitivity curves at GET /v1/curves,
 // warmed from the WAL on startup so restarts don't lose query coverage.
 //
+// With -cluster-peers and -node-id, sensd joins a scatter-gather cluster:
+// a consistent-hash ring places every user on exactly one node, the live
+// engine keeps (and warms from the WAL) only this node's owned users,
+// GET /v1/partials exports mergeable curve partials, and GET /v1/curves
+// on ANY node scatter-gathers the whole cluster's partials, merges them
+// and finishes the curve once — byte-identical to a single node holding
+// everything. Ship beacons through a placement-routing client (loadgen
+// -cluster) so each record lands on its owning node.
+//
 // A second listener (-admin-addr) exposes the operational surface:
 // Prometheus metrics at /metrics, a liveness probe at /healthz, and the Go
 // profiler under /debug/pprof/. It binds loopback by default and can be
@@ -32,6 +41,7 @@ import (
 	"syscall"
 	"time"
 
+	"autosens/internal/cluster"
 	"autosens/internal/collector"
 	"autosens/internal/collector/api"
 	"autosens/internal/core"
@@ -70,6 +80,9 @@ func run() error {
 		"live engine recompute parallelism (0 = GOMAXPROCS); results are bit-identical at any setting")
 	livePrewarm := flag.Bool("live-prewarm", false,
 		"after WAL warm, precompute every slice's plain curve in parallel so first queries hit the cache")
+	clusterPeers := flag.String("cluster-peers", "",
+		"cluster membership as id=url,id=url,... — every member passes the same list; requires -live, -wal-dir and -node-id")
+	nodeID := flag.String("node-id", "", "this node's ID within -cluster-peers")
 	liveSketchCI := flag.Bool("live-sketch-ci", false,
 		"serve ci=1 bounds from the mergeable bootstrap sketch where it passes a per-combo KS equivalence gate against the exact bootstrap (failing combos stay exact)")
 	watchOn := flag.Bool("watch", false,
@@ -152,6 +165,34 @@ func run() error {
 	if *watchOn && !*liveOn {
 		return fmt.Errorf("-watch requires -live")
 	}
+	// Cluster membership: build the ring every member agrees on and find
+	// ourselves in it. Ownership filtering, owned-range WAL warm and the
+	// scatter-gather coordinator all hang off (ring, selfIdx).
+	var (
+		ring    *cluster.Ring
+		peers   []cluster.Node
+		selfIdx int
+	)
+	if *clusterPeers != "" {
+		if !*liveOn {
+			return fmt.Errorf("-cluster-peers requires -live")
+		}
+		if *walDir == "" {
+			return fmt.Errorf("-cluster-peers requires -wal-dir")
+		}
+		peers, err = cluster.ParsePeers(*clusterPeers)
+		if err != nil {
+			return err
+		}
+		if selfIdx = cluster.FindNode(peers, *nodeID); selfIdx < 0 {
+			return fmt.Errorf("-node-id %q is not in -cluster-peers", *nodeID)
+		}
+		if ring, err = cluster.NewRing(peers, 0); err != nil {
+			return err
+		}
+	} else if *nodeID != "" {
+		return fmt.Errorf("-node-id requires -cluster-peers")
+	}
 	var watcher *watch.Watcher
 	watchCtx, watchCancel := context.WithCancel(context.Background())
 	defer watchCancel()
@@ -170,7 +211,15 @@ func run() error {
 			// so replaying here sees a quiescent log. Replay order is append
 			// order — the previous incarnation's ack order — so warmed
 			// curves are byte-identical to ones served before the restart.
-			replayed, err := engine.Warm(*walDir)
+			// In cluster mode the replay keeps only this node's owned users:
+			// handed-off segments from a departed peer may over-ship records,
+			// and the filter makes that harmless.
+			var replayed int
+			if ring != nil {
+				replayed, err = engine.WarmOwned(*walDir, ring.Owns(selfIdx))
+			} else {
+				replayed, err = engine.Warm(*walDir)
+			}
 			if err != nil {
 				return err
 			}
@@ -179,9 +228,38 @@ func run() error {
 		}
 		srvCfg.Live = engine
 		srvCfg.CurvesHandler = engine.CurvesHandler()
+		srvCfg.PartialsHandler = engine.PartialsHandler()
 		log.Info("live queries enabled",
 			"shards", *liveShards, "endpoint", api.PathCurves,
 			"sketch_ci", *liveSketchCI)
+		// Cluster mode: local appends stay ownership-filtered, and
+		// /v1/curves is served by a scatter-gather coordinator over every
+		// peer's /v1/partials (ourselves read in-process) — so THIS node
+		// answers for the whole cluster, byte-identical to a single node.
+		var store watch.Store = engine
+		if ring != nil {
+			srvCfg.Live = ownedLive{e: engine, owns: ring.Owns(selfIdx)}
+			srcs := make([]cluster.PartialSource, len(peers))
+			for i, p := range peers {
+				if i == selfIdx {
+					srcs[i] = cluster.LocalNode{Engine: engine}
+				} else {
+					srcs[i] = cluster.NewHTTPNode(p.URL, nil)
+				}
+			}
+			coord, err := cluster.NewCoordinator(cluster.CoordinatorConfig{
+				Sources: srcs,
+				Workers: *liveWorkers,
+			})
+			if err != nil {
+				return err
+			}
+			srvCfg.CurvesHandler = live.NewCurvesHandler(coord)
+			store = coord
+			log.Info("cluster mode enabled",
+				"node", *nodeID, "peers", len(peers),
+				"partials_endpoint", api.PathPartials)
+		}
 		if *livePrewarm {
 			warmStart := time.Now()
 			_, errs := engine.QueryMany(live.AllSliceKeys(), live.ModePlain, false)
@@ -208,7 +286,7 @@ func run() error {
 				keys = append(keys, key)
 			}
 			watcher, err = watch.New(watch.Config{
-				Engine:       engine,
+				Engine:       store,
 				Slices:       keys,
 				Interval:     *watchInterval,
 				Drift:        watch.DriftConfig{MinDelta: *watchMinDelta, Z: *watchZ},
@@ -290,3 +368,15 @@ func run() error {
 		"bad_requests", bad, "batches_shed", shed)
 	return nil
 }
+
+// ownedLive filters the live fan-in to this node's owned users while
+// still consuming every record's seq slot. Placement-routed ingest sends
+// only owned records here, so the filter is normally a no-op — it exists
+// so records that arrive anyway (a stale sender ring, an over-shipped
+// WAL handoff replayed by a peer) are dropped instead of double-counted.
+type ownedLive struct {
+	e    *live.Engine
+	owns func(uint64) bool
+}
+
+func (o ownedLive) Append(recs []telemetry.Record) { o.e.AppendOwned(recs, o.owns) }

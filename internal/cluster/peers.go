@@ -1,0 +1,46 @@
+package cluster
+
+import (
+	"fmt"
+	"strings"
+)
+
+// ParsePeers parses a cluster membership flag of the form
+//
+//	n1=http://10.0.0.1:8787,n2=http://10.0.0.2:8787,n3=http://10.0.0.3:8787
+//
+// into ring nodes. Every member passes the SAME membership string (order
+// may differ — placement is order-independent); each process then finds
+// itself by ID. IDs hash onto the ring, so renaming a node remaps its
+// users.
+func ParsePeers(s string) ([]Node, error) {
+	var nodes []Node
+	for _, term := range strings.Split(s, ",") {
+		if term = strings.TrimSpace(term); term == "" {
+			continue
+		}
+		id, url, ok := strings.Cut(term, "=")
+		id, url = strings.TrimSpace(id), strings.TrimSpace(url)
+		if !ok || id == "" || url == "" {
+			return nil, fmt.Errorf("cluster: peer %q: want id=url", term)
+		}
+		if !strings.HasPrefix(url, "http://") && !strings.HasPrefix(url, "https://") {
+			return nil, fmt.Errorf("cluster: peer %s: URL %q must be http(s)://", id, url)
+		}
+		nodes = append(nodes, Node{ID: id, URL: strings.TrimSuffix(url, "/")})
+	}
+	if len(nodes) == 0 {
+		return nil, fmt.Errorf("cluster: no peers in %q", s)
+	}
+	return nodes, nil
+}
+
+// FindNode returns the index of id in nodes, or -1.
+func FindNode(nodes []Node, id string) int {
+	for i, n := range nodes {
+		if n.ID == id {
+			return i
+		}
+	}
+	return -1
+}

@@ -1,0 +1,100 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+
+	"autosens/internal/collector"
+	"autosens/internal/collector/api"
+	"autosens/internal/telemetry"
+)
+
+// RouterConfig parameterizes a Router.
+type RouterConfig struct {
+	// Ring is the cluster placement (required).
+	Ring *Ring
+	// Configure builds the client configuration for one node. Nil selects
+	// collector.DefaultClientConfig against the node's /v1/beacons
+	// endpoint. The URL the callback returns must point at the node it is
+	// given, or records will land on non-owning nodes and be dropped by
+	// their ownership filters.
+	Configure func(n Node) collector.ClientConfig
+}
+
+// Router is the cluster's ingest front: one batching collector client
+// per node, with each record enqueued on the client of the node the ring
+// places its user on. Batching, retries, overflow spill and wire format
+// are all the single-node client's — the router adds only placement.
+//
+// Placement-routed ingest is what lets every node run an ownership
+// filter instead of a dedup protocol: a record arrives at exactly one
+// node, and ownership is a pure function of (ring, userID) that the
+// sender and receiver evaluate identically.
+type Router struct {
+	ring    *Ring
+	clients []*collector.Client
+}
+
+// NewRouter builds a router with one client per ring node.
+func NewRouter(cfg RouterConfig) (*Router, error) {
+	if cfg.Ring == nil {
+		return nil, errors.New("cluster: router needs a ring")
+	}
+	configure := cfg.Configure
+	if configure == nil {
+		configure = func(n Node) collector.ClientConfig {
+			return collector.DefaultClientConfig(n.URL + api.PathBeacons)
+		}
+	}
+	r := &Router{ring: cfg.Ring}
+	for _, n := range cfg.Ring.Nodes() {
+		c, err := collector.NewClient(configure(n))
+		if err != nil {
+			// Abandon the clients already started.
+			_ = r.Close()
+			return nil, fmt.Errorf("cluster: node %s: %w", n.ID, err)
+		}
+		r.clients = append(r.clients, c)
+	}
+	return r, nil
+}
+
+// Ring returns the placement the router routes by.
+func (r *Router) Ring() *Ring { return r.ring }
+
+// Enqueue buffers one record on its owning node's client.
+func (r *Router) Enqueue(rec telemetry.Record) error {
+	return r.clients[r.ring.NodeFor(rec.UserID)].Enqueue(rec)
+}
+
+// Flush flushes every node's client, returning the first error.
+func (r *Router) Flush() error {
+	var first error
+	for _, c := range r.clients {
+		if err := c.Flush(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// Close flushes and stops every client, returning the first error.
+func (r *Router) Close() error {
+	var first error
+	for _, c := range r.clients {
+		if err := c.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// Stats sums sent/dropped counts across the per-node clients.
+func (r *Router) Stats() (sent, dropped uint64) {
+	for _, c := range r.clients {
+		s, d := c.Stats()
+		sent += s
+		dropped += d
+	}
+	return sent, dropped
+}

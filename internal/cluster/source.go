@@ -1,0 +1,124 @@
+package cluster
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"time"
+
+	"autosens/internal/collector/api"
+	"autosens/internal/live"
+)
+
+// PartialSource is one node's mergeable read surface: the slice partial
+// itself and the cheap version poll behind it. The coordinator treats
+// every node identically through this interface — its own engine as a
+// LocalNode, peers as HTTPNodes.
+//
+// Implementations must preserve the understatement contract: the version
+// a partial carries (and PartialVersion returns) is stamped before the
+// columns are gathered, so comparing it later can only report "possibly
+// stale", never "fresh" for data the partial might miss.
+type PartialSource interface {
+	// Partial returns the node's current partial for the slice. A node
+	// holding none of the slice's users returns an empty partial, not an
+	// error.
+	Partial(key live.SliceKey) (*api.Partial, error)
+	// PartialVersion returns the node's current slice version — the
+	// staleness poll, expected to be far cheaper than Partial.
+	PartialVersion(key live.SliceKey) (uint64, error)
+}
+
+// LocalNode adapts the in-process live engine to PartialSource, so the
+// node answering a query contributes its own shard without a loopback
+// HTTP round trip.
+type LocalNode struct {
+	Engine *live.Engine
+}
+
+// Partial implements PartialSource.
+func (n LocalNode) Partial(key live.SliceKey) (*api.Partial, error) {
+	return n.Engine.Partial(key)
+}
+
+// PartialVersion implements PartialSource.
+func (n LocalNode) PartialVersion(key live.SliceKey) (uint64, error) {
+	return n.Engine.SliceVersion(key), nil
+}
+
+// maxPartialBody bounds how large a peer's partial response may grow
+// before the fetch is abandoned — a corrupted peer must not OOM the
+// coordinator.
+const maxPartialBody = 1 << 30
+
+// HTTPNode fetches partials from a peer's GET /v1/partials endpoint.
+type HTTPNode struct {
+	base   string
+	client *http.Client
+}
+
+// NewHTTPNode builds a source over a peer's base URL (scheme://host:port,
+// no path). A nil client selects a dedicated one with a 30s timeout.
+func NewHTTPNode(baseURL string, client *http.Client) *HTTPNode {
+	if client == nil {
+		client = &http.Client{Timeout: 30 * time.Second}
+	}
+	return &HTTPNode{base: baseURL, client: client}
+}
+
+// get issues one GET and returns the body, translating non-200s into the
+// peer's typed api.Error.
+func (n *HTTPNode) get(rawURL string) ([]byte, error) {
+	resp, err := n.client.Get(rawURL)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("cluster: peer %s: %w", n.base, api.ReadError(resp))
+	}
+	body, err := io.ReadAll(io.LimitReader(resp.Body, maxPartialBody+1))
+	if err != nil {
+		return nil, fmt.Errorf("cluster: peer %s: %w", n.base, err)
+	}
+	if len(body) > maxPartialBody {
+		return nil, fmt.Errorf("cluster: peer %s: partial body exceeds %d bytes", n.base, maxPartialBody)
+	}
+	return body, nil
+}
+
+func (n *HTTPNode) partialsURL(key live.SliceKey, versions bool) string {
+	u := n.base + api.PathPartials + "?slice=" + url.QueryEscape(key.String())
+	if versions {
+		u += "&versions=1"
+	}
+	return u
+}
+
+// Partial implements PartialSource over the binary wire form.
+func (n *HTTPNode) Partial(key live.SliceKey) (*api.Partial, error) {
+	body, err := n.get(n.partialsURL(key, false))
+	if err != nil {
+		return nil, err
+	}
+	p, err := api.DecodePartial(body)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: peer %s: %w", n.base, err)
+	}
+	return p, nil
+}
+
+// PartialVersion implements PartialSource over the versions=1 poll form.
+func (n *HTTPNode) PartialVersion(key live.SliceKey) (uint64, error) {
+	body, err := n.get(n.partialsURL(key, true))
+	if err != nil {
+		return 0, err
+	}
+	var vr api.PartialVersionResponse
+	if err := json.Unmarshal(body, &vr); err != nil {
+		return 0, fmt.Errorf("cluster: peer %s: %w", n.base, err)
+	}
+	return vr.Version, nil
+}

@@ -1,0 +1,46 @@
+package api
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"autosens/internal/histogram"
+	"autosens/internal/timeutil"
+)
+
+// FuzzPartialRoundTrip feeds arbitrary bytes to the partial decoder and
+// requires that anything it accepts re-encodes byte-identically — the
+// format has exactly one encoding per value, so a coordinator can cache
+// and forward raw partial bodies without normalization.
+func FuzzPartialRoundTrip(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(AppendPartial(nil, &Partial{Version: 9}))
+	h := histogram.MustNew(0, 100, 10)
+	h.Add(55)
+	f.Add(AppendPartial(nil, &Partial{
+		Version: 3,
+		Times:   []timeutil.Millis{-20, 0, 0, 7},
+		Lats:    []float64{1, math.Inf(1), 0.25, 1e300},
+		Seqs:    []uint64{5, 1, 2, 0},
+		Hist:    h,
+	}))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p, err := DecodePartial(data)
+		if err != nil {
+			return
+		}
+		re := AppendPartial(nil, p)
+		if !bytes.Equal(re, data) {
+			t.Fatalf("accepted body re-encodes differently:\n in: %x\nout: %x", data, re)
+		}
+		p2, err := DecodePartial(re)
+		if err != nil {
+			t.Fatalf("re-encoded body rejected: %v", err)
+		}
+		if p2.Version != p.Version || p2.Len() != p.Len() {
+			t.Fatalf("double decode mismatch: %d/%d vs %d/%d",
+				p2.Version, p2.Len(), p.Version, p.Len())
+		}
+	})
+}

@@ -1,0 +1,109 @@
+package api
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"autosens/internal/histogram"
+	"autosens/internal/timeutil"
+)
+
+func samplePartial() *Partial {
+	h := histogram.MustNew(0, 10000, 10)
+	p := &Partial{
+		Version: 42,
+		Times:   []timeutil.Millis{10, 10, 10, 250, 4000},
+		Lats:    []float64{120, 55.5, 9999, 0, 430.25},
+		Seqs:    []uint64{3, 7, 19, 2, 11},
+	}
+	for _, v := range p.Lats {
+		h.Add(v)
+	}
+	p.Hist = h
+	return p
+}
+
+func TestPartialRoundTrip(t *testing.T) {
+	p := samplePartial()
+	enc := AppendPartial(nil, p)
+	got, err := DecodePartial(enc)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if got.Version != p.Version || got.Len() != p.Len() {
+		t.Fatalf("header mismatch: version %d records %d, want %d / %d",
+			got.Version, got.Len(), p.Version, p.Len())
+	}
+	for i := range p.Times {
+		if got.Times[i] != p.Times[i] || got.Lats[i] != p.Lats[i] || got.Seqs[i] != p.Seqs[i] {
+			t.Fatalf("record %d: got (%d, %v, %d), want (%d, %v, %d)", i,
+				got.Times[i], got.Lats[i], got.Seqs[i], p.Times[i], p.Lats[i], p.Seqs[i])
+		}
+	}
+	if got.Hist == nil {
+		t.Fatal("histogram dropped")
+	}
+	if got.Hist.Total() != p.Hist.Total() || got.Hist.Bins() != p.Hist.Bins() {
+		t.Fatalf("histogram mismatch: total %v bins %d, want %v / %d",
+			got.Hist.Total(), got.Hist.Bins(), p.Hist.Total(), p.Hist.Bins())
+	}
+	for i := 0; i < p.Hist.Bins(); i++ {
+		if got.Hist.Count(i) != p.Hist.Count(i) {
+			t.Fatalf("bin %d: got %v want %v", i, got.Hist.Count(i), p.Hist.Count(i))
+		}
+	}
+	// Re-encoding the decoded partial must be byte-identical: the format
+	// has exactly one encoding per value.
+	if re := AppendPartial(nil, got); !bytes.Equal(re, enc) {
+		t.Fatal("re-encode is not byte-identical")
+	}
+}
+
+func TestPartialRoundTripEmptyAndNoHist(t *testing.T) {
+	for _, p := range []*Partial{
+		{Version: 7},
+		{Version: 1, Times: []timeutil.Millis{5}, Lats: []float64{10}, Seqs: []uint64{0}},
+	} {
+		got, err := DecodePartial(AppendPartial(nil, p))
+		if err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+		if got.Version != p.Version || got.Len() != p.Len() || got.Hist != nil {
+			t.Fatalf("round trip mismatch: %+v vs %+v", got, p)
+		}
+	}
+}
+
+func TestDecodePartialRejectsCorruption(t *testing.T) {
+	valid := AppendPartial(nil, samplePartial())
+	cases := map[string][]byte{
+		"empty":        {},
+		"bad magic":    append([]byte("XXXX\x01"), valid[5:]...),
+		"bad version":  append([]byte("ASPA\x02"), valid[5:]...),
+		"truncated":    valid[:len(valid)/2],
+		"trailing":     append(append([]byte{}, valid...), 0),
+		"flag garbage": append(append([]byte{}, valid[:14]...), 9),
+	}
+	// Unsorted columns: two records with (time, seq) swapped.
+	unsorted := AppendPartial(nil, &Partial{
+		Times: []timeutil.Millis{10, 5}, Lats: []float64{1, 2}, Seqs: []uint64{0, 1},
+	})
+	cases["unsorted"] = unsorted
+	for name, data := range cases {
+		if _, err := DecodePartial(data); !errors.Is(err, ErrPartialCorrupt) {
+			t.Errorf("%s: err = %v, want ErrPartialCorrupt", name, err)
+		}
+	}
+}
+
+func TestDecodePartialRejectsDuplicateSeqTies(t *testing.T) {
+	// Equal (time, seq) pairs are ambiguous under merge; the format
+	// requires strictly increasing seq within a time tie.
+	data := AppendPartial(nil, &Partial{
+		Times: []timeutil.Millis{10, 10}, Lats: []float64{1, 2}, Seqs: []uint64{4, 4},
+	})
+	if _, err := DecodePartial(data); !errors.Is(err, ErrPartialCorrupt) {
+		t.Fatalf("err = %v, want ErrPartialCorrupt", err)
+	}
+}

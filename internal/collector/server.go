@@ -171,6 +171,11 @@ type ServerConfig struct {
 	AlertsHandler http.Handler
 	// ReportHandler, when non-nil, is mounted at api.PathReport.
 	ReportHandler http.Handler
+	// PartialsHandler, when non-nil, is mounted at api.PathPartials —
+	// injected, typically live.Engine.PartialsHandler(). It is the
+	// scatter-gather read surface cluster coordinators fetch mergeable
+	// slice partials from.
+	PartialsHandler http.Handler
 	// WatchStats, when non-nil, embeds the watcher's snapshot in
 	// /v1/status.
 	WatchStats func() api.WatchStats
@@ -315,6 +320,9 @@ func (s *Server) Handler() http.Handler {
 	}
 	if s.cfg.ReportHandler != nil {
 		mux.Handle(api.PathReport, s.cfg.ReportHandler)
+	}
+	if s.cfg.PartialsHandler != nil {
+		mux.Handle(api.PathPartials, s.cfg.PartialsHandler)
 	}
 	mux.HandleFunc("/v1/", func(w http.ResponseWriter, r *http.Request) {
 		api.WriteError(w, http.StatusNotFound, api.CodeNotFound,

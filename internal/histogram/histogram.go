@@ -59,6 +59,11 @@ func (h *Histogram) Width() float64 { return h.width }
 // Min returns the lower edge of the first bin.
 func (h *Histogram) Min() float64 { return h.min }
 
+// Max returns the upper edge of the range as given to New. Wire codecs
+// must carry it verbatim: compatibility checks compare the constructed
+// range exactly, not the derived bin count.
+func (h *Histogram) Max() float64 { return h.max }
+
 // Index returns the bin index for value v, clamping out-of-range values to
 // the first or last bin.
 func (h *Histogram) Index(v float64) int {

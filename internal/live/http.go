@@ -1,39 +1,63 @@
 package live
 
 import (
+	"bytes"
 	"encoding/json"
 	"errors"
 	"net/http"
+	"sync"
 
 	"autosens/internal/collector/api"
 )
 
-// CurvesHandler serves GET /v1/curves per the v1 contract:
+// Querier answers curve queries: the live engine locally, or a cluster
+// coordinator that scatter-gathers per-node partials. Implementations
+// return ErrNoRecords (possibly wrapped) for empty slices.
+type Querier interface {
+	Query(key SliceKey, mode Mode, ci bool) (*Result, error)
+}
+
+// curvesEncPool recycles the response-encoding state so the cached-query
+// hot path builds each body in a pooled buffer and writes it once,
+// instead of allocating an encoder and streaming chunks per request.
+var curvesEncPool = sync.Pool{New: func() any {
+	ce := &curvesEnc{}
+	ce.enc = json.NewEncoder(&ce.buf)
+	return ce
+}}
+
+type curvesEnc struct {
+	buf bytes.Buffer
+	enc *json.Encoder
+}
+
+// NewCurvesHandler serves GET /v1/curves per the v1 contract over any
+// Querier:
 //
 //	GET /v1/curves?slice=action:SelectMail,period:8am-2pm&mode=normalized&ci=1
 //
 // slice defaults to "all", mode to "plain". The X-Autosens-Cache header
 // reports "hit" or "miss".
-func (e *Engine) CurvesHandler() http.Handler {
+func NewCurvesHandler(q Querier) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodGet {
 			api.WriteError(w, http.StatusMethodNotAllowed, api.CodeMethodNotAllowed,
 				"GET this endpoint", 0)
 			return
 		}
-		q := r.URL.Query()
-		key, err := ParseSliceKey(q.Get("slice"))
+		qs := r.URL.Query()
+		key, err := ParseSliceKey(qs.Get("slice"))
 		if err != nil {
 			api.WriteError(w, http.StatusBadRequest, api.CodeBadRequest, err.Error(), 0)
 			return
 		}
-		mode, err := ParseMode(q.Get("mode"))
+		mode, err := ParseMode(qs.Get("mode"))
 		if err != nil {
 			api.WriteError(w, http.StatusBadRequest, api.CodeBadRequest, err.Error(), 0)
 			return
 		}
 		ci := false
-		switch v := q.Get("ci"); v {
+		switch v := qs.Get("ci"); v {
 		case "", "0", "false":
 		case "1", "true":
 			ci = true
@@ -43,7 +67,7 @@ func (e *Engine) CurvesHandler() http.Handler {
 			return
 		}
 
-		res, err := e.Query(key, mode, ci)
+		res, err := q.Query(key, mode, ci)
 		if err != nil {
 			if errors.Is(err, ErrNoRecords) {
 				api.WriteError(w, http.StatusNotFound, api.CodeNotFound,
@@ -60,7 +84,9 @@ func (e *Engine) CurvesHandler() http.Handler {
 		} else {
 			w.Header().Set("X-Autosens-Cache", "miss")
 		}
-		_ = json.NewEncoder(w).Encode(api.CurvesResponse{
+		ce := curvesEncPool.Get().(*curvesEnc)
+		ce.buf.Reset()
+		if err := ce.enc.Encode(api.CurvesResponse{
 			Slice:   res.Slice,
 			Mode:    res.Mode,
 			Epoch:   res.Epoch,
@@ -69,6 +95,16 @@ func (e *Engine) CurvesHandler() http.Handler {
 			Cached:  res.Cached,
 			Curve:   res.Curve,
 			CI:      res.CI,
-		})
+		}); err != nil {
+			curvesEncPool.Put(ce)
+			api.WriteError(w, http.StatusInternalServerError, api.CodeEstimateFailed,
+				err.Error(), 0)
+			return
+		}
+		_, _ = w.Write(ce.buf.Bytes())
+		curvesEncPool.Put(ce)
 	})
 }
+
+// CurvesHandler serves GET /v1/curves from this engine.
+func (e *Engine) CurvesHandler() http.Handler { return NewCurvesHandler(e) }

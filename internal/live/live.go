@@ -178,12 +178,23 @@ func (e *Engine) shardIndexOf(userID uint64) int {
 // enum values (impossible through the validating collector) are skipped
 // defensively.
 func (e *Engine) Append(recs []telemetry.Record) {
+	e.AppendOwned(recs, nil)
+}
+
+// AppendOwned is Append restricted to an ownership predicate: records
+// whose user the predicate rejects are not stored, but they still consume
+// their global ack sequence slot — exactly as skipped failed records do.
+// Every cluster node replaying one shared stream through AppendOwned
+// therefore assigns each record the seq of its stream position, so a
+// (time, seq) merge of per-node partials reproduces the stable by-time
+// sort of the full stream bit for bit. A nil predicate owns everything.
+func (e *Engine) AppendOwned(recs []telemetry.Record, owns func(userID uint64) bool) {
 	for len(recs) > 0 {
 		chunk := recs
 		if len(chunk) > appendChunk {
 			chunk = chunk[:appendChunk]
 		}
-		e.appendChunk(chunk)
+		e.appendChunk(chunk, owns)
 		recs = recs[len(chunk):]
 	}
 }
@@ -203,7 +214,7 @@ type appendScratch struct {
 
 var scratchPool = sync.Pool{New: func() any { return &appendScratch{} }}
 
-func (e *Engine) appendChunk(recs []telemetry.Record) {
+func (e *Engine) appendChunk(recs []telemetry.Record, owns func(uint64) bool) {
 	// Reserve a sequence block for the whole chunk: one atomic add instead
 	// of one per record. Skipped records leave gaps, which is fine — seq
 	// only orders records, it never counts them.
@@ -244,6 +255,11 @@ func (e *Engine) appendChunk(recs []telemetry.Record) {
 			skipped++
 			continue
 		}
+		if owns != nil && !owns(r.UserID) {
+			// Not this node's record: its seq slot (base+i) stays reserved
+			// so positions match every other node's view of the stream.
+			continue
+		}
 		tags[i] = tagOf(*r)
 		cellDelta[tags[i]]++
 		si := e.shardIndexOf(r.UserID)
@@ -279,9 +295,19 @@ func (e *Engine) appendChunk(recs []telemetry.Record) {
 // an engine that saw the records arrive live. Returns the number of
 // records replayed (including skipped failed records).
 func (e *Engine) Warm(dir string) (int, error) {
+	return e.WarmOwned(dir, nil)
+}
+
+// WarmOwned replays a WAL directory storing only records the ownership
+// predicate accepts, while still advancing the global sequence counter
+// for every replayed record — so a cluster node recovering from a shared
+// WAL replays only its owned range yet assigns each stored record the seq
+// of its WAL position, preserving cross-node byte-identity of merged
+// curves (see AppendOwned). A nil predicate replays everything.
+func (e *Engine) WarmOwned(dir string, owns func(userID uint64) bool) (int, error) {
 	n := 0
 	err := wal.Replay(nil, dir, func(r telemetry.Record) error {
-		e.Append([]telemetry.Record{r})
+		e.AppendOwned([]telemetry.Record{r}, owns)
 		n++
 		return nil
 	})

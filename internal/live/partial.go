@@ -1,0 +1,151 @@
+package live
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"runtime/pprof"
+	"sync"
+
+	"autosens/internal/collector/api"
+	"autosens/internal/core"
+	"autosens/internal/timeutil"
+)
+
+// Partial materializes one slice's mergeable curve partial: the slice's
+// records as (time, seq)-sorted columns plus their biased histogram,
+// stamped with the slice version read before gathering. It reuses the
+// per-shard view cache — a clean slice serves cached views with no store
+// decode, a dirty one rebuilds only the shard views whose combo version
+// moved — so exporting a partial costs the same as the local half of a
+// recompute, never a full decode.
+//
+// A slice with no records yields an empty partial (with the engine's
+// histogram binning), not an error: a scatter-gather coordinator must be
+// able to merge nodes that simply hold none of the slice's users.
+func (e *Engine) Partial(key SliceKey) (*api.Partial, error) {
+	combo := key.combo()
+	// Stamp before gathering, as Query does: racing appends may or may not
+	// be included, and the understated stamp keeps staleness detectable at
+	// the coordinator exactly as it is locally.
+	v0 := e.comboVersion(combo)
+	views := make([]*shardView, len(e.shards))
+	pprof.Do(context.Background(), pprof.Labels(
+		"live", "partial_export", "slice", key.String(),
+	), func(context.Context) {
+		core.ForEachIndex(e.cfg.Workers, len(e.shards), func(i int) {
+			views[i], _ = e.shards[i].viewFor(combo, key, e.newHist)
+		})
+	})
+
+	n := 0
+	for _, v := range views {
+		n += len(v.times)
+	}
+	p := &api.Partial{Version: v0, Hist: e.newHist()}
+	if n > 0 {
+		mv := &shardView{}
+		mergeViewColumns(views, mv)
+		p.Times, p.Lats, p.Seqs = mv.times, mv.lats, mv.seqs
+	}
+	// Per-shard histograms are weight-1 adds under one binning, so the sum
+	// is bit-identical to a single-pass build over the merged columns.
+	for _, v := range views {
+		if err := p.Hist.AddHistogram(v.b); err != nil {
+			return nil, err
+		}
+	}
+	return p, nil
+}
+
+// mergeViewColumns k-way merges per-shard (time, seq)-sorted views into
+// dst's columns, keeping the seq column (mergeViews drops it — queries
+// don't need it, but a wire partial does: downstream coordinators break
+// time ties with it).
+func mergeViewColumns(views []*shardView, dst *shardView) {
+	n := 0
+	for _, v := range views {
+		n += len(v.times)
+	}
+	dst.times = make([]timeutil.Millis, 0, n)
+	dst.lats = make([]float64, 0, n)
+	dst.seqs = make([]uint64, 0, n)
+	cursors := make([]int, len(views))
+	for {
+		best := -1
+		for i, v := range views {
+			c := cursors[i]
+			if c >= len(v.times) {
+				continue
+			}
+			if best < 0 {
+				best = i
+				continue
+			}
+			b := views[best]
+			bc := cursors[best]
+			if v.times[c] < b.times[bc] ||
+				(v.times[c] == b.times[bc] && v.seqs[c] < b.seqs[bc]) {
+				best = i
+			}
+		}
+		if best < 0 {
+			return
+		}
+		c := cursors[best]
+		dst.times = append(dst.times, views[best].times[c])
+		dst.lats = append(dst.lats, views[best].lats[c])
+		dst.seqs = append(dst.seqs, views[best].seqs[c])
+		cursors[best]++
+	}
+}
+
+// partialBufPool recycles encode buffers so sustained partial serving
+// allocates only when a response outgrows every pooled buffer.
+var partialBufPool = sync.Pool{New: func() any {
+	b := make([]byte, 0, 16<<10)
+	return &b
+}}
+
+// PartialsHandler serves GET /v1/partials per the v1 contract:
+//
+//	GET /v1/partials?slice=action:SelectMail          → binary partial
+//	GET /v1/partials?slice=action:SelectMail&versions=1 → {slice, version}
+//
+// The versions=1 form is the cheap staleness poll: coordinators compare
+// it against the version vector a cached merged curve was computed at.
+func (e *Engine) PartialsHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			api.WriteError(w, http.StatusMethodNotAllowed, api.CodeMethodNotAllowed,
+				"GET this endpoint", 0)
+			return
+		}
+		q := r.URL.Query()
+		key, err := ParseSliceKey(q.Get("slice"))
+		if err != nil {
+			api.WriteError(w, http.StatusBadRequest, api.CodeBadRequest, err.Error(), 0)
+			return
+		}
+		if v := q.Get("versions"); v == "1" || v == "true" {
+			w.Header().Set("Content-Type", "application/json")
+			_ = json.NewEncoder(w).Encode(api.PartialVersionResponse{
+				Slice:   key.String(),
+				Version: e.SliceVersion(key),
+			})
+			return
+		}
+		p, err := e.Partial(key)
+		if err != nil {
+			api.WriteError(w, http.StatusInternalServerError, api.CodeEstimateFailed,
+				err.Error(), 0)
+			return
+		}
+		buf := partialBufPool.Get().(*[]byte)
+		body := api.AppendPartial((*buf)[:0], p)
+		w.Header().Set("Content-Type", api.ContentTypePartial)
+		_, _ = w.Write(body)
+		*buf = body[:0]
+		partialBufPool.Put(buf)
+	})
+}

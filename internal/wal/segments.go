@@ -1,0 +1,32 @@
+package wal
+
+// The exported segment-file surface: cluster rebalancing moves segments
+// between nodes' WAL directories, so the file-naming scheme that was an
+// internal detail of recovery becomes a (minimal) public contract here.
+
+// Segments lists dir's WAL segment files in replay order (ascending
+// sequence number; names sort lexically because indices are fixed-width).
+// Non-segment files are ignored, as recovery ignores them.
+func Segments(fsys FS, dir string) ([]string, error) {
+	if fsys == nil {
+		fsys = OSFS()
+	}
+	names, err := fsys.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	segs := names[:0]
+	for _, name := range names {
+		if isSegment(name) {
+			segs = append(segs, name)
+		}
+	}
+	return segs, nil
+}
+
+// SegmentName returns the file name of segment i ("seg-%08d.wal").
+func SegmentName(i int) string { return segName(i) }
+
+// SegmentIndex parses the sequence number out of a segment file name,
+// reporting false for names that are not segments.
+func SegmentIndex(name string) (int, bool) { return segIndex(name) }

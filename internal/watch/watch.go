@@ -42,10 +42,22 @@ import (
 	"autosens/internal/timeutil"
 )
 
+// Store is the slice read surface the watcher drives: estimator options
+// (so derived series bin identically to served curves), the cheap
+// per-tick staleness poll, and the snapshot itself. A single node's
+// live.Engine implements it directly; a cluster.Coordinator implements
+// it by scatter-gathering per-node partials, so one watcher can run
+// drift and incident detection over cluster-wide slices.
+type Store interface {
+	Options() core.Options
+	SliceVersion(key live.SliceKey) uint64
+	SnapshotSlice(key live.SliceKey) (*live.SliceSnapshot, error)
+}
+
 // Config parameterizes a Watcher.
 type Config struct {
-	// Engine is the live store to watch (required).
-	Engine *live.Engine
+	// Engine is the store to watch (required).
+	Engine Store
 	// Slices are the slices to run drift detection on (default: the
 	// all-records slice). The all-records slice is always watched for
 	// correlated incidents, whether or not it is listed.
