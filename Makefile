@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race bench bench-json bench-ingest-json bench-live bench-live-gate bench-soak bench-watch bench-cluster fuzz check fmt vet clean crash-test race-ingest race-live race-watch race-cluster alert-quality
+.PHONY: build test race bench bench-json bench-ingest-json bench-live bench-live-gate bench-soak bench-watch bench-cluster bench-store bench-store-gate fuzz check fmt vet clean crash-test race-ingest race-live race-watch race-cluster race-store alert-quality
 
 # Label recorded in BENCH_core.json for a bench-json run; override like
 #   make bench-json BENCH_LABEL="after: shared key plan"
@@ -34,6 +34,12 @@ race-watch:
 # concurrent ingest + coordinator queries + node kill/re-warm under -race.
 race-cluster:
 	$(GO) test -race -count=1 ./internal/cluster/
+
+# race-store is the focused race gate for the tiered storage path: the
+# cold-tier compactor/scanner plus the windowed live engine that merges
+# with it, under -race.
+race-store:
+	$(GO) test -race -count=1 ./internal/store/ ./internal/live/
 
 # alert-quality runs the ground-truth precision/recall gate: owasim runs
 # with scheduled incident regimes, the watcher scores against the schedule,
@@ -131,14 +137,41 @@ bench-cluster:
 		}' bench_cluster.out
 	@rm -f bench_cluster.out
 
-# fuzz runs each telemetry and cluster-partial fuzz target for a short
-# bounded burst.
+# bench-store appends a labelled tiered-storage benchmark run to
+# BENCH_store.json (compaction throughput, full and windowed cold scans,
+# the dirty hot+cold windowed query), then gates the zone-map claim: the
+# windowed scan must have pruned at least 50% of the visible blocks.
+bench-store:
+	$(GO) test -bench='BenchmarkStore' -benchmem -run=^$$ ./internal/store/ | \
+		tee bench_store.out | \
+		$(GO) run ./cmd/benchjson -label "$(BENCH_LABEL)" -prev BENCH_store.json > BENCH_store.json.tmp
+	mv BENCH_store.json.tmp BENCH_store.json
+	@awk ' \
+		/BenchmarkStoreColdScanWindowed/ { for (i = 1; i < NF; i++) if ($$(i+1) == "prune-%") pct = $$i } \
+		END { \
+			if (pct == "") { print "bench-store: missing windowed scan line"; exit 1 } \
+			printf "bench-store: windowed scan pruned %.2f%% of blocks\n", pct; \
+			if (pct < 50) { print "bench-store: FAIL: zone maps pruned under 50%"; exit 1 } \
+		}' bench_store.out
+	@rm -f bench_store.out
+
+# bench-store-gate is the regression gate on the committed tiered-storage
+# trajectory: rerun the dirty windowed hot+cold query benchmark and fail
+# if its ns/op regressed more than 25% against the last run recorded in
+# BENCH_store.json. CI runs this.
+bench-store-gate:
+	$(GO) test -bench='BenchmarkStoreQueryWindowDirty' -benchmem -run=^$$ ./internal/store/ | \
+		$(GO) run ./cmd/benchjson -against BENCH_store.json -names BenchmarkStoreQueryWindowDirty -require-baseline
+
+# fuzz runs each telemetry, cluster-partial and cold-block fuzz target
+# for a short bounded burst.
 FUZZTIME ?= 30s
 fuzz:
 	$(GO) test -run=^$$ -fuzz='^FuzzRecordRoundTrip$$' -fuzztime=$(FUZZTIME) ./internal/telemetry/
 	$(GO) test -run=^$$ -fuzz='^FuzzReaderNoCrash$$' -fuzztime=$(FUZZTIME) ./internal/telemetry/
 	$(GO) test -run=^$$ -fuzz='^FuzzPartialRoundTrip$$' -fuzztime=$(FUZZTIME) ./internal/collector/api/
 	$(GO) test -run=^$$ -fuzz='^FuzzPartialMergeNoCrash$$' -fuzztime=$(FUZZTIME) ./internal/cluster/
+	$(GO) test -run=^$$ -fuzz='^FuzzBlockRoundTrip$$' -fuzztime=$(FUZZTIME) ./internal/store/
 
 fmt:
 	@out=$$(gofmt -l .); \

@@ -8,6 +8,14 @@
 // engine serving epoch-cached sensitivity curves at GET /v1/curves,
 // warmed from the WAL on startup so restarts don't lose query coverage.
 //
+// With -cold-dir, a background compactor folds the WAL's sealed segments
+// into a columnar cold tier of sorted, zone-mapped block files, keeping
+// history queryable past the hot store's RAM and the WAL's disk budget.
+// GET /v1/curves then accepts window= and at= for trailing-window curves
+// served by merging the cold tier with the live store at a sequence
+// cutover, GET /v1/blocks lists the block manifest, and /v1/status gains
+// a storage section. -retention bounds cold history by data age.
+//
 // With -cluster-peers and -node-id, sensd joins a scatter-gather cluster:
 // a consistent-hash ring places every user on exactly one node, the live
 // engine keeps (and warms from the WAL) only this node's owned users,
@@ -32,6 +40,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
@@ -47,6 +56,7 @@ import (
 	"autosens/internal/core"
 	"autosens/internal/live"
 	"autosens/internal/obs"
+	"autosens/internal/store"
 	"autosens/internal/telemetry"
 	"autosens/internal/wal"
 	"autosens/internal/watch"
@@ -85,9 +95,17 @@ func run() error {
 	nodeID := flag.String("node-id", "", "this node's ID within -cluster-peers")
 	liveSketchCI := flag.Bool("live-sketch-ci", false,
 		"serve ci=1 bounds from the mergeable bootstrap sketch where it passes a per-combo KS equivalence gate against the exact bootstrap (failing combos stay exact)")
+	coldDir := flag.String("cold-dir", "",
+		"compact sealed WAL segments into a queryable columnar cold tier in this directory and serve windowed queries over it (requires -live and -wal-dir)")
+	retention := flag.Duration("retention", 0,
+		"cold-tier time retention: blocks whose newest record trails the newest cold record by more than this are dropped at compaction (0 keeps everything)")
+	compactInterval := flag.Duration("compact-interval", time.Minute,
+		"cold-tier background compaction period")
 	watchOn := flag.Bool("watch", false,
 		"run the sensitivity-ops watcher over the live store and serve GET /v1/alerts and /v1/report (requires -live)")
 	watchInterval := flag.Duration("watch-interval", 30*time.Second, "watcher tick period")
+	watchWindow := flag.Duration("watch-window", 0,
+		"watch a trailing window of data time instead of full history (0 = full history)")
 	watchSlices := flag.String("watch-slices", "all",
 		"semicolon-separated slice keys to watch for NLP drift (the all slice is always watched for incidents)")
 	watchMinDelta := flag.Float64("watch-drift-min-delta", 0, "NLP drift floor (0 = default 0.05)")
@@ -117,6 +135,7 @@ func run() error {
 		Logger:     log,
 	}
 	var sinkDesc string
+	var theWAL *wal.WAL // non-nil iff -wal-dir; the cold compactor reads its append target
 	if *walDir != "" {
 		policy, every, err := wal.ParseSyncPolicy(*fsyncFlag)
 		if err != nil {
@@ -141,6 +160,7 @@ func run() error {
 			"torn_bytes", recovery.TornBytes,
 			"truncated_segments", recovery.TruncatedSegments,
 			"active_segment", recovery.ActiveSegment)
+		theWAL = w
 		srvCfg.Sink = w
 		srvCfg.SinkName = "wal"
 		srvCfg.Recovery = &api.RecoveryReport{
@@ -164,6 +184,9 @@ func run() error {
 
 	if *watchOn && !*liveOn {
 		return fmt.Errorf("-watch requires -live")
+	}
+	if *coldDir != "" && (!*liveOn || *walDir == "") {
+		return fmt.Errorf("-cold-dir requires -live and -wal-dir")
 	}
 	// Cluster membership: build the ring every member agrees on and find
 	// ourselves in it. Ownership filtering, owned-range WAL warm and the
@@ -206,6 +229,32 @@ func run() error {
 		if err != nil {
 			return err
 		}
+		// The cold tier opens BEFORE the WAL warm: Open deletes segments
+		// already folded into blocks (so the replay cannot re-load records
+		// the cold tier serves) and yields the cutover watermark the
+		// engine's sequence counter must start from, so every hot record's
+		// seq lands at or above it.
+		var cold *store.Store
+		if *coldDir != "" {
+			var owns func(uint64) bool
+			if ring != nil {
+				owns = ring.Owns(selfIdx)
+			}
+			cold, err = store.Open(store.Config{
+				Dir:       *coldDir,
+				WALDir:    *walDir,
+				Retention: *retention,
+				Active:    theWAL.ActiveSegment,
+				Owns:      owns,
+				Logger:    slog.NewLogLogger(log.Handler(), slog.LevelInfo),
+			})
+			if err != nil {
+				return err
+			}
+			engine.SetBaseSeq(cold.Cutover())
+			log.Info("cold tier opened", "dir", *coldDir,
+				"cutover_seq", cold.Cutover(), "retention", *retention)
+		}
 		if *walDir != "" {
 			// The WAL is open but nothing appends until the server starts,
 			// so replaying here sees a quiescent log. Replay order is append
@@ -226,8 +275,23 @@ func run() error {
 			log.Info("live engine warmed", "records_replayed", replayed,
 				"records_stored", engine.Records(), "store_bytes", engine.StoreBytes())
 		}
+		var curvesOpts live.CurvesHandlerOptions
+		if cold != nil {
+			engine.AttachCold(cold)
+			go cold.CompactLoop(watchCtx, *compactInterval)
+			curvesOpts.Retention = *retention
+			curvesOpts.OldestRetained = cold.OldestRetained
+			srvCfg.BlocksHandler = cold.BlocksHandler()
+			srvCfg.StorageStats = func() api.StorageStats {
+				st := cold.Stats()
+				st.HotBytes = engine.StoreBytes()
+				return st
+			}
+			log.Info("cold compactor running",
+				"interval", *compactInterval, "endpoint", api.PathBlocks)
+		}
 		srvCfg.Live = engine
-		srvCfg.CurvesHandler = engine.CurvesHandler()
+		srvCfg.CurvesHandler = live.NewCurvesHandlerWith(engine, curvesOpts)
 		srvCfg.PartialsHandler = engine.PartialsHandler()
 		log.Info("live queries enabled",
 			"shards", *liveShards, "endpoint", api.PathCurves,
@@ -236,7 +300,7 @@ func run() error {
 		// /v1/curves is served by a scatter-gather coordinator over every
 		// peer's /v1/partials (ourselves read in-process) — so THIS node
 		// answers for the whole cluster, byte-identical to a single node.
-		var store watch.Store = engine
+		var watchStore watch.Store = engine
 		if ring != nil {
 			srvCfg.Live = ownedLive{e: engine, owns: ring.Owns(selfIdx)}
 			srcs := make([]cluster.PartialSource, len(peers))
@@ -254,8 +318,8 @@ func run() error {
 			if err != nil {
 				return err
 			}
-			srvCfg.CurvesHandler = live.NewCurvesHandler(coord)
-			store = coord
+			srvCfg.CurvesHandler = live.NewCurvesHandlerWith(coord, curvesOpts)
+			watchStore = coord
 			log.Info("cluster mode enabled",
 				"node", *nodeID, "peers", len(peers),
 				"partials_endpoint", api.PathPartials)
@@ -286,9 +350,10 @@ func run() error {
 				keys = append(keys, key)
 			}
 			watcher, err = watch.New(watch.Config{
-				Engine:       store,
+				Engine:       watchStore,
 				Slices:       keys,
 				Interval:     *watchInterval,
+				Window:       *watchWindow,
 				Drift:        watch.DriftConfig{MinDelta: *watchMinDelta, Z: *watchZ},
 				Incident:     watch.IncidentConfig{Factor: *watchFactor},
 				ArtifactsDir: *watchArtifacts,

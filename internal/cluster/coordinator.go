@@ -78,11 +78,15 @@ type Coordinator struct {
 	combos  map[int]*comboVersions
 }
 
-// coordKey identifies one cache entry.
+// coordKey identifies one cache entry. win is the zero live.Window for
+// unwindowed queries; windowed entries carry their exact bounds so
+// distinct windows never share a slot (and partials from different
+// windows are never merged together).
 type coordKey struct {
 	combo int
 	mode  live.Mode
 	ci    bool
+	win   live.Window
 }
 
 // comboVersions is one combo's per-node known-version state, shared by
@@ -279,9 +283,20 @@ func (c *Coordinator) SliceVersion(key live.SliceKey) uint64 {
 // in-process cache hit; dirty slices scatter-gather every node's partial,
 // k-way merge, and finish the curve once. Implements live.Querier.
 func (c *Coordinator) Query(key live.SliceKey, mode live.Mode, ci bool) (*live.Result, error) {
+	return c.QueryWindow(key, mode, ci, live.Window{})
+}
+
+// QueryWindow answers one windowed curve query over the cluster: every
+// node contributes its windowed partial (hot store clipped to the window
+// plus its cold tier's scan), and the merge/finish path is the very same
+// one unwindowed queries take. Windowed entries cache under their exact
+// bounds with the same version-vector staleness rule — node versions
+// cover hot appends, and each node's cold tier is immutable below its
+// cutover. Implements live.WindowQuerier; a zero win is exactly Query.
+func (c *Coordinator) QueryWindow(key live.SliceKey, mode live.Mode, ci bool, win live.Window) (*live.Result, error) {
 	combo := comboOf(key)
 	cv := c.combosFor(combo)
-	ce := c.entryFor(coordKey{combo: combo, mode: mode, ci: ci}, key)
+	ce := c.entryFor(coordKey{combo: combo, mode: mode, ci: ci, win: win}, key)
 
 	if r := ce.val.Load(); r != nil && fresh(cv, r.vec) {
 		c.maybePoll(cv, key)
@@ -297,24 +312,25 @@ func (c *Coordinator) Query(key live.SliceKey, mode live.Mode, ci bool) (*live.R
 		hit.Cached = true
 		return &hit, nil
 	}
-	res, err := c.recompute(cv, ce, key, mode, ci)
+	res, err := c.recompute(cv, ce, key, mode, ci, win)
 	if err != nil {
 		return nil, err
 	}
 	return res, nil
 }
 
-// fetchPartials gathers every node's partial for the slice concurrently
-// into ce.parts (as summaries) and stamps ce.vec. Network-bound, so one
-// goroutine per source regardless of Workers.
-func (c *Coordinator) fetchPartials(cv *comboVersions, ce *coordEntry, key live.SliceKey) error {
+// fetchPartials gathers every node's partial for the slice (restricted
+// to win when non-zero) concurrently into ce.parts (as summaries) and
+// stamps ce.vec. Network-bound, so one goroutine per source regardless
+// of Workers.
+func (c *Coordinator) fetchPartials(cv *comboVersions, ce *coordEntry, key live.SliceKey, win live.Window) error {
 	errs := make([]error, len(c.srcs))
 	var wg sync.WaitGroup
 	for i, src := range c.srcs {
 		wg.Add(1)
 		go func(i int, src PartialSource) {
 			defer wg.Done()
-			p, err := src.Partial(key)
+			p, err := src.PartialWindow(key, win)
 			if err != nil {
 				errs[i] = err
 				return
@@ -339,10 +355,10 @@ func (c *Coordinator) fetchPartials(cv *comboVersions, ce *coordEntry, key live.
 	return nil
 }
 
-// recompute fetches, merges, and finishes one (mode, ci) slot. Caller
-// holds ce.mu.
-func (c *Coordinator) recompute(cv *comboVersions, ce *coordEntry, key live.SliceKey, mode live.Mode, ci bool) (*live.Result, error) {
-	if err := c.fetchPartials(cv, ce, key); err != nil {
+// recompute fetches, merges, and finishes one (mode, ci, window) slot.
+// Caller holds ce.mu.
+func (c *Coordinator) recompute(cv *comboVersions, ce *coordEntry, key live.SliceKey, mode live.Mode, ci bool, win live.Window) (*live.Result, error) {
+	if err := c.fetchPartials(cv, ce, key, win); err != nil {
 		return nil, err
 	}
 	if err := core.MergeSummaries(&ce.merged, ce.parts...); err != nil {
@@ -402,6 +418,14 @@ func (c *Coordinator) recompute(cv *comboVersions, ce *coordEntry, key live.Slic
 // sees per-node contributions. An empty cluster-wide slice returns
 // live.ErrNoRecords like the engine does.
 func (c *Coordinator) SnapshotSlice(key live.SliceKey) (*live.SliceSnapshot, error) {
+	return c.SnapshotSliceWindow(key, live.Window{})
+}
+
+// SnapshotSliceWindow is SnapshotSlice restricted to win: each node's
+// contribution is its windowed partial, so a watcher's rolling windows
+// read exactly the cluster-wide records the window covers — including
+// each node's cold tier. A zero win is exactly SnapshotSlice.
+func (c *Coordinator) SnapshotSliceWindow(key live.SliceKey, win live.Window) (*live.SliceSnapshot, error) {
 	cv := c.combosFor(comboOf(key))
 	parts := make([]*api.Partial, len(c.srcs))
 	errs := make([]error, len(c.srcs))
@@ -410,7 +434,7 @@ func (c *Coordinator) SnapshotSlice(key live.SliceKey) (*live.SliceSnapshot, err
 		wg.Add(1)
 		go func(i int, src PartialSource) {
 			defer wg.Done()
-			parts[i], errs[i] = src.Partial(key)
+			parts[i], errs[i] = src.PartialWindow(key, win)
 		}(i, src)
 	}
 	wg.Wait()
@@ -449,3 +473,4 @@ func (c *Coordinator) Stats() (entries int, epoch uint64) {
 }
 
 var _ live.Querier = (*Coordinator)(nil)
+var _ live.WindowQuerier = (*Coordinator)(nil)

@@ -25,7 +25,10 @@ import (
 // Copies are synced before the function returns: a crash after handoff
 // must not lose records that were durable on the source.
 func HandoffSegments(fsys wal.FS, srcDir, dstDir string) (int, error) {
-	srcSegs, err := wal.Segments(fsys, srcDir)
+	// The source is sealed (its WAL closed), so every segment is handed
+	// off; SealedSegments with an empty active name is exactly that, and
+	// shares the compactor's definition of "safe to consume".
+	srcSegs, err := wal.SealedSegments(fsys, srcDir, "")
 	if err != nil {
 		return 0, fmt.Errorf("cluster: list handoff source %s: %w", srcDir, err)
 	}

@@ -25,6 +25,10 @@ func (s *swapSource) Partial(key live.SliceKey) (*api.Partial, error) {
 	return s.e.Load().Partial(key)
 }
 
+func (s *swapSource) PartialWindow(key live.SliceKey, win live.Window) (*api.Partial, error) {
+	return s.e.Load().PartialWindow(key, win)
+}
+
 func (s *swapSource) PartialVersion(key live.SliceKey) (uint64, error) {
 	return s.e.Load().SliceVersion(key), nil
 }

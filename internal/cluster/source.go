@@ -6,6 +6,7 @@ import (
 	"io"
 	"net/http"
 	"net/url"
+	"strconv"
 	"time"
 
 	"autosens/internal/collector/api"
@@ -26,6 +27,10 @@ type PartialSource interface {
 	// holding none of the slice's users returns an empty partial, not an
 	// error.
 	Partial(key live.SliceKey) (*api.Partial, error)
+	// PartialWindow is Partial restricted to a half-open time window,
+	// covering the node's hot store and (when it runs one) cold tier. A
+	// zero window must behave exactly like Partial.
+	PartialWindow(key live.SliceKey, win live.Window) (*api.Partial, error)
 	// PartialVersion returns the node's current slice version — the
 	// staleness poll, expected to be far cheaper than Partial.
 	PartialVersion(key live.SliceKey) (uint64, error)
@@ -41,6 +46,11 @@ type LocalNode struct {
 // Partial implements PartialSource.
 func (n LocalNode) Partial(key live.SliceKey) (*api.Partial, error) {
 	return n.Engine.Partial(key)
+}
+
+// PartialWindow implements PartialSource.
+func (n LocalNode) PartialWindow(key live.SliceKey, win live.Window) (*api.Partial, error) {
+	return n.Engine.PartialWindow(key, win)
 }
 
 // PartialVersion implements PartialSource.
@@ -100,6 +110,27 @@ func (n *HTTPNode) partialsURL(key live.SliceKey, versions bool) string {
 // Partial implements PartialSource over the binary wire form.
 func (n *HTTPNode) Partial(key live.SliceKey) (*api.Partial, error) {
 	body, err := n.get(n.partialsURL(key, false))
+	if err != nil {
+		return nil, err
+	}
+	p, err := api.DecodePartial(body)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: peer %s: %w", n.base, err)
+	}
+	return p, nil
+}
+
+// PartialWindow implements PartialSource over the cluster-internal
+// from_ms/to_ms form: the exact half-open bounds the coordinator merges,
+// never re-derived from a duration at the peer.
+func (n *HTTPNode) PartialWindow(key live.SliceKey, win live.Window) (*api.Partial, error) {
+	if win.IsZero() {
+		return n.Partial(key)
+	}
+	u := n.partialsURL(key, false) +
+		"&from_ms=" + strconv.FormatInt(int64(win.From), 10) +
+		"&to_ms=" + strconv.FormatInt(int64(win.To), 10)
+	body, err := n.get(u)
 	if err != nil {
 		return nil, err
 	}

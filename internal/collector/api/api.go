@@ -49,6 +49,10 @@ const (
 	// PathReport serves the per-slice sensitivity report (GET, format=
 	// json or html). Mounted only when the server runs a watcher.
 	PathReport = "/v1/report"
+	// PathBlocks serves the cold tier's block manifest listing (GET).
+	// Mounted only when the server runs a tiered store; servers without
+	// one answer 404 CodeNotFound here.
+	PathBlocks = "/v1/blocks"
 )
 
 // Error codes. These are the stable, programmatic half of the error
@@ -73,6 +77,14 @@ const (
 	// the slice (degenerate data, e.g. a window shorter than the bootstrap
 	// block length). Not retryable until more data arrives.
 	CodeEstimateFailed = "estimate_failed"
+	// CodeInvalidWindow: the window/at query parameters were malformed —
+	// an unparseable or non-positive window duration, an unparseable at
+	// timestamp, or at without window.
+	CodeInvalidWindow = "invalid_window"
+	// CodeWindowExceedsRetention: the requested window is longer than the
+	// server's configured cold-tier retention, so part of it can never be
+	// served. Shorten the window (or raise -retention on the server).
+	CodeWindowExceedsRetention = "window_exceeds_retention"
 )
 
 // Error is the typed error payload. It implements error so the client can
@@ -146,6 +158,15 @@ type CurvesResponse struct {
 	Curve json.RawMessage `json:"curve"`
 	// CI is the bootstrap bounds payload, when requested.
 	CI json.RawMessage `json:"ci,omitempty"`
+	// WindowMS / WindowFromMS / WindowToMS echo the EFFECTIVE half-open
+	// record-time window [from, to) a windowed query was answered over,
+	// after any clamping to the oldest retained data — so a client always
+	// sees the span its curve actually covers. All zero (and absent on the
+	// wire) for unwindowed queries, keeping no-param responses byte-
+	// identical to the pre-windowing contract.
+	WindowMS     int64 `json:"window_ms,omitempty"`
+	WindowFromMS int64 `json:"window_from_ms,omitempty"`
+	WindowToMS   int64 `json:"window_to_ms,omitempty"`
 }
 
 // Alert states, in lifecycle order. A condition first observed is
@@ -264,6 +285,73 @@ type WatchStats struct {
 	Resolved     int    `json:"alerts_resolved"`
 }
 
+// BlockInfo is one cold-tier block's manifest entry as listed by GET
+// /v1/blocks: identity, extent, and the zone maps the scanner prunes on.
+type BlockInfo struct {
+	// ID is the block's stable identifier; File is its file name inside
+	// the cold directory.
+	ID   uint64 `json:"id"`
+	File string `json:"file"`
+	// Records is the number of stored (usable) records; Bytes the file
+	// size on disk.
+	Records int   `json:"records"`
+	Bytes   int64 `json:"bytes"`
+	// MinTimeMS/MaxTimeMS, MinUser/MaxUser and MinSeq/MaxSeq are the
+	// block's zone maps: closed ranges over record time, user ID and ack
+	// sequence number.
+	MinTimeMS int64  `json:"min_time_ms"`
+	MaxTimeMS int64  `json:"max_time_ms"`
+	MinUser   uint64 `json:"min_user"`
+	MaxUser   uint64 `json:"max_user"`
+	MinSeq    uint64 `json:"min_seq"`
+	MaxSeq    uint64 `json:"max_seq"`
+	// Actions and UserTypes are presence bitmasks (bit i set ⇔ the block
+	// holds at least one record with that enum value).
+	Actions   uint32 `json:"actions_mask"`
+	UserTypes uint32 `json:"user_types_mask"`
+}
+
+// BlocksResponse is the body of GET /v1/blocks: the installed manifest's
+// block listing, oldest first.
+type BlocksResponse struct {
+	// NextSeq is the ack sequence number compaction has folded the WAL
+	// through; CompactedThrough the highest folded segment index (-1 when
+	// nothing has been compacted yet).
+	NextSeq          uint64 `json:"next_seq"`
+	CompactedThrough int    `json:"compacted_through"`
+	// CutoverSeq is the hot/cold watermark this process serves at: cold
+	// reads include only blocks entirely below it.
+	CutoverSeq uint64      `json:"cutover_seq"`
+	Blocks     []BlockInfo `json:"blocks"`
+}
+
+// StorageStats is the tiered store's operational snapshot, embedded in
+// GET /v1/status as the "storage" block when the server runs one.
+type StorageStats struct {
+	// HotBytes is the live engine's in-memory store footprint; ColdBytes
+	// the cold tier's on-disk block bytes.
+	HotBytes  int   `json:"hot_bytes"`
+	ColdBytes int64 `json:"cold_bytes"`
+	// Blocks and ColdRecords size the installed manifest.
+	Blocks      int `json:"blocks"`
+	ColdRecords int `json:"cold_records"`
+	// OldestRetainedMS is the oldest record time the cold tier still
+	// holds (0 when it holds nothing).
+	OldestRetainedMS int64 `json:"oldest_retained_ms,omitempty"`
+	// LastCompactionMS is the wall-clock unix-millis stamp of the last
+	// manifest install (0 before the first one this incarnation).
+	LastCompactionMS int64 `json:"last_compaction_ms,omitempty"`
+	// Compactions counts manifest installs this incarnation.
+	Compactions uint64 `json:"compactions_total"`
+	// NextSeq / CompactedThrough mirror the manifest (see BlocksResponse).
+	NextSeq          uint64 `json:"next_seq"`
+	CompactedThrough int    `json:"compacted_through"`
+	// ScannedBlocks / PrunedBlocks count cold-scan zone-map decisions:
+	// candidate blocks considered and the subset skipped without a read.
+	ScannedBlocks uint64 `json:"scanned_blocks_total"`
+	PrunedBlocks  uint64 `json:"pruned_blocks_total"`
+}
+
 // RecoveryReport mirrors the WAL's startup scan for GET /v1/status: what
 // survived the previous incarnation and what a crash tore off.
 type RecoveryReport struct {
@@ -301,6 +389,8 @@ type StatusResponse struct {
 	// Watch is the sensitivity watcher's snapshot, when the server runs
 	// one.
 	Watch *WatchStats `json:"watch,omitempty"`
+	// Storage is the tiered store's snapshot, when the server runs one.
+	Storage *StorageStats `json:"storage,omitempty"`
 }
 
 // WriteError renders err as the typed schema with the given HTTP status.

@@ -46,6 +46,15 @@ type Partial struct {
 	// summing per-node histograms is bit-identical to a global build).
 	// May be nil, in which case consumers rebuild it from Lats.
 	Hist *histogram.Histogram
+	// Windowed marks a partial restricted to the half-open time window
+	// [WindowFrom, WindowTo); WindowTo == 0 means unbounded above. An
+	// unwindowed partial (Windowed false) encodes as wire version 1,
+	// byte-identical to pre-window builds; a windowed one as version 2.
+	// Partials merge correctly only across identical windows — the
+	// coordinator keys its cache on the window, so mixing cannot happen.
+	Windowed   bool
+	WindowFrom timeutil.Millis
+	WindowTo   timeutil.Millis
 }
 
 // Len returns the number of records the partial carries.
@@ -55,6 +64,8 @@ func (p *Partial) Len() int { return len(p.Times) }
 //
 //	magic "ASPA" + 1 version byte
 //	u64le  slice version
+//	if version 2: zigzag-varint window from, zigzag-varint window to
+//	    (half-open [from, to) in unix millis; to == 0 means unbounded)
 //	uvarint record count n
 //	n × zigzag-varint time deltas (running; first delta is from 0)
 //	n × f64le latencies
@@ -70,7 +81,12 @@ func (p *Partial) Len() int { return len(p.Times) }
 // so a decoded partial is always safe to merge.
 var partialMagic = [4]byte{'A', 'S', 'P', 'A'}
 
-const partialVersion = 1
+const (
+	partialVersion = 1
+	// partialVersionWindowed adds the window bounds after the slice
+	// version; everything else is identical to version 1.
+	partialVersionWindowed = 2
+)
 
 // maxPartialBins is a sanity bound on the encoded bin count; a value
 // above it means the header bytes are garbage.
@@ -82,8 +98,16 @@ var ErrPartialCorrupt = errors.New("api: corrupt partial")
 // AppendPartial appends p's versioned binary encoding to dst.
 func AppendPartial(dst []byte, p *Partial) []byte {
 	dst = append(dst, partialMagic[:]...)
-	dst = append(dst, partialVersion)
+	if p.Windowed {
+		dst = append(dst, partialVersionWindowed)
+	} else {
+		dst = append(dst, partialVersion)
+	}
 	dst = binary.LittleEndian.AppendUint64(dst, p.Version)
+	if p.Windowed {
+		dst = binary.AppendVarint(dst, int64(p.WindowFrom))
+		dst = binary.AppendVarint(dst, int64(p.WindowTo))
+	}
 	dst = binary.AppendUvarint(dst, uint64(len(p.Times)))
 	var last int64
 	for _, t := range p.Times {
@@ -170,12 +194,28 @@ func DecodePartial(data []byte) (*Partial, error) {
 	if [4]byte(magic[:4]) != partialMagic {
 		return nil, fmt.Errorf("%w: bad magic", ErrPartialCorrupt)
 	}
-	if magic[4] != partialVersion {
+	if magic[4] != partialVersion && magic[4] != partialVersionWindowed {
 		return nil, fmt.Errorf("%w: unsupported wire version %d", ErrPartialCorrupt, magic[4])
 	}
 	p := &Partial{}
 	if p.Version, err = r.u64(); err != nil {
 		return nil, err
+	}
+	if magic[4] == partialVersionWindowed {
+		p.Windowed = true
+		from, err := r.varint()
+		if err != nil {
+			return nil, err
+		}
+		to, err := r.varint()
+		if err != nil {
+			return nil, err
+		}
+		if to != 0 && to <= from {
+			return nil, fmt.Errorf("%w: empty window [%d, %d)", ErrPartialCorrupt, from, to)
+		}
+		p.WindowFrom = timeutil.Millis(from)
+		p.WindowTo = timeutil.Millis(to)
 	}
 	n64, err := r.uvarint()
 	if err != nil {

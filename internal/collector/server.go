@@ -176,9 +176,16 @@ type ServerConfig struct {
 	// scatter-gather read surface cluster coordinators fetch mergeable
 	// slice partials from.
 	PartialsHandler http.Handler
+	// BlocksHandler, when non-nil, is mounted at api.PathBlocks —
+	// injected, typically store.Store.BlocksHandler(). Servers without a
+	// tiered store leave it nil and the path 404s.
+	BlocksHandler http.Handler
 	// WatchStats, when non-nil, embeds the watcher's snapshot in
 	// /v1/status.
 	WatchStats func() api.WatchStats
+	// StorageStats, when non-nil, embeds the tiered store's snapshot in
+	// /v1/status.
+	StorageStats func() api.StorageStats
 	// Registry exports the server's metrics; nil uses a private registry.
 	Registry *obs.Registry
 	// Logger routes structured logs; nil uses slog.Default().
@@ -323,6 +330,9 @@ func (s *Server) Handler() http.Handler {
 	}
 	if s.cfg.PartialsHandler != nil {
 		mux.Handle(api.PathPartials, s.cfg.PartialsHandler)
+	}
+	if s.cfg.BlocksHandler != nil {
+		mux.Handle(api.PathBlocks, s.cfg.BlocksHandler)
 	}
 	mux.HandleFunc("/v1/", func(w http.ResponseWriter, r *http.Request) {
 		api.WriteError(w, http.StatusNotFound, api.CodeNotFound,
@@ -542,6 +552,10 @@ func (s *Server) Status() api.StatusResponse {
 	if s.cfg.WatchStats != nil {
 		stats := s.cfg.WatchStats()
 		st.Watch = &stats
+	}
+	if s.cfg.StorageStats != nil {
+		stats := s.cfg.StorageStats()
+		st.Storage = &stats
 	}
 	if lastErr != nil {
 		st.Status = "degraded"

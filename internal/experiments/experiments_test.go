@@ -47,7 +47,7 @@ func runExp(t *testing.T, id string) *Outcome {
 }
 
 func TestRegistryComplete(t *testing.T) {
-	want := []string{"ablation-naive", "ablation-references", "ablation-smoothing", "ext-abtest", "ext-queueing", "ext-samplesize", "ext-seeds", "ext-sessions", "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "gt-recovery", "table1"}
+	want := []string{"ablation-naive", "ablation-references", "ablation-smoothing", "ext-abtest", "ext-queueing", "ext-samplesize", "ext-seeds", "ext-sessions", "ext-window", "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "gt-recovery", "table1"}
 	all := All()
 	if len(all) != len(want) {
 		t.Fatalf("registry has %d experiments, want %d", len(all), len(want))
@@ -345,6 +345,38 @@ func TestExtSessionsMechanism(t *testing.T) {
 	// Slower actions must be followed less often (when supported).
 	if !math.IsNaN(slow) && slow >= fast {
 		t.Fatalf("continuation should fall with latency: %v at 300ms vs %v at 1000ms", fast, slow)
+	}
+}
+
+func TestExtWindowBias(t *testing.T) {
+	out := runExp(t, "ext-window")
+	if len(out.Series) == 0 || len(out.Series[0].X) < 3 {
+		t.Fatal("no window-bias series")
+	}
+	// Every window at or past half a day must sit in the converged band:
+	// close to the estimator's clean-conditions recovery floor, so a
+	// deployment clamping history away (retention, window=) loses nothing.
+	for i, hours := range out.Series[0].X {
+		err := out.Series[0].Y[i]
+		if math.IsNaN(err) {
+			t.Fatalf("%gh window: NaN error", hours)
+		}
+		if hours >= 12 && err > 0.15 {
+			t.Fatalf("%gh window deviates from planted truth by %v", hours, err)
+		}
+	}
+	// The starved end must be visibly worse than the best converged
+	// window — otherwise the experiment isn't resolving the effect.
+	starved := out.Series[0].Y[0]
+	best := math.Inf(1)
+	for i, hours := range out.Series[0].X {
+		if hours >= 12 && out.Series[0].Y[i] < best {
+			best = out.Series[0].Y[i]
+		}
+	}
+	if starved <= best {
+		t.Fatalf("starved %gh window (err %v) not worse than best converged window (%v)",
+			out.Series[0].X[0], starved, best)
 	}
 }
 

@@ -6,8 +6,10 @@ import (
 	"errors"
 	"net/http"
 	"sync"
+	"time"
 
 	"autosens/internal/collector/api"
+	"autosens/internal/timeutil"
 )
 
 // Querier answers curve queries: the live engine locally, or a cluster
@@ -15,6 +17,95 @@ import (
 // return ErrNoRecords (possibly wrapped) for empty slices.
 type Querier interface {
 	Query(key SliceKey, mode Mode, ci bool) (*Result, error)
+}
+
+// WindowQuerier additionally answers windowed queries. Both the engine
+// and the cluster coordinator implement it; handlers built over a plain
+// Querier reject window parameters.
+type WindowQuerier interface {
+	Querier
+	QueryWindow(key SliceKey, mode Mode, ci bool, win Window) (*Result, error)
+}
+
+// CurvesHandlerOptions configures the windowed side of a curves handler.
+// The zero value serves windowed queries with no retention bound and
+// no clamping — correct for a hot-only engine holding full history.
+type CurvesHandlerOptions struct {
+	// Retention bounds the window= parameter: requests for a longer
+	// window get a window_exceeds_retention error instead of a silently
+	// partial answer. Zero means unbounded.
+	Retention time.Duration
+	// OldestRetained, when set, clamps a window's lower bound up to the
+	// oldest record the cold tier still holds, so the effective window
+	// echoed in the response never claims coverage the store lost to
+	// retention GC. Typically store.OldestRetained.
+	OldestRetained func() (timeutil.Millis, bool)
+	// Now anchors the default at= (and is injectable for tests). Nil
+	// means time.Now.
+	Now func() time.Time
+}
+
+// parseWindow extracts the window/at query parameters per the v1
+// contract. ok=false with a written response means the caller returns
+// immediately; a zero returned Window means the request is unwindowed.
+func parseWindow(w http.ResponseWriter, qs map[string][]string, opts CurvesHandlerOptions) (Window, bool) {
+	get := func(k string) string {
+		if v := qs[k]; len(v) > 0 {
+			return v[0]
+		}
+		return ""
+	}
+	ws, at := get("window"), get("at")
+	if ws == "" {
+		if at != "" {
+			api.WriteError(w, http.StatusBadRequest, api.CodeInvalidWindow,
+				"at= requires window=", 0)
+			return Window{}, false
+		}
+		return Window{}, true
+	}
+	d, err := time.ParseDuration(ws)
+	if err != nil || d <= 0 {
+		api.WriteError(w, http.StatusBadRequest, api.CodeInvalidWindow,
+			"window must be a positive Go duration, e.g. 24h", 0)
+		return Window{}, false
+	}
+	if opts.Retention > 0 && d > opts.Retention {
+		api.WriteError(w, http.StatusBadRequest, api.CodeWindowExceedsRetention,
+			"window "+d.String()+" exceeds retention "+opts.Retention.String(), 0)
+		return Window{}, false
+	}
+	now := time.Now
+	if opts.Now != nil {
+		now = opts.Now
+	}
+	end := now()
+	if at != "" {
+		end, err = time.Parse(time.RFC3339, at)
+		if err != nil {
+			api.WriteError(w, http.StatusBadRequest, api.CodeInvalidWindow,
+				"at must be RFC3339, e.g. 2026-01-02T15:04:05Z", 0)
+			return Window{}, false
+		}
+	}
+	win := Window{
+		From: timeutil.Millis(end.UnixMilli() - d.Milliseconds()),
+		To:   timeutil.Millis(end.UnixMilli()),
+	}
+	if win.From < 0 {
+		win.From = 0
+	}
+	if opts.OldestRetained != nil {
+		if oldest, ok := opts.OldestRetained(); ok && oldest > win.From {
+			win.From = oldest
+		}
+	}
+	if win.To <= win.From {
+		api.WriteError(w, http.StatusBadRequest, api.CodeInvalidWindow,
+			"window is empty after retention clamping", 0)
+		return Window{}, false
+	}
+	return win, true
 }
 
 // curvesEncPool recycles the response-encoding state so the cached-query
@@ -37,8 +128,28 @@ type curvesEnc struct {
 //	GET /v1/curves?slice=action:SelectMail,period:8am-2pm&mode=normalized&ci=1
 //
 // slice defaults to "all", mode to "plain". The X-Autosens-Cache header
-// reports "hit" or "miss".
+// reports "hit" or "miss". Equivalent to NewCurvesHandlerWith with zero
+// options; a request without window parameters is answered byte-identically
+// either way.
 func NewCurvesHandler(q Querier) http.Handler {
+	return NewCurvesHandlerWith(q, CurvesHandlerOptions{})
+}
+
+// NewCurvesHandlerWith is NewCurvesHandler plus the windowed side of the
+// contract:
+//
+//	GET /v1/curves?slice=...&window=24h            → trailing 24h ending now
+//	GET /v1/curves?slice=...&window=24h&at=<RFC3339> → 24h ending at `at`
+//
+// window must be a positive Go duration and, when opts.Retention is set,
+// no longer than it (error code window_exceeds_retention); at without
+// window is invalid_window. The response echoes the effective half-open
+// [from, to) actually served — after clamping the lower bound to
+// opts.OldestRetained — in window_ms/window_from_ms/window_to_ms.
+// Requests with no window parameters never touch the windowed path and
+// stay byte-identical to pre-window builds.
+func NewCurvesHandlerWith(q Querier, opts CurvesHandlerOptions) http.Handler {
+	wq, _ := q.(WindowQuerier)
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodGet {
 			api.WriteError(w, http.StatusMethodNotAllowed, api.CodeMethodNotAllowed,
@@ -66,8 +177,22 @@ func NewCurvesHandler(q Querier) http.Handler {
 				"ci must be 0 or 1", 0)
 			return
 		}
+		win, ok := parseWindow(w, qs, opts)
+		if !ok {
+			return
+		}
+		if !win.IsZero() && wq == nil {
+			api.WriteError(w, http.StatusBadRequest, api.CodeInvalidWindow,
+				"this endpoint does not serve windowed queries", 0)
+			return
+		}
 
-		res, err := q.Query(key, mode, ci)
+		var res *Result
+		if win.IsZero() {
+			res, err = q.Query(key, mode, ci)
+		} else {
+			res, err = wq.QueryWindow(key, mode, ci, win)
+		}
 		if err != nil {
 			if errors.Is(err, ErrNoRecords) {
 				api.WriteError(w, http.StatusNotFound, api.CodeNotFound,
@@ -84,9 +209,7 @@ func NewCurvesHandler(q Querier) http.Handler {
 		} else {
 			w.Header().Set("X-Autosens-Cache", "miss")
 		}
-		ce := curvesEncPool.Get().(*curvesEnc)
-		ce.buf.Reset()
-		if err := ce.enc.Encode(api.CurvesResponse{
+		resp := api.CurvesResponse{
 			Slice:   res.Slice,
 			Mode:    res.Mode,
 			Epoch:   res.Epoch,
@@ -95,7 +218,15 @@ func NewCurvesHandler(q Querier) http.Handler {
 			Cached:  res.Cached,
 			Curve:   res.Curve,
 			CI:      res.CI,
-		}); err != nil {
+		}
+		if !win.IsZero() {
+			resp.WindowMS = int64(win.To - win.From)
+			resp.WindowFromMS = int64(win.From)
+			resp.WindowToMS = int64(win.To)
+		}
+		ce := curvesEncPool.Get().(*curvesEnc)
+		ce.buf.Reset()
+		if err := ce.enc.Encode(resp); err != nil {
 			curvesEncPool.Put(ce)
 			api.WriteError(w, http.StatusInternalServerError, api.CodeEstimateFailed,
 				err.Error(), 0)

@@ -97,6 +97,14 @@ type Engine struct {
 	cmu   sync.Mutex
 	cache map[queryKey]*comboCache
 
+	// cold is the optional cold tier serving records compacted out of the
+	// WAL before this incarnation's cutover; nil means hot-only. Windowed
+	// cache entries live in wcache, coarsely capped because window bounds
+	// are caller-chosen (see windowCacheFor).
+	cold   ColdTier
+	wmu    sync.Mutex
+	wcache map[queryKey]*comboCache
+
 	smu    sync.Mutex
 	states map[int]*comboState
 

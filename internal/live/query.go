@@ -140,11 +140,14 @@ func (k SliceKey) matchesTag(tag uint8) bool {
 // ErrNoRecords is returned when a slice holds no usable records.
 var ErrNoRecords = errors.New("live: no records in slice")
 
-// queryKey identifies one cache entry.
+// queryKey identifies one cache entry. win is the zero Window for the
+// unwindowed cache; windowed entries carry their exact bounds so distinct
+// windows never share a slot.
 type queryKey struct {
 	combo int
 	mode  Mode
 	ci    bool
+	win   Window
 }
 
 // comboCache is one (combo, mode, ci) cache slot: val holds the last

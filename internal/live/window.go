@@ -1,0 +1,381 @@
+package live
+
+import (
+	"context"
+	"runtime/pprof"
+	"sort"
+	"time"
+
+	"autosens/internal/collector/api"
+	"autosens/internal/core"
+	"autosens/internal/telemetry"
+	"autosens/internal/timeutil"
+)
+
+// Window restricts a query to the half-open time range [From, To), in
+// unix millis. The zero Window means "unwindowed" — the full history the
+// engine holds — and every windowed entry point degrades to its
+// unwindowed twin on it, so existing callers and wire bytes are
+// untouched. To == 0 with From > 0 means unbounded above (the watcher's
+// trailing windows use this so records arriving "now" are never clipped).
+type Window struct {
+	From timeutil.Millis
+	To   timeutil.Millis
+}
+
+// IsZero reports whether the window is the unwindowed sentinel.
+func (w Window) IsZero() bool { return w.From == 0 && w.To == 0 }
+
+// Contains reports whether t falls inside the window.
+func (w Window) Contains(t timeutil.Millis) bool {
+	return t >= w.From && (w.To == 0 || t < w.To)
+}
+
+// ColdTier is the engine's read hook into tiered storage: records that
+// were compacted out of the WAL before this incarnation's cutover and no
+// longer live in the hot store. The engine never writes to it — the
+// store's compactor runs independently — and the hot/cold partition is
+// fixed at startup (cold serves only seqs below the cutover, the hot
+// store is warmed starting at it), so merging the two by (time, seq) can
+// neither lose nor double-count a record.
+type ColdTier interface {
+	// ScanWindow returns the cold tier's records matching key inside win,
+	// as (time, seq)-sorted parallel columns. A nil/empty result is a
+	// valid "nothing retained there" answer.
+	ScanWindow(key SliceKey, win Window) (times []timeutil.Millis, lats []float64, seqs []uint64, err error)
+	// OldestRetained returns the oldest record time the tier still holds,
+	// and false when it holds nothing.
+	OldestRetained() (timeutil.Millis, bool)
+}
+
+// AttachCold installs the cold tier. Call once at startup, after warming
+// and before serving queries; a nil tier keeps the engine hot-only.
+func (e *Engine) AttachCold(c ColdTier) { e.cold = c }
+
+// SetBaseSeq advances the global ack sequence counter to seq, so the
+// first stored record gets that sequence number. Must be called before
+// any append (including Warm): a tiered engine starts its hot seqs at the
+// store's cutover, placing every hot record strictly after every cold one
+// in the global ack order — the invariant the hot/cold merge relies on.
+func (e *Engine) SetBaseSeq(seq uint64) { e.seq.Store(seq) }
+
+// TagOf exposes the record→cell dictionary byte to the cold tier, which
+// persists the very same tag per record so both tiers share one
+// definition of every slice dimension (including the ingest-time local
+// period derivation).
+func TagOf(r telemetry.Record) uint8 { return tagOf(r) }
+
+// MatchesTag reports whether a stored dictionary byte falls in the slice.
+func (k SliceKey) MatchesTag(tag uint8) bool { return k.matchesTag(tag) }
+
+// maxWindowedCache bounds the windowed query cache: window bounds are
+// caller-chosen (a dashboard defaulting at=now mints a fresh window every
+// request), so unlike the combo-keyed unwindowed cache this map would
+// otherwise grow without bound. Eviction is a coarse full reset — windowed
+// entries are cheap to recompute relative to tracking recency.
+const maxWindowedCache = 512
+
+// windowCacheFor returns (creating if needed) the windowed cache slot.
+func (e *Engine) windowCacheFor(qk queryKey) *comboCache {
+	e.wmu.Lock()
+	defer e.wmu.Unlock()
+	if e.wcache == nil {
+		e.wcache = make(map[queryKey]*comboCache)
+	}
+	cc, ok := e.wcache[qk]
+	if !ok {
+		if len(e.wcache) >= maxWindowedCache {
+			e.wcache = make(map[queryKey]*comboCache)
+		}
+		cc = &comboCache{}
+		e.wcache[qk] = cc
+	}
+	return cc
+}
+
+// QueryWindow answers one curve query restricted to win, merging the hot
+// store's windowed columns with the cold tier's (when attached) at the
+// cutover watermark. The merged columns are exactly the stable by-time
+// sort of the acked stream's window, so the finished curve is
+// byte-identical to the batch estimator run over the same records. A zero
+// win is exactly Query.
+func (e *Engine) QueryWindow(key SliceKey, mode Mode, ci bool, win Window) (*Result, error) {
+	if win.IsZero() {
+		return e.Query(key, mode, ci)
+	}
+	start := time.Now()
+	combo := key.combo()
+	qk := queryKey{combo: combo, mode: mode, ci: ci, win: win}
+	cc := e.windowCacheFor(qk)
+
+	res, err := e.queryWindowCached(cc, combo, key, mode, ci, win)
+	e.nQueries.Add(1)
+	if err == nil {
+		if res.Cached {
+			e.nHits.Add(1)
+		} else {
+			e.nMisses.Add(1)
+		}
+	}
+	if e.m != nil {
+		e.m.queries.Inc()
+		e.m.queryDur.ObserveSince(start)
+		if err == nil {
+			if res.Cached {
+				e.m.cacheHits.Inc()
+			} else {
+				e.m.cacheMisses.Inc()
+			}
+		}
+	}
+	return res, err
+}
+
+// queryWindowCached mirrors queryCached: version-checked cache hit, else
+// a single-flight recompute stamped with the version read before
+// gathering. The combo version covers hot appends; the cold tier below
+// the cutover is immutable for the life of the process (retention only
+// removes data the handler already clamps windows away from), so the hot
+// version alone decides staleness.
+func (e *Engine) queryWindowCached(cc *comboCache, combo int, key SliceKey, mode Mode, ci bool, win Window) (*Result, error) {
+	if r := cc.val.Load(); r != nil && r.Version == e.comboVersion(combo) {
+		hit := *r
+		hit.Cached = true
+		return &hit, nil
+	}
+	cc.mu.Lock()
+	defer cc.mu.Unlock()
+	if r := cc.val.Load(); r != nil && r.Version == e.comboVersion(combo) {
+		hit := *r
+		hit.Cached = true
+		return &hit, nil
+	}
+	v0 := e.comboVersion(combo)
+	res, err := e.recomputeWindow(key, mode, ci, win)
+	if err != nil {
+		return nil, err
+	}
+	res.Version = v0
+	cc.val.Store(res)
+	return res, nil
+}
+
+// recomputeWindow gathers the window's merged hot+cold columns and
+// finishes the curve. Windowed recomputes re-estimate over the gathered
+// columns (no delta-maintained state: the window boundary moves, so
+// there is no stable prefix to maintain against); the entry points are
+// the same core column estimators the batch CLI uses.
+func (e *Engine) recomputeWindow(key SliceKey, mode Mode, ci bool, win Window) (res *Result, err error) {
+	var times []timeutil.Millis
+	var lats []float64
+	pprof.Do(context.Background(), pprof.Labels(
+		"live", "window_recompute", "slice", key.String(), "mode", mode.String(),
+	), func(context.Context) {
+		times, lats, _, err = e.windowColumns(key, win)
+	})
+	if err != nil {
+		return nil, err
+	}
+	if len(times) == 0 {
+		return nil, ErrNoRecords
+	}
+	res = &Result{Slice: key.String(), Mode: mode.String(), Records: len(times)}
+	switch {
+	case ci:
+		opts := e.cfg.CI
+		opts.TimeNormalized = mode == ModeNormalized
+		band, err := e.est.EstimateCIColumns(times, lats, opts)
+		if err != nil {
+			return nil, err
+		}
+		if res.Curve, err = band.Curve.MarshalJSON(); err != nil {
+			return nil, err
+		}
+		if res.CI, err = band.MarshalBoundsJSON(); err != nil {
+			return nil, err
+		}
+	case mode == ModeNormalized:
+		curve, err := e.est.EstimateTimeNormalizedColumns(times, lats)
+		if err != nil {
+			return nil, err
+		}
+		if res.Curve, err = curve.MarshalJSON(); err != nil {
+			return nil, err
+		}
+	default:
+		curve, err := e.est.EstimateColumns(times, lats, nil)
+		if err != nil {
+			return nil, err
+		}
+		if res.Curve, err = curve.MarshalJSON(); err != nil {
+			return nil, err
+		}
+	}
+	res.Epoch = e.epoch.Add(1)
+	return res, nil
+}
+
+// windowBounds locates win's half-open index range inside a time-sorted
+// column via binary search.
+func windowBounds(times []timeutil.Millis, win Window) (lo, hi int) {
+	lo = sort.Search(len(times), func(i int) bool { return times[i] >= win.From })
+	hi = len(times)
+	if win.To != 0 {
+		hi = sort.Search(len(times), func(i int) bool { return times[i] >= win.To })
+	}
+	return lo, hi
+}
+
+// windowColumns gathers the slice's (time, seq)-sorted columns inside
+// win: each shard's cached view clipped to the window by binary search,
+// k-way merged, then two-way merged with the cold tier's scan. Views are
+// sorted by (time, seq) and windows are contiguous time ranges, so a
+// clipped view is a subslice — no per-record filtering, no copying before
+// the merge.
+func (e *Engine) windowColumns(key SliceKey, win Window) ([]timeutil.Millis, []float64, []uint64, error) {
+	combo := key.combo()
+	views := make([]*shardView, len(e.shards))
+	core.ForEachIndex(e.cfg.Workers, len(e.shards), func(i int) {
+		views[i], _ = e.shards[i].viewFor(combo, key, e.newHist)
+	})
+	clipped := make([]*shardView, 0, len(views))
+	for _, v := range views {
+		lo, hi := windowBounds(v.times, win)
+		if lo < hi {
+			clipped = append(clipped, &shardView{
+				times: v.times[lo:hi], lats: v.lats[lo:hi], seqs: v.seqs[lo:hi],
+			})
+		}
+	}
+	mv := &shardView{}
+	mergeViewColumns(clipped, mv)
+	if e.cold == nil {
+		return mv.times, mv.lats, mv.seqs, nil
+	}
+	ct, cl, cs, err := e.cold.ScanWindow(key, win)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	if len(ct) == 0 {
+		return mv.times, mv.lats, mv.seqs, nil
+	}
+	if len(mv.times) == 0 {
+		return ct, cl, cs, nil
+	}
+	return mergeTriples(ct, cl, cs, mv.times, mv.lats, mv.seqs)
+}
+
+// mergeTriples two-way merges (time, seq)-sorted column triples.
+func mergeTriples(at []timeutil.Millis, al []float64, as []uint64,
+	bt []timeutil.Millis, bl []float64, bs []uint64,
+) ([]timeutil.Millis, []float64, []uint64, error) {
+	n := len(at) + len(bt)
+	times := make([]timeutil.Millis, 0, n)
+	lats := make([]float64, 0, n)
+	seqs := make([]uint64, 0, n)
+	i, j := 0, 0
+	for i < len(at) && j < len(bt) {
+		if at[i] < bt[j] || (at[i] == bt[j] && as[i] < bs[j]) {
+			times, lats, seqs = append(times, at[i]), append(lats, al[i]), append(seqs, as[i])
+			i++
+		} else {
+			times, lats, seqs = append(times, bt[j]), append(lats, bl[j]), append(seqs, bs[j])
+			j++
+		}
+	}
+	times = append(append(times, at[i:]...), bt[j:]...)
+	lats = append(append(lats, al[i:]...), bl[j:]...)
+	seqs = append(append(seqs, as[i:]...), bs[j:]...)
+	return times, lats, seqs, nil
+}
+
+// PartialWindow is Partial restricted to win: the slice's windowed
+// hot+cold columns with a fresh biased histogram over them, marked
+// Windowed so the wire encoding carries the bounds (version 2). A zero
+// win is exactly Partial — wire version 1, byte-identical to unwindowed
+// builds.
+func (e *Engine) PartialWindow(key SliceKey, win Window) (*api.Partial, error) {
+	if win.IsZero() {
+		return e.Partial(key)
+	}
+	// Stamp before gathering, as every version in the system is.
+	v0 := e.comboVersion(key.combo())
+	var times []timeutil.Millis
+	var lats []float64
+	var seqs []uint64
+	var err error
+	pprof.Do(context.Background(), pprof.Labels(
+		"live", "partial_window", "slice", key.String(),
+	), func(context.Context) {
+		times, lats, seqs, err = e.windowColumns(key, win)
+	})
+	if err != nil {
+		return nil, err
+	}
+	p := &api.Partial{
+		Version: v0, Hist: e.newHist(),
+		Windowed: true, WindowFrom: win.From, WindowTo: win.To,
+	}
+	p.Times, p.Lats, p.Seqs = times, lats, seqs
+	// The windowed histogram cannot be summed from per-shard view
+	// histograms (those cover full history); weight-1 adds over the
+	// windowed latencies are still bit-identical to any other build order.
+	for _, l := range lats {
+		p.Hist.Add(l)
+	}
+	return p, nil
+}
+
+// SnapshotSliceWindow is SnapshotSlice restricted to win: per-shard
+// columns are the cached views' window subslices, the cold tier's scan
+// (when attached and non-empty) rides along as one extra ShardColumns
+// entry past the engine's shard count, and the merged columns cover
+// hot+cold. A zero win is exactly SnapshotSlice.
+func (e *Engine) SnapshotSliceWindow(key SliceKey, win Window) (*SliceSnapshot, error) {
+	if win.IsZero() {
+		return e.SnapshotSlice(key)
+	}
+	combo := key.combo()
+	v0 := e.comboVersion(combo)
+	views := make([]*shardView, len(e.shards))
+	pprof.Do(context.Background(), pprof.Labels(
+		"live", "slice_snapshot_window", "slice", key.String(),
+	), func(context.Context) {
+		core.ForEachIndex(e.cfg.Workers, len(e.shards), func(i int) {
+			views[i], _ = e.shards[i].viewFor(combo, key, e.newHist)
+		})
+	})
+
+	snap := &SliceSnapshot{Version: v0, Shards: make([]ShardColumns, len(views))}
+	clipped := make([]*shardView, 0, len(views)+1)
+	for i, v := range views {
+		lo, hi := windowBounds(v.times, win)
+		if lo < hi {
+			snap.Shards[i] = ShardColumns{Times: v.times[lo:hi], Lats: v.lats[lo:hi], Seqs: v.seqs[lo:hi]}
+			clipped = append(clipped, &shardView{
+				times: v.times[lo:hi], lats: v.lats[lo:hi], seqs: v.seqs[lo:hi],
+			})
+		}
+	}
+	if e.cold != nil {
+		ct, cl, cs, err := e.cold.ScanWindow(key, win)
+		if err != nil {
+			return nil, err
+		}
+		if len(ct) > 0 {
+			snap.Shards = append(snap.Shards, ShardColumns{Times: ct, Lats: cl, Seqs: cs})
+			clipped = append(clipped, &shardView{times: ct, lats: cl, seqs: cs})
+		}
+	}
+	n := 0
+	for _, v := range clipped {
+		n += len(v.times)
+	}
+	if n == 0 {
+		return nil, ErrNoRecords
+	}
+	mv := &shardView{}
+	mergeViewColumns(clipped, mv)
+	snap.Times, snap.Lats = mv.times, mv.lats
+	return snap, nil
+}

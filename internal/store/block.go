@@ -1,0 +1,297 @@
+package store
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"path/filepath"
+
+	"autosens/internal/timeutil"
+	"autosens/internal/wal"
+)
+
+// Block file wire form: magic "ASBK", one version byte, then chunks to
+// EOF. Each chunk is
+//
+//	uvarint record count n
+//	uvarint payload length
+//	u32le   CRC32-C of the payload
+//	payload:
+//	  n × zigzag-varint time deltas   (running; restarts at 0 per chunk)
+//	  n × f64le latencies
+//	  n × zigzag-varint seq deltas    (restarts at 0 per chunk; seqs are
+//	      not monotone in time order, so the deltas are signed)
+//	  n × tag bytes                   (the live engine's dictionary byte)
+//	  n × uvarint user IDs
+//
+// Rows within a block are sorted by (time, seq). Chunks restart their
+// delta chains so a scan could skip chunks independently; today the
+// scanner prunes at block granularity via zone maps and decodes whole
+// blocks, which keeps the reader trivial.
+var blockMagic = [4]byte{'A', 'S', 'B', 'K'}
+
+const blockVersion = 1
+
+// chunkRecs is the row capacity of one chunk.
+const chunkRecs = 4096
+
+// DefaultBlockRecords is the default row capacity of one block file.
+const DefaultBlockRecords = 32768
+
+// maxChunkPayload bounds a chunk payload a reader will buffer; far above
+// any real chunk (chunkRecs rows cost tens of bytes each), so hitting it
+// means the header bytes are garbage.
+const maxChunkPayload = 64 << 20
+
+// ErrBlockCorrupt marks an unreadable block file.
+var ErrBlockCorrupt = errors.New("store: corrupt block")
+
+// row is one record inside the compactor, carrying everything a block
+// stores about it.
+type row struct {
+	time timeutil.Millis
+	lat  float64
+	seq  uint64
+	user uint64
+	tag  uint8
+}
+
+// blockName returns the block file name for an ID.
+func blockName(id uint64) string { return fmt.Sprintf("blk-%016x.asb", id) }
+
+// isBlockFile reports whether name looks like a block file.
+func isBlockFile(name string) bool {
+	return len(name) == len("blk-0000000000000000.asb") &&
+		name[:4] == "blk-" && name[len(name)-4:] == ".asb"
+}
+
+// appendBlock encodes rows (sorted by (time, seq)) into dst as one block
+// file's bytes.
+func appendBlock(dst []byte, rows []row) []byte {
+	dst = append(dst, blockMagic[:]...)
+	dst = append(dst, blockVersion)
+	var payload []byte
+	for len(rows) > 0 {
+		chunk := rows
+		if len(chunk) > chunkRecs {
+			chunk = chunk[:chunkRecs]
+		}
+		rows = rows[len(chunk):]
+
+		payload = payload[:0]
+		var lastT, lastS int64
+		for i := range chunk {
+			payload = binary.AppendVarint(payload, int64(chunk[i].time)-lastT)
+			lastT = int64(chunk[i].time)
+		}
+		for i := range chunk {
+			payload = binary.LittleEndian.AppendUint64(payload, math.Float64bits(chunk[i].lat))
+		}
+		for i := range chunk {
+			payload = binary.AppendVarint(payload, int64(chunk[i].seq)-lastS)
+			lastS = int64(chunk[i].seq)
+		}
+		for i := range chunk {
+			payload = append(payload, chunk[i].tag)
+		}
+		for i := range chunk {
+			payload = binary.AppendUvarint(payload, chunk[i].user)
+		}
+
+		dst = binary.AppendUvarint(dst, uint64(len(chunk)))
+		dst = binary.AppendUvarint(dst, uint64(len(payload)))
+		dst = binary.LittleEndian.AppendUint32(dst, crc32.Checksum(payload, castagnoli))
+		dst = append(dst, payload...)
+	}
+	return dst
+}
+
+// decodeBlock parses one block file's bytes back into rows, validating
+// magic, version, every chunk CRC, and exact payload consumption.
+func decodeBlock(data []byte) ([]row, error) {
+	if len(data) < len(blockMagic)+1 || !bytes.Equal(data[:4], blockMagic[:]) {
+		return nil, fmt.Errorf("%w: bad magic", ErrBlockCorrupt)
+	}
+	if data[4] != blockVersion {
+		return nil, fmt.Errorf("%w: unsupported version %d", ErrBlockCorrupt, data[4])
+	}
+	off := len(blockMagic) + 1
+	var rows []row
+	for off < len(data) {
+		n64, k := binary.Uvarint(data[off:])
+		if k <= 0 {
+			return nil, fmt.Errorf("%w: bad chunk count at byte %d", ErrBlockCorrupt, off)
+		}
+		off += k
+		plen64, k := binary.Uvarint(data[off:])
+		if k <= 0 || plen64 > maxChunkPayload {
+			return nil, fmt.Errorf("%w: bad chunk length at byte %d", ErrBlockCorrupt, off)
+		}
+		off += k
+		if off+4 > len(data) {
+			return nil, fmt.Errorf("%w: truncated chunk header", ErrBlockCorrupt)
+		}
+		sum := binary.LittleEndian.Uint32(data[off:])
+		off += 4
+		plen := int(plen64)
+		if off+plen > len(data) {
+			return nil, fmt.Errorf("%w: truncated chunk payload", ErrBlockCorrupt)
+		}
+		payload := data[off : off+plen]
+		off += plen
+		if crc32.Checksum(payload, castagnoli) != sum {
+			return nil, fmt.Errorf("%w: chunk CRC mismatch", ErrBlockCorrupt)
+		}
+		n := int(n64)
+		// Each row costs at least 1+8+1+1+1 payload bytes.
+		if n64 > uint64(len(payload))/12+1 {
+			return nil, fmt.Errorf("%w: implausible chunk count %d", ErrBlockCorrupt, n)
+		}
+		chunk, err := decodeChunk(payload, n)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, chunk...)
+	}
+	return rows, nil
+}
+
+// decodeChunk parses one CRC-verified chunk payload.
+func decodeChunk(payload []byte, n int) ([]row, error) {
+	rows := make([]row, n)
+	off := 0
+	var last int64
+	for i := 0; i < n; i++ {
+		d, k := binary.Varint(payload[off:])
+		if k <= 0 {
+			return nil, fmt.Errorf("%w: bad time delta", ErrBlockCorrupt)
+		}
+		off += k
+		last += d
+		rows[i].time = timeutil.Millis(last)
+	}
+	for i := 0; i < n; i++ {
+		if off+8 > len(payload) {
+			return nil, fmt.Errorf("%w: truncated latencies", ErrBlockCorrupt)
+		}
+		rows[i].lat = math.Float64frombits(binary.LittleEndian.Uint64(payload[off:]))
+		if math.IsNaN(rows[i].lat) {
+			return nil, fmt.Errorf("%w: NaN latency", ErrBlockCorrupt)
+		}
+		off += 8
+	}
+	last = 0
+	for i := 0; i < n; i++ {
+		d, k := binary.Varint(payload[off:])
+		if k <= 0 {
+			return nil, fmt.Errorf("%w: bad seq delta", ErrBlockCorrupt)
+		}
+		off += k
+		last += d
+		if last < 0 {
+			return nil, fmt.Errorf("%w: negative seq", ErrBlockCorrupt)
+		}
+		rows[i].seq = uint64(last)
+	}
+	if off+n > len(payload) {
+		return nil, fmt.Errorf("%w: truncated tags", ErrBlockCorrupt)
+	}
+	for i := 0; i < n; i++ {
+		rows[i].tag = payload[off+i]
+	}
+	off += n
+	for i := 0; i < n; i++ {
+		u, k := binary.Uvarint(payload[off:])
+		if k <= 0 {
+			return nil, fmt.Errorf("%w: bad user ID", ErrBlockCorrupt)
+		}
+		off += k
+		rows[i].user = u
+	}
+	if off != len(payload) {
+		return nil, fmt.Errorf("%w: %d trailing payload bytes", ErrBlockCorrupt, len(payload)-off)
+	}
+	for i := 1; i < n; i++ {
+		if rows[i].time < rows[i-1].time ||
+			(rows[i].time == rows[i-1].time && rows[i].seq <= rows[i-1].seq) {
+			return nil, fmt.Errorf("%w: rows not (time, seq)-sorted", ErrBlockCorrupt)
+		}
+	}
+	return rows, nil
+}
+
+// writeBlock encodes rows, writes them as the block file for id (synced
+// before close), and returns the file's manifest entry. Create truncates,
+// so rewriting a crashed compaction's orphan is safe and exact.
+func writeBlock(fsys wal.FS, dir string, id uint64, rows []row) (BlockMeta, error) {
+	data := appendBlock(nil, rows)
+	name := blockName(id)
+	f, err := fsys.Create(filepath.Join(dir, name))
+	if err != nil {
+		return BlockMeta{}, fmt.Errorf("store: create block %s: %w", name, err)
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return BlockMeta{}, fmt.Errorf("store: write block %s: %w", name, err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return BlockMeta{}, fmt.Errorf("store: sync block %s: %w", name, err)
+	}
+	if err := f.Close(); err != nil {
+		return BlockMeta{}, fmt.Errorf("store: close block %s: %w", name, err)
+	}
+
+	meta := BlockMeta{
+		ID: id, File: name, Records: len(rows), Bytes: int64(len(data)),
+		MinTime: rows[0].time, MaxTime: rows[len(rows)-1].time,
+		MinSeq: rows[0].seq, MaxSeq: rows[0].seq,
+		MinUser: rows[0].user, MaxUser: rows[0].user,
+	}
+	for i := range rows {
+		r := &rows[i]
+		if r.seq < meta.MinSeq {
+			meta.MinSeq = r.seq
+		}
+		if r.seq > meta.MaxSeq {
+			meta.MaxSeq = r.seq
+		}
+		if r.user < meta.MinUser {
+			meta.MinUser = r.user
+		}
+		if r.user > meta.MaxUser {
+			meta.MaxUser = r.user
+		}
+		meta.Actions |= 1 << tagAction(r.tag)
+		meta.UserTypes |= 1 << tagUser(r.tag)
+	}
+	return meta, nil
+}
+
+// readBlock loads and decodes one block file.
+func readBlock(fsys wal.FS, dir, name string) ([]row, error) {
+	f, err := fsys.Open(filepath.Join(dir, name))
+	if err != nil {
+		return nil, fmt.Errorf("store: open block %s: %w", name, err)
+	}
+	defer f.Close()
+	data, err := io.ReadAll(f)
+	if err != nil {
+		return nil, fmt.Errorf("store: read block %s: %w", name, err)
+	}
+	rows, err := decodeBlock(data)
+	if err != nil {
+		return nil, fmt.Errorf("store: block %s: %w", name, err)
+	}
+	return rows, nil
+}
+
+// tagAction and tagUser unpack the dictionary byte exactly as the live
+// engine packs it (bits 0-1 action, bit 2 user type); the byte itself
+// comes from live.TagOf, so the two tiers cannot drift.
+func tagAction(tag uint8) int { return int(tag & 0b11) }
+func tagUser(tag uint8) int   { return int(tag >> 2 & 0b1) }

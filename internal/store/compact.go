@@ -1,0 +1,185 @@
+package store
+
+import (
+	"context"
+	"fmt"
+	"path/filepath"
+	"sort"
+	"time"
+
+	"autosens/internal/live"
+	"autosens/internal/telemetry"
+	"autosens/internal/timeutil"
+	"autosens/internal/wal"
+)
+
+// CompactOnce folds every not-yet-compacted sealed WAL segment into
+// sorted block files, applies retention GC, and installs the result as
+// the new manifest. It returns how many records were stored into new
+// blocks (0 with a nil error when there was nothing to do).
+//
+// Crash safety: block files are written and synced first, the manifest
+// rename is the single commit point, and folded segments are deleted
+// only after it. A failure anywhere leaves the installed manifest — and
+// therefore the store's visible state — exactly as before; the next
+// attempt re-reads the same segments with the same NextSeq and
+// NextBlockID, so it regenerates byte-identical blocks over its own
+// orphans and can never double-count a record.
+func (s *Store) CompactOnce() (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+
+	active := ""
+	if s.cfg.Active != nil {
+		active = s.cfg.Active()
+	}
+	sealed, err := wal.SealedSegments(s.fs, s.cfg.WALDir, active)
+	if err != nil {
+		return 0, fmt.Errorf("store: list sealed segments: %w", err)
+	}
+	var pending []string
+	through := s.man.CompactedThrough
+	for _, name := range sealed {
+		if i, ok := wal.SegmentIndex(name); ok && i > s.man.CompactedThrough {
+			pending = append(pending, name)
+			if i > through {
+				through = i
+			}
+		}
+	}
+
+	// Fold the pending segments into rows, advancing the running seq for
+	// EVERY record — stored, failed, out-of-range, or unowned — exactly
+	// as the live engine's Warm consumes one sequence slot per record.
+	seq := s.man.NextSeq
+	var rows []row
+	for _, name := range pending {
+		err := wal.ReplaySegment(s.fs, s.cfg.WALDir, name, func(r telemetry.Record) error {
+			thisSeq := seq
+			seq++
+			if r.Failed ||
+				r.Action < 0 || int(r.Action) >= telemetry.NumActionTypes ||
+				r.UserType < 0 || int(r.UserType) >= telemetry.NumUserTypes {
+				return nil
+			}
+			if s.cfg.Owns != nil && !s.cfg.Owns(r.UserID) {
+				return nil
+			}
+			rows = append(rows, row{
+				time: r.Time, lat: r.LatencyMS, seq: thisSeq,
+				user: r.UserID, tag: live.TagOf(r),
+			})
+			return nil
+		})
+		if err != nil {
+			return 0, fmt.Errorf("store: fold segment %s: %w", name, err)
+		}
+	}
+	if len(pending) == 0 && s.cfg.Retention <= 0 {
+		return 0, nil
+	}
+
+	// One global (time, seq) sort per run: blocks written below are
+	// time-partitioned among themselves, and each is internally sorted,
+	// so scans merge sorted sequences only.
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].time != rows[j].time {
+			return rows[i].time < rows[j].time
+		}
+		return rows[i].seq < rows[j].seq
+	})
+
+	next := s.man
+	next.Blocks = append([]BlockMeta(nil), s.man.Blocks...)
+	next.NextSeq = seq
+	next.CompactedThrough = through
+	for len(rows) > 0 {
+		chunk := rows
+		if len(chunk) > s.cfg.BlockRecords {
+			chunk = chunk[:s.cfg.BlockRecords]
+		}
+		rows = rows[len(chunk):]
+		meta, err := writeBlock(s.fs, s.cfg.Dir, next.NextBlockID, chunk)
+		if err != nil {
+			return 0, err
+		}
+		next.Blocks = append(next.Blocks, meta)
+		next.NextBlockID++
+	}
+	stored := 0
+	for i := len(s.man.Blocks); i < len(next.Blocks); i++ {
+		stored += next.Blocks[i].Records
+	}
+
+	// Retention GC: drop whole blocks whose newest record has aged past
+	// the retention horizon, measured from the newest record in any
+	// block (not the wall clock, so an idle stream never loses its tail).
+	var dropped []BlockMeta
+	if s.cfg.Retention > 0 && len(next.Blocks) > 0 {
+		newest := next.Blocks[0].MaxTime
+		for _, b := range next.Blocks {
+			if b.MaxTime > newest {
+				newest = b.MaxTime
+			}
+		}
+		cutoff := newest - timeutil.Millis(s.cfg.Retention.Milliseconds())
+		kept := next.Blocks[:0]
+		for _, b := range next.Blocks {
+			if b.MaxTime < cutoff {
+				dropped = append(dropped, b)
+			} else {
+				kept = append(kept, b)
+			}
+		}
+		next.Blocks = kept
+	}
+	next.LastCompactionMS = time.Now().UnixMilli()
+
+	// The commit point. Failure leaves s.man (and every reader) on the
+	// old manifest; the new block files become orphans the next Open or
+	// the next successful attempt overwrites.
+	if err := installManifest(s.fs, s.cfg.Dir, &next); err != nil {
+		return 0, err
+	}
+	s.man = next
+	s.compactions.Add(1)
+
+	// Post-commit cleanup: dropped blocks and folded segments. Failures
+	// here leave stray files the next Open removes — never state errors.
+	for _, b := range dropped {
+		if err := s.fs.Remove(filepath.Join(s.cfg.Dir, b.File)); err != nil {
+			s.logf("store: remove retired block %s: %v", b.File, err)
+		}
+	}
+	for _, name := range pending {
+		if err := s.fs.Remove(filepath.Join(s.cfg.WALDir, name)); err != nil {
+			s.logf("store: remove folded segment %s: %v", name, err)
+		}
+	}
+	if len(pending) > 0 || len(dropped) > 0 {
+		s.logf("store: compacted %d segment(s) → %d record(s), dropped %d block(s), next_seq=%d",
+			len(pending), stored, len(dropped), next.NextSeq)
+	}
+	return stored, nil
+}
+
+// CompactLoop runs CompactOnce every interval until ctx is done. Errors
+// are logged and retried on the next tick — a transient filesystem
+// failure must not kill the tier.
+func (s *Store) CompactLoop(ctx context.Context, interval time.Duration) {
+	if interval <= 0 {
+		interval = time.Minute
+	}
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			if _, err := s.CompactOnce(); err != nil {
+				s.logf("store: compaction failed (will retry): %v", err)
+			}
+		}
+	}
+}

@@ -1,0 +1,229 @@
+package store
+
+import (
+	"errors"
+	"io"
+	"reflect"
+	"testing"
+
+	"autosens/internal/live"
+	"autosens/internal/timeutil"
+	"autosens/internal/wal"
+)
+
+// TestCompactCrashAtManifestInstall crashes the compactor at its commit
+// point — the manifest rename — and pins the recovery contract: the
+// visible state is exactly the pre-crash state, no WAL segment was
+// deleted, and a healed retry folds everything exactly once.
+func TestCompactCrashAtManifestInstall(t *testing.T) {
+	stream := genStream(3, 5000, 2*timeutil.MillisPerDay)
+	walDir, coldDir := t.TempDir(), t.TempDir()
+	ffs := wal.NewFaultFS(nil)
+	writeWAL(t, ffs, walDir, stream, 16<<10)
+	segsBefore, err := wal.Segments(ffs, walDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	s, err := Open(Config{Dir: coldDir, WALDir: walDir, FS: ffs, BlockRecords: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ffs.FailRename(true)
+	if _, err := s.CompactOnce(); !errors.Is(err, wal.ErrInjected) {
+		t.Fatalf("compaction through a failed manifest install: err %v", err)
+	}
+
+	// Visible state unchanged: no blocks, no frontier movement.
+	if resp := s.Blocks(); len(resp.Blocks) != 0 || resp.NextSeq != 0 || resp.CompactedThrough != -1 {
+		t.Fatalf("failed compaction leaked state: %+v", resp)
+	}
+	// On-disk manifest still absent — the rename never happened.
+	if _, ok, err := loadManifest(ffs, coldDir); err != nil || ok {
+		t.Fatalf("manifest on disk after failed install (ok=%v err=%v)", ok, err)
+	}
+	// No WAL segment was deleted: the records' only copy is still the log.
+	segsAfter, err := wal.Segments(ffs, walDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(segsBefore, segsAfter) {
+		t.Fatalf("failed compaction deleted WAL segments: %v -> %v", segsBefore, segsAfter)
+	}
+
+	// Healed retry: deterministic (same seqs, same block IDs over its own
+	// orphans), complete, and never double-counted.
+	ffs.Heal()
+	stored, err := s.CompactOnce()
+	if err != nil {
+		t.Fatal(err)
+	}
+	usable := len(refRows(stream, live.AllSlices, live.Window{}))
+	if stored != usable {
+		t.Fatalf("retry stored %d records, want %d", stored, usable)
+	}
+	s2, err := Open(Config{Dir: coldDir, WALDir: walDir, FS: ffs, BlockRecords: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireScan(t, s2, stream, live.AllSlices, live.Window{})
+
+	// The crashed attempt's orphan blocks were overwritten by the retry:
+	// the directory holds exactly the manifest plus the referenced blocks.
+	names, err := ffs.ReadDir(coldDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blkFiles := 0
+	for _, name := range names {
+		switch {
+		case isBlockFile(name):
+			blkFiles++
+		case name == manifestName:
+		default:
+			t.Fatalf("stray file after recovery: %s", name)
+		}
+	}
+	if want := len(s2.Blocks().Blocks); blkFiles != want {
+		t.Fatalf("%d block files on disk, manifest lists %d", blkFiles, want)
+	}
+}
+
+// TestCrashedCompactionRepairedAtOpen takes the other recovery path: the
+// process dies after the failed install (orphan blocks and the manifest
+// temp file litter the directory) and the NEXT incarnation's Open must
+// repair — delete the orphans — before a fresh compaction folds the
+// still-intact WAL exactly once.
+func TestCrashedCompactionRepairedAtOpen(t *testing.T) {
+	stream := genStream(17, 4000, 2*timeutil.MillisPerDay)
+	walDir, coldDir := t.TempDir(), t.TempDir()
+	ffs := wal.NewFaultFS(nil)
+	writeWAL(t, ffs, walDir, stream, 16<<10)
+
+	s, err := Open(Config{Dir: coldDir, WALDir: walDir, FS: ffs, BlockRecords: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ffs.FailRename(true)
+	if _, err := s.CompactOnce(); err == nil {
+		t.Fatal("compaction survived the injected crash")
+	}
+	orphans := 0
+	names, err := ffs.ReadDir(coldDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range names {
+		if isBlockFile(name) {
+			orphans++
+		}
+	}
+	if orphans == 0 {
+		t.Fatal("crash left no orphan blocks — the repair path is untested")
+	}
+
+	// "Process restart": heal the filesystem and re-open.
+	ffs.Heal()
+	s2, err := Open(Config{Dir: coldDir, WALDir: walDir, FS: ffs, BlockRecords: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	names, err = ffs.ReadDir(coldDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range names {
+		if isBlockFile(name) || name == manifestTmp {
+			t.Fatalf("orphan %s survived Open's repair", name)
+		}
+	}
+
+	if _, err := s2.CompactOnce(); err != nil {
+		t.Fatal(err)
+	}
+	s3, err := Open(Config{Dir: coldDir, WALDir: walDir, FS: ffs, BlockRecords: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireScan(t, s3, stream, live.AllSlices, live.Window{})
+}
+
+// TestCompactCrashMidBlockWrite fails the compaction inside a block-file
+// write (a filling disk), then heals and retries on the same store: the
+// half-written block is overwritten by the deterministic retry and the
+// tier ends exactly correct.
+func TestCompactCrashMidBlockWrite(t *testing.T) {
+	stream := genStream(29, 4000, 2*timeutil.MillisPerDay)
+	walDir, coldDir := t.TempDir(), t.TempDir()
+	ffs := wal.NewFaultFS(nil)
+	writeWAL(t, ffs, walDir, stream, 16<<10)
+
+	s, err := Open(Config{Dir: coldDir, WALDir: walDir, FS: ffs, BlockRecords: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Enough budget to finish some blocks but not the run.
+	ffs.FailWritesAfter(20<<10, nil)
+	if _, err := s.CompactOnce(); err == nil {
+		t.Fatal("compaction survived the injected write failure")
+	}
+	if resp := s.Blocks(); len(resp.Blocks) != 0 || resp.CompactedThrough != -1 {
+		t.Fatalf("failed compaction leaked state: %+v", resp)
+	}
+
+	ffs.Heal()
+	stored, err := s.CompactOnce()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if usable := len(refRows(stream, live.AllSlices, live.Window{})); stored != usable {
+		t.Fatalf("retry stored %d records, want %d", stored, usable)
+	}
+	s2, err := Open(Config{Dir: coldDir, WALDir: walDir, FS: ffs, BlockRecords: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireScan(t, s2, stream, live.AllSlices, live.Window{})
+}
+
+// TestCorruptManifestIsAnError: a torn or bit-rotted manifest must
+// surface as an error, never be silently treated as a fresh directory —
+// "fresh" would re-fold WAL segments whose records may also live in now
+// unreachable blocks.
+func TestCorruptManifestIsAnError(t *testing.T) {
+	stream := genStream(31, 1000, timeutil.MillisPerDay)
+	walDir, coldDir := t.TempDir(), t.TempDir()
+	writeWAL(t, nil, walDir, stream, 32<<10)
+	s, err := Open(Config{Dir: coldDir, WALDir: walDir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.CompactOnce(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Flip one payload byte.
+	fsys := wal.OSFS()
+	f, err := fsys.Open(coldDir + "/" + manifestName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf, err := io.ReadAll(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	buf[20] ^= 0xff
+	g, err := fsys.Create(coldDir + "/" + manifestName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.Write(buf); err != nil {
+		t.Fatal(err)
+	}
+	g.Close()
+
+	if _, err := Open(Config{Dir: coldDir, WALDir: walDir}); !errors.Is(err, ErrManifestCorrupt) {
+		t.Fatalf("corrupt manifest not surfaced: %v", err)
+	}
+}

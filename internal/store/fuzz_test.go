@@ -1,0 +1,84 @@
+package store
+
+import (
+	"encoding/binary"
+	"sort"
+	"testing"
+
+	"autosens/internal/timeutil"
+)
+
+// FuzzBlockRoundTrip drives the block codec from both ends. Arbitrary
+// bytes must never panic the decoder, and anything it accepts must
+// re-encode to an equally decodable block holding the same rows. Rows
+// derived from the fuzz input must survive an encode → decode round trip
+// bit for bit — times, latencies, seqs, users and tags.
+func FuzzBlockRoundTrip(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte("ASBK\x01"))
+	f.Add([]byte("ASBK\x01\x03garbage-chunk-header"))
+	f.Add(appendBlock(nil, []row{
+		{time: 5, lat: 120.5, seq: 0, user: 7, tag: 3},
+		{time: 5, lat: 99.25, seq: 4, user: 9, tag: 0},
+		{time: 1 << 41, lat: 0.125, seq: 1 << 50, user: 1 << 33, tag: 0xff},
+	}))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if rows, err := decodeBlock(data); err == nil {
+			re := appendBlock(nil, rows)
+			rows2, err := decodeBlock(re)
+			if err != nil {
+				t.Fatalf("re-encode of an accepted block does not decode: %v", err)
+			}
+			requireRowsEqual(t, rows, rows2)
+		}
+
+		rows := rowsFromFuzz(data)
+		enc := appendBlock(nil, rows)
+		got, err := decodeBlock(enc)
+		if err != nil {
+			t.Fatalf("round trip rejected: %v", err)
+		}
+		requireRowsEqual(t, rows, got)
+	})
+}
+
+// rowsFromFuzz shapes raw fuzz bytes into a valid row set: (time, seq)
+// sorted with no duplicate (time, seq) pair, finite latencies.
+func rowsFromFuzz(data []byte) []row {
+	var rows []row
+	for off := 0; off+20 <= len(data); off += 20 {
+		rows = append(rows, row{
+			time: timeutil.Millis(int64(binary.LittleEndian.Uint64(data[off:])) % (1 << 41)),
+			lat:  float64(int16(binary.LittleEndian.Uint16(data[off+8:]))) / 8,
+			seq:  binary.LittleEndian.Uint64(data[off+10:]) % (1 << 50),
+			user: uint64(binary.LittleEndian.Uint16(data[off+18:])),
+			tag:  data[off+19],
+		})
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].time != rows[j].time {
+			return rows[i].time < rows[j].time
+		}
+		return rows[i].seq < rows[j].seq
+	})
+	out := rows[:0]
+	for i := range rows {
+		if i > 0 && rows[i].time == out[len(out)-1].time && rows[i].seq == out[len(out)-1].seq {
+			continue
+		}
+		out = append(out, rows[i])
+	}
+	return out
+}
+
+func requireRowsEqual(t *testing.T, want, got []row) {
+	t.Helper()
+	if len(want) != len(got) {
+		t.Fatalf("%d rows decoded, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if want[i] != got[i] {
+			t.Fatalf("row %d = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+}

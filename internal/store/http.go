@@ -1,0 +1,24 @@
+package store
+
+import (
+	"encoding/json"
+	"net/http"
+
+	"autosens/internal/collector/api"
+)
+
+// BlocksHandler serves GET /v1/blocks: the installed manifest's block
+// listing with zone maps, plus the compaction frontier and the cutover
+// watermark — the operator's view of what the cold tier holds and why a
+// windowed query did or did not touch disk.
+func (s *Store) BlocksHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			api.WriteError(w, http.StatusMethodNotAllowed, api.CodeMethodNotAllowed,
+				"GET this endpoint", 0)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(s.Blocks())
+	})
+}

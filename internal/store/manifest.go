@@ -1,0 +1,161 @@
+package store
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+
+	"autosens/internal/timeutil"
+	"autosens/internal/wal"
+)
+
+// The manifest is the cold tier's single source of truth: the set of
+// installed blocks plus the compaction frontier. It is published
+// atomically — written to a temp file, synced, then renamed over the
+// live name — so at every instant exactly one complete manifest exists,
+// and a crash at any point leaves either the old state or the new one,
+// never a mix. Block files not referenced by the installed manifest are
+// garbage (a crashed compaction's partial output) and are deleted at
+// Open.
+const (
+	manifestName = "MANIFEST.asm"
+	manifestTmp  = "MANIFEST.tmp"
+)
+
+// Manifest wire form: magic "ASMF", one version byte, u32le CRC32-C of
+// the JSON payload, then the payload. The CRC catches torn or bit-rotted
+// manifests; a manifest that fails it is surfaced as an error rather
+// than silently treated as fresh, because "fresh" would re-compact WAL
+// segments whose records may also live in now-unreachable blocks.
+var manifestMagic = [4]byte{'A', 'S', 'M', 'F'}
+
+const manifestVersion = 1
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// ErrManifestCorrupt marks an unreadable manifest (bad magic, version,
+// CRC, or JSON).
+var ErrManifestCorrupt = errors.New("store: corrupt manifest")
+
+// BlockMeta is one block's manifest entry: identity, extent, and the
+// zone maps ScanWindow prunes on.
+type BlockMeta struct {
+	ID      uint64 `json:"id"`
+	File    string `json:"file"`
+	Records int    `json:"records"`
+	Bytes   int64  `json:"bytes"`
+	// Zone maps: closed min–max over the block's record time, global ack
+	// sequence number, and user ID, plus presence bitmasks over the
+	// action and user-type enums.
+	MinTime   timeutil.Millis `json:"min_time"`
+	MaxTime   timeutil.Millis `json:"max_time"`
+	MinSeq    uint64          `json:"min_seq"`
+	MaxSeq    uint64          `json:"max_seq"`
+	MinUser   uint64          `json:"min_user"`
+	MaxUser   uint64          `json:"max_user"`
+	Actions   uint32          `json:"actions_mask"`
+	UserTypes uint32          `json:"user_types_mask"`
+}
+
+// manifest is the JSON payload behind the CRC header.
+type manifest struct {
+	// NextSeq is the global ack sequence number compaction has consumed
+	// the WAL through: every record of every folded segment advanced it
+	// by exactly one, stored or not, mirroring the live engine's
+	// sequence accounting record for record.
+	NextSeq uint64 `json:"next_seq"`
+	// CompactedThrough is the highest WAL segment index folded into
+	// blocks; -1 before the first compaction. Segments at or below it
+	// are deleted (their records live in blocks) and must never be
+	// replayed into the hot store.
+	CompactedThrough int `json:"compacted_through"`
+	// NextBlockID names the next block file. Advanced only on install,
+	// so a failed compaction reuses the same IDs and overwrites its own
+	// orphans deterministically.
+	NextBlockID uint64 `json:"next_block_id"`
+	// LastCompactionMS is the wall-clock stamp of the install.
+	LastCompactionMS int64 `json:"last_compaction_ms"`
+
+	Blocks []BlockMeta `json:"blocks"`
+}
+
+// freshManifest is the state of an empty cold directory.
+func freshManifest() manifest {
+	return manifest{CompactedThrough: -1}
+}
+
+// loadManifest reads and verifies dir's manifest. A missing file returns
+// (fresh, false, nil); corruption is an error.
+func loadManifest(fsys wal.FS, dir string) (manifest, bool, error) {
+	f, err := fsys.Open(filepath.Join(dir, manifestName))
+	if err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			return freshManifest(), false, nil
+		}
+		return manifest{}, false, fmt.Errorf("store: open manifest: %w", err)
+	}
+	defer f.Close()
+	data, err := io.ReadAll(f)
+	if err != nil {
+		return manifest{}, false, fmt.Errorf("store: read manifest: %w", err)
+	}
+	hdr := len(manifestMagic) + 1 + 4
+	if len(data) < hdr || !bytes.Equal(data[:4], manifestMagic[:]) {
+		return manifest{}, false, fmt.Errorf("%w: bad magic", ErrManifestCorrupt)
+	}
+	if data[4] != manifestVersion {
+		return manifest{}, false, fmt.Errorf("%w: unsupported version %d", ErrManifestCorrupt, data[4])
+	}
+	sum := binary.LittleEndian.Uint32(data[5:9])
+	payload := data[hdr:]
+	if crc32.Checksum(payload, castagnoli) != sum {
+		return manifest{}, false, fmt.Errorf("%w: CRC mismatch", ErrManifestCorrupt)
+	}
+	var m manifest
+	if err := json.Unmarshal(payload, &m); err != nil {
+		return manifest{}, false, fmt.Errorf("%w: %v", ErrManifestCorrupt, err)
+	}
+	return m, true, nil
+}
+
+// installManifest atomically publishes m as dir's manifest: temp write,
+// sync, rename. Any failure leaves the previously installed manifest in
+// place.
+func installManifest(fsys wal.FS, dir string, m *manifest) error {
+	payload, err := json.Marshal(m)
+	if err != nil {
+		return fmt.Errorf("store: encode manifest: %w", err)
+	}
+	buf := make([]byte, 0, len(payload)+9)
+	buf = append(buf, manifestMagic[:]...)
+	buf = append(buf, manifestVersion)
+	buf = binary.LittleEndian.AppendUint32(buf, crc32.Checksum(payload, castagnoli))
+	buf = append(buf, payload...)
+
+	tmp := filepath.Join(dir, manifestTmp)
+	f, err := fsys.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("store: create manifest temp: %w", err)
+	}
+	if _, err := f.Write(buf); err != nil {
+		f.Close()
+		return fmt.Errorf("store: write manifest temp: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("store: sync manifest temp: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("store: close manifest temp: %w", err)
+	}
+	if err := fsys.Rename(tmp, filepath.Join(dir, manifestName)); err != nil {
+		return fmt.Errorf("store: install manifest: %w", err)
+	}
+	return nil
+}

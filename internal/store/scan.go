@@ -1,0 +1,114 @@
+package store
+
+import (
+	"autosens/internal/live"
+	"autosens/internal/timeutil"
+)
+
+// ScanWindow implements live.ColdTier: the cold tier's records matching
+// key inside win, as (time, seq)-sorted parallel columns.
+//
+// Only blocks entirely below the cutover are served (the tier boundary —
+// see the package comment); within those, zone maps prune blocks whose
+// time range misses the window or whose action/user-type presence masks
+// rule out the slice, without touching the file. Surviving blocks are
+// decoded, row-filtered (tag match + window containment), and k-way
+// merged: each block is internally sorted, and blocks from one
+// compaction run are time-partitioned, so the merge degenerates to
+// concatenation except across runs.
+func (s *Store) ScanWindow(key live.SliceKey, win live.Window) ([]timeutil.Millis, []float64, []uint64, error) {
+	m := s.snapshotManifest()
+
+	var cols [][]row
+	for i := range m.Blocks {
+		b := &m.Blocks[i]
+		if b.MaxSeq >= s.cutover {
+			// Compacted this incarnation: the hot store still holds these
+			// records (their seqs are past the warm base), so serving them
+			// here would double-count. They surface after the next restart.
+			continue
+		}
+		s.scanned.Add(1)
+		if !blockMayMatch(b, key, win) {
+			s.pruned.Add(1)
+			continue
+		}
+		rows, err := readBlock(s.fs, s.cfg.Dir, b.File)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		kept := rows[:0]
+		for j := range rows {
+			if key.MatchesTag(rows[j].tag) && win.Contains(rows[j].time) {
+				kept = append(kept, rows[j])
+			}
+		}
+		if len(kept) > 0 {
+			cols = append(cols, kept)
+		}
+	}
+	return mergeRowCols(cols)
+}
+
+// blockMayMatch is the zone-map test: false proves the block holds no
+// matching record, so the scan may skip the file entirely. Period cannot
+// prune (any calendar day spans every period), so only the time range
+// and the action/user-type presence masks participate.
+func blockMayMatch(b *BlockMeta, key live.SliceKey, win live.Window) bool {
+	if b.MaxTime < win.From {
+		return false
+	}
+	if win.To != 0 && b.MinTime >= win.To {
+		return false
+	}
+	if key.Action >= 0 && b.Actions&(1<<int(key.Action)) == 0 {
+		return false
+	}
+	if key.UserType >= 0 && b.UserTypes&(1<<int(key.UserType)) == 0 {
+		return false
+	}
+	return true
+}
+
+// mergeRowCols k-way merges per-block (time, seq)-sorted row slices into
+// parallel columns. Candidate counts are small, so a linear cursor scan
+// beats a heap — the same choice the live engine's shard merge makes.
+func mergeRowCols(cols [][]row) ([]timeutil.Millis, []float64, []uint64, error) {
+	n := 0
+	for _, c := range cols {
+		n += len(c)
+	}
+	if n == 0 {
+		return nil, nil, nil, nil
+	}
+	times := make([]timeutil.Millis, 0, n)
+	lats := make([]float64, 0, n)
+	seqs := make([]uint64, 0, n)
+	cur := make([]int, len(cols))
+	for {
+		best := -1
+		for i, c := range cols {
+			k := cur[i]
+			if k >= len(c) {
+				continue
+			}
+			if best < 0 {
+				best = i
+				continue
+			}
+			b, bk := cols[best], cur[best]
+			if c[k].time < b[bk].time ||
+				(c[k].time == b[bk].time && c[k].seq < b[bk].seq) {
+				best = i
+			}
+		}
+		if best < 0 {
+			return times, lats, seqs, nil
+		}
+		r := &cols[best][cur[best]]
+		times = append(times, r.time)
+		lats = append(lats, r.lat)
+		seqs = append(seqs, r.seq)
+		cur[best]++
+	}
+}

@@ -43,6 +43,8 @@ func (d *DelayFS) Truncate(name string, size int64) error { return d.Inner.Trunc
 
 func (d *DelayFS) Remove(name string) error { return d.Inner.Remove(name) }
 
+func (d *DelayFS) Rename(oldname, newname string) error { return d.Inner.Rename(oldname, newname) }
+
 // delayFile delays Sync; reads and writes pass through.
 type delayFile struct {
 	File

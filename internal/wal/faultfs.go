@@ -31,6 +31,9 @@ type FaultFS struct {
 	failSync bool
 	// failCreate makes every subsequent Create fail.
 	failCreate bool
+	// failRename makes every subsequent Rename fail — the crash point
+	// between a compacted block being written and its manifest install.
+	failRename bool
 
 	bytesWritten int64
 	syncs        int
@@ -82,6 +85,14 @@ func (f *FaultFS) FailCreate(on bool) {
 	f.failCreate = on
 }
 
+// FailRename makes Rename fail until Heal, modelling a crash between
+// writing a temp file and installing it over its destination.
+func (f *FaultFS) FailRename(on bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.failRename = on
+}
+
 // Heal disarms every fault.
 func (f *FaultFS) Heal() {
 	f.mu.Lock()
@@ -90,6 +101,7 @@ func (f *FaultFS) Heal() {
 	f.shortWrite = false
 	f.failSync = false
 	f.failCreate = false
+	f.failRename = false
 }
 
 // Stats returns total bytes written and syncs issued through this FS.
@@ -122,6 +134,16 @@ func (f *FaultFS) ReadDir(dir string) ([]string, error) { return f.Inner.ReadDir
 func (f *FaultFS) Truncate(name string, size int64) error { return f.Inner.Truncate(name, size) }
 
 func (f *FaultFS) Remove(name string) error { return f.Inner.Remove(name) }
+
+func (f *FaultFS) Rename(oldname, newname string) error {
+	f.mu.Lock()
+	fail := f.failRename
+	f.mu.Unlock()
+	if fail {
+		return ErrInjected
+	}
+	return f.Inner.Rename(oldname, newname)
+}
 
 // faultFile applies the parent FS's armed faults to one file's writes.
 type faultFile struct {

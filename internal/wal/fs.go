@@ -24,6 +24,10 @@ type FS interface {
 	Truncate(name string, size int64) error
 	// Remove deletes name.
 	Remove(name string) error
+	// Rename atomically replaces newname with oldname (POSIX rename
+	// semantics) — the install step of every write-tmp-then-rename
+	// publication the storage layer performs.
+	Rename(oldname, newname string) error
 }
 
 // File is the per-file surface: sequential reads or writes plus fsync.
@@ -66,6 +70,8 @@ func (osFS) ReadDir(dir string) ([]string, error) {
 func (osFS) Truncate(name string, size int64) error { return os.Truncate(name, size) }
 
 func (osFS) Remove(name string) error { return os.Remove(name) }
+
+func (osFS) Rename(oldname, newname string) error { return os.Rename(oldname, newname) }
 
 // join builds a path inside the WAL directory.
 func join(dir, name string) string { return filepath.Join(dir, name) }

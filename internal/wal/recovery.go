@@ -178,6 +178,17 @@ func Replay(fsys FS, dir string, fn func(telemetry.Record) error) error {
 	return nil
 }
 
+// ReplaySegment streams every record in one segment's intact frames
+// through fn, with the same torn-tail tolerance as Replay. The store
+// compactor folds sealed segments one at a time so it can checkpoint
+// per segment; everything else should use Replay.
+func ReplaySegment(fsys FS, dir, name string, fn func(telemetry.Record) error) error {
+	if fsys == nil {
+		fsys = OSFS()
+	}
+	return replaySegment(fsys, dir, name, fn)
+}
+
 // replaySegment decodes the intact frames of one segment.
 func replaySegment(fsys FS, dir, name string, fn func(telemetry.Record) error) error {
 	f, err := fsys.Open(join(dir, name))

@@ -24,6 +24,34 @@ func Segments(fsys FS, dir string) ([]string, error) {
 	return segs, nil
 }
 
+// SealedSegments lists dir's sealed WAL segment files in replay order:
+// every segment strictly older than active, which is the name of the
+// WAL's current append target (its ActiveSegment). An empty active means
+// the WAL is closed and every segment is sealed. This is the single
+// definition of "sealed" shared by cluster handoff and the store
+// compactor, so neither can ever consume the segment still being
+// appended to.
+func SealedSegments(fsys FS, dir, active string) ([]string, error) {
+	segs, err := Segments(fsys, dir)
+	if err != nil {
+		return nil, err
+	}
+	if active == "" {
+		return segs, nil
+	}
+	cut, ok := segIndex(active)
+	if !ok {
+		return segs, nil
+	}
+	sealed := segs[:0]
+	for _, name := range segs {
+		if i, ok := segIndex(name); ok && i < cut {
+			sealed = append(sealed, name)
+		}
+	}
+	return sealed, nil
+}
+
 // SegmentName returns the file name of segment i ("seg-%08d.wal").
 func SegmentName(i int) string { return segName(i) }
 

@@ -52,6 +52,12 @@ type Store interface {
 	Options() core.Options
 	SliceVersion(key live.SliceKey) uint64
 	SnapshotSlice(key live.SliceKey) (*live.SliceSnapshot, error)
+	// SnapshotSliceWindow is SnapshotSlice restricted to a half-open time
+	// window; a zero window must behave exactly like SnapshotSlice. With
+	// Config.Window set, the watcher's ticks read through this so its
+	// detectors judge a bounded trailing window against the store's
+	// hot/cold cutover logic instead of full history.
+	SnapshotSliceWindow(key live.SliceKey, win live.Window) (*live.SliceSnapshot, error)
 }
 
 // Config parameterizes a Watcher.
@@ -64,6 +70,12 @@ type Config struct {
 	Slices []live.SliceKey
 	// Interval is the Run loop's tick period (default 30s).
 	Interval time.Duration
+	// Window, when positive, bounds each tick's snapshot to a trailing
+	// window of this length anchored on data time: the window ends
+	// unbounded above (so records arriving "now" are never clipped) and
+	// starts Window before the newest record time the previous tick saw.
+	// Zero keeps the historical behavior of judging full history.
+	Window time.Duration
 	// Drift tunes the NLP drift detector; zero fields take defaults.
 	Drift DriftConfig
 	// Incident tunes the correlated-incident detector; zero fields take
@@ -99,6 +111,12 @@ type sliceState struct {
 	conds       []condition
 	series      *core.RollingSeries // last drift series, for the report
 	records     int
+	// lastMax is the newest record time the last snapshot held — the
+	// trailing-window anchor when Config.Window is set. Anchoring on data
+	// time keeps replayed histories deterministic (the package's
+	// determinism rule), at the cost of one tick of lag in where the
+	// window starts.
+	lastMax timeutil.Millis
 }
 
 // Watcher periodically re-evaluates slices and maintains alerts.
@@ -220,7 +238,14 @@ func (w *Watcher) Tick() TickResult {
 			conds = append(conds, ss.conds...)
 			continue
 		}
-		snap, err := w.cfg.Engine.SnapshotSlice(ss.key)
+		var win live.Window
+		if w.cfg.Window > 0 && ss.lastMax > 0 {
+			from := ss.lastMax - timeutil.Millis(w.cfg.Window.Milliseconds())
+			if from > 0 {
+				win.From = from // To stays 0: unbounded above
+			}
+		}
+		snap, err := w.cfg.Engine.SnapshotSliceWindow(ss.key, win)
 		if err != nil {
 			// Empty slice: nothing to judge. The version poll above still
 			// notices the first matching append.
@@ -242,6 +267,9 @@ func (w *Watcher) Tick() TickResult {
 		ss.conds = cs
 		ss.records = len(snap.Times)
 		ss.valid, ss.lastVersion = true, snap.Version
+		if n := len(snap.Times); n > 0 && snap.Times[n-1] > ss.lastMax {
+			ss.lastMax = snap.Times[n-1]
+		}
 		conds = append(conds, cs...)
 	}
 	res.Conditions = len(conds)
