@@ -29,6 +29,7 @@ type soakConfig struct {
 	senders      int
 	batch        int
 	queryWorkers int
+	window       time.Duration // trailing-window query span mixed into the load (0 = none)
 	format       telemetry.Format
 	seed         uint64
 	out          string
@@ -79,6 +80,14 @@ type soakReport struct {
 		NotFound uint64 `json:"not_found"`
 		Failed   uint64 `json:"failed"`
 		pctMS
+		// Windowed tallies the trailing-window half of the query mix (the
+		// tiered hot+cold serving path) separately, so its tail is visible
+		// next to the unwindowed cache-hot one.
+		Windowed struct {
+			SpanSec float64 `json:"span_sec"`
+			OK      uint64  `json:"ok"`
+			pctMS
+		} `json:"windowed"`
 	} `json:"query"`
 	Shed struct {
 		Throttled429    uint64  `json:"throttled_429"`
@@ -114,7 +123,16 @@ func runSoak(cfg soakConfig) error {
 		clients[i] = c
 	}
 
-	queries := startQueryPool(cfg.url, cfg.queryWorkers)
+	// Windowed queries anchor at the end of the simulated horizon (record
+	// times live near the epoch, so a wall-clock "now" window would be
+	// empty) and trail cfg.window back from it — crossing the hot/cold
+	// cutover once the compactor has folded segments.
+	windowQuery := ""
+	if cfg.window > 0 {
+		windowQuery = fmt.Sprintf("window=%s&at=%s",
+			cfg.window, time.UnixMilli(int64(soakHorizon)).UTC().Format(time.RFC3339))
+	}
+	queries := startQueryPool(cfg.url, cfg.queryWorkers, windowQuery)
 
 	type senderResult struct {
 		records, batches, sendErrs uint64
@@ -208,6 +226,10 @@ func runSoak(cfg soakConfig) error {
 	rep.Query.NotFound = notFound
 	rep.Query.Failed = failed
 	rep.Query.pctMS = percentilesMS(queryLats)
+	wok, wLats := queries.windowedSnapshot()
+	rep.Query.Windowed.SpanSec = cfg.window.Seconds()
+	rep.Query.Windowed.OK = wok
+	rep.Query.Windowed.pctMS = percentilesMS(wLats)
 
 	out, err := json.MarshalIndent(&rep, "", "  ")
 	if err != nil {
@@ -219,10 +241,12 @@ func runSoak(cfg soakConfig) error {
 	}
 	fmt.Fprintf(os.Stderr,
 		"loadgen: soak: %d records in %v (%.0f rec/s), ingest p50=%.2fms p99=%.2fms; "+
-			"queries %d ok p50=%.2fms p99=%.2fms; shed %d/%d posts (%.4f), %d exhausted → %s\n",
+			"queries %d ok p50=%.2fms p99=%.2fms (windowed %d ok p50=%.2fms p99=%.2fms); "+
+			"shed %d/%d posts (%.4f), %d exhausted → %s\n",
 		rep.Ingest.Records, elapsed.Round(time.Millisecond), rep.Ingest.RecordsPerSec,
 		rep.Ingest.P50, rep.Ingest.P99,
 		rep.Query.OK, rep.Query.P50, rep.Query.P99,
+		rep.Query.Windowed.OK, rep.Query.Windowed.P50, rep.Query.Windowed.P99,
 		rep.Shed.Throttled429, rep.Shed.Posts, rep.Shed.ShedRate, rep.Shed.RetryExhausted, cfg.out)
 	return nil
 }

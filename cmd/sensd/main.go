@@ -101,6 +101,8 @@ func run() error {
 		"cold-tier time retention: blocks whose newest record trails the newest cold record by more than this are dropped at compaction (0 keeps everything)")
 	compactInterval := flag.Duration("compact-interval", time.Minute,
 		"cold-tier background compaction period")
+	coldCacheBytes := flag.Int64("cold-cache-bytes", 256<<20,
+		"decoded-block cache budget for cold windowed scans (0 disables; repeated trailing-window queries stop touching disk)")
 	watchOn := flag.Bool("watch", false,
 		"run the sensitivity-ops watcher over the live store and serve GET /v1/alerts and /v1/report (requires -live)")
 	watchInterval := flag.Duration("watch-interval", 30*time.Second, "watcher tick period")
@@ -241,19 +243,22 @@ func run() error {
 				owns = ring.Owns(selfIdx)
 			}
 			cold, err = store.Open(store.Config{
-				Dir:       *coldDir,
-				WALDir:    *walDir,
-				Retention: *retention,
-				Active:    theWAL.ActiveSegment,
-				Owns:      owns,
-				Logger:    slog.NewLogLogger(log.Handler(), slog.LevelInfo),
+				Dir:        *coldDir,
+				WALDir:     *walDir,
+				Retention:  *retention,
+				Active:     theWAL.ActiveSegment,
+				Owns:       owns,
+				CacheBytes: *coldCacheBytes,
+				Registry:   reg,
+				Logger:     slog.NewLogLogger(log.Handler(), slog.LevelInfo),
 			})
 			if err != nil {
 				return err
 			}
 			engine.SetBaseSeq(cold.Cutover())
 			log.Info("cold tier opened", "dir", *coldDir,
-				"cutover_seq", cold.Cutover(), "retention", *retention)
+				"cutover_seq", cold.Cutover(), "retention", *retention,
+				"cache_bytes", *coldCacheBytes)
 		}
 		if *walDir != "" {
 			// The WAL is open but nothing appends until the server starts,

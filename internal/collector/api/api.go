@@ -321,8 +321,29 @@ type BlocksResponse struct {
 	CompactedThrough int    `json:"compacted_through"`
 	// CutoverSeq is the hot/cold watermark this process serves at: cold
 	// reads include only blocks entirely below it.
-	CutoverSeq uint64      `json:"cutover_seq"`
-	Blocks     []BlockInfo `json:"blocks"`
+	CutoverSeq uint64 `json:"cutover_seq"`
+	// ScannedBlocks / PrunedBlocks / CacheHits / CacheMisses are the scan
+	// counters (also in /v1/status), listed here so a prune-rate or
+	// cache-rate regression is visible next to the zone maps causing it.
+	ScannedBlocks uint64      `json:"scanned_blocks_total"`
+	PrunedBlocks  uint64      `json:"pruned_blocks_total"`
+	CacheHits     uint64      `json:"cache_hits_total"`
+	CacheMisses   uint64      `json:"cache_misses_total"`
+	Blocks        []BlockInfo `json:"blocks"`
+}
+
+// CacheStats snapshots the decoded-block cache for /v1/status; a nil
+// pointer in StorageStats means the cache is disabled.
+type CacheStats struct {
+	// Bytes / MaxBytes are the decoded footprint and its configured bound;
+	// Entries the number of blocks held.
+	Bytes    int64 `json:"bytes"`
+	MaxBytes int64 `json:"max_bytes"`
+	Entries  int   `json:"entries"`
+	// Hits / Misses / Evictions are cumulative since process start.
+	Hits      uint64 `json:"hits_total"`
+	Misses    uint64 `json:"misses_total"`
+	Evictions uint64 `json:"evictions_total"`
 }
 
 // StorageStats is the tiered store's operational snapshot, embedded in
@@ -350,6 +371,13 @@ type StorageStats struct {
 	// candidate blocks considered and the subset skipped without a read.
 	ScannedBlocks uint64 `json:"scanned_blocks_total"`
 	PrunedBlocks  uint64 `json:"pruned_blocks_total"`
+	// CorruptBlocks counts block reads a scan skipped because the file
+	// failed validation; Quarantined names those files so an operator can
+	// move them aside and re-fold the window from the WAL or a peer.
+	CorruptBlocks uint64   `json:"corrupt_blocks_total,omitempty"`
+	Quarantined   []string `json:"quarantined,omitempty"`
+	// Cache is the decoded-block cache snapshot (nil when disabled).
+	Cache *CacheStats `json:"cache,omitempty"`
 }
 
 // RecoveryReport mirrors the WAL's startup scan for GET /v1/status: what

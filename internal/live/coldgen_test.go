@@ -1,0 +1,167 @@
+package live
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"autosens/internal/telemetry"
+	"autosens/internal/timeutil"
+)
+
+// fakeCold is an in-memory ColdTier whose visible data and generation the
+// test mutates directly, pinning the engine-side contract without a real
+// store: windowed state seeded from a scan stays valid while the
+// generation holds, and is rebuilt from a fresh scan when it advances.
+type fakeCold struct {
+	times []timeutil.Millis
+	lats  []float64
+	seqs  []uint64
+	gen   atomic.Uint64
+	scans atomic.Int64
+}
+
+func (f *fakeCold) ScanWindow(key SliceKey, win Window) ([]timeutil.Millis, []float64, []uint64, error) {
+	f.scans.Add(1)
+	var ts []timeutil.Millis
+	var ls []float64
+	var sq []uint64
+	for i, t := range f.times {
+		if win.IsZero() || win.Contains(t) {
+			ts = append(ts, t)
+			ls = append(ls, f.lats[i])
+			sq = append(sq, f.seqs[i])
+		}
+	}
+	return ts, ls, sq, nil
+}
+
+func (f *fakeCold) OldestRetained() (timeutil.Millis, bool) {
+	if len(f.times) == 0 {
+		return 0, false
+	}
+	return f.times[0], true
+}
+
+func (f *fakeCold) Generation() uint64 { return f.gen.Load() }
+
+// TestWindowStateReseedsOnGeneration drives the incremental windowed
+// query through a fake tier: the cold scan is paid exactly once per
+// (combo, window) while the generation holds — hot appends fold as
+// deltas without touching the tier — and a generation bump forces the
+// next recompute to discard the seeded columns and rescan.
+func TestWindowStateReseedsOnGeneration(t *testing.T) {
+	horizon := 2 * timeutil.MillisPerDay
+	e := newTestEngine(t)
+
+	// Cold half: 1200 records over [0, horizon/2), seqs 0..1199.
+	nCold := 1200
+	cold := &fakeCold{}
+	cold.gen.Store(1)
+	for i := 0; i < nCold; i++ {
+		cold.times = append(cold.times, timeutil.Millis(i)*horizon/2/timeutil.Millis(nCold))
+		cold.lats = append(cold.lats, 100+float64(i%700))
+		cold.seqs = append(cold.seqs, uint64(i))
+	}
+	e.SetBaseSeq(uint64(nCold))
+	e.AttachCold(cold)
+
+	// Hot half: records over [horizon/2, horizon), seqs from nCold.
+	hot := genStream(61, 800, horizon/2)
+	for i := range hot {
+		hot[i].Time += horizon / 2
+	}
+	e.Append(hot)
+	hotUsable := 0
+	for _, r := range hot {
+		if !r.Failed {
+			hotUsable++
+		}
+	}
+
+	// Window spanning both tiers: cold rows in [horizon/4, horizon/2) plus
+	// every hot row.
+	win := Window{From: horizon / 4}
+	coldInWin := 0
+	for _, ct := range cold.times {
+		if win.Contains(ct) {
+			coldInWin++
+		}
+	}
+	res, err := e.QueryWindow(AllSlices, ModePlain, false, win)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := coldInWin + hotUsable; res.Records != want {
+		t.Fatalf("first query: %d records, want %d cold + %d hot = %d",
+			res.Records, coldInWin, hotUsable, want)
+	}
+	if n := cold.scans.Load(); n != 1 {
+		t.Fatalf("first query scanned the tier %d times, want 1", n)
+	}
+
+	// Repeat: engine result cache, no recompute, no scan.
+	if res, err = e.QueryWindow(AllSlices, ModePlain, false, win); err != nil || !res.Cached {
+		t.Fatalf("repeat query not served from cache (err=%v)", err)
+	}
+
+	// Hot append dirties the combo; the recompute folds only the delta —
+	// the tier must not be rescanned while its generation holds.
+	r := hot[0]
+	r.Time = horizon - 1
+	r.Failed = false
+	e.Append([]telemetry.Record{r})
+	res, err = e.QueryWindow(AllSlices, ModePlain, false, win)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cached {
+		t.Fatal("post-append query served stale cache")
+	}
+	if want := coldInWin + hotUsable + 1; res.Records != want {
+		t.Fatalf("dirty query: %d records, want %d", res.Records, want)
+	}
+	if n := cold.scans.Load(); n != 1 {
+		t.Fatalf("dirty query rescanned the tier (%d scans), want delta-only", n)
+	}
+
+	// Retention-style change: the tier drops its older half and advances
+	// the generation. The next dirty recompute must reseed from a fresh
+	// scan and report the shrunk cold count.
+	keep := 0
+	for i, ct := range cold.times {
+		if ct >= horizon/3 {
+			if keep == 0 {
+				keep = len(cold.times) - i
+				cold.times = cold.times[i:]
+				cold.lats = cold.lats[i:]
+				cold.seqs = cold.seqs[i:]
+			}
+			break
+		}
+	}
+	if keep == 0 || keep == nCold {
+		t.Fatalf("degenerate drop: kept %d of %d", keep, nCold)
+	}
+	cold.gen.Add(1)
+	r.Time = horizon - 2
+	e.Append([]telemetry.Record{r})
+	res, err = e.QueryWindow(AllSlices, ModePlain, false, win)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coldInWin2 := 0
+	for _, ct := range cold.times {
+		if win.Contains(ct) {
+			coldInWin2++
+		}
+	}
+	if coldInWin2 >= coldInWin {
+		t.Fatalf("drop did not shrink the windowed cold set: %d -> %d", coldInWin, coldInWin2)
+	}
+	if want := coldInWin2 + hotUsable + 2; res.Records != want {
+		t.Fatalf("post-GC query: %d records, want %d (reseed not applied)", res.Records, want)
+	}
+	if n := cold.scans.Load(); n != 2 {
+		t.Fatalf("post-GC query scanned the tier %d times, want exactly 2 (one reseed)", n)
+	}
+}

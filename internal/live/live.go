@@ -108,6 +108,12 @@ type Engine struct {
 	smu    sync.Mutex
 	states map[int]*comboState
 
+	// wstates are the windowed delta-maintained estimation states, keyed
+	// by (combo, window) and coarsely capped like wcache (see
+	// windowStateFor).
+	wsmu    sync.Mutex
+	wstates map[winStateKey]*windowState
+
 	skipped atomic.Uint64 // failed/out-of-range records not stored
 
 	// Query counters, kept on the engine (not only in optional metrics) so

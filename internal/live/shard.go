@@ -324,6 +324,20 @@ func (d *deltaCols) reset() {
 	d.times, d.lats, d.seqs = d.times[:0], d.lats[:0], d.seqs[:0]
 }
 
+// filterWindow drops, in place, every record outside win. Windowed
+// recomputes apply it to a shard's decoded suffix before merging, so the
+// delta folded into a window's state is exactly the window's share.
+func (d *deltaCols) filterWindow(win Window) {
+	k := 0
+	for i, t := range d.times {
+		if win.Contains(t) {
+			d.times[k], d.lats[k], d.seqs[k] = t, d.lats[i], d.seqs[i]
+			k++
+		}
+	}
+	d.times, d.lats, d.seqs = d.times[:k], d.lats[:k], d.seqs[:k]
+}
+
 func (d *deltaCols) Len() int { return len(d.times) }
 func (d *deltaCols) Less(i, j int) bool {
 	if d.times[i] != d.times[j] {

@@ -46,6 +46,12 @@ type ColdTier interface {
 	// OldestRetained returns the oldest record time the tier still holds,
 	// and false when it holds nothing.
 	OldestRetained() (timeutil.Millis, bool)
+	// Generation is an epoch for the tier's visible data: while it holds
+	// steady, two ScanWindow calls over the same key and window return the
+	// same rows, so state derived from a scan (a windowed query's folded
+	// cold columns) stays valid. It advances when the visible set changes
+	// — in the store's case, only when retention GC drops served blocks.
+	Generation() uint64
 }
 
 // AttachCold installs the cold tier. Call once at startup, after warming
@@ -160,59 +166,148 @@ func (e *Engine) queryWindowCached(cc *comboCache, combo int, key SliceKey, mode
 	return res, nil
 }
 
-// recomputeWindow gathers the window's merged hot+cold columns and
-// finishes the curve. Windowed recomputes re-estimate over the gathered
-// columns (no delta-maintained state: the window boundary moves, so
-// there is no stable prefix to maintain against); the entry points are
-// the same core column estimators the batch CLI uses.
+// winStateKey identifies one windowed combo's delta-maintained state:
+// the combo plus the exact window bounds (distinct windows hold distinct
+// column subsets, so they can never share folded state).
+type winStateKey struct {
+	combo int
+	win   Window
+}
+
+// maxWindowStates bounds the windowed estimation states. Window bounds
+// are caller-chosen, and each state retains its window's folded columns,
+// so unlike the per-combo map this one is memory-heavy per entry.
+// Eviction is the same coarse full reset the windowed result cache uses:
+// steady repeated windows (the watcher, a pinned dashboard) re-enter the
+// fresh map immediately, and one-shot windows stop costing anything.
+const maxWindowStates = 128
+
+// windowState is one (combo, window)'s delta-maintained estimation
+// state: the shared comboState machinery folding only records inside the
+// window, seeded once from the cold tier. coldGen remembers the tier
+// generation the seed reflects — if retention GC advances it, the next
+// recompute reseeds from a fresh scan instead of trusting stale columns.
+type windowState struct {
+	comboState
+	coldGen    uint64
+	coldSeeded bool
+}
+
+// windowStateFor returns (creating if needed) the delta-maintained
+// estimation state for one (combo, window).
+func (e *Engine) windowStateFor(combo int, win Window) *windowState {
+	e.wsmu.Lock()
+	defer e.wsmu.Unlock()
+	if e.wstates == nil {
+		e.wstates = make(map[winStateKey]*windowState)
+	}
+	k := winStateKey{combo: combo, win: win}
+	ws, ok := e.wstates[k]
+	if !ok {
+		if len(e.wstates) >= maxWindowStates {
+			e.wstates = make(map[winStateKey]*windowState)
+		}
+		ws = &windowState{comboState: comboState{
+			inc:   e.est.NewIncremental(),
+			cps:   make([]checkpoint, len(e.shards)),
+			sh:    make([]deltaCols, len(e.shards)),
+			snaps: make([][]blockSnap, len(e.shards)),
+			cur:   make([]int, len(e.shards)),
+			// Windowed CI is always the exact bootstrap: the sketch is
+			// maintained against full-history folds, and a gate pinned to 2
+			// makes estimateCI never consult it (no Sketch is attached).
+			sketchGate: 2,
+		}}
+		e.wstates[k] = ws
+	}
+	return ws
+}
+
+// recomputeWindow folds what changed since this (combo, window) was last
+// estimated and re-finishes the curve. The cold portion is paid once:
+// the first recompute seeds the state with the cold tier's windowed scan
+// (a block-cache hit when the watcher or a pinned dashboard asks
+// repeatedly), and every later recompute folds only the hot records
+// appended since the last one, clipped to the window — O(delta), not
+// O(window). The folded columns are identical to windowColumns' gather
+// (same rows, same (time, seq) order), so the finished curve remains
+// byte-identical to the batch estimator over the window's records.
 func (e *Engine) recomputeWindow(key SliceKey, mode Mode, ci bool, win Window) (res *Result, err error) {
-	var times []timeutil.Millis
-	var lats []float64
+	start := time.Now()
+	ws := e.windowStateFor(key.combo(), win)
+	ws.mu.Lock()
+	defer ws.mu.Unlock()
+	var dirty, folded int
 	pprof.Do(context.Background(), pprof.Labels(
 		"live", "window_recompute", "slice", key.String(), "mode", mode.String(),
 	), func(context.Context) {
-		times, lats, _, err = e.windowColumns(key, win)
+		dirty, folded, err = e.foldDeltaWindow(ws, key, win)
+		if err == nil {
+			res, err = e.finish(&ws.comboState, key, mode, ci)
+		}
 	})
+	e.nDirty.Add(1)
+	e.nDeltaRecords.Add(uint64(folded))
+	if e.m != nil {
+		e.m.dirtyCombos.Inc()
+		e.m.deltaRecords.Add(uint64(folded))
+		e.m.dirtyShards.Observe(float64(dirty))
+		e.m.recomputeDur.ObserveSince(start)
+	}
 	if err != nil {
 		return nil, err
 	}
-	if len(times) == 0 {
-		return nil, ErrNoRecords
-	}
-	res = &Result{Slice: key.String(), Mode: mode.String(), Records: len(times)}
-	switch {
-	case ci:
-		opts := e.cfg.CI
-		opts.TimeNormalized = mode == ModeNormalized
-		band, err := e.est.EstimateCIColumns(times, lats, opts)
-		if err != nil {
-			return nil, err
-		}
-		if res.Curve, err = band.Curve.MarshalJSON(); err != nil {
-			return nil, err
-		}
-		if res.CI, err = band.MarshalBoundsJSON(); err != nil {
-			return nil, err
-		}
-	case mode == ModeNormalized:
-		curve, err := e.est.EstimateTimeNormalizedColumns(times, lats)
-		if err != nil {
-			return nil, err
-		}
-		if res.Curve, err = curve.MarshalJSON(); err != nil {
-			return nil, err
-		}
-	default:
-		curve, err := e.est.EstimateColumns(times, lats, nil)
-		if err != nil {
-			return nil, err
-		}
-		if res.Curve, err = curve.MarshalJSON(); err != nil {
-			return nil, err
-		}
-	}
 	res.Epoch = e.epoch.Add(1)
 	return res, nil
+}
+
+// foldDeltaWindow brings ws up to date with the store: (re)seed the cold
+// columns when the tier's generation moved, then fold the window's share
+// of each shard's hot suffix. The generation is read BEFORE the scan, so
+// a concurrent retention GC can only make the recorded generation
+// understate — the next recompute notices and reseeds.
+func (e *Engine) foldDeltaWindow(ws *windowState, key SliceKey, win Window) (dirty, folded int, err error) {
+	if e.cold != nil {
+		gen := e.cold.Generation()
+		if !ws.coldSeeded || ws.coldGen != gen {
+			ws.inc = e.est.NewIncremental()
+			for i := range ws.cps {
+				ws.cps[i] = checkpoint{}
+			}
+			ct, cl, cs, err := e.cold.ScanWindow(key, win)
+			if err != nil {
+				return 0, 0, err
+			}
+			if len(ct) > 0 {
+				if err := ws.inc.Fold(ct, cl, cs); err != nil {
+					return 0, 0, err
+				}
+			}
+			ws.coldGen, ws.coldSeeded = gen, true
+		}
+	}
+	core.ForEachIndex(e.cfg.Workers, len(e.shards), func(i int) {
+		ws.sh[i].reset()
+		if e.shards[i].deltaSince(&ws.cps[i], key, &ws.sh[i], &ws.snaps[i]) > 0 {
+			// Keep only the window's records, then sort the survivors by
+			// (time, seq) so the merge yields the stable by-time order.
+			ws.sh[i].filterWindow(win)
+			if ws.sh[i].Len() > 1 {
+				sort.Sort(&ws.sh[i])
+			}
+		}
+	})
+	for i := range ws.sh {
+		if n := ws.sh[i].Len(); n > 0 {
+			dirty++
+			folded += n
+		}
+	}
+	if folded == 0 {
+		return 0, 0, nil
+	}
+	mergeDeltas(ws.sh, ws.cur, &ws.all)
+	return dirty, folded, ws.inc.Fold(ws.all.times, ws.all.lats, ws.all.seqs)
 }
 
 // windowBounds locates win's half-open index range inside a time-sorted

@@ -15,12 +15,13 @@ const benchHorizon = 8 * timeutil.MillisPerDay
 
 // benchTier builds a fully compacted, reopened cold tier (blocks visible
 // below the cutover) over n records and returns it with its stream.
-func benchTier(b *testing.B, n, blockRecords int) (*Store, []telemetry.Record) {
+// cacheBytes configures the decoded-block cache (0 disables).
+func benchTier(b *testing.B, n, blockRecords int, cacheBytes int64) (*Store, []telemetry.Record) {
 	b.Helper()
 	stream := genStream(1, n, benchHorizon)
 	walDir, coldDir := b.TempDir(), b.TempDir()
 	writeWAL(b, nil, walDir, stream, 1<<20)
-	cfg := Config{Dir: coldDir, WALDir: walDir, BlockRecords: blockRecords}
+	cfg := Config{Dir: coldDir, WALDir: walDir, BlockRecords: blockRecords, CacheBytes: cacheBytes}
 	s1, err := Open(cfg)
 	if err != nil {
 		b.Fatal(err)
@@ -78,7 +79,7 @@ func BenchmarkStoreCompact(b *testing.B) {
 // unwindowed scan of every block, decoded and k-way merged, in cold-tier
 // bytes per second.
 func BenchmarkStoreColdScan(b *testing.B) {
-	s, _ := benchTier(b, 200000, DefaultBlockRecords)
+	s, _ := benchTier(b, 200000, DefaultBlockRecords, 0)
 	b.SetBytes(s.Stats().ColdBytes)
 	b.ReportAllocs()
 	b.ResetTimer()
@@ -94,7 +95,7 @@ func BenchmarkStoreColdScan(b *testing.B) {
 // The achieved prune rate is reported as prune-% and gated ≥ 50 by
 // make bench-store.
 func BenchmarkStoreColdScanWindowed(b *testing.B) {
-	s, _ := benchTier(b, 200000, 4096)
+	s, _ := benchTier(b, 200000, 4096, 0)
 	win := live.Window{From: benchHorizon - benchHorizon/8}
 	if _, _, _, err := s.ScanWindow(live.AllSlices, win); err != nil {
 		b.Fatal(err)
@@ -115,12 +116,69 @@ func BenchmarkStoreColdScanWindowed(b *testing.B) {
 	}
 }
 
+// BenchmarkStoreColdScanWindowedCached is the watcher's steady state: the
+// same trailing window scanned over and over with the decoded-block cache
+// on. After the first iteration every fully-covered block is served from
+// memory — the per-op cost is the clip + merge, not decode.
+func BenchmarkStoreColdScanWindowedCached(b *testing.B) {
+	s, _ := benchTier(b, 200000, 4096, 256<<20)
+	win := live.Window{From: benchHorizon - benchHorizon/8}
+	if _, _, _, err := s.ScanWindow(live.AllSlices, win); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, _, err := s.ScanWindow(live.AllSlices, win); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if st := s.Stats(); st.Cache == nil || st.Cache.Hits == 0 {
+		b.Fatal("cached scan bench never hit the cache")
+	}
+}
+
+// BenchmarkStoreMergeCols exercises mergeScanCols' shapes: a single part
+// (passthrough), two interleaved parts (two-cursor merge), and eight
+// interleaved parts (the general linear-cursor merge).
+func BenchmarkStoreMergeCols(b *testing.B) {
+	const rowsPerPart = 16384
+	build := func(nParts int) []part {
+		parts := make([]part, nParts)
+		for p := range parts {
+			parts[p].times = make([]timeutil.Millis, rowsPerPart)
+			parts[p].lats = make([]float64, rowsPerPart)
+			parts[p].seqs = make([]uint64, rowsPerPart)
+			for i := 0; i < rowsPerPart; i++ {
+				// Strided times interleave every part with every other one.
+				parts[p].times[i] = timeutil.Millis(i*nParts + p)
+				parts[p].lats[i] = float64(i)
+				parts[p].seqs[i] = uint64(i*nParts + p)
+			}
+		}
+		return parts
+	}
+	for _, n := range []int{1, 2, 8} {
+		parts := build(n)
+		b.Run(map[int]string{1: "parts=1", 2: "parts=2", 8: "parts=8"}[n], func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				times, _, _ := mergeScanCols(parts)
+				if len(times) != n*rowsPerPart {
+					b.Fatal("merge lost rows")
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkStoreQueryWindowDirty is the tentpole serving path under
 // ingest: every iteration appends one hot record (dirtying the slice)
 // and asks for a trailing-window curve, so each query pays the windowed
 // recompute — hot view clip + cold scan + merge + estimate.
 func BenchmarkStoreQueryWindowDirty(b *testing.B) {
-	s, stream := benchTier(b, 100000, DefaultBlockRecords)
+	s, stream := benchTier(b, 100000, DefaultBlockRecords, 256<<20)
 	e, err := live.New(live.Config{Options: testOptions()})
 	if err != nil {
 		b.Fatal(err)
@@ -129,13 +187,19 @@ func BenchmarkStoreQueryWindowDirty(b *testing.B) {
 	e.AttachCold(s)
 	win := live.Window{From: benchHorizon / 2}
 	// A failed record is skipped without dirtying any slice, which would
-	// turn every query below into a cache hit — append a usable one.
+	// turn every query below into a cache hit — and a record outside the
+	// window would dirty the slice without growing the windowed fold.
+	// Append a usable in-window record so each iteration pays the honest
+	// delta: clip + fold + finish.
 	one := stream[:1]
 	for i := range stream {
-		if !stream[i].Failed {
+		if !stream[i].Failed && win.Contains(stream[i].Time) {
 			one = stream[i : i+1]
 			break
 		}
+	}
+	if !win.Contains(one[0].Time) {
+		b.Fatal("no usable in-window record in the bench stream")
 	}
 	b.ReportAllocs()
 	b.ResetTimer()
@@ -143,6 +207,34 @@ func BenchmarkStoreQueryWindowDirty(b *testing.B) {
 		e.Append(one)
 		if _, err := e.QueryWindow(live.AllSlices, live.ModePlain, false, win); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkStoreQueryWindowRepeat is the cache-hot half of the serving
+// story: the same trailing window asked again with nothing appended in
+// between is a version-checked result-cache hit — no recompute, no scan.
+func BenchmarkStoreQueryWindowRepeat(b *testing.B) {
+	s, _ := benchTier(b, 100000, DefaultBlockRecords, 256<<20)
+	e, err := live.New(live.Config{Options: testOptions()})
+	if err != nil {
+		b.Fatal(err)
+	}
+	e.SetBaseSeq(s.Cutover())
+	e.AttachCold(s)
+	win := live.Window{From: benchHorizon / 2}
+	if _, err := e.QueryWindow(live.AllSlices, live.ModePlain, false, win); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := e.QueryWindow(live.AllSlices, live.ModePlain, false, win)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.Cached {
+			b.Fatal("repeat query missed the result cache")
 		}
 	}
 }

@@ -10,6 +10,7 @@ import (
 	"math"
 	"path/filepath"
 
+	"autosens/internal/live"
 	"autosens/internal/timeutil"
 	"autosens/internal/wal"
 )
@@ -20,21 +21,37 @@ import (
 //	uvarint record count n
 //	uvarint payload length
 //	u32le   CRC32-C of the payload
-//	payload:
+//	payload (version 2):
+//	  varint  min record time in the chunk
+//	  uvarint time span (max time − min time)
 //	  n × zigzag-varint time deltas   (running; restarts at 0 per chunk)
 //	  n × f64le latencies
+//	  n × tag bytes                   (the live engine's dictionary byte)
 //	  n × zigzag-varint seq deltas    (restarts at 0 per chunk; seqs are
 //	      not monotone in time order, so the deltas are signed)
-//	  n × tag bytes                   (the live engine's dictionary byte)
 //	  n × uvarint user IDs
 //
-// Rows within a block are sorted by (time, seq). Chunks restart their
-// delta chains so a scan could skip chunks independently; today the
-// scanner prunes at block granularity via zone maps and decodes whole
-// blocks, which keeps the reader trivial.
+// Version-1 payloads carry no min/max prefix and order the columns
+// times, lats, seqs, tags, users; readers fall back to decoding every
+// chunk of such blocks.
+//
+// Rows within a block are sorted by (time, seq) and chunks restart their
+// delta chains, so the version-2 min/max prefix lets a windowed scan
+// skip whole chunks without reading their payloads: chunk time ranges
+// ascend, so the scan skips leading chunks below the window and stops at
+// the first chunk at or past its upper bound. The column order is chosen
+// for selective decoding — tags can be skipped in one jump when the
+// slice matches everything, and user IDs (which no scan needs) come last
+// so the scan path never touches them. The min/max prefix lives inside
+// the CRC-covered payload: a decoded chunk verifies it against the
+// actual times, while a skipped chunk trusts it exactly as scans already
+// trust the manifest zone maps.
 var blockMagic = [4]byte{'A', 'S', 'B', 'K'}
 
-const blockVersion = 1
+const (
+	blockVersion1 = 1
+	blockVersion2 = 2
+)
 
 // chunkRecs is the row capacity of one chunk.
 const chunkRecs = 4096
@@ -50,6 +67,23 @@ const maxChunkPayload = 64 << 20
 // ErrBlockCorrupt marks an unreadable block file.
 var ErrBlockCorrupt = errors.New("store: corrupt block")
 
+// BlockReadError is a block read failure carrying the file name, so an
+// operator can quarantine one bad block instead of losing the whole
+// window. Corrupt() distinguishes on-disk corruption (the file is
+// readable but fails validation — ScanWindow skips and counts these)
+// from transient I/O failures (the scan aborts so the caller can retry).
+type BlockReadError struct {
+	File string
+	Err  error
+}
+
+func (e *BlockReadError) Error() string { return fmt.Sprintf("store: block %s: %v", e.File, e.Err) }
+func (e *BlockReadError) Unwrap() error { return e.Err }
+
+// Corrupt reports whether the failure is on-disk corruption rather than
+// a transient I/O error.
+func (e *BlockReadError) Corrupt() bool { return errors.Is(e.Err, ErrBlockCorrupt) }
+
 // row is one record inside the compactor, carrying everything a block
 // stores about it.
 type row struct {
@@ -58,6 +92,25 @@ type row struct {
 	seq  uint64
 	user uint64
 	tag  uint8
+}
+
+// blockCols holds a block's scan-relevant columns as parallel slices.
+// User IDs are decoded only by the row-level reader — no scan needs them.
+type blockCols struct {
+	times []timeutil.Millis
+	lats  []float64
+	seqs  []uint64
+	tags  []uint8
+}
+
+func (c *blockCols) reset() {
+	c.times, c.lats, c.seqs, c.tags = c.times[:0], c.lats[:0], c.seqs[:0], c.tags[:0]
+}
+
+// memBytes approximates the heap footprint of the decoded columns, for
+// the block cache's byte accounting.
+func (c *blockCols) memBytes() int64 {
+	return int64(cap(c.times))*8 + int64(cap(c.lats))*8 + int64(cap(c.seqs))*8 + int64(cap(c.tags))
 }
 
 // blockName returns the block file name for an ID.
@@ -70,10 +123,10 @@ func isBlockFile(name string) bool {
 }
 
 // appendBlock encodes rows (sorted by (time, seq)) into dst as one block
-// file's bytes.
+// file's bytes, in the version-2 layout.
 func appendBlock(dst []byte, rows []row) []byte {
 	dst = append(dst, blockMagic[:]...)
-	dst = append(dst, blockVersion)
+	dst = append(dst, blockVersion2)
 	var payload []byte
 	for len(rows) > 0 {
 		chunk := rows
@@ -83,6 +136,10 @@ func appendBlock(dst []byte, rows []row) []byte {
 		rows = rows[len(chunk):]
 
 		payload = payload[:0]
+		minT := chunk[0].time
+		maxT := chunk[len(chunk)-1].time
+		payload = binary.AppendVarint(payload, int64(minT))
+		payload = binary.AppendUvarint(payload, uint64(maxT-minT))
 		var lastT, lastS int64
 		for i := range chunk {
 			payload = binary.AppendVarint(payload, int64(chunk[i].time)-lastT)
@@ -92,11 +149,11 @@ func appendBlock(dst []byte, rows []row) []byte {
 			payload = binary.LittleEndian.AppendUint64(payload, math.Float64bits(chunk[i].lat))
 		}
 		for i := range chunk {
-			payload = binary.AppendVarint(payload, int64(chunk[i].seq)-lastS)
-			lastS = int64(chunk[i].seq)
+			payload = append(payload, chunk[i].tag)
 		}
 		for i := range chunk {
-			payload = append(payload, chunk[i].tag)
+			payload = binary.AppendVarint(payload, int64(chunk[i].seq)-lastS)
+			lastS = int64(chunk[i].seq)
 		}
 		for i := range chunk {
 			payload = binary.AppendUvarint(payload, chunk[i].user)
@@ -110,59 +167,129 @@ func appendBlock(dst []byte, rows []row) []byte {
 	return dst
 }
 
-// decodeBlock parses one block file's bytes back into rows, validating
-// magic, version, every chunk CRC, and exact payload consumption.
-func decodeBlock(data []byte) ([]row, error) {
+// blockHeader validates the magic and returns the version byte and the
+// offset of the first chunk.
+func blockHeader(data []byte) (version byte, off int, err error) {
 	if len(data) < len(blockMagic)+1 || !bytes.Equal(data[:4], blockMagic[:]) {
-		return nil, fmt.Errorf("%w: bad magic", ErrBlockCorrupt)
+		return 0, 0, fmt.Errorf("%w: bad magic", ErrBlockCorrupt)
 	}
-	if data[4] != blockVersion {
-		return nil, fmt.Errorf("%w: unsupported version %d", ErrBlockCorrupt, data[4])
+	v := data[4]
+	if v != blockVersion1 && v != blockVersion2 {
+		return 0, 0, fmt.Errorf("%w: unsupported version %d", ErrBlockCorrupt, v)
 	}
-	off := len(blockMagic) + 1
+	return v, len(blockMagic) + 1, nil
+}
+
+// chunkFrame is one parsed chunk framing entry. payload is the full
+// CRC-covered payload; cols is payload minus the version-2 min/max
+// prefix (equal to payload for version 1). minT/maxT are peeked from the
+// prefix WITHOUT verifying the CRC — verification costs reading the
+// whole payload, which is exactly what chunk skipping avoids — so a
+// skipped chunk trusts them like scans trust the manifest zone maps.
+type chunkFrame struct {
+	n          int
+	sum        uint32
+	payload    []byte
+	cols       []byte
+	minT, maxT timeutil.Millis // version 2 only
+}
+
+// checkCRC verifies the chunk payload against its framed checksum.
+func (c *chunkFrame) checkCRC() error {
+	if crc32.Checksum(c.payload, castagnoli) != c.sum {
+		return fmt.Errorf("%w: chunk CRC mismatch", ErrBlockCorrupt)
+	}
+	return nil
+}
+
+// nextChunk parses one chunk's framing starting at off.
+func nextChunk(data []byte, off int, version byte) (c chunkFrame, next int, err error) {
+	n64, k := binary.Uvarint(data[off:])
+	if k <= 0 {
+		return c, 0, fmt.Errorf("%w: bad chunk count at byte %d", ErrBlockCorrupt, off)
+	}
+	off += k
+	plen64, k := binary.Uvarint(data[off:])
+	if k <= 0 || plen64 > maxChunkPayload {
+		return c, 0, fmt.Errorf("%w: bad chunk length at byte %d", ErrBlockCorrupt, off)
+	}
+	off += k
+	if off+4 > len(data) {
+		return c, 0, fmt.Errorf("%w: truncated chunk header", ErrBlockCorrupt)
+	}
+	c.sum = binary.LittleEndian.Uint32(data[off:])
+	off += 4
+	plen := int(plen64)
+	if off+plen > len(data) {
+		return c, 0, fmt.Errorf("%w: truncated chunk payload", ErrBlockCorrupt)
+	}
+	c.payload = data[off : off+plen]
+	c.cols = c.payload
+	off += plen
+	// Each row costs at least 12 payload bytes (1+8+1+1+1); the version-2
+	// prefix only makes payloads larger, so the bound holds for both.
+	if n64 > uint64(len(c.payload))/12+1 {
+		return c, 0, fmt.Errorf("%w: implausible chunk count %d", ErrBlockCorrupt, n64)
+	}
+	c.n = int(n64)
+	if version == blockVersion2 {
+		minT, k1 := binary.Varint(c.payload)
+		if k1 <= 0 {
+			return c, 0, fmt.Errorf("%w: bad chunk min time", ErrBlockCorrupt)
+		}
+		span, k2 := binary.Uvarint(c.payload[k1:])
+		if k2 <= 0 || span > math.MaxInt64 || minT > int64(math.MaxInt64-span) {
+			return c, 0, fmt.Errorf("%w: bad chunk time span", ErrBlockCorrupt)
+		}
+		c.minT = timeutil.Millis(minT)
+		c.maxT = timeutil.Millis(minT + int64(span))
+		c.cols = c.payload[k1+k2:]
+	}
+	return c, off, nil
+}
+
+// decodeBlock parses one block file's bytes back into rows (all columns,
+// user IDs included), validating magic, version, every chunk CRC, exact
+// payload consumption, and the (time, seq) sort — within chunks and
+// across chunk boundaries.
+func decodeBlock(data []byte) ([]row, error) {
+	version, off, err := blockHeader(data)
+	if err != nil {
+		return nil, err
+	}
 	var rows []row
 	for off < len(data) {
-		n64, k := binary.Uvarint(data[off:])
-		if k <= 0 {
-			return nil, fmt.Errorf("%w: bad chunk count at byte %d", ErrBlockCorrupt, off)
-		}
-		off += k
-		plen64, k := binary.Uvarint(data[off:])
-		if k <= 0 || plen64 > maxChunkPayload {
-			return nil, fmt.Errorf("%w: bad chunk length at byte %d", ErrBlockCorrupt, off)
-		}
-		off += k
-		if off+4 > len(data) {
-			return nil, fmt.Errorf("%w: truncated chunk header", ErrBlockCorrupt)
-		}
-		sum := binary.LittleEndian.Uint32(data[off:])
-		off += 4
-		plen := int(plen64)
-		if off+plen > len(data) {
-			return nil, fmt.Errorf("%w: truncated chunk payload", ErrBlockCorrupt)
-		}
-		payload := data[off : off+plen]
-		off += plen
-		if crc32.Checksum(payload, castagnoli) != sum {
-			return nil, fmt.Errorf("%w: chunk CRC mismatch", ErrBlockCorrupt)
-		}
-		n := int(n64)
-		// Each row costs at least 1+8+1+1+1 payload bytes.
-		if n64 > uint64(len(payload))/12+1 {
-			return nil, fmt.Errorf("%w: implausible chunk count %d", ErrBlockCorrupt, n)
-		}
-		chunk, err := decodeChunk(payload, n)
+		c, next, err := nextChunk(data, off, version)
 		if err != nil {
 			return nil, err
 		}
-		rows = append(rows, chunk...)
+		off = next
+		if err := c.checkCRC(); err != nil {
+			return nil, err
+		}
+		prev := len(rows)
+		rows, err = decodeChunkRows(rows, &c, version)
+		if err != nil {
+			return nil, err
+		}
+		if prev > 0 && len(rows) > prev {
+			a, b := &rows[prev-1], &rows[prev]
+			if b.time < a.time || (b.time == a.time && b.seq <= a.seq) {
+				return nil, fmt.Errorf("%w: chunks not (time, seq)-sorted", ErrBlockCorrupt)
+			}
+		}
 	}
 	return rows, nil
 }
 
-// decodeChunk parses one CRC-verified chunk payload.
-func decodeChunk(payload []byte, n int) ([]row, error) {
-	rows := make([]row, n)
+// decodeChunkRows parses one CRC-verified chunk's columns into rows,
+// appending to dst.
+func decodeChunkRows(dst []row, c *chunkFrame, version byte) ([]row, error) {
+	n := c.n
+	payload := c.cols
+	base := len(dst)
+	dst = append(dst, make([]row, n)...)
+	rows := dst[base:]
 	off := 0
 	var last int64
 	for i := 0; i < n; i++ {
@@ -184,6 +311,15 @@ func decodeChunk(payload []byte, n int) ([]row, error) {
 		}
 		off += 8
 	}
+	if version == blockVersion2 {
+		if off+n > len(payload) {
+			return nil, fmt.Errorf("%w: truncated tags", ErrBlockCorrupt)
+		}
+		for i := 0; i < n; i++ {
+			rows[i].tag = payload[off+i]
+		}
+		off += n
+	}
 	last = 0
 	for i := 0; i < n; i++ {
 		d, k := binary.Varint(payload[off:])
@@ -197,13 +333,15 @@ func decodeChunk(payload []byte, n int) ([]row, error) {
 		}
 		rows[i].seq = uint64(last)
 	}
-	if off+n > len(payload) {
-		return nil, fmt.Errorf("%w: truncated tags", ErrBlockCorrupt)
+	if version == blockVersion1 {
+		if off+n > len(payload) {
+			return nil, fmt.Errorf("%w: truncated tags", ErrBlockCorrupt)
+		}
+		for i := 0; i < n; i++ {
+			rows[i].tag = payload[off+i]
+		}
+		off += n
 	}
-	for i := 0; i < n; i++ {
-		rows[i].tag = payload[off+i]
-	}
-	off += n
 	for i := 0; i < n; i++ {
 		u, k := binary.Uvarint(payload[off:])
 		if k <= 0 {
@@ -221,29 +359,165 @@ func decodeChunk(payload []byte, n int) ([]row, error) {
 			return nil, fmt.Errorf("%w: rows not (time, seq)-sorted", ErrBlockCorrupt)
 		}
 	}
-	return rows, nil
+	if version == blockVersion2 && n > 0 &&
+		(rows[0].time != c.minT || rows[n-1].time != c.maxT) {
+		return nil, fmt.Errorf("%w: chunk min/max prefix disagrees with times", ErrBlockCorrupt)
+	}
+	return dst, nil
+}
+
+// decodeBlockCols is the scan-path decoder: times, latencies, seqs and
+// (when needTags) tags, appended to dst. User IDs are never decoded —
+// the column order puts them last so the scan stops before them. For
+// version-2 blocks, chunks whose framed time range misses win are
+// skipped without reading (or CRC-checking) their payloads, and the scan
+// stops at the first chunk at or past the window's upper bound; the
+// result is therefore a SUPERSET of the window's rows (whole chunks),
+// which the caller row-filters. Version-1 blocks have no chunk framing
+// to skip by and fall back to decoding every chunk.
+func decodeBlockCols(data []byte, win live.Window, needTags bool, dst *blockCols) error {
+	version, off, err := blockHeader(data)
+	if err != nil {
+		return err
+	}
+	var prevMaxT timeutil.Millis
+	havePrev := false
+	for off < len(data) {
+		c, next, err := nextChunk(data, off, version)
+		if err != nil {
+			return err
+		}
+		off = next
+		if version == blockVersion2 {
+			// Framing-level ordering: chunk time ranges must ascend, or the
+			// skip logic (and any reader) is operating on a corrupt block.
+			if c.n > 0 && c.maxT < c.minT {
+				return fmt.Errorf("%w: inverted chunk time range", ErrBlockCorrupt)
+			}
+			if havePrev && c.minT < prevMaxT {
+				return fmt.Errorf("%w: chunks not time-sorted", ErrBlockCorrupt)
+			}
+			prevMaxT, havePrev = c.maxT, true
+			if win.To != 0 && c.minT >= win.To {
+				break // every later chunk starts at or past the bound too
+			}
+			if c.maxT < win.From {
+				continue // entirely below the window: skip without decoding
+			}
+		}
+		if err := c.checkCRC(); err != nil {
+			return err
+		}
+		if err := decodeChunkCols(&c, version, needTags, dst); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// decodeChunkCols parses one CRC-verified chunk's scan columns into dst.
+// The user column is validated only by the CRC — its varints are never
+// parsed here.
+func decodeChunkCols(c *chunkFrame, version byte, needTags bool, dst *blockCols) error {
+	n := c.n
+	payload := c.cols
+	base := len(dst.times)
+	dst.times = append(dst.times, make([]timeutil.Millis, n)...)
+	dst.lats = append(dst.lats, make([]float64, n)...)
+	dst.seqs = append(dst.seqs, make([]uint64, n)...)
+	times := dst.times[base:]
+	lats := dst.lats[base:]
+	seqs := dst.seqs[base:]
+	off := 0
+	var last int64
+	for i := 0; i < n; i++ {
+		d, k := binary.Varint(payload[off:])
+		if k <= 0 {
+			return fmt.Errorf("%w: bad time delta", ErrBlockCorrupt)
+		}
+		off += k
+		last += d
+		times[i] = timeutil.Millis(last)
+	}
+	if base > 0 && n > 0 {
+		if prev := dst.times[base-1]; times[0] < prev {
+			return fmt.Errorf("%w: chunks not time-sorted", ErrBlockCorrupt)
+		}
+	}
+	for i := 0; i < n; i++ {
+		if off+8 > len(payload) {
+			return fmt.Errorf("%w: truncated latencies", ErrBlockCorrupt)
+		}
+		lats[i] = math.Float64frombits(binary.LittleEndian.Uint64(payload[off:]))
+		if math.IsNaN(lats[i]) {
+			return fmt.Errorf("%w: NaN latency", ErrBlockCorrupt)
+		}
+		off += 8
+	}
+	tagOff, tagEnd := -1, -1
+	if version == blockVersion2 {
+		if off+n > len(payload) {
+			return fmt.Errorf("%w: truncated tags", ErrBlockCorrupt)
+		}
+		tagOff, tagEnd = off, off+n
+		off += n
+	}
+	last = 0
+	for i := 0; i < n; i++ {
+		d, k := binary.Varint(payload[off:])
+		if k <= 0 {
+			return fmt.Errorf("%w: bad seq delta", ErrBlockCorrupt)
+		}
+		off += k
+		last += d
+		if last < 0 {
+			return fmt.Errorf("%w: negative seq", ErrBlockCorrupt)
+		}
+		seqs[i] = uint64(last)
+	}
+	if version == blockVersion1 {
+		if off+n > len(payload) {
+			return fmt.Errorf("%w: truncated tags", ErrBlockCorrupt)
+		}
+		tagOff, tagEnd = off, off+n
+	}
+	if needTags {
+		dst.tags = append(dst.tags, payload[tagOff:tagEnd]...)
+	}
+	for i := 1; i < n; i++ {
+		if times[i] < times[i-1] ||
+			(times[i] == times[i-1] && seqs[i] <= seqs[i-1]) {
+			return fmt.Errorf("%w: rows not (time, seq)-sorted", ErrBlockCorrupt)
+		}
+	}
+	if version == blockVersion2 && n > 0 &&
+		(times[0] != c.minT || times[n-1] != c.maxT) {
+		return fmt.Errorf("%w: chunk min/max prefix disagrees with times", ErrBlockCorrupt)
+	}
+	return nil
 }
 
 // writeBlock encodes rows, writes them as the block file for id (synced
-// before close), and returns the file's manifest entry. Create truncates,
-// so rewriting a crashed compaction's orphan is safe and exact.
-func writeBlock(fsys wal.FS, dir string, id uint64, rows []row) (BlockMeta, error) {
-	data := appendBlock(nil, rows)
+// before close), and returns the file's manifest entry plus the encode
+// buffer for reuse. Create truncates, so rewriting a crashed compaction's
+// orphan is safe and exact.
+func writeBlock(fsys wal.FS, dir string, id uint64, rows []row, buf []byte) (BlockMeta, []byte, error) {
+	data := appendBlock(buf[:0], rows)
 	name := blockName(id)
 	f, err := fsys.Create(filepath.Join(dir, name))
 	if err != nil {
-		return BlockMeta{}, fmt.Errorf("store: create block %s: %w", name, err)
+		return BlockMeta{}, data, fmt.Errorf("store: create block %s: %w", name, err)
 	}
 	if _, err := f.Write(data); err != nil {
 		f.Close()
-		return BlockMeta{}, fmt.Errorf("store: write block %s: %w", name, err)
+		return BlockMeta{}, data, fmt.Errorf("store: write block %s: %w", name, err)
 	}
 	if err := f.Sync(); err != nil {
 		f.Close()
-		return BlockMeta{}, fmt.Errorf("store: sync block %s: %w", name, err)
+		return BlockMeta{}, data, fmt.Errorf("store: sync block %s: %w", name, err)
 	}
 	if err := f.Close(); err != nil {
-		return BlockMeta{}, fmt.Errorf("store: close block %s: %w", name, err)
+		return BlockMeta{}, data, fmt.Errorf("store: close block %s: %w", name, err)
 	}
 
 	meta := BlockMeta{
@@ -269,23 +543,48 @@ func writeBlock(fsys wal.FS, dir string, id uint64, rows []row) (BlockMeta, erro
 		meta.Actions |= 1 << tagAction(r.tag)
 		meta.UserTypes |= 1 << tagUser(r.tag)
 	}
-	return meta, nil
+	return meta, data, nil
 }
 
-// readBlock loads and decodes one block file.
-func readBlock(fsys wal.FS, dir, name string) ([]row, error) {
+// readBlockBytes loads one block file into buf (grown as needed),
+// wrapping failures in *BlockReadError.
+func readBlockBytes(fsys wal.FS, dir, name string, buf []byte) ([]byte, error) {
 	f, err := fsys.Open(filepath.Join(dir, name))
 	if err != nil {
-		return nil, fmt.Errorf("store: open block %s: %w", name, err)
+		return buf, &BlockReadError{File: name, Err: err}
 	}
 	defer f.Close()
-	data, err := io.ReadAll(f)
+	buf = buf[:0]
+	if cap(buf) == 0 {
+		buf = make([]byte, 0, 64<<10)
+	}
+	for {
+		if len(buf) == cap(buf) {
+			grown := make([]byte, len(buf), 2*cap(buf))
+			copy(grown, buf)
+			buf = grown
+		}
+		n, err := f.Read(buf[len(buf):cap(buf)])
+		buf = buf[:len(buf)+n]
+		if err == io.EOF {
+			return buf, nil
+		}
+		if err != nil {
+			return buf, &BlockReadError{File: name, Err: err}
+		}
+	}
+}
+
+// readBlock loads and decodes one block file into rows (the full-fidelity
+// path used by tests and tools; scans use the column decoder).
+func readBlock(fsys wal.FS, dir, name string) ([]row, error) {
+	data, err := readBlockBytes(fsys, dir, name, nil)
 	if err != nil {
-		return nil, fmt.Errorf("store: read block %s: %w", name, err)
+		return nil, err
 	}
 	rows, err := decodeBlock(data)
 	if err != nil {
-		return nil, fmt.Errorf("store: block %s: %w", name, err)
+		return nil, &BlockReadError{File: name, Err: err}
 	}
 	return rows, nil
 }

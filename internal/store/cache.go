@@ -1,0 +1,143 @@
+package store
+
+import (
+	"container/list"
+	"sync"
+	"sync/atomic"
+
+	"autosens/internal/collector/api"
+)
+
+// blockCache is the bounded-memory LRU of decoded blocks the scan path
+// consults before touching disk. Entries are keyed by block file name,
+// which is sufficient within one cache generation: block IDs are
+// monotone so a file name is never reused, the files themselves are
+// immutable once installed (a crashed compaction's orphan rewrite is
+// byte-identical, and orphans are never in a manifest so never cached),
+// and the visible block set can only SHRINK while a process runs (blocks
+// compacted after Open stay invisible until the next restart — see the
+// cutover invariant in the package comment). The one mid-process change
+// — retention GC dropping visible blocks — purges the cache and bumps
+// the store's generation, which is also the epoch windowed live queries
+// key their reused cold state by.
+//
+// Cached *blockCols are shared read-only: the scan path clips them with
+// subslices and copies when it must filter, never mutating them. A nil
+// *blockCache is a valid disabled cache (every method no-ops), so the
+// scan path needs no feature flag.
+type blockCache struct {
+	max int64
+
+	mu      sync.Mutex
+	bytes   int64
+	ll      *list.List // front = most recently used; values are *cacheEntry
+	entries map[string]*list.Element
+
+	hits      atomic.Uint64
+	misses    atomic.Uint64
+	evictions atomic.Uint64
+}
+
+type cacheEntry struct {
+	file string
+	cols *blockCols
+	size int64
+}
+
+// newBlockCache returns a cache bounded to maxBytes of decoded columns,
+// or nil (disabled) when maxBytes <= 0.
+func newBlockCache(maxBytes int64) *blockCache {
+	if maxBytes <= 0 {
+		return nil
+	}
+	return &blockCache{
+		max:     maxBytes,
+		ll:      list.New(),
+		entries: make(map[string]*list.Element),
+	}
+}
+
+// get returns the decoded columns cached for file, or nil.
+func (c *blockCache) get(file string) *blockCols {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	el, ok := c.entries[file]
+	if !ok {
+		c.mu.Unlock()
+		c.misses.Add(1)
+		return nil
+	}
+	c.ll.MoveToFront(el)
+	cols := el.Value.(*cacheEntry).cols
+	c.mu.Unlock()
+	c.hits.Add(1)
+	return cols
+}
+
+// put inserts file's decoded columns, evicting least-recently-used
+// entries until the byte bound holds. Oversized blocks are not cached.
+func (c *blockCache) put(file string, cols *blockCols) {
+	if c == nil {
+		return
+	}
+	size := cols.memBytes()
+	if size > c.max {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[file]; ok {
+		// Another scan decoded the same block concurrently; keep the
+		// incumbent (the contents are identical).
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.entries[file] = c.ll.PushFront(&cacheEntry{file: file, cols: cols, size: size})
+	c.bytes += size
+	for c.bytes > c.max {
+		oldest := c.ll.Back()
+		if oldest == nil {
+			break
+		}
+		ent := oldest.Value.(*cacheEntry)
+		c.ll.Remove(oldest)
+		delete(c.entries, ent.file)
+		c.bytes -= ent.size
+		c.evictions.Add(1)
+	}
+}
+
+// purge drops every entry. Called when retention GC removes visible
+// blocks (alongside the store's generation bump); in-flight readers keep
+// their references safely — the columns are immutable.
+func (c *blockCache) purge() {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.ll.Init()
+	c.entries = make(map[string]*list.Element)
+	c.bytes = 0
+}
+
+// stats snapshots the cache for /v1/status; nil caches report a zero
+// MaxBytes so operators can tell "disabled" from "empty".
+func (c *blockCache) stats() api.CacheStats {
+	if c == nil {
+		return api.CacheStats{}
+	}
+	c.mu.Lock()
+	st := api.CacheStats{
+		Bytes:    c.bytes,
+		MaxBytes: c.max,
+		Entries:  len(c.entries),
+	}
+	c.mu.Unlock()
+	st.Hits = c.hits.Load()
+	st.Misses = c.misses.Load()
+	st.Evictions = c.evictions.Load()
+	return st
+}

@@ -84,8 +84,15 @@ var goldenKeys = []live.SliceKey{
 // byte-identical to the batch estimator run over the same windowed
 // records, INCLUDING after the compactor was killed at its manifest
 // install and recovered. It then keeps appending and re-queries the
-// trailing window, covering the dirty hot+cold path.
+// trailing window, covering the dirty hot+cold path. Both decoded-block
+// cache configurations must produce the same bytes — the cache may only
+// change where columns come from, never what they hold.
 func TestGoldenWindowedHotColdMatchesBatch(t *testing.T) {
+	t.Run("cache=off", func(t *testing.T) { runGoldenWindowed(t, 0) })
+	t.Run("cache=on", func(t *testing.T) { runGoldenWindowed(t, 64<<20) })
+}
+
+func runGoldenWindowed(t *testing.T, cacheBytes int64) {
 	horizon := 2 * timeutil.MillisPerDay
 	stream := genStream(5, 12000, horizon)
 	walDir, coldDir := t.TempDir(), t.TempDir()
@@ -126,7 +133,7 @@ func TestGoldenWindowedHotColdMatchesBatch(t *testing.T) {
 
 	// Second incarnation: sensd's startup order. Open the store, seed the
 	// engine at the cutover, warm it from the surviving segments, attach.
-	s2, err := Open(Config{Dir: coldDir, WALDir: walDir, FS: ffs, BlockRecords: 1024})
+	s2, err := Open(Config{Dir: coldDir, WALDir: walDir, FS: ffs, BlockRecords: 1024, CacheBytes: cacheBytes})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -206,6 +213,16 @@ func TestGoldenWindowedHotColdMatchesBatch(t *testing.T) {
 		if want := batchCurve(t, combined, key, live.ModePlain, win); !bytes.Equal(res.Curve, want) {
 			t.Fatalf("%s: post-append trailing window differs from batch", key)
 		}
+	}
+
+	// With a cache configured, the repeated windows above must have come
+	// back from memory at least once.
+	if st := s2.Stats(); cacheBytes > 0 {
+		if st.Cache == nil || st.Cache.Hits == 0 {
+			t.Fatal("cache configured but the windowed queries never hit it")
+		}
+	} else if st.Cache != nil {
+		t.Fatal("cache disabled but stats report one")
 	}
 }
 

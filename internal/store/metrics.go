@@ -1,0 +1,45 @@
+package store
+
+import "autosens/internal/obs"
+
+// newStoreMetrics registers the autosens_store_* instruments. The store
+// keeps its own atomics (they also feed /v1/status), so everything here
+// is exported through gauge functions reading those.
+func newStoreMetrics(reg *obs.Registry, s *Store) {
+	reg.GaugeFunc("autosens_store_blocks", "block files in the installed manifest",
+		func() float64 {
+			s.mu.Lock()
+			defer s.mu.Unlock()
+			return float64(len(s.man.Blocks))
+		})
+	reg.GaugeFunc("autosens_store_cold_bytes", "bytes held in cold block files",
+		func() float64 {
+			s.mu.Lock()
+			defer s.mu.Unlock()
+			var total int64
+			for i := range s.man.Blocks {
+				total += s.man.Blocks[i].Bytes
+			}
+			return float64(total)
+		})
+	reg.GaugeFunc("autosens_store_compactions", "manifest installs this incarnation",
+		func() float64 { return float64(s.compactions.Load()) })
+	reg.GaugeFunc("autosens_store_generation", "visible cold data epoch (bumps on retention GC)",
+		func() float64 { return float64(s.Generation()) })
+	reg.GaugeFunc("autosens_store_scanned_blocks", "candidate blocks considered by scans",
+		func() float64 { return float64(s.scanned.Load()) })
+	reg.GaugeFunc("autosens_store_pruned_blocks", "candidate blocks skipped via zone maps",
+		func() float64 { return float64(s.pruned.Load()) })
+	reg.GaugeFunc("autosens_store_corrupt_blocks", "corrupt block reads skipped by scans",
+		func() float64 { return float64(s.corrupt.Load()) })
+	reg.GaugeFunc("autosens_store_cache_bytes", "decoded-block cache footprint",
+		func() float64 { return float64(s.cache.stats().Bytes) })
+	reg.GaugeFunc("autosens_store_cache_entries", "decoded blocks held in the cache",
+		func() float64 { return float64(s.cache.stats().Entries) })
+	reg.GaugeFunc("autosens_store_cache_hits", "scans served a block from the cache",
+		func() float64 { return float64(s.cache.stats().Hits) })
+	reg.GaugeFunc("autosens_store_cache_misses", "scans that had to read a block file",
+		func() float64 { return float64(s.cache.stats().Misses) })
+	reg.GaugeFunc("autosens_store_cache_evictions", "cached blocks evicted by the byte bound",
+		func() float64 { return float64(s.cache.stats().Evictions) })
+}

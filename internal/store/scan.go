@@ -1,9 +1,33 @@
 package store
 
 import (
+	"errors"
+	"io/fs"
+	"sort"
+	"sync"
+
+	"autosens/internal/core"
 	"autosens/internal/live"
 	"autosens/internal/timeutil"
 )
+
+// part is one block's contribution to a scan: (time, seq)-sorted
+// parallel columns, possibly aliasing cached (immutable) storage.
+type part struct {
+	times []timeutil.Millis
+	lats  []float64
+	seqs  []uint64
+}
+
+// scanScratch is the pooled per-worker decode state: the raw block file
+// buffer and a column scratch whose contents never escape the worker
+// (kept rows are copied out exactly sized).
+type scanScratch struct {
+	buf  []byte
+	cols blockCols
+}
+
+var scanScratchPool = sync.Pool{New: func() any { return new(scanScratch) }}
 
 // ScanWindow implements live.ColdTier: the cold tier's records matching
 // key inside win, as (time, seq)-sorted parallel columns.
@@ -12,14 +36,46 @@ import (
 // see the package comment); within those, zone maps prune blocks whose
 // time range misses the window or whose action/user-type presence masks
 // rule out the slice, without touching the file. Surviving blocks are
-// decoded, row-filtered (tag match + window containment), and k-way
-// merged: each block is internally sorted, and blocks from one
-// compaction run are time-partitioned, so the merge degenerates to
-// concatenation except across runs.
+// decoded and row-filtered concurrently on a bounded worker pool
+// (Config.ScanWorkers), each worker drawing pooled decode scratch;
+// results are merged in manifest index order, so the output is
+// byte-identical to a sequential scan. Fully-covered blocks come from
+// (or land in) the decoded-block cache; partially-covered ones decode
+// only the chunks their framed min/max says the window can touch.
+//
+// A block that fails validation (ErrBlockCorrupt under a *BlockReadError
+// naming the file) is skipped, counted, and quarantined rather than
+// failing the scan — operators lose one block, not the whole window.
+// Transient I/O errors still abort, typed with the file name, so the
+// caller can retry.
+//
+// One I/O error is expected in normal operation: a scan races retention
+// GC, which deletes dropped block files after committing the shrunk
+// manifest. A not-exist read on a block from a pre-GC snapshot therefore
+// retries against a fresh snapshot instead of failing — the generation
+// counter (bumped before the files go) tells the two cases apart from a
+// genuinely missing file, which still aborts.
 func (s *Store) ScanWindow(key live.SliceKey, win live.Window) ([]timeutil.Millis, []float64, []uint64, error) {
+	for attempt := 0; ; attempt++ {
+		gen := s.gen.Load()
+		times, lats, seqs, err := s.scanWindowOnce(key, win)
+		if err == nil {
+			return times, lats, seqs, nil
+		}
+		var bre *BlockReadError
+		if attempt < 3 && errors.As(err, &bre) &&
+			errors.Is(bre.Err, fs.ErrNotExist) && s.gen.Load() != gen {
+			continue
+		}
+		return nil, nil, nil, err
+	}
+}
+
+func (s *Store) scanWindowOnce(key live.SliceKey, win live.Window) ([]timeutil.Millis, []float64, []uint64, error) {
 	m := s.snapshotManifest()
 
-	var cols [][]row
+	survivors := make([]*BlockMeta, 0, len(m.Blocks))
+	candidates, pruned := 0, 0
 	for i := range m.Blocks {
 		b := &m.Blocks[i]
 		if b.MaxSeq >= s.cutover {
@@ -28,26 +84,133 @@ func (s *Store) ScanWindow(key live.SliceKey, win live.Window) ([]timeutil.Milli
 			// here would double-count. They surface after the next restart.
 			continue
 		}
-		s.scanned.Add(1)
+		candidates++
 		if !blockMayMatch(b, key, win) {
-			s.pruned.Add(1)
+			pruned++
 			continue
 		}
-		rows, err := readBlock(s.fs, s.cfg.Dir, b.File)
-		if err != nil {
-			return nil, nil, nil, err
+		survivors = append(survivors, b)
+	}
+	// Account every candidate up front: a scan that later aborts on an
+	// I/O error has still considered (and pruned) exactly these blocks.
+	s.scanned.Add(uint64(candidates))
+	s.pruned.Add(uint64(pruned))
+
+	parts := make([]part, len(survivors))
+	errs := make([]error, len(survivors))
+	core.ForEachIndex(s.cfg.ScanWorkers, len(survivors), func(i int) {
+		parts[i], errs[i] = s.scanBlock(survivors[i], key, win)
+	})
+	for i, err := range errs {
+		if err == nil {
+			continue
 		}
-		kept := rows[:0]
-		for j := range rows {
-			if key.MatchesTag(rows[j].tag) && win.Contains(rows[j].time) {
-				kept = append(kept, rows[j])
-			}
+		var bre *BlockReadError
+		if errors.As(err, &bre) && bre.Corrupt() {
+			s.corrupt.Add(1)
+			s.quarantineBlock(bre.File)
+			s.logf("store: scan skipped corrupt block %s: %v", bre.File, bre.Err)
+			parts[i] = part{}
+			continue
 		}
-		if len(kept) > 0 {
-			cols = append(cols, kept)
+		return nil, nil, nil, err
+	}
+	times, lats, seqs := mergeScanCols(parts)
+	return times, lats, seqs, nil
+}
+
+// scanBlock produces one surviving block's windowed, slice-filtered
+// columns, going through the decoded-block cache when the window covers
+// the whole block (the only shape worth caching: the watcher's trailing
+// window re-reads the same interior blocks every tick).
+func (s *Store) scanBlock(b *BlockMeta, key live.SliceKey, win live.Window) (part, error) {
+	matchAll := key.Action < 0 && key.UserType < 0 && key.Period < 0
+	covered := win.From <= b.MinTime && (win.To == 0 || b.MaxTime < win.To)
+
+	if cols := s.cache.get(b.File); cols != nil {
+		return clipFilter(cols, key, win, matchAll, false), nil
+	}
+
+	sc := scanScratchPool.Get().(*scanScratch)
+	defer scanScratchPool.Put(sc)
+	data, err := readBlockBytes(s.fs, s.cfg.Dir, b.File, sc.buf)
+	sc.buf = data[:0]
+	if err != nil {
+		return part{}, err
+	}
+
+	if covered && s.cache != nil {
+		// Decode everything (tags included, so any future slice can filter
+		// against the cached copy) into storage the cache will own.
+		cols := new(blockCols)
+		if err := decodeBlockCols(data, live.Window{}, true, cols); err != nil {
+			return part{}, &BlockReadError{File: b.File, Err: err}
+		}
+		s.cache.put(b.File, cols)
+		return clipFilter(cols, key, win, matchAll, false), nil
+	}
+
+	// Uncached path: chunk-skipping decode into pooled scratch, kept rows
+	// copied out exactly sized. Tags are only decoded when the slice needs
+	// them; user IDs never are.
+	sc.cols.reset()
+	if err := decodeBlockCols(data, win, !matchAll, &sc.cols); err != nil {
+		return part{}, &BlockReadError{File: b.File, Err: err}
+	}
+	return clipFilter(&sc.cols, key, win, matchAll, true), nil
+}
+
+// clipFilter narrows decoded columns to win ∩ key. The times are sorted,
+// so the window clip is a binary search; matchAll slices then alias the
+// clipped range without copying (unless copyOut, for scratch-backed
+// columns that must not escape the worker).
+func clipFilter(cols *blockCols, key live.SliceKey, win live.Window, matchAll, copyOut bool) part {
+	lo, hi := 0, len(cols.times)
+	if win.From > 0 {
+		lo = sort.Search(hi, func(i int) bool { return cols.times[i] >= win.From })
+	}
+	if win.To != 0 {
+		hi = lo + sort.Search(hi-lo, func(i int) bool { return cols.times[lo+i] >= win.To })
+	}
+	if lo == hi {
+		return part{}
+	}
+	if matchAll {
+		if !copyOut {
+			return part{times: cols.times[lo:hi], lats: cols.lats[lo:hi], seqs: cols.seqs[lo:hi]}
+		}
+		p := part{
+			times: make([]timeutil.Millis, hi-lo),
+			lats:  make([]float64, hi-lo),
+			seqs:  make([]uint64, hi-lo),
+		}
+		copy(p.times, cols.times[lo:hi])
+		copy(p.lats, cols.lats[lo:hi])
+		copy(p.seqs, cols.seqs[lo:hi])
+		return p
+	}
+	n := 0
+	for i := lo; i < hi; i++ {
+		if key.MatchesTag(cols.tags[i]) {
+			n++
 		}
 	}
-	return mergeRowCols(cols)
+	if n == 0 {
+		return part{}
+	}
+	p := part{
+		times: make([]timeutil.Millis, 0, n),
+		lats:  make([]float64, 0, n),
+		seqs:  make([]uint64, 0, n),
+	}
+	for i := lo; i < hi; i++ {
+		if key.MatchesTag(cols.tags[i]) {
+			p.times = append(p.times, cols.times[i])
+			p.lats = append(p.lats, cols.lats[i])
+			p.seqs = append(p.seqs, cols.seqs[i])
+		}
+	}
+	return p
 }
 
 // blockMayMatch is the zone-map test: false proves the block holds no
@@ -70,45 +233,98 @@ func blockMayMatch(b *BlockMeta, key live.SliceKey, win live.Window) bool {
 	return true
 }
 
-// mergeRowCols k-way merges per-block (time, seq)-sorted row slices into
-// parallel columns. Candidate counts are small, so a linear cursor scan
-// beats a heap — the same choice the live engine's shard merge makes.
-func mergeRowCols(cols [][]row) ([]timeutil.Millis, []float64, []uint64, error) {
+// mergeScanCols k-way merges per-block (time, seq)-sorted column parts.
+// Almost every scan degenerates: one part passes through without any
+// copy, and parts that are pairwise time-ordered (blocks of one
+// compaction run are time-partitioned) concatenate. Two genuinely
+// interleaved parts get a two-cursor merge; only the general case pays
+// the linear cursor scan — candidate counts are small, so that still
+// beats a heap, the same choice the live engine's shard merge makes.
+func mergeScanCols(parts []part) ([]timeutil.Millis, []float64, []uint64) {
+	kept := parts[:0]
 	n := 0
-	for _, c := range cols {
-		n += len(c)
+	for _, p := range parts {
+		if len(p.times) > 0 {
+			kept = append(kept, p)
+			n += len(p.times)
+		}
 	}
-	if n == 0 {
-		return nil, nil, nil, nil
+	parts = kept
+	switch len(parts) {
+	case 0:
+		return nil, nil, nil
+	case 1:
+		return parts[0].times, parts[0].lats, parts[0].seqs
+	}
+
+	ordered := true
+	for i := 0; i+1 < len(parts); i++ {
+		a, b := parts[i], parts[i+1]
+		lastT, lastS := a.times[len(a.times)-1], a.seqs[len(a.seqs)-1]
+		if b.times[0] < lastT || (b.times[0] == lastT && b.seqs[0] < lastS) {
+			ordered = false
+			break
+		}
 	}
 	times := make([]timeutil.Millis, 0, n)
 	lats := make([]float64, 0, n)
 	seqs := make([]uint64, 0, n)
-	cur := make([]int, len(cols))
+	if ordered {
+		for _, p := range parts {
+			times = append(times, p.times...)
+			lats = append(lats, p.lats...)
+			seqs = append(seqs, p.seqs...)
+		}
+		return times, lats, seqs
+	}
+
+	if len(parts) == 2 {
+		a, b := parts[0], parts[1]
+		i, j := 0, 0
+		for i < len(a.times) && j < len(b.times) {
+			if b.times[j] < a.times[i] ||
+				(b.times[j] == a.times[i] && b.seqs[j] < a.seqs[i]) {
+				times = append(times, b.times[j])
+				lats = append(lats, b.lats[j])
+				seqs = append(seqs, b.seqs[j])
+				j++
+			} else {
+				times = append(times, a.times[i])
+				lats = append(lats, a.lats[i])
+				seqs = append(seqs, a.seqs[i])
+				i++
+			}
+		}
+		times = append(append(times, a.times[i:]...), b.times[j:]...)
+		lats = append(append(lats, a.lats[i:]...), b.lats[j:]...)
+		seqs = append(append(seqs, a.seqs[i:]...), b.seqs[j:]...)
+		return times, lats, seqs
+	}
+
+	cur := make([]int, len(parts))
 	for {
 		best := -1
-		for i, c := range cols {
-			k := cur[i]
-			if k >= len(c) {
+		for i := range parts {
+			if cur[i] >= len(parts[i].times) {
 				continue
 			}
 			if best < 0 {
 				best = i
 				continue
 			}
-			b, bk := cols[best], cur[best]
-			if c[k].time < b[bk].time ||
-				(c[k].time == b[bk].time && c[k].seq < b[bk].seq) {
+			bt, bs := parts[best].times[cur[best]], parts[best].seqs[cur[best]]
+			ct, cs := parts[i].times[cur[i]], parts[i].seqs[cur[i]]
+			if ct < bt || (ct == bt && cs < bs) {
 				best = i
 			}
 		}
 		if best < 0 {
-			return times, lats, seqs, nil
+			return times, lats, seqs
 		}
-		r := &cols[best][cur[best]]
-		times = append(times, r.time)
-		lats = append(lats, r.lat)
-		seqs = append(seqs, r.seq)
+		k := cur[best]
+		times = append(times, parts[best].times[k])
+		lats = append(lats, parts[best].lats[k])
+		seqs = append(seqs, parts[best].seqs[k])
 		cur[best]++
 	}
 }

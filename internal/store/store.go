@@ -40,6 +40,7 @@ import (
 	"time"
 
 	"autosens/internal/collector/api"
+	"autosens/internal/obs"
 	"autosens/internal/timeutil"
 	"autosens/internal/wal"
 )
@@ -68,6 +69,14 @@ type Config struct {
 	Owns func(userID uint64) bool
 	// BlockRecords caps rows per block file (0 = DefaultBlockRecords).
 	BlockRecords int
+	// CacheBytes bounds the decoded-block cache (sensd -cold-cache-bytes);
+	// 0 or negative disables it.
+	CacheBytes int64
+	// ScanWorkers bounds the worker pools that decode blocks during scans
+	// and replay/sort/write during compaction (0 = GOMAXPROCS).
+	ScanWorkers int
+	// Registry exports autosens_store_* metrics; nil skips instrumentation.
+	Registry *obs.Registry
 	// Logger receives compaction progress lines; nil is silent.
 	Logger *log.Logger
 }
@@ -82,12 +91,26 @@ type Store struct {
 	// the life of the process (see the package comment).
 	cutover uint64
 
+	// cmu single-flights the compactor end to end; mu guards only the
+	// installed manifest, so scans never wait behind a fold.
+	cmu sync.Mutex
 	mu  sync.Mutex
 	man manifest
 
+	// cache holds decoded blocks (nil when disabled); gen is the cache /
+	// cold-state generation, bumped only when retention GC shrinks the
+	// visible block set (the sole mid-process visibility change — see the
+	// cutover invariant).
+	cache *blockCache
+	gen   atomic.Uint64
+
 	scanned     atomic.Uint64 // candidate blocks considered by scans
 	pruned      atomic.Uint64 // subset skipped via zone maps
+	corrupt     atomic.Uint64 // corrupt-block reads skipped by scans
 	compactions atomic.Uint64 // manifest installs this incarnation
+
+	qmu        sync.Mutex
+	quarantine []string // corrupt block files awaiting operator action
 }
 
 // Open loads (or initializes) dir's manifest and repairs the directory:
@@ -114,7 +137,12 @@ func Open(cfg Config) (*Store, error) {
 	if err != nil {
 		return nil, err
 	}
-	s := &Store{cfg: cfg, fs: fsys, man: man, cutover: man.NextSeq}
+	s := &Store{cfg: cfg, fs: fsys, man: man, cutover: man.NextSeq,
+		cache: newBlockCache(cfg.CacheBytes)}
+	s.gen.Store(1)
+	if cfg.Registry != nil {
+		newStoreMetrics(cfg.Registry, s)
+	}
 
 	// Repair 1: delete orphan block files (written by a compaction that
 	// crashed before its manifest install — their rows still live in the
@@ -183,6 +211,33 @@ func (s *Store) logf(format string, args ...any) {
 // live engine's sequence counter with before warming it.
 func (s *Store) Cutover() uint64 { return s.cutover }
 
+// Generation implements live.ColdTier: an epoch for the visible cold
+// data. Two ScanWindow calls bracketing an unchanged Generation saw the
+// same block set, so derived state (the decoded-block cache, a windowed
+// query's folded cold columns) keyed by it stays valid. It advances only
+// when retention GC drops blocks this incarnation serves.
+func (s *Store) Generation() uint64 { return s.gen.Load() }
+
+// quarantineBlock records a corrupt block file (deduplicated) for the
+// /v1/status quarantine listing.
+func (s *Store) quarantineBlock(file string) {
+	s.qmu.Lock()
+	defer s.qmu.Unlock()
+	for _, f := range s.quarantine {
+		if f == file {
+			return
+		}
+	}
+	s.quarantine = append(s.quarantine, file)
+}
+
+// Quarantined lists the corrupt block files scans have skipped.
+func (s *Store) Quarantined() []string {
+	s.qmu.Lock()
+	defer s.qmu.Unlock()
+	return append([]string(nil), s.quarantine...)
+}
+
 // snapshotManifest copies the manifest's block list under the lock.
 func (s *Store) snapshotManifest() manifest {
 	s.mu.Lock()
@@ -217,10 +272,15 @@ func (s *Store) OldestRetained() (timeutil.Millis, bool) {
 // response body.
 func (s *Store) Blocks() api.BlocksResponse {
 	m := s.snapshotManifest()
+	cs := s.cache.stats()
 	resp := api.BlocksResponse{
 		NextSeq:          m.NextSeq,
 		CompactedThrough: m.CompactedThrough,
 		CutoverSeq:       s.cutover,
+		ScannedBlocks:    s.scanned.Load(),
+		PrunedBlocks:     s.pruned.Load(),
+		CacheHits:        cs.Hits,
+		CacheMisses:      cs.Misses,
 		Blocks:           make([]api.BlockInfo, len(m.Blocks)),
 	}
 	for i, b := range m.Blocks {
@@ -247,6 +307,12 @@ func (s *Store) Stats() api.StorageStats {
 		CompactedThrough: m.CompactedThrough,
 		ScannedBlocks:    s.scanned.Load(),
 		PrunedBlocks:     s.pruned.Load(),
+		CorruptBlocks:    s.corrupt.Load(),
+		Quarantined:      s.Quarantined(),
+	}
+	if s.cache != nil {
+		cs := s.cache.stats()
+		st.Cache = &cs
 	}
 	for _, b := range m.Blocks {
 		st.ColdBytes += b.Bytes

@@ -17,6 +17,8 @@ SOAK_USERS=${SOAK_USERS:-1000000}
 SOAK_SENDERS=${SOAK_SENDERS:-4}
 SOAK_BATCH=${SOAK_BATCH:-500}
 SOAK_QUERY=${SOAK_QUERY:-4}
+SOAK_WINDOW=${SOAK_WINDOW:-12h}
+SOAK_COMPACT_INTERVAL=${SOAK_COMPACT_INTERVAL:-2s}
 SOAK_OUT=${SOAK_OUT:-BENCH_soak.json}
 ADDR=${SOAK_ADDR:-127.0.0.1:18787}
 GO=${GO:-go}
@@ -28,9 +30,13 @@ $GO build -o "$tmp/sensd" ./cmd/sensd
 $GO build -o "$tmp/loadgen" ./cmd/loadgen
 
 # TBIN WAL sink with interval fsync: the durable configuration a production
-# soak should measure, without paying a disk sync per batch.
+# soak should measure, without paying a disk sync per batch. The cold tier
+# compacts aggressively so the windowed half of the query mix (see
+# -soak-window below) crosses real cold blocks mid-run, not just the hot
+# store.
 "$tmp/sensd" -addr "$ADDR" -admin-addr "" \
-  -wal-dir "$tmp/wal" -format tbin -fsync 250ms -live &
+  -wal-dir "$tmp/wal" -format tbin -fsync 250ms -live \
+  -cold-dir "$tmp/cold" -compact-interval "$SOAK_COMPACT_INTERVAL" &
 sensd_pid=$!
 
 # Wait for the listener (the status endpoint answers once serving).
@@ -43,7 +49,7 @@ done
 
 "$tmp/loadgen" -url "http://$ADDR/v1/beacons" -format tbin \
   -soak -soak-users "$SOAK_USERS" -soak-duration "$SOAK_DURATION" \
-  -soak-out "$SOAK_OUT" \
+  -soak-out "$SOAK_OUT" -soak-window "$SOAK_WINDOW" \
   -senders "$SOAK_SENDERS" -batch "$SOAK_BATCH" -query "$SOAK_QUERY"
 
 echo "bench_soak: report written to $SOAK_OUT" >&2
